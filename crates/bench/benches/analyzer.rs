@@ -1,0 +1,31 @@
+//! Criterion bench for the ISOBAR-analyzer pass (Table V's TP_A).
+//!
+//! The paper reports ≈ 500 MB/s single-core analysis throughput on
+//! 2012 hardware; the analyzer is a pure byte-histogram pass, so it
+//! should comfortably exceed that on anything modern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isobar::Analyzer;
+use isobar_datasets::catalog;
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer");
+    let analyzer = Analyzer::default();
+    for name in ["gts_chkp_zion", "s3d_vmag", "msg_sppm"] {
+        let ds = catalog::spec(name)
+            .expect("catalog entry")
+            .generate(375_000, 7);
+        group.throughput(Throughput::Bytes(ds.bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("analyze", name), &ds, |b, ds| {
+            b.iter(|| {
+                analyzer
+                    .analyze(&ds.bytes, ds.width())
+                    .expect("aligned data")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

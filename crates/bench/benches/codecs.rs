@@ -1,0 +1,68 @@
+//! Criterion benches for the standalone codecs.
+//!
+//! Throughput of compression and decompression for both ISOBAR solvers
+//! and both floating-point baselines, on a representative
+//! hard-to-compress buffer (gts-like doubles). These are the numbers
+//! behind Table V's zlib/bzlib2 columns and Table X's FPC/fpzip
+//! columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isobar_codecs::{bwt::Bzip2Like, deflate::Deflate, Codec};
+use isobar_datasets::catalog;
+use isobar_float_codecs::{Dims, Fpc, FpzipLike};
+
+const ELEMENTS: usize = 375_000; // one paper chunk ≈ 3 MB
+
+fn bench_general_codecs(c: &mut Criterion) {
+    let ds = catalog::spec("gts_chkp_zion")
+        .expect("catalog entry")
+        .generate(ELEMENTS, 7);
+    let mut group = c.benchmark_group("general_codecs");
+    group.throughput(Throughput::Bytes(ds.bytes.len() as u64));
+    group.sample_size(10);
+
+    for codec in [&Deflate::default() as &dyn Codec, &Bzip2Like::default()] {
+        group.bench_with_input(
+            BenchmarkId::new("compress", codec.name()),
+            &ds.bytes,
+            |b, data| b.iter(|| codec.compress(data)),
+        );
+        let packed = codec.compress(&ds.bytes);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", codec.name()),
+            &packed,
+            |b, data| b.iter(|| codec.decompress(data).expect("own stream")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_float_codecs(c: &mut Criterion) {
+    let ds = catalog::spec("gts_chkp_zion")
+        .expect("catalog entry")
+        .generate(ELEMENTS, 7);
+    let mut group = c.benchmark_group("float_codecs");
+    group.throughput(Throughput::Bytes(ds.bytes.len() as u64));
+    group.sample_size(10);
+
+    let fpc = Fpc::default();
+    group.bench_function("compress/fpc", |b| b.iter(|| fpc.compress(&ds.bytes)));
+    let fpc_packed = fpc.compress(&ds.bytes);
+    group.bench_function("decompress/fpc", |b| {
+        b.iter(|| fpc.decompress(&fpc_packed).expect("own stream"))
+    });
+
+    let fpz = FpzipLike;
+    let dims = Dims::linear(ELEMENTS);
+    group.bench_function("compress/fpzip", |b| {
+        b.iter(|| fpz.compress_f64(&ds.bytes, dims).expect("aligned"))
+    });
+    let fpz_packed = fpz.compress_f64(&ds.bytes, dims).expect("aligned");
+    group.bench_function("decompress/fpzip", |b| {
+        b.iter(|| fpz.decompress(&fpz_packed).expect("own stream"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_general_codecs, bench_float_codecs);
+criterion_main!(benches);

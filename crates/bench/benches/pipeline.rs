@@ -1,0 +1,49 @@
+//! Criterion benches for the end-to-end ISOBAR pipeline.
+//!
+//! Compression under both preferences plus decompression, on one
+//! paper-sized chunk of a hard-to-compress dataset. These back the
+//! ISOBAR columns of Tables V and IX.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isobar::{IsobarCompressor, IsobarOptions, Preference};
+use isobar_datasets::catalog;
+
+const ELEMENTS: usize = 375_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = catalog::spec("gts_chkp_zion")
+        .expect("catalog entry")
+        .generate(ELEMENTS, 7);
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Bytes(ds.bytes.len() as u64));
+    group.sample_size(10);
+
+    for (label, pref) in [("speed", Preference::Speed), ("ratio", Preference::Ratio)] {
+        let isobar = IsobarCompressor::with_preference(pref);
+        group.bench_with_input(BenchmarkId::new("compress", label), &ds, |b, ds| {
+            b.iter(|| isobar.compress(&ds.bytes, ds.width()).expect("aligned"))
+        });
+        let packed = isobar.compress(&ds.bytes, ds.width()).expect("aligned");
+        group.bench_with_input(BenchmarkId::new("decompress", label), &packed, |b, p| {
+            b.iter(|| isobar.decompress(p).expect("own container"))
+        });
+    }
+
+    // Parallel-chunk extension (not part of the paper's single-core
+    // numbers; included as an ablation of the chunk pipeline).
+    let parallel = IsobarCompressor::new(IsobarOptions {
+        preference: Preference::Speed,
+        parallel: true,
+        chunk_elements: 93_750, // 4 chunks over one paper chunk
+        ..Default::default()
+    });
+    group.bench_with_input(
+        BenchmarkId::new("compress", "speed-parallel"),
+        &ds,
+        |b, ds| b.iter(|| parallel.compress(&ds.bytes, ds.width()).expect("aligned")),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

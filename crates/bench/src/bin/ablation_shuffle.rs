@@ -1,0 +1,58 @@
+//! Ablation — ISOBAR's selective partitioning versus blind byte
+//! shuffling (Blosc/bitshuffle style).
+//!
+//! Byte-shuffle transposes the element matrix and compresses all of
+//! it; ISOBAR additionally *drops* the noise columns from the solver's
+//! input. This ablation quantifies the difference on hard and easy
+//! datasets: ratio and throughput for {zlib, shuffle+zlib, ISOBAR-Sp}.
+
+use isobar::Preference;
+use isobar_bench::*;
+use isobar_codecs::deflate::Deflate;
+use isobar_codecs::shuffle::ShuffledCodec;
+use isobar_datasets::catalog;
+
+const DATASETS: [&str; 6] = [
+    "gts_chkp_zion",
+    "flash_gamc",
+    "s3d_vmag",
+    "msg_sweep3d",
+    "msg_sppm",
+    "msg_bt",
+];
+
+fn main() {
+    banner("Ablation: blind byte-shuffle vs ISOBAR's selective partitioning");
+    println!(
+        "{:<15} | {:>6} {:>8} | {:>6} {:>8} | {:>6} {:>8}",
+        "", "zlib", "", "shuf+z", "", "ISOBAR", ""
+    );
+    println!(
+        "{:<15} | {:>6} {:>8} | {:>6} {:>8} | {:>6} {:>8}",
+        "Dataset", "CR", "TPc", "CR", "TPc", "CR", "TPc"
+    );
+    for name in DATASETS {
+        let spec = catalog::spec(name).expect("catalog entry");
+        let ds = generate(&spec);
+        let zlib = run_codec(&Deflate::default(), &ds.bytes);
+
+        let shuffled = ShuffledCodec::new(Deflate::default(), ds.width());
+        let (packed, secs) = time(|| shuffled.compress(&ds.bytes));
+        let (unpacked, _) = time(|| shuffled.decompress(&packed).expect("own stream"));
+        assert_eq!(unpacked, ds.bytes);
+        let shuf_cr = ds.bytes.len() as f64 / packed.len() as f64;
+        let shuf_tp = mbps(ds.bytes.len(), secs);
+
+        let isobar = run_isobar(&ds.bytes, ds.width(), Preference::Speed);
+
+        println!(
+            "{:<15} | {:>6.3} {:>8.2} | {:>6.3} {:>8.2} | {:>6.3} {:>8.2}",
+            name, zlib.ratio, zlib.comp_mbps, shuf_cr, shuf_tp, isobar.ratio, isobar.comp_mbps,
+        );
+    }
+    println!();
+    println!("expected shape: shuffling improves the ratio over plain zlib but");
+    println!("pays the solver for every byte; ISOBAR matches or beats the shuffle");
+    println!("ratio at a multiple of its throughput on noisy datasets, because the");
+    println!("incompressible columns bypass the solver entirely.");
+}

@@ -1,0 +1,57 @@
+//! Figure 9 — ΔCR under different data linearizations.
+//!
+//! Compresses several datasets in their original element order, in
+//! Hilbert space-filling-curve order, and in random order, and reports
+//! ISOBAR's ΔCR (vs standalone zlib) for each ordering. The paper's
+//! claim: the improvement barely moves, because byte-column statistics
+//! are permutation invariant.
+
+use isobar::Preference;
+use isobar_bench::*;
+use isobar_codecs::{deflate::Deflate, Codec};
+use isobar_datasets::catalog;
+use isobar_linearize::{apply_permutation, hilbert_order, random_permutation};
+
+const DATASETS: [&str; 6] = [
+    "gts_chkp_zion",
+    "xgc_iphase",
+    "flash_velx",
+    "msg_sweep3d",
+    "num_brain",
+    "obs_temp",
+];
+
+fn main() {
+    banner("Figure 9: ΔCR(%) under original / Hilbert / random element order");
+    println!(
+        "{:<15} {:>10} {:>10} {:>10}",
+        "Dataset", "original", "Hilbert", "random"
+    );
+    let zlib = Deflate::default();
+    for name in DATASETS {
+        let ds = generate(&catalog::spec(name).expect("catalog entry"));
+        let n = ds.element_count();
+        let orders: [(&str, Vec<u8>); 3] = [
+            ("original", ds.bytes.clone()),
+            (
+                "hilbert",
+                apply_permutation(&ds.bytes, ds.width(), &hilbert_order(n)),
+            ),
+            (
+                "random",
+                apply_permutation(&ds.bytes, ds.width(), &random_permutation(n, SEED)),
+            ),
+        ];
+        print!("{name:<15}");
+        for (_, data) in &orders {
+            let standalone = zlib.compress(data);
+            let standalone_cr = data.len() as f64 / standalone.len() as f64;
+            let isobar = run_isobar(data, ds.width(), Preference::Speed);
+            print!("{:>10.2}", delta_cr_pct(isobar.ratio, standalone_cr));
+        }
+        println!();
+    }
+    println!();
+    println!("paper shape: the three columns are nearly equal per dataset; even the");
+    println!("fully random ordering keeps a ~10%+ improvement on improvable data.");
+}

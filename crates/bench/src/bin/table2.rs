@@ -1,0 +1,61 @@
+//! Table II — headline ISOBAR-compress performance summary.
+//!
+//! One representative dataset per application (as in the paper): ΔCR
+//! against the best standard alternative, compression throughput and
+//! speed-up, decompression throughput and speed-up. Speed preference.
+
+use isobar::Preference;
+use isobar_bench::*;
+use isobar_codecs::{bwt::Bzip2Like, deflate::Deflate};
+use isobar_datasets::catalog;
+
+fn main() {
+    banner("Table II: ISOBAR-compress performance summary");
+    // The paper's four headline rows map to these datasets (its GTS row
+    // matches gts_chkp_zion, XGC is xgc_iphase, S3D is s3d_vmag, FLASH
+    // is flash_velx — cross-referenced against Tables V/IX/X).
+    let rows = [
+        ("GTS", "gts_chkp_zion"),
+        ("XGC", "xgc_iphase"),
+        ("S3D", "s3d_vmag"),
+        ("FLASH", "flash_velx"),
+    ];
+    println!(
+        "{:<7} {:>9} {:>10} {:>7} {:>10} {:>7}   (paper: ΔCR, TPc, SpC, TPd, SpD)",
+        "Dataset", "ΔCR(%)", "TPc(MB/s)", "SpC", "TPd(MB/s)", "SpD"
+    );
+    let paper = [
+        (10.15, 111.7, 8.05, 551.90, 5.01),
+        (14.09, 76.83, 21.17, 388.87, 51.92),
+        (32.56, 104.73, 31.45, 424.79, 63.12),
+        (17.52, 455.83, 35.89, 1617.02, 14.19),
+    ];
+
+    for ((app, name), paper_row) in rows.iter().zip(paper) {
+        let ds = generate(&catalog::spec(name).expect("catalog entry"));
+        let zlib = run_codec(&Deflate::default(), &ds.bytes);
+        let bzip2 = run_codec(&Bzip2Like::default(), &ds.bytes);
+        let isobar = run_isobar(&ds.bytes, ds.width(), Preference::Speed);
+
+        // ΔCR vs the best alternative ratio; speed-ups vs the faster
+        // standard compressor (Table II footnotes).
+        let best_cr = zlib.ratio.max(bzip2.ratio);
+        let fast_comp = zlib.comp_mbps.max(bzip2.comp_mbps);
+        let fast_decomp = zlib.decomp_mbps.max(bzip2.decomp_mbps);
+
+        println!(
+            "{:<7} {:>9.2} {:>10.2} {:>7.2} {:>10.2} {:>7.2}   ({:>6.2}, {:>7.2}, {:>6.2}, {:>8.2}, {:>6.2})",
+            app,
+            delta_cr_pct(isobar.ratio, best_cr),
+            isobar.comp_mbps,
+            speedup(isobar.comp_mbps, fast_comp),
+            isobar.decomp_mbps,
+            speedup(isobar.decomp_mbps, fast_decomp),
+            paper_row.0,
+            paper_row.1,
+            paper_row.2,
+            paper_row.3,
+            paper_row.4,
+        );
+    }
+}

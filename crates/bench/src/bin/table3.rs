@@ -1,0 +1,40 @@
+//! Table III — statistical information about the test datasets.
+//!
+//! Measured columns (size, elements, unique %, Shannon entropy,
+//! randomness %) next to the paper's values. Sizes are scaled by
+//! ISOBAR_SCALE; the distributional statistics should track the
+//! paper's classes (high/mid/low uniqueness and randomness).
+
+use isobar_bench::*;
+use isobar_datasets::{catalog, stats};
+
+fn main() {
+    banner("Table III: statistical information about test datasets");
+    println!(
+        "{:<15} {:<15} {:>8} {:>9} {:>8} {:>8} {:>8}   (paper: uniq, H, rand)",
+        "Dataset", "Type", "MB", "Elems(k)", "Uniq%", "H(bits)", "Rand%"
+    );
+    for spec in catalog::all() {
+        let ds = generate(&spec);
+        let st = stats::dataset_stats(&ds);
+        println!(
+            "{:<15} {:<15} {:>8.1} {:>9.0} {:>8.1} {:>8.2} {:>8.1}   ({:>5.1}, {:>5.2}, {:>5.1})",
+            spec.name,
+            spec.element.name(),
+            st.size_bytes as f64 / 1e6,
+            st.elements as f64 / 1e3,
+            st.unique_pct,
+            st.entropy_bits,
+            st.randomness_pct,
+            spec.paper_unique_pct,
+            spec.paper_entropy,
+            spec.paper_randomness_pct,
+        );
+    }
+    println!();
+    println!("note: measured Shannon entropy scales with log2(elements), so at");
+    println!("reduced scale it sits below the paper's absolute values; the");
+    println!("randomness % (entropy relative to an all-unique set, Eq. 6) is the");
+    println!("scale-free comparison. Near-unique datasets (uniq ≥ 85%) are");
+    println!("generated fully unique — see DESIGN.md, substitutions.");
+}

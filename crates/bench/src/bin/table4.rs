@@ -1,0 +1,51 @@
+//! Table IV — ISOBAR-analyzer's predictions.
+//!
+//! For all 24 datasets: is it hard-to-compress, what fraction of bytes
+//! is hard, and is it improvable? Compared against the paper's
+//! classification; the final line counts agreements.
+
+use isobar::Analyzer;
+use isobar_bench::*;
+use isobar_datasets::catalog;
+
+fn main() {
+    banner("Table IV: ISOBAR-analyzer's predictions");
+    println!(
+        "{:<15} {:>5} {:>11} {:>12}   (paper: HTC%, improvable)",
+        "Dataset", "HTC?", "HTC bytes%", "Improvable?"
+    );
+    let analyzer = Analyzer::default();
+    let mut agreements = 0usize;
+    let specs = catalog::all();
+    for spec in &specs {
+        let ds = generate(spec);
+        let sel = analyzer
+            .analyze(&ds.bytes, ds.width())
+            .expect("aligned data");
+        let htc = sel.htc_pct() > 0.0;
+        let improvable = sel.is_improvable();
+        let agrees = improvable == spec.paper_improvable
+            && (sel.htc_pct() - spec.paper_htc_pct).abs() < 1e-9;
+        agreements += agrees as usize;
+        println!(
+            "{:<15} {:>5} {:>11.1} {:>12}   ({:>5.1}, {})",
+            spec.name,
+            if htc { "yes" } else { "no" },
+            sel.htc_pct(),
+            if improvable { "yes" } else { "no" },
+            spec.paper_htc_pct,
+            if spec.paper_improvable { "yes" } else { "no" },
+        );
+    }
+    println!();
+    println!(
+        "classification agreement with the paper: {}/{} datasets",
+        agreements,
+        specs.len()
+    );
+    let improvable = specs.iter().filter(|s| s.paper_improvable).count();
+    println!(
+        "paper: 19 of 24 improvable; here: {improvable} of {} expected",
+        specs.len()
+    );
+}

@@ -1,0 +1,41 @@
+//! Table IX — decompression throughput comparison.
+//!
+//! For the 19 improvable datasets: standalone zlib and bzlib2
+//! decompression throughput, ISOBAR (speed preference) decompression
+//! throughput, and the speed-up against the faster standard
+//! alternative.
+
+use isobar::Preference;
+use isobar_bench::*;
+use isobar_codecs::{bwt::Bzip2Like, deflate::Deflate};
+use isobar_datasets::catalog;
+
+fn main() {
+    banner("Table IX: decompression throughput comparison");
+    println!(
+        "{:<15} {:>10} {:>12} {:>12} {:>6}",
+        "Dataset", "zlib MB/s", "bzlib2 MB/s", "ISOBAR MB/s", "Sp"
+    );
+    let mut speedups = Vec::new();
+    for spec in catalog::all().into_iter().filter(|s| s.paper_improvable) {
+        let ds = generate(&spec);
+        let zlib = run_codec(&Deflate::default(), &ds.bytes);
+        let bzip2 = run_codec(&Bzip2Like::default(), &ds.bytes);
+        let isobar = run_isobar(&ds.bytes, ds.width(), Preference::Speed);
+        let fastest = zlib.decomp_mbps.max(bzip2.decomp_mbps);
+        let sp = speedup(isobar.decomp_mbps, fastest);
+        speedups.push(sp);
+        println!(
+            "{:<15} {:>10.2} {:>12.2} {:>12.2} {:>6.1}",
+            spec.name, zlib.decomp_mbps, bzip2.decomp_mbps, isobar.decomp_mbps, sp,
+        );
+    }
+    println!();
+    let above3 = speedups.iter().filter(|&&s| s > 3.0).count();
+    println!(
+        "speed-up > 3.0 on {}/{} datasets (paper: 15 of 19); all > 1.0: {}",
+        above3,
+        speedups.len(),
+        speedups.iter().all(|&s| s > 1.0),
+    );
+}

@@ -1,0 +1,472 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use isobar::{CodecId, CompressionLevel, Linearization, Preference};
+use std::path::PathBuf;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  isobar compress   --width N [options] IN OUT   compress an element array
+  isobar decompress IN OUT                       restore the original bytes
+  isobar analyze    --width N IN                 byte-column report only
+  isobar info       IN                           describe a container
+
+compress options:
+  --width N            element width in bytes (1..=64, required)
+  --prefer speed|ratio end-user preference (default: ratio)
+  --ratio-floor F      fastest combination with sample CR >= F
+  --codec zlib|bzlib2  skip EUPA, force this solver
+  --linearize row|column  skip EUPA, force this linearization
+  --level fast|default|best  solver effort (default: default)
+  --tau F              analyzer tolerance factor (default: 1.42)
+  --chunk N            chunk size in elements (default: 375000)
+  --parallel           compress chunks on all cores
+  --stream             constant-memory streaming mode (one chunk in
+                       flight; output uses the streamable framing)
+  --quiet              suppress the summary report
+
+decompress options:
+  --stream             required for containers written with --stream";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Compress `input` into `output`.
+    Compress {
+        /// Source file.
+        input: PathBuf,
+        /// Destination container.
+        output: PathBuf,
+        /// Element width.
+        width: usize,
+        /// Pipeline options.
+        options: CompressOptions,
+        /// Use the constant-memory streaming mode and framing.
+        stream: bool,
+        /// Suppress the summary.
+        quiet: bool,
+    },
+    /// Decompress `input` into `output`.
+    Decompress {
+        /// Source container.
+        input: PathBuf,
+        /// Destination file.
+        output: PathBuf,
+        /// The container uses the streaming framing.
+        stream: bool,
+    },
+    /// Analyze and report, without writing anything.
+    Analyze {
+        /// Source file.
+        input: PathBuf,
+        /// Element width.
+        width: usize,
+        /// Analyzer tolerance.
+        tau: f64,
+        /// Also print the per-bit-position probability profile.
+        bits: bool,
+    },
+    /// Describe an existing container's header.
+    Info {
+        /// Container file.
+        input: PathBuf,
+    },
+}
+
+/// Compression knobs gathered from flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressOptions {
+    /// EUPA preference.
+    pub preference: Preference,
+    /// Solver effort.
+    pub level: CompressionLevel,
+    /// Analyzer tolerance.
+    pub tau: f64,
+    /// Chunk size in elements.
+    pub chunk_elements: usize,
+    /// Forced solver, if any.
+    pub codec: Option<CodecId>,
+    /// Forced linearization, if any.
+    pub linearization: Option<Linearization>,
+    /// Multi-threaded chunk compression.
+    pub parallel: bool,
+}
+
+impl Default for CompressOptions {
+    fn default() -> Self {
+        CompressOptions {
+            preference: Preference::Ratio,
+            level: CompressionLevel::Default,
+            tau: isobar::DEFAULT_TAU,
+            chunk_elements: isobar::chunk::DEFAULT_CHUNK_ELEMENTS,
+            codec: None,
+            linearization: None,
+            parallel: false,
+        }
+    }
+}
+
+/// Parse `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().peekable();
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "compress" | "c" => parse_compress(&mut it),
+        "decompress" | "d" => {
+            let mut stream = false;
+            let mut paths: Vec<PathBuf> = Vec::new();
+            for arg in it {
+                match arg.as_str() {
+                    "--stream" => stream = true,
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown flag '{other}'"))
+                    }
+                    other => paths.push(PathBuf::from(other)),
+                }
+            }
+            let [input, output]: [PathBuf; 2] = paths
+                .try_into()
+                .map_err(|_| "decompress requires exactly IN and OUT paths".to_string())?;
+            Ok(Command::Decompress {
+                input,
+                output,
+                stream,
+            })
+        }
+        "analyze" | "a" => parse_analyze(&mut it),
+        "info" | "i" => {
+            let input = one_path(&mut it)?;
+            ensure_done(&mut it)?;
+            Ok(Command::Info { input })
+        }
+        "--help" | "-h" | "help" => Err("".to_string()),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+type ArgIter<'a> = std::iter::Peekable<std::slice::Iter<'a, String>>;
+
+fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
+    let mut width: Option<usize> = None;
+    let mut options = CompressOptions::default();
+    let mut ratio_floor: Option<f64> = None;
+    let mut quiet = false;
+    let mut stream = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stream" => stream = true,
+            "--width" | "-w" => {
+                width = Some(value(it, "--width")?.parse().map_err(bad("--width"))?)
+            }
+            "--prefer" => {
+                options.preference = match value(it, "--prefer")?.as_str() {
+                    "speed" => Preference::Speed,
+                    "ratio" => Preference::Ratio,
+                    other => return Err(format!("--prefer must be speed|ratio, got '{other}'")),
+                }
+            }
+            "--ratio-floor" => {
+                ratio_floor = Some(
+                    value(it, "--ratio-floor")?
+                        .parse()
+                        .map_err(bad("--ratio-floor"))?,
+                )
+            }
+            "--codec" => {
+                options.codec = Some(match value(it, "--codec")?.as_str() {
+                    "zlib" | "deflate" => CodecId::Deflate,
+                    "bzlib2" | "bzip2" => CodecId::Bzip2Like,
+                    other => return Err(format!("--codec must be zlib|bzlib2, got '{other}'")),
+                })
+            }
+            "--linearize" => {
+                options.linearization = Some(match value(it, "--linearize")?.as_str() {
+                    "row" => Linearization::Row,
+                    "column" => Linearization::Column,
+                    other => return Err(format!("--linearize must be row|column, got '{other}'")),
+                })
+            }
+            "--level" => {
+                options.level = match value(it, "--level")?.as_str() {
+                    "fast" => CompressionLevel::Fast,
+                    "default" => CompressionLevel::Default,
+                    "best" => CompressionLevel::Best,
+                    other => {
+                        return Err(format!("--level must be fast|default|best, got '{other}'"))
+                    }
+                }
+            }
+            "--tau" => options.tau = value(it, "--tau")?.parse().map_err(bad("--tau"))?,
+            "--chunk" => {
+                options.chunk_elements = value(it, "--chunk")?.parse().map_err(bad("--chunk"))?
+            }
+            "--parallel" => options.parallel = true,
+            "--quiet" | "-q" => quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if let Some(floor) = ratio_floor {
+        options.preference = Preference::SpeedWithRatioFloor(floor);
+    }
+    let width = width.ok_or("compress requires --width")?;
+    if width == 0 || width > 64 {
+        return Err(format!("--width must be in 1..=64, got {width}"));
+    }
+    if options.chunk_elements == 0 {
+        return Err("--chunk must be positive".to_string());
+    }
+    if !(options.tau > 0.0 && options.tau <= 256.0) {
+        return Err("--tau must be in (0, 256]".to_string());
+    }
+    let [input, output]: [PathBuf; 2] = paths
+        .try_into()
+        .map_err(|_| "compress requires exactly IN and OUT paths".to_string())?;
+    Ok(Command::Compress {
+        input,
+        output,
+        width,
+        options,
+        stream,
+        quiet,
+    })
+}
+
+fn parse_analyze(it: &mut ArgIter<'_>) -> Result<Command, String> {
+    let mut width: Option<usize> = None;
+    let mut tau = isobar::DEFAULT_TAU;
+    let mut bits = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--width" | "-w" => {
+                width = Some(value(it, "--width")?.parse().map_err(bad("--width"))?)
+            }
+            "--tau" => tau = value(it, "--tau")?.parse().map_err(bad("--tau"))?,
+            "--bits" => bits = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let width = width.ok_or("analyze requires --width")?;
+    let [input]: [PathBuf; 1] = paths
+        .try_into()
+        .map_err(|_| "analyze requires exactly one IN path".to_string())?;
+    Ok(Command::Analyze {
+        input,
+        width,
+        tau,
+        bits,
+    })
+}
+
+fn value(it: &mut ArgIter<'_>, flag: &str) -> Result<String, String> {
+    it.next()
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn bad<E: std::fmt::Display>(flag: &'static str) -> impl Fn(E) -> String {
+    move |e| format!("{flag}: {e}")
+}
+
+fn one_path(it: &mut ArgIter<'_>) -> Result<PathBuf, String> {
+    Ok(PathBuf::from(
+        it.next().ok_or("missing input path")?.as_str(),
+    ))
+}
+
+fn ensure_done(it: &mut ArgIter<'_>) -> Result<(), String> {
+    match it.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument '{extra}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_compress() {
+        let cmd = parse(&strings(&[
+            "compress", "--width", "8", "in.bin", "out.isbr",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compress {
+                width,
+                options,
+                quiet,
+                ..
+            } => {
+                assert_eq!(width, 8);
+                assert_eq!(options, CompressOptions::default());
+                assert!(!quiet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_compress_flags() {
+        let cmd = parse(&strings(&[
+            "compress",
+            "--width",
+            "4",
+            "--prefer",
+            "speed",
+            "--codec",
+            "bzlib2",
+            "--linearize",
+            "column",
+            "--level",
+            "best",
+            "--tau",
+            "1.5",
+            "--chunk",
+            "1000",
+            "--parallel",
+            "--quiet",
+            "a",
+            "b",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compress {
+                width,
+                options,
+                quiet,
+                ..
+            } => {
+                assert_eq!(width, 4);
+                assert_eq!(options.preference, Preference::Speed);
+                assert_eq!(options.codec, Some(CodecId::Bzip2Like));
+                assert_eq!(options.linearization, Some(Linearization::Column));
+                assert_eq!(options.level, CompressionLevel::Best);
+                assert_eq!(options.tau, 1.5);
+                assert_eq!(options.chunk_elements, 1000);
+                assert!(options.parallel);
+                assert!(quiet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ratio_floor_overrides_preference() {
+        let cmd = parse(&strings(&[
+            "compress",
+            "--width",
+            "8",
+            "--ratio-floor",
+            "1.1",
+            "a",
+            "b",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compress { options, .. } => {
+                assert_eq!(options.preference, Preference::SpeedWithRatioFloor(1.1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse(&strings(&[])).is_err());
+        assert!(parse(&strings(&["frobnicate"])).is_err());
+        assert!(parse(&strings(&["compress", "a", "b"])).is_err()); // no width
+        assert!(parse(&strings(&["compress", "--width", "0", "a", "b"])).is_err());
+        assert!(parse(&strings(&["compress", "--width", "65", "a", "b"])).is_err());
+        assert!(parse(&strings(&["compress", "--width", "8", "a"])).is_err()); // one path
+        assert!(parse(&strings(&[
+            "compress", "--width", "8", "--prefer", "zippy", "a", "b"
+        ]))
+        .is_err());
+        assert!(parse(&strings(&[
+            "compress", "--width", "8", "--tau", "0", "a", "b"
+        ]))
+        .is_err());
+        assert!(parse(&strings(&["decompress", "only-one"])).is_err());
+        assert!(parse(&strings(&["decompress", "a", "b", "c"])).is_err());
+        assert!(parse(&strings(&["analyze", "a"])).is_err()); // no width
+    }
+
+    #[test]
+    fn parses_other_subcommands() {
+        assert_eq!(
+            parse(&strings(&["decompress", "a", "b"])).unwrap(),
+            Command::Decompress {
+                input: "a".into(),
+                output: "b".into(),
+                stream: false,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&["decompress", "--stream", "a", "b"])).unwrap(),
+            Command::Decompress {
+                input: "a".into(),
+                output: "b".into(),
+                stream: true,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&["analyze", "--width", "8", "x"])).unwrap(),
+            Command::Analyze {
+                input: "x".into(),
+                width: 8,
+                tau: isobar::DEFAULT_TAU,
+                bits: false,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&["info", "x"])).unwrap(),
+            Command::Info { input: "x".into() }
+        );
+    }
+
+    #[test]
+    fn bits_flag_is_parsed_for_analyze() {
+        match parse(&strings(&["analyze", "--width", "8", "--bits", "x"])).unwrap() {
+            Command::Analyze { bits, .. } => assert!(bits),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_flag_is_parsed_for_compress() {
+        match parse(&strings(&[
+            "compress", "--width", "8", "--stream", "a", "b",
+        ]))
+        .unwrap()
+        {
+            Command::Compress { stream, .. } => assert!(stream),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&strings(&["compress", "--width", "8", "a", "b"])).unwrap() {
+            Command::Compress { stream, .. } => assert!(!stream),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_aliases_work() {
+        assert!(matches!(
+            parse(&strings(&["c", "-w", "8", "a", "b"])).unwrap(),
+            Command::Compress { .. }
+        ));
+        assert!(matches!(
+            parse(&strings(&["d", "a", "b"])).unwrap(),
+            Command::Decompress { .. }
+        ));
+    }
+}

@@ -1,0 +1,345 @@
+//! Command implementations for the `isobar` CLI.
+
+use crate::args::{Command, CompressOptions};
+use isobar::container::Header;
+use isobar::{Analyzer, IsobarCompressor, IsobarOptions};
+use std::fs;
+use std::path::Path;
+
+/// Run a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Compress {
+            input,
+            output,
+            width,
+            options,
+            stream: false,
+            quiet,
+        } => compress(&input, &output, width, options, quiet),
+        Command::Compress {
+            input,
+            output,
+            width,
+            options,
+            stream: true,
+            quiet,
+        } => compress_stream(&input, &output, width, options, quiet),
+        Command::Decompress {
+            input,
+            output,
+            stream: false,
+        } => decompress(&input, &output),
+        Command::Decompress {
+            input,
+            output,
+            stream: true,
+        } => decompress_stream(&input, &output),
+        Command::Analyze {
+            input,
+            width,
+            tau,
+            bits,
+        } => analyze(&input, width, tau, bits),
+        Command::Info { input } => info(&input),
+    }
+}
+
+fn read(path: &Path) -> Result<Vec<u8>, String> {
+    fs::read(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn write(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    fs::write(path, bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn compress(
+    input: &Path,
+    output: &Path,
+    width: usize,
+    options: CompressOptions,
+    quiet: bool,
+) -> Result<(), String> {
+    let data = read(input)?;
+    let isobar = IsobarCompressor::new(IsobarOptions {
+        preference: options.preference,
+        level: options.level,
+        tau: options.tau,
+        chunk_elements: options.chunk_elements,
+        codec_override: options.codec,
+        linearization_override: options.linearization,
+        parallel: options.parallel,
+        ..Default::default()
+    });
+    let (packed, report) = isobar
+        .compress_with_report(&data, width)
+        .map_err(|e| e.to_string())?;
+    write(output, &packed)?;
+    if !quiet {
+        eprintln!(
+            "{} -> {}: {} -> {} bytes (CR {:.3}, {:.1} MB/s)",
+            input.display(),
+            output.display(),
+            data.len(),
+            packed.len(),
+            report.ratio(),
+            report.throughput_mbps(),
+        );
+        eprintln!(
+            "solver {} + {} linearization; {:.1}% of bytes classified noise; improvable: {}",
+            report.codec.name(),
+            report.linearization,
+            report.htc_pct(),
+            report.improvable(),
+        );
+    }
+    Ok(())
+}
+
+fn decompress(input: &Path, output: &Path) -> Result<(), String> {
+    let packed = read(input)?;
+    let restored = IsobarCompressor::default()
+        .decompress(&packed)
+        .map_err(|e| e.to_string())?;
+    write(output, &restored)
+}
+
+fn options_from(options: &CompressOptions) -> IsobarOptions {
+    IsobarOptions {
+        preference: options.preference,
+        level: options.level,
+        tau: options.tau,
+        chunk_elements: options.chunk_elements,
+        codec_override: options.codec,
+        linearization_override: options.linearization,
+        parallel: options.parallel,
+        ..Default::default()
+    }
+}
+
+/// Constant-memory compression: one chunk in flight, streamed framing.
+fn compress_stream(
+    input: &Path,
+    output: &Path,
+    width: usize,
+    options: CompressOptions,
+    quiet: bool,
+) -> Result<(), String> {
+    use std::io::{BufReader, BufWriter, Read, Write};
+    let src = fs::File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let dst = fs::File::create(output).map_err(|e| format!("{}: {e}", output.display()))?;
+    let mut writer = isobar::IsobarWriter::new(BufWriter::new(dst), width, options_from(&options))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(src);
+    let mut buf = vec![0u8; 1 << 20];
+    loop {
+        let n = reader.read(&mut buf).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        writer.write_all(&buf[..n]).map_err(|e| e.to_string())?;
+    }
+    let total_in = writer.bytes_written();
+    writer.finish().map_err(|e| e.to_string())?;
+    if !quiet {
+        let out_len = fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+        eprintln!(
+            "{} -> {} (streamed): {} -> {} bytes (CR {:.3})",
+            input.display(),
+            output.display(),
+            total_in,
+            out_len,
+            total_in as f64 / out_len.max(1) as f64,
+        );
+    }
+    Ok(())
+}
+
+/// Constant-memory decompression of the streamed framing.
+fn decompress_stream(input: &Path, output: &Path) -> Result<(), String> {
+    use std::io::{BufReader, BufWriter, Read, Write};
+    let src = fs::File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let dst = fs::File::create(output).map_err(|e| format!("{}: {e}", output.display()))?;
+    let mut reader = isobar::IsobarReader::new(BufReader::new(src)).map_err(|e| e.to_string())?;
+    let mut writer = BufWriter::new(dst);
+    let mut buf = vec![0u8; 1 << 20];
+    loop {
+        let n = reader.read(&mut buf).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        writer.write_all(&buf[..n]).map_err(|e| e.to_string())?;
+    }
+    writer.flush().map_err(|e| e.to_string())
+}
+
+fn analyze(input: &Path, width: usize, tau: f64, bits: bool) -> Result<(), String> {
+    let data = read(input)?;
+    let (selection, elapsed) = Analyzer::with_tau(tau)
+        .analyze_timed(&data, width)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} bytes, {} elements of width {width}",
+        input.display(),
+        data.len(),
+        data.len() / width
+    );
+    println!(
+        "analysis: {:.1} MB/s; tolerance factor τ = {tau}",
+        data.len() as f64 / 1e6 / elapsed.as_secs_f64().max(1e-9)
+    );
+    for (col, &compressible) in selection.bits().iter().enumerate() {
+        println!(
+            "  byte-column {col}: {}",
+            if compressible {
+                "compressible (signal)"
+            } else {
+                "incompressible (noise)"
+            }
+        );
+    }
+    println!(
+        "hard-to-compress bytes: {:.1}%; improvable: {}",
+        selection.htc_pct(),
+        selection.is_improvable()
+    );
+    if bits {
+        // Fig.-1-style per-bit-position profile (big-endian bit order).
+        let freqs = isobar_datasets::bitfreq::bit_frequencies(&data, width);
+        println!("bit profile (bit 1 = MSB of the element):");
+        for (i, chunk) in freqs.chunks(16).enumerate() {
+            let row: Vec<String> = chunk.iter().map(|p| format!("{p:.3}")).collect();
+            println!(
+                "  bits {:>2}-{:>2}: {}",
+                i * 16 + 1,
+                i * 16 + chunk.len(),
+                row.join(" ")
+            );
+        }
+        let noisy = isobar_datasets::bitfreq::noise_bit_fraction(&data, width, 0.02);
+        println!(
+            "coin-flip bits (within 0.02 of p = 0.5): {:.1}%",
+            noisy * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn info(input: &Path) -> Result<(), String> {
+    let packed = read(input)?;
+    let header = Header::read(&packed).map_err(|e| e.to_string())?;
+    println!("{}: ISOBAR container v1", input.display());
+    println!("  element width:   {} bytes", header.width);
+    println!("  solver:          {}", header.codec.name());
+    println!("  linearization:   {}", header.linearization);
+    println!("  chunk size:      {} elements", header.chunk_elements);
+    println!("  original size:   {} bytes", header.total_len);
+    println!("  container size:  {} bytes", packed.len());
+    println!(
+        "  overall ratio:   {:.3}",
+        header.total_len as f64 / packed.len() as f64
+    );
+    println!("  checksum:        {:#010x} (Adler-32)", header.checksum);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::CompressOptions;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("isobar-cli-test-{}-{name}", std::process::id()));
+        dir
+    }
+
+    #[test]
+    fn compress_decompress_files_round_trip() {
+        let input = tmp("in.bin");
+        let packed = tmp("out.isbr");
+        let restored = tmp("restored.bin");
+
+        let ds = isobar_datasets::catalog::spec("gts_phi_l")
+            .unwrap()
+            .generate(30_000, 1);
+        fs::write(&input, &ds.bytes).unwrap();
+
+        compress(
+            &input,
+            &packed,
+            8,
+            CompressOptions {
+                chunk_elements: 30_000,
+                ..Default::default()
+            },
+            true,
+        )
+        .unwrap();
+        decompress(&packed, &restored).unwrap();
+        assert_eq!(fs::read(&restored).unwrap(), ds.bytes);
+
+        for p in [&input, &packed, &restored] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn info_reports_header_fields() {
+        let input = tmp("info-in.bin");
+        let packed = tmp("info-out.isbr");
+        fs::write(&input, vec![7u8; 800]).unwrap();
+        compress(&input, &packed, 8, CompressOptions::default(), true).unwrap();
+        info(&packed).unwrap();
+        for p in [&input, &packed] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn stream_mode_round_trips_files() {
+        let input = tmp("stream-in.bin");
+        let packed = tmp("stream-out.isbs");
+        let restored = tmp("stream-restored.bin");
+
+        let ds = isobar_datasets::catalog::spec("flash_velx")
+            .unwrap()
+            .generate(30_000, 4);
+        fs::write(&input, &ds.bytes).unwrap();
+
+        compress_stream(
+            &input,
+            &packed,
+            8,
+            CompressOptions {
+                chunk_elements: 10_000,
+                ..Default::default()
+            },
+            true,
+        )
+        .unwrap();
+        decompress_stream(&packed, &restored).unwrap();
+        assert_eq!(fs::read(&restored).unwrap(), ds.bytes);
+
+        // The batch decompressor must not accept the stream framing.
+        assert!(decompress(&packed, &tmp("never")).is_err());
+
+        for p in [&input, &packed, &restored] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn missing_files_produce_errors_not_panics() {
+        assert!(read(Path::new("/no/such/isobar/file")).is_err());
+        assert!(decompress(Path::new("/no/such/file"), Path::new("/tmp/x")).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_non_containers() {
+        let input = tmp("garbage.bin");
+        fs::write(&input, b"this is not a container").unwrap();
+        assert!(decompress(&input, &tmp("never-written")).is_err());
+        let _ = fs::remove_file(&input);
+    }
+}

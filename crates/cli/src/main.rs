@@ -1,0 +1,36 @@
+//! `isobar` — command-line front end for ISOBAR-compress.
+//!
+//! ```text
+//! isobar compress   --width 8 [--prefer speed|ratio] [--codec zlib|bzlib2]
+//!                   [--linearize row|column] [--tau 1.42] [--chunk 375000]
+//!                   [--level fast|default|best] [--parallel] IN OUT
+//! isobar decompress IN OUT
+//! isobar analyze    --width 8 IN
+//! isobar info       IN
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 processing error.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("isobar: {err}");
+                ExitCode::from(2)
+            }
+        },
+        Err(msg) => {
+            eprintln!("isobar: {msg}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(1)
+        }
+    }
+}

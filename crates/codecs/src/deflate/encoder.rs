@@ -1,0 +1,359 @@
+//! DEFLATE encoder: token blocks → bit stream (RFC 1951).
+
+use crate::bitio::LsbBitWriter;
+use crate::codec::CompressionLevel;
+use crate::huffman::HuffmanEncoder;
+use crate::lz77::{Matcher, Token};
+
+use super::tables::*;
+
+/// Tokens per emitted block. Each block gets its own Huffman codes, so
+/// this bounds how stale the statistics can get on heterogeneous input.
+const BLOCK_TOKENS: usize = 1 << 16;
+
+/// Compress `data` into a raw DEFLATE stream (no zlib wrapper).
+pub fn deflate_raw(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let tokens = Matcher::new(data, level).tokenize();
+    let mut w = LsbBitWriter::new();
+
+    if tokens.is_empty() {
+        // Zero-length input still needs one final block.
+        write_stored_blocks(&mut w, data, true);
+        return w.finish();
+    }
+
+    let mut token_start = 0usize;
+    let mut byte_start = 0usize;
+    while token_start < tokens.len() {
+        let token_end = (token_start + BLOCK_TOKENS).min(tokens.len());
+        let block = &tokens[token_start..token_end];
+        let byte_len: usize = block
+            .iter()
+            .map(|t| match t {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => *len as usize,
+            })
+            .sum();
+        let is_final = token_end == tokens.len();
+        write_block(
+            &mut w,
+            block,
+            &data[byte_start..byte_start + byte_len],
+            is_final,
+        );
+        token_start = token_end;
+        byte_start += byte_len;
+    }
+    w.finish()
+}
+
+/// Histogram of literal/length and distance symbols for one block.
+struct BlockFreqs {
+    litlen: [u64; NUM_LITLEN],
+    dist: [u64; NUM_DIST],
+}
+
+fn block_freqs(block: &[Token]) -> BlockFreqs {
+    let mut litlen = [0u64; NUM_LITLEN];
+    let mut dist = [0u64; NUM_DIST];
+    for token in block {
+        match *token {
+            Token::Literal(b) => litlen[b as usize] += 1,
+            Token::Match { len, dist: d } => {
+                litlen[257 + length_code(len).0] += 1;
+                dist[dist_code(d).0] += 1;
+            }
+        }
+    }
+    litlen[EOB] += 1;
+    BlockFreqs { litlen, dist }
+}
+
+/// Pick the cheapest representation (stored / fixed / dynamic) and emit
+/// the block.
+fn write_block(w: &mut LsbBitWriter, block: &[Token], raw: &[u8], is_final: bool) {
+    let freqs = block_freqs(block);
+
+    // Dynamic codes. Guarantee at least one distance code so the header
+    // never encodes an empty alphabet.
+    let mut dist_freqs = freqs.dist;
+    if dist_freqs.iter().all(|&f| f == 0) {
+        dist_freqs[0] = 1;
+    }
+    let dyn_lit = HuffmanEncoder::from_freqs(&freqs.litlen, MAX_CODE_LEN);
+    let dyn_dist = HuffmanEncoder::from_freqs(&dist_freqs, MAX_CODE_LEN);
+    let header = DynamicHeader::build(dyn_lit.lengths(), dyn_dist.lengths());
+
+    let extra_bits: u64 = block
+        .iter()
+        .map(|t| match *t {
+            Token::Literal(_) => 0,
+            Token::Match { len, dist } => length_code(len).1 as u64 + dist_code(dist).1 as u64,
+        })
+        .sum();
+    let dyn_cost = 3
+        + header.cost_bits
+        + dyn_lit.cost_bits(&freqs.litlen)
+        + dyn_dist.cost_bits(&freqs.dist)
+        + extra_bits;
+
+    let fixed_lit = HuffmanEncoder::from_lengths(&fixed_litlen_lengths());
+    let fixed_dist = HuffmanEncoder::from_lengths(&fixed_dist_lengths());
+    let fixed_cost =
+        3 + fixed_lit.cost_bits(&freqs.litlen) + fixed_dist.cost_bits(&freqs.dist) + extra_bits;
+
+    // Stored cost: alignment + 4-byte length header per 65535-byte piece.
+    let stored_pieces = raw.len().div_ceil(65535).max(1) as u64;
+    let stored_cost = stored_pieces * (4 * 8) + raw.len() as u64 * 8 + 7;
+
+    if stored_cost < dyn_cost && stored_cost < fixed_cost {
+        write_stored_blocks(w, raw, is_final);
+    } else if fixed_cost <= dyn_cost {
+        w.write_bits(is_final as u32, 1);
+        w.write_bits(0b01, 2);
+        write_tokens(w, block, &fixed_lit, &fixed_dist);
+    } else {
+        w.write_bits(is_final as u32, 1);
+        w.write_bits(0b10, 2);
+        header.write(w);
+        write_tokens(w, block, &dyn_lit, &dyn_dist);
+    }
+}
+
+/// Emit `raw` as one or more stored blocks (type 00).
+fn write_stored_blocks(w: &mut LsbBitWriter, raw: &[u8], is_final: bool) {
+    let mut pieces: Vec<&[u8]> = raw.chunks(65535).collect();
+    if pieces.is_empty() {
+        pieces.push(&[]);
+    }
+    let last = pieces.len() - 1;
+    for (i, piece) in pieces.iter().enumerate() {
+        w.write_bits((is_final && i == last) as u32, 1);
+        w.write_bits(0b00, 2);
+        w.align_to_byte();
+        let len = piece.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(piece);
+    }
+}
+
+fn write_tokens(
+    w: &mut LsbBitWriter,
+    block: &[Token],
+    lit: &HuffmanEncoder,
+    dist: &HuffmanEncoder,
+) {
+    for token in block {
+        match *token {
+            Token::Literal(b) => lit.write_lsb(w, b as usize),
+            Token::Match { len, dist: d } => {
+                let (lc, lextra, lval) = length_code(len);
+                lit.write_lsb(w, 257 + lc);
+                w.write_bits(lval as u32, lextra as u32);
+                let (dc, dextra, dval) = dist_code(d);
+                dist.write_lsb(w, dc);
+                w.write_bits(dval as u32, dextra as u32);
+            }
+        }
+    }
+    lit.write_lsb(w, EOB);
+}
+
+/// A dynamic block header: the RLE-compressed code lengths plus the
+/// code-length code that describes them (RFC 1951 §3.2.7).
+struct DynamicHeader {
+    hlit: usize,
+    hdist: usize,
+    hclen: usize,
+    cl_encoder: HuffmanEncoder,
+    /// RLE symbols: (code-length symbol 0..=18, extra value, extra bits).
+    rle: Vec<(u8, u16, u8)>,
+    cost_bits: u64,
+}
+
+impl DynamicHeader {
+    fn build(lit_lengths: &[u8], dist_lengths: &[u8]) -> Self {
+        let hlit = trimmed_len(lit_lengths, 257);
+        let hdist = trimmed_len(dist_lengths, 1);
+
+        let mut all = Vec::with_capacity(hlit + hdist);
+        all.extend_from_slice(&lit_lengths[..hlit]);
+        all.extend_from_slice(&dist_lengths[..hdist]);
+        let rle = rle_code_lengths(&all);
+
+        let mut cl_freqs = [0u64; NUM_CODELEN];
+        for &(sym, _, _) in &rle {
+            cl_freqs[sym as usize] += 1;
+        }
+        let cl_encoder = HuffmanEncoder::from_freqs(&cl_freqs, MAX_CODELEN_LEN);
+
+        let hclen = CODELEN_ORDER
+            .iter()
+            .rposition(|&sym| cl_encoder.len(sym) > 0)
+            .map_or(4, |i| (i + 1).max(4));
+
+        let body_bits: u64 = rle
+            .iter()
+            .map(|&(sym, _, extra)| cl_encoder.len(sym as usize) as u64 + extra as u64)
+            .sum();
+        let cost_bits = 5 + 5 + 4 + hclen as u64 * 3 + body_bits;
+
+        DynamicHeader {
+            hlit,
+            hdist,
+            hclen,
+            cl_encoder,
+            rle,
+            cost_bits,
+        }
+    }
+
+    fn write(&self, w: &mut LsbBitWriter) {
+        w.write_bits((self.hlit - 257) as u32, 5);
+        w.write_bits((self.hdist - 1) as u32, 5);
+        w.write_bits((self.hclen - 4) as u32, 4);
+        for &sym in CODELEN_ORDER.iter().take(self.hclen) {
+            w.write_bits(self.cl_encoder.len(sym) as u32, 3);
+        }
+        for &(sym, value, extra) in &self.rle {
+            self.cl_encoder.write_lsb(w, sym as usize);
+            if extra > 0 {
+                w.write_bits(value as u32, extra as u32);
+            }
+        }
+    }
+}
+
+/// Number of leading lengths to transmit: trailing zeros are implied,
+/// but at least `min` entries must be sent.
+fn trimmed_len(lengths: &[u8], min: usize) -> usize {
+    lengths
+        .iter()
+        .rposition(|&l| l > 0)
+        .map_or(min, |i| (i + 1).max(min))
+}
+
+/// RLE-compress a code-length sequence using symbols 16 (repeat previous
+/// 3–6 times), 17 (3–10 zeros) and 18 (11–138 zeros).
+fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u16, u8)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < lengths.len() {
+        let len = lengths[i];
+        let mut run = 1usize;
+        while i + run < lengths.len() && lengths[i + run] == len {
+            run += 1;
+        }
+        if len == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                out.push((18, (take - 11) as u16, 7));
+                left -= take;
+            }
+            if left >= 3 {
+                out.push((17, (left - 3) as u16, 3));
+                left = 0;
+            }
+            for _ in 0..left {
+                out.push((0, 0, 0));
+            }
+        } else {
+            // First occurrence is literal; the rest can use symbol 16.
+            out.push((len, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                out.push((16, (take - 3) as u16, 2));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push((len, 0, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expand_rle(rle: &[(u8, u16, u8)]) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::new();
+        for &(sym, value, _) in rle {
+            match sym {
+                0..=15 => out.push(sym),
+                16 => {
+                    let prev = *out.last().expect("16 with no previous");
+                    out.extend(std::iter::repeat_n(prev, value as usize + 3));
+                }
+                17 => out.extend(std::iter::repeat_n(0, value as usize + 3)),
+                18 => out.extend(std::iter::repeat_n(0, value as usize + 11)),
+                _ => unreachable!(),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rle_round_trips_assorted_length_sequences() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![5],
+            vec![0; 200],
+            vec![8; 144],
+            vec![1, 2, 3, 4, 5],
+            vec![7, 7, 7, 7, 7, 7, 7, 7, 0, 0, 0, 0, 9, 9],
+            {
+                let mut v = vec![0; 138];
+                v.extend([3; 7]);
+                v.extend([0; 11]);
+                v.push(15);
+                v
+            },
+        ];
+        for case in cases {
+            let rle = rle_code_lengths(&case);
+            assert_eq!(expand_rle(&rle), case, "case {case:?}");
+            // Every extra-bit field must fit its width.
+            for &(sym, value, extra) in &rle {
+                assert!(sym <= 18);
+                if extra > 0 {
+                    assert!(value < (1 << extra));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_len_honours_minimum_and_trailing_zeros() {
+        assert_eq!(trimmed_len(&[0; 30], 1), 1);
+        assert_eq!(trimmed_len(&[0, 0, 5, 0, 0], 1), 3);
+        let mut lit = [0u8; 288];
+        lit[256] = 7;
+        assert_eq!(trimmed_len(&lit, 257), 257);
+        lit[285] = 4;
+        assert_eq!(trimmed_len(&lit, 257), 286);
+    }
+
+    #[test]
+    fn header_cost_accounts_for_all_bits() {
+        let mut lit = [0u8; NUM_LITLEN];
+        lit[..257].iter_mut().for_each(|l| *l = 9);
+        lit[256] = 9;
+        let dist = [5u8; NUM_DIST];
+        let header = DynamicHeader::build(&lit, &dist);
+        let mut w = LsbBitWriter::new();
+        header.write(&mut w);
+        assert_eq!(w.bit_len(), header.cost_bits);
+    }
+
+    #[test]
+    fn empty_input_produces_valid_stream() {
+        let out = deflate_raw(&[], CompressionLevel::Default);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,698 @@
+//! Canonical Huffman coding with length-limited code construction.
+//!
+//! Both solvers entropy-code with canonical Huffman codes: DEFLATE limits
+//! code lengths to 15 bits (7 for the code-length alphabet), the bzip2
+//! codec to 20. Lengths are computed with the package-merge algorithm,
+//! which is optimal under a length limit — unlike the heuristic
+//! "build-then-flatten" approach, it never produces a suboptimal Kraft
+//! packing. Alphabets here are small (≤ 290 symbols), so the simple
+//! list-based package-merge is more than fast enough.
+
+use crate::bitio::{LsbBitReader, LsbBitWriter, MsbBitReader, MsbBitWriter};
+use crate::codec::CodecError;
+
+/// Maximum supported code length (fits the `u32` code registers).
+pub const MAX_SUPPORTED_LEN: u8 = 24;
+
+/// Compute optimal length-limited code lengths for `freqs`.
+///
+/// Returns one length per symbol; symbols with zero frequency get length
+/// 0 (no code). If only one symbol occurs it is assigned length 1, as
+/// both container formats require at least one bit per symbol.
+///
+/// # Panics
+///
+/// Panics if `max_len` is 0, exceeds [`MAX_SUPPORTED_LEN`], or cannot
+/// accommodate the number of distinct symbols (`2^max_len` codes).
+pub fn package_merge(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    assert!((1..=MAX_SUPPORTED_LEN).contains(&max_len));
+    let mut lengths = vec![0u8; freqs.len()];
+    let mut leaves: Vec<(u64, u16)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(sym, &f)| (f, sym as u16))
+        .collect();
+    match leaves.len() {
+        0 => return lengths,
+        1 => {
+            lengths[leaves[0].1 as usize] = 1;
+            return lengths;
+        }
+        n => assert!(
+            (n as u64) <= 1u64 << max_len,
+            "{n} symbols cannot fit in {max_len}-bit codes"
+        ),
+    }
+    leaves.sort_unstable();
+
+    // Package-merge with packages stored in an arena as binary trees;
+    // `level` runs from the deepest tree level up. After `max_len`
+    // rounds, the cheapest 2·(n−1) packages tell us how often each
+    // leaf is "used", which is exactly its code length. Arena nodes
+    // make the merge O(n·L) instead of cloning symbol lists.
+    enum Node {
+        Leaf(u16),
+        Pair(u32, u32),
+    }
+    let mut arena: Vec<Node> = Vec::with_capacity(leaves.len() * (max_len as usize + 1));
+    // Singleton packages, sorted by weight: (weight, arena index).
+    let singletons: Vec<(u64, u32)> = leaves
+        .iter()
+        .map(|&(w, s)| {
+            arena.push(Node::Leaf(s));
+            (w, arena.len() as u32 - 1)
+        })
+        .collect();
+
+    let mut current = singletons.clone();
+    for _ in 1..max_len {
+        let mut next: Vec<(u64, u32)> = Vec::with_capacity(singletons.len() + current.len() / 2);
+        for pair in current.chunks_exact(2) {
+            arena.push(Node::Pair(pair[0].1, pair[1].1));
+            next.push((pair[0].0 + pair[1].0, arena.len() as u32 - 1));
+        }
+        // Both `next` (so far) and `singletons` are weight-sorted:
+        // merge instead of re-sorting.
+        let packaged = next.len();
+        next.extend_from_slice(&singletons);
+        merge_sorted_halves(&mut next, packaged);
+        current = next;
+    }
+
+    // Count leaf occurrences in the cheapest 2(n−1) packages with an
+    // explicit stack (package trees can be max_len deep).
+    let mut stack: Vec<u32> = current
+        .iter()
+        .take(2 * (leaves.len() - 1))
+        .map(|&(_, idx)| idx)
+        .collect();
+    while let Some(idx) = stack.pop() {
+        match arena[idx as usize] {
+            Node::Leaf(sym) => lengths[sym as usize] += 1,
+            Node::Pair(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
+    lengths
+}
+
+/// Merge a slice whose `[..mid]` and `[mid..]` halves are each sorted
+/// by weight into a single sorted order (stable; ties keep the
+/// packaged-before-singleton order the algorithm expects).
+fn merge_sorted_halves(items: &mut Vec<(u64, u32)>, mid: usize) {
+    let mut merged = Vec::with_capacity(items.len());
+    let (mut i, mut j) = (0usize, mid);
+    while i < mid && j < items.len() {
+        if items[i].0 <= items[j].0 {
+            merged.push(items[i]);
+            i += 1;
+        } else {
+            merged.push(items[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&items[i..mid]);
+    merged.extend_from_slice(&items[j..]);
+    *items = merged;
+}
+
+/// Assign canonical code values to `lengths` (RFC 1951 §3.2.2 rules:
+/// shorter codes first, ties broken by symbol order).
+///
+/// Returns the code value for each symbol, MSB-first. Symbols with
+/// length 0 get code 0 (unused).
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut len_count = vec![0u32; max_len as usize + 1];
+    for &len in lengths {
+        len_count[len as usize] += 1;
+    }
+    len_count[0] = 0;
+    let mut next_code = vec![0u32; max_len as usize + 2];
+    let mut code = 0u32;
+    for len in 1..=max_len as usize {
+        code = (code + len_count[len - 1]) << 1;
+        next_code[len] = code;
+    }
+    lengths
+        .iter()
+        .map(|&len| {
+            if len == 0 {
+                0
+            } else {
+                let c = next_code[len as usize];
+                next_code[len as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Reverse the low `len` bits of `code` (for LSB-first bit streams).
+#[inline]
+pub fn reverse_bits(code: u32, len: u8) -> u32 {
+    code.reverse_bits() >> (32 - len as u32)
+}
+
+/// Encoding table: canonical codes plus their bit-reversed twins so the
+/// hot path has no per-symbol reversal.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    lengths: Vec<u8>,
+    /// Canonical (MSB-first) code values.
+    codes: Vec<u32>,
+    /// Bit-reversed codes for LSB-first (DEFLATE) streams.
+    rev_codes: Vec<u32>,
+}
+
+impl HuffmanEncoder {
+    /// Build an encoder from per-symbol code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let codes = canonical_codes(lengths);
+        let rev_codes = codes
+            .iter()
+            .zip(lengths)
+            .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, l) })
+            .collect();
+        HuffmanEncoder {
+            lengths: lengths.to_vec(),
+            codes,
+            rev_codes,
+        }
+    }
+
+    /// Build optimal length-limited lengths from frequencies, then the
+    /// encoder for them.
+    pub fn from_freqs(freqs: &[u64], max_len: u8) -> Self {
+        Self::from_lengths(&package_merge(freqs, max_len))
+    }
+
+    /// Code length for `sym` (0 = unused symbol).
+    #[inline]
+    pub fn len(&self, sym: usize) -> u8 {
+        self.lengths[sym]
+    }
+
+    /// Per-symbol code lengths.
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Canonical MSB-first code value for `sym`.
+    #[inline]
+    pub fn code(&self, sym: usize) -> u32 {
+        self.codes[sym]
+    }
+
+    /// Emit `sym` into an LSB-first (DEFLATE) stream.
+    #[inline]
+    pub fn write_lsb(&self, w: &mut LsbBitWriter, sym: usize) {
+        debug_assert!(self.lengths[sym] > 0, "symbol {sym} has no code");
+        w.write_bits(self.rev_codes[sym], self.lengths[sym] as u32);
+    }
+
+    /// Emit `sym` into an MSB-first (bzip2) stream.
+    #[inline]
+    pub fn write_msb(&self, w: &mut MsbBitWriter, sym: usize) {
+        debug_assert!(self.lengths[sym] > 0, "symbol {sym} has no code");
+        w.write_bits(self.codes[sym], self.lengths[sym] as u32);
+    }
+
+    /// Total encoded size in bits of a message with the given symbol
+    /// frequencies — used for block-type cost comparisons.
+    pub fn cost_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum()
+    }
+}
+
+/// Canonical decoding tables (count/offset per length).
+///
+/// Decoding walks the code one bit at a time, comparing against the
+/// first-code of each length; with ≤ 20-bit codes this stays cheap and
+/// avoids large lookup tables.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// `first_code[len]` — canonical value of the first code of `len` bits.
+    first_code: Vec<u32>,
+    /// `first_index[len]` — index into `symbols` of that first code.
+    first_index: Vec<u32>,
+    /// Number of codes of each length.
+    count: Vec<u32>,
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+    max_len: u8,
+}
+
+impl HuffmanDecoder {
+    /// Build a decoder from per-symbol code lengths.
+    ///
+    /// Rejects over-subscribed length sets (Kraft sum > 1), which could
+    /// otherwise make two codes ambiguous. Incomplete sets are accepted
+    /// (DEFLATE permits them for distance codes); reads that fall in the
+    /// gap surface as [`CodecError::Corrupt`].
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len > MAX_SUPPORTED_LEN {
+            return Err(CodecError::Corrupt("code length exceeds supported maximum"));
+        }
+        let mut count = vec![0u32; max_len as usize + 1];
+        for &len in lengths {
+            count[len as usize] += 1;
+        }
+        count[0] = 0;
+
+        // Kraft check: sum of 2^(max-len) must not exceed 2^max.
+        let kraft: u64 = count
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(len, &c)| (c as u64) << (max_len as usize - len))
+            .sum();
+        if max_len > 0 && kraft > 1u64 << max_len {
+            return Err(CodecError::Corrupt("over-subscribed Huffman code"));
+        }
+
+        let mut first_code = vec![0u32; max_len as usize + 1];
+        let mut first_index = vec![0u32; max_len as usize + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=max_len as usize {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            index += count[len];
+        }
+
+        let mut symbols = vec![0u16; index as usize];
+        let mut next = first_index.clone();
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len > 0 {
+                symbols[next[len as usize] as usize] = sym as u16;
+                next[len as usize] += 1;
+            }
+        }
+
+        Ok(HuffmanDecoder {
+            first_code,
+            first_index,
+            count,
+            symbols,
+            max_len,
+        })
+    }
+
+    #[inline]
+    fn lookup(&self, code: u32, len: usize) -> Option<u16> {
+        let offset = code.wrapping_sub(self.first_code[len]);
+        if offset < self.count[len] {
+            Some(self.symbols[(self.first_index[len] + offset) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Decode one symbol from an LSB-first (DEFLATE) stream.
+    #[inline]
+    pub fn decode_lsb(&self, r: &mut LsbBitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit()?;
+            if let Some(sym) = self.lookup(code, len) {
+                return Ok(sym);
+            }
+        }
+        Err(CodecError::Corrupt("invalid Huffman code"))
+    }
+
+    /// Decode one symbol from an MSB-first (bzip2) stream.
+    #[inline]
+    pub fn decode_msb(&self, r: &mut MsbBitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit()?;
+            if let Some(sym) = self.lookup(code, len) {
+                return Ok(sym);
+            }
+        }
+        Err(CodecError::Corrupt("invalid Huffman code"))
+    }
+}
+
+/// Bits resolved by the primary lookup table of [`FastDecoder`].
+pub const FAST_ROOT_BITS: u32 = 10;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FastEntry {
+    /// Decoded symbol, or base index into the secondary table when
+    /// `escape` is set.
+    sym: u16,
+    /// Bits to consume (full code length); 0 marks an unassigned slot
+    /// of an incomplete code.
+    len: u8,
+    /// Slot requires a secondary-table lookup.
+    escape: bool,
+}
+
+/// Table-driven canonical Huffman decoder for LSB-first (DEFLATE)
+/// streams: one `2^10` primary lookup resolves codes up to 10 bits in a
+/// single probe; longer codes (≤ 15 in DEFLATE) escape to per-prefix
+/// secondary tables. This is the classic zlib `inflate` structure and
+/// decodes several times faster than bit-at-a-time walking.
+#[derive(Debug, Clone)]
+pub struct FastDecoder {
+    primary: Vec<FastEntry>,
+    secondary: Vec<FastEntry>,
+}
+
+impl FastDecoder {
+    /// Build from per-symbol code lengths (max length ≤ 15).
+    ///
+    /// Same validity rules as [`HuffmanDecoder::from_lengths`]:
+    /// over-subscribed sets are rejected, incomplete sets decode to
+    /// [`CodecError::Corrupt`] when a gap is hit.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len > 15 {
+            return Err(CodecError::Corrupt("fast decoder supports ≤ 15-bit codes"));
+        }
+        // Reuse the validation logic (Kraft check) of the slow decoder.
+        HuffmanDecoder::from_lengths(lengths)?;
+        let codes = canonical_codes(lengths);
+
+        let mut primary = vec![FastEntry::default(); 1 << FAST_ROOT_BITS];
+
+        // Short codes: fill every primary slot whose low `len` bits
+        // match the bit-reversed code.
+        for (sym, (&len, &code)) in lengths.iter().zip(&codes).enumerate() {
+            if len == 0 || len as u32 > FAST_ROOT_BITS {
+                continue;
+            }
+            let rev = reverse_bits(code, len) as usize;
+            let stride = 1usize << len;
+            let mut slot = rev;
+            while slot < primary.len() {
+                primary[slot] = FastEntry {
+                    sym: sym as u16,
+                    len,
+                    escape: false,
+                };
+                slot += stride;
+            }
+        }
+
+        // Long codes: group by their first FAST_ROOT_BITS stream bits.
+        let mut secondary: Vec<FastEntry> = Vec::new();
+        let root_mask = (1usize << FAST_ROOT_BITS) - 1;
+        let mut groups: std::collections::BTreeMap<usize, Vec<u16>> =
+            std::collections::BTreeMap::new();
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len as u32 > FAST_ROOT_BITS {
+                let rev = reverse_bits(codes[sym], len) as usize;
+                groups.entry(rev & root_mask).or_default().push(sym as u16);
+            }
+        }
+        for (prefix, syms) in groups {
+            let sub_bits = syms
+                .iter()
+                .map(|&s| lengths[s as usize] as u32 - FAST_ROOT_BITS)
+                .max()
+                .expect("non-empty group");
+            let base = secondary.len();
+            secondary.resize(base + (1usize << sub_bits), FastEntry::default());
+            for &sym in &syms {
+                let len = lengths[sym as usize];
+                let rev = reverse_bits(codes[sym as usize], len) as usize;
+                let high = rev >> FAST_ROOT_BITS; // bits after the root window
+                let stride = 1usize << (len as u32 - FAST_ROOT_BITS);
+                let mut slot = high;
+                while slot < 1usize << sub_bits {
+                    secondary[base + slot] = FastEntry {
+                        sym,
+                        len,
+                        escape: false,
+                    };
+                    slot += stride;
+                }
+            }
+            primary[prefix] = FastEntry {
+                sym: base as u16,
+                len: sub_bits as u8,
+                escape: true,
+            };
+        }
+
+        Ok(FastDecoder { primary, secondary })
+    }
+
+    /// Decode one symbol from an LSB-first stream.
+    #[inline]
+    pub fn decode_lsb(&self, r: &mut LsbBitReader<'_>) -> Result<u16, CodecError> {
+        let window = r.peek_bits(FAST_ROOT_BITS) as usize;
+        let entry = self.primary[window];
+        if !entry.escape {
+            if entry.len == 0 {
+                // Unassigned slot: either an incomplete-code gap or a
+                // truncated stream (peek zero-fills past the end).
+                return Err(CodecError::Corrupt("invalid Huffman code"));
+            }
+            r.consume(entry.len as u32)?;
+            return Ok(entry.sym);
+        }
+        let sub_bits = entry.len as u32;
+        let long = r.peek_bits(FAST_ROOT_BITS + sub_bits) as usize;
+        let sub = self.secondary[entry.sym as usize + (long >> FAST_ROOT_BITS)];
+        if sub.len == 0 {
+            return Err(CodecError::Corrupt("invalid Huffman code"));
+        }
+        r.consume(sub.len as u32)?;
+        Ok(sub.sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kraft_sum(lengths: &[u8]) -> f64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 0.5f64.powi(l as i32))
+            .sum()
+    }
+
+    #[test]
+    fn package_merge_handles_trivial_alphabets() {
+        assert_eq!(package_merge(&[], 15), Vec::<u8>::new());
+        assert_eq!(package_merge(&[0, 0, 0], 15), vec![0, 0, 0]);
+        assert_eq!(package_merge(&[0, 7, 0], 15), vec![0, 1, 0]);
+        // Two symbols: one bit each regardless of skew.
+        assert_eq!(package_merge(&[1, 1000], 15), vec![1, 1]);
+    }
+
+    #[test]
+    fn package_merge_matches_unlimited_huffman_on_balanced_input() {
+        // Uniform frequencies over a power-of-two alphabet: all lengths
+        // equal log2(n).
+        let lens = package_merge(&[5; 8], 15);
+        assert!(lens.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn package_merge_respects_length_limit() {
+        // Fibonacci-ish frequencies force deep trees without a limit.
+        let freqs: Vec<u64> = vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377];
+        for limit in [4u8, 5, 8, 15] {
+            let lens = package_merge(&freqs, limit);
+            assert!(lens.iter().all(|&l| l <= limit), "limit {limit}: {lens:?}");
+            let k = kraft_sum(&lens);
+            assert!(k <= 1.0 + 1e-12, "limit {limit}: Kraft sum {k}");
+        }
+    }
+
+    #[test]
+    fn package_merge_is_optimal_against_entropy() {
+        // The weighted length must be within 1 bit/symbol of entropy
+        // when the limit is generous (standard Huffman bound).
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let total: u64 = freqs.iter().sum();
+        let lens = package_merge(&freqs, 15);
+        let avg_len: f64 = freqs
+            .iter()
+            .zip(&lens)
+            .map(|(&f, &l)| f as f64 * l as f64)
+            .sum::<f64>()
+            / total as f64;
+        let entropy: f64 = freqs
+            .iter()
+            .map(|&f| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        assert!(avg_len >= entropy - 1e-9);
+        assert!(avg_len < entropy + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn package_merge_rejects_impossible_limits() {
+        package_merge(&[1; 9], 3);
+    }
+
+    #[test]
+    fn canonical_codes_follow_rfc1951_example() {
+        // RFC 1951 §3.2.2 worked example: lengths (3,3,3,3,3,2,4,4)
+        // produce codes 010..111, 00, 1110, 1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
+    }
+
+    #[test]
+    fn reverse_bits_matches_manual_reversal() {
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b10000000, 8), 0b00000001);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_lsb_and_msb() {
+        let freqs: Vec<u64> = (0..64u64).map(|i| 1 + (i * 37) % 101).collect();
+        let enc = HuffmanEncoder::from_freqs(&freqs, 15);
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+
+        let message: Vec<usize> = (0..4096).map(|i| (i * 17 + i / 7) % 64).collect();
+
+        let mut lw = LsbBitWriter::new();
+        let mut mw = MsbBitWriter::new();
+        for &sym in &message {
+            enc.write_lsb(&mut lw, sym);
+            enc.write_msb(&mut mw, sym);
+        }
+        let lbytes = lw.finish();
+        let mbytes = mw.finish();
+
+        let mut lr = LsbBitReader::new(&lbytes);
+        let mut mr = MsbBitReader::new(&mbytes);
+        for &sym in &message {
+            assert_eq!(dec.decode_lsb(&mut lr).unwrap() as usize, sym);
+            assert_eq!(dec.decode_msb(&mut mr).unwrap() as usize, sym);
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed_lengths() {
+        // Three 1-bit codes cannot coexist.
+        assert!(HuffmanDecoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_accepts_incomplete_code_but_flags_gap() {
+        // Single 2-bit code: valid (DEFLATE allows it for distances),
+        // but a read hitting the unassigned space must error.
+        let dec = HuffmanDecoder::from_lengths(&[2]).unwrap();
+        let mut w = LsbBitWriter::new();
+        w.write_bits(0b11, 2); // canonical code for the symbol is 00
+        w.write_bits(0, 6);
+        let bytes = w.finish();
+        let mut r = LsbBitReader::new(&bytes);
+        assert!(dec.decode_lsb(&mut r).is_err());
+    }
+
+    #[test]
+    fn cost_bits_matches_sum_of_lengths() {
+        let freqs = [10u64, 1, 0, 5];
+        let enc = HuffmanEncoder::from_freqs(&freqs, 15);
+        let expected: u64 = freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| f * enc.len(s) as u64)
+            .sum();
+        assert_eq!(enc.cost_bits(&freqs), expected);
+    }
+
+    #[test]
+    fn fast_decoder_matches_slow_decoder() {
+        // Skewed frequencies over a large alphabet force code lengths
+        // on both sides of the 10-bit root window.
+        let freqs: Vec<u64> = (0..286u64).map(|i| 1 + (1 << (i % 14))).collect();
+        let enc = HuffmanEncoder::from_freqs(&freqs, 15);
+        assert!(
+            enc.lengths().iter().any(|&l| l > 10),
+            "need long codes to exercise the secondary tables"
+        );
+        assert!(enc.lengths().iter().any(|&l| (1..=10).contains(&l)));
+        let slow = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        let fast = FastDecoder::from_lengths(enc.lengths()).unwrap();
+
+        let message: Vec<usize> = (0..20_000).map(|i| (i * 131 + i / 3) % 286).collect();
+        let mut w = LsbBitWriter::new();
+        for &sym in &message {
+            enc.write_lsb(&mut w, sym);
+        }
+        let bytes = w.finish();
+
+        let mut r1 = LsbBitReader::new(&bytes);
+        let mut r2 = LsbBitReader::new(&bytes);
+        for &sym in &message {
+            assert_eq!(slow.decode_lsb(&mut r1).unwrap() as usize, sym);
+            assert_eq!(fast.decode_lsb(&mut r2).unwrap() as usize, sym);
+        }
+    }
+
+    #[test]
+    fn fast_decoder_rejects_truncation_and_gaps() {
+        let enc = HuffmanEncoder::from_freqs(&[5u64, 3, 2, 1, 1], 15);
+        let fast = FastDecoder::from_lengths(enc.lengths()).unwrap();
+        // Empty stream: the peek zero-fills, consume must fail (or the
+        // zero pattern is an unassigned slot).
+        let mut r = LsbBitReader::new(&[]);
+        assert!(fast.decode_lsb(&mut r).is_err());
+
+        // Incomplete code: single 2-bit code leaves gaps.
+        let fast = FastDecoder::from_lengths(&[2]).unwrap();
+        let mut w = LsbBitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_bits(0, 6);
+        let bytes = w.finish();
+        let mut r = LsbBitReader::new(&bytes);
+        assert!(fast.decode_lsb(&mut r).is_err());
+    }
+
+    #[test]
+    fn fast_decoder_rejects_unsupported_lengths() {
+        // A 16-bit code is fine for the generic decoder but outside the
+        // fast decoder's supported range.
+        let mut lengths = vec![1u8];
+        lengths.push(16);
+        assert!(FastDecoder::from_lengths(&lengths).is_err());
+        assert!(HuffmanDecoder::from_lengths(&lengths).is_ok());
+    }
+
+    #[test]
+    fn single_symbol_alphabet_round_trips() {
+        let enc = HuffmanEncoder::from_freqs(&[0, 42, 0], 15);
+        assert_eq!(enc.len(1), 1);
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        let mut w = MsbBitWriter::new();
+        for _ in 0..17 {
+            enc.write_msb(&mut w, 1);
+        }
+        let bytes = w.finish();
+        let mut r = MsbBitReader::new(&bytes);
+        for _ in 0..17 {
+            assert_eq!(dec.decode_msb(&mut r).unwrap(), 1);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Move-to-front transform over a generic small alphabet.
+//!
+//! After the BWT, symbol runs cluster locally; MTF converts that local
+//! clustering into a global skew towards small ranks (mostly zeros),
+//! which the zero-run encoder and Huffman stage then exploit — the same
+//! chain bzip2 uses.
+
+/// Move-to-front encode `input` over the alphabet `0..alphabet_size`.
+///
+/// Each output value is the current rank of the input symbol; the symbol
+/// is then moved to rank 0.
+pub fn mtf_encode(input: &[u16], alphabet_size: usize) -> Vec<u16> {
+    debug_assert!(alphabet_size <= u16::MAX as usize + 1);
+    let mut table: Vec<u16> = (0..alphabet_size as u16).collect();
+    let mut out = Vec::with_capacity(input.len());
+    for &sym in input {
+        let rank = table
+            .iter()
+            .position(|&t| t == sym)
+            .expect("symbol outside alphabet");
+        out.push(rank as u16);
+        // Rotate the prefix: move `sym` to the front.
+        table.copy_within(0..rank, 1);
+        table[0] = sym;
+    }
+    out
+}
+
+/// Inverse of [`mtf_encode`].
+pub fn mtf_decode(ranks: &[u16], alphabet_size: usize) -> Vec<u16> {
+    let mut table: Vec<u16> = (0..alphabet_size as u16).collect();
+    let mut out = Vec::with_capacity(ranks.len());
+    for &rank in ranks {
+        let sym = table[rank as usize];
+        out.push(sym);
+        table.copy_within(0..rank as usize, 1);
+        table[0] = sym;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_example() {
+        // Alphabet {0,1,2,3}; classic MTF walk-through.
+        let input = [1u16, 1, 1, 3, 3, 0];
+        let ranks = mtf_encode(&input, 4);
+        assert_eq!(ranks, vec![1, 0, 0, 3, 0, 2]);
+        assert_eq!(mtf_decode(&ranks, 4), input);
+    }
+
+    #[test]
+    fn runs_become_zeros() {
+        let input = vec![7u16; 100];
+        let ranks = mtf_encode(&input, 16);
+        assert_eq!(ranks[0], 7);
+        assert!(ranks[1..].iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn round_trips_full_byte_alphabet() {
+        let input: Vec<u16> = (0..2000u32).map(|i| ((i * 31) % 256) as u16).collect();
+        let ranks = mtf_encode(&input, 256);
+        assert_eq!(mtf_decode(&ranks, 256), input);
+    }
+
+    #[test]
+    fn round_trips_bwt_sized_alphabet() {
+        // The BWT stage uses a 257-symbol alphabet (bytes + sentinel).
+        let input: Vec<u16> = (0..1000u32).map(|i| ((i * 97) % 257) as u16).collect();
+        let ranks = mtf_encode(&input, 257);
+        assert!(ranks.iter().all(|&r| r < 257));
+        assert_eq!(mtf_decode(&ranks, 257), input);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mtf_encode(&[], 256).is_empty());
+        assert!(mtf_decode(&[], 256).is_empty());
+    }
+
+    #[test]
+    fn first_symbol_rank_equals_its_value() {
+        // With the identity initial table, the first rank is the symbol.
+        for sym in [0u16, 1, 100, 255] {
+            assert_eq!(mtf_encode(&[sym], 256)[0], sym);
+        }
+    }
+}

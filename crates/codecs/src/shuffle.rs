@@ -1,0 +1,151 @@
+//! Blind byte-shuffle (Blosc/bitshuffle-style) preconditioning.
+//!
+//! The simplest relative of ISOBAR's idea: transpose the `N × ω` byte
+//! matrix so each byte-column becomes contiguous, then compress
+//! *everything*. Shuffling helps generic compressors on typed arrays,
+//! but unlike ISOBAR it still pays the solver for the noise columns and
+//! gains nothing on them. It is implemented here as a baseline for the
+//! ablation benches (`ablation_shuffle`), quantifying what the
+//! analyzer/partitioner adds over blind shuffling.
+
+use crate::codec::{Codec, CodecError};
+
+/// Transpose element bytes to column-major order: output holds byte 0
+/// of every element, then byte 1 of every element, and so on.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `width`.
+pub fn shuffle(data: &[u8], width: usize) -> Vec<u8> {
+    assert!(width > 0 && data.len().is_multiple_of(width));
+    let n = data.len() / width;
+    let mut out = vec![0u8; data.len()];
+    for (i, element) in data.chunks_exact(width).enumerate() {
+        for (c, &b) in element.iter().enumerate() {
+            out[c * n + i] = b;
+        }
+    }
+    out
+}
+
+/// Inverse of [`shuffle`].
+pub fn unshuffle(data: &[u8], width: usize) -> Vec<u8> {
+    assert!(width > 0 && data.len().is_multiple_of(width));
+    let n = data.len() / width;
+    let mut out = vec![0u8; data.len()];
+    for c in 0..width {
+        for i in 0..n {
+            out[i * width + c] = data[c * n + i];
+        }
+    }
+    out
+}
+
+/// A solver wrapped in a blind byte-shuffle: `compress` transposes then
+/// delegates; `decompress` delegates then transposes back. The element
+/// width is stored in a one-byte header so streams stay
+/// self-describing.
+pub struct ShuffledCodec<C: Codec> {
+    inner: C,
+    width: usize,
+}
+
+impl<C: Codec> ShuffledCodec<C> {
+    /// Wrap `inner` for elements of `width` bytes (1..=255).
+    pub fn new(inner: C, width: usize) -> Self {
+        assert!((1..=255).contains(&width));
+        ShuffledCodec { inner, width }
+    }
+
+    /// Shuffle and compress `data` (length must be a multiple of the
+    /// width).
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let shuffled = shuffle(data, self.width);
+        let mut out = Vec::with_capacity(shuffled.len() / 2 + 8);
+        out.push(self.width as u8);
+        out.extend_from_slice(&self.inner.compress(&shuffled));
+        out
+    }
+
+    /// Decompress and unshuffle.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (&width, payload) = data.split_first().ok_or(CodecError::UnexpectedEof)?;
+        if width == 0 {
+            return Err(CodecError::Corrupt("zero shuffle width"));
+        }
+        let shuffled = self.inner.decompress(payload)?;
+        if !shuffled.len().is_multiple_of(width as usize) {
+            return Err(CodecError::Corrupt(
+                "shuffled length not a multiple of width",
+            ));
+        }
+        Ok(unshuffle(&shuffled, width as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::Deflate;
+
+    #[test]
+    fn shuffle_is_a_transpose() {
+        // Two elements of width 3.
+        let data = [1u8, 2, 3, 4, 5, 6];
+        assert_eq!(shuffle(&data, 3), vec![1, 4, 2, 5, 3, 6]);
+        assert_eq!(unshuffle(&shuffle(&data, 3), 3), data);
+    }
+
+    #[test]
+    fn shuffle_round_trips_various_shapes() {
+        let mut state = 9u64;
+        for width in [1usize, 2, 4, 7, 8, 16] {
+            for n in [0usize, 1, 5, 100] {
+                let data: Vec<u8> = (0..n * width)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 56) as u8
+                    })
+                    .collect();
+                assert_eq!(
+                    unshuffle(&shuffle(&data, width), width),
+                    data,
+                    "{width}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_codec_round_trips() {
+        let data: Vec<u8> = (0..5000u64)
+            .flat_map(|i| ((i / 10) << 32 | ((i * 0x9E3779B9) & 0xFFFF_FFFF)).to_le_bytes())
+            .collect();
+        let codec = ShuffledCodec::new(Deflate::default(), 8);
+        let packed = codec.compress(&data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn shuffling_helps_typed_arrays() {
+        // Slowly varying doubles: shuffled columns are low-entropy runs.
+        let data: Vec<u8> = (0..20_000u64)
+            .flat_map(|i| (1000 + i / 7).to_le_bytes())
+            .collect();
+        let plain = Deflate::default().compress(&data);
+        let shuffled = ShuffledCodec::new(Deflate::default(), 8).compress(&data);
+        assert!(
+            shuffled.len() < plain.len(),
+            "shuffled {} vs plain {}",
+            shuffled.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        let codec = ShuffledCodec::new(Deflate::default(), 8);
+        assert!(codec.decompress(&[]).is_err());
+        assert!(codec.decompress(&[0, 1, 2]).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Suffix array construction with SA-IS (induced sorting).
+//!
+//! The bzip2-class solver needs sorted suffixes to compute the
+//! Burrows–Wheeler transform of each block. SA-IS runs in O(n) time and
+//! O(n) space, which keeps the BWT cost linear in the 900 KiB blocks the
+//! solver uses. The implementation follows Nong, Zhang & Chan (2009):
+//! classify suffixes as S/L, induce from LMS positions, recurse on the
+//! reduced string only when LMS substring names collide.
+
+const EMPTY: u32 = u32::MAX;
+
+/// Build the suffix array of `s` over alphabet `0..k`.
+///
+/// Requirements (checked with debug assertions): `s` is non-empty, every
+/// value is `< k`, and `s[n-1]` is a unique, strictly smallest sentinel.
+/// The returned array holds the start positions of all suffixes in
+/// lexicographic order (the sentinel suffix comes first).
+pub fn suffix_array(s: &[u32], k: usize) -> Vec<u32> {
+    debug_assert!(!s.is_empty());
+    debug_assert!(s.iter().all(|&c| (c as usize) < k));
+    debug_assert_eq!(
+        s.iter().filter(|&&c| c == s[s.len() - 1]).count(),
+        1,
+        "sentinel must be unique"
+    );
+    debug_assert!(s[..s.len() - 1].iter().all(|&c| c > s[s.len() - 1]));
+    let mut sa = vec![EMPTY; s.len()];
+    sais(s, k, &mut sa);
+    sa
+}
+
+/// Convenience wrapper: suffix array of a byte string with an implicit
+/// sentinel. Returns the SA of `bytes+1 ++ [0]` (length `bytes.len()+1`).
+pub fn suffix_array_bytes(bytes: &[u8]) -> Vec<u32> {
+    let mut s: Vec<u32> = Vec::with_capacity(bytes.len() + 1);
+    s.extend(bytes.iter().map(|&b| b as u32 + 1));
+    s.push(0);
+    suffix_array(&s, 257)
+}
+
+fn sais(s: &[u32], k: usize, sa: &mut [u32]) {
+    let n = s.len();
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+
+    // S/L classification; the sentinel is S-type by definition.
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    let mut bucket_sizes = vec![0u32; k];
+    for &c in s {
+        bucket_sizes[c as usize] += 1;
+    }
+
+    // Pass 1: induce from LMS positions in text order to sort LMS
+    // substrings.
+    let lms_in_order: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+    induce(s, sa, &bucket_sizes, &is_s, &lms_in_order);
+
+    // Collect LMS positions in their induced (sorted-substring) order.
+    let num_lms = lms_in_order.len();
+    if num_lms == 0 {
+        return; // only the sentinel is S-type; SA is fully induced
+    }
+    let mut lms_sorted: Vec<u32> = Vec::with_capacity(num_lms);
+    for &pos in sa.iter() {
+        if pos != EMPTY && is_lms(pos as usize) {
+            lms_sorted.push(pos);
+        }
+    }
+
+    // Name LMS substrings; equal substrings share a name.
+    let mut names = vec![EMPTY; n];
+    let mut current_name = 0u32;
+    names[lms_sorted[0] as usize] = 0;
+    for w in lms_sorted.windows(2) {
+        let (a, b) = (w[0] as usize, w[1] as usize);
+        if !lms_substring_eq(s, &is_s, a, b) {
+            current_name += 1;
+        }
+        names[b] = current_name;
+    }
+    let num_names = current_name as usize + 1;
+
+    // Order of LMS suffixes: direct if names are unique, else recurse.
+    let lms_order: Vec<u32> = if num_names == num_lms {
+        lms_sorted
+    } else {
+        // Reduced string: names of LMS substrings in text order.
+        let reduced: Vec<u32> = lms_in_order
+            .iter()
+            .map(|&pos| names[pos as usize])
+            .collect();
+        let mut reduced_sa = vec![EMPTY; reduced.len()];
+        sais(&reduced, num_names, &mut reduced_sa);
+        reduced_sa
+            .iter()
+            .map(|&r| lms_in_order[r as usize])
+            .collect()
+    };
+
+    // Pass 2: induce the final order from sorted LMS suffixes.
+    induce(s, sa, &bucket_sizes, &is_s, &lms_order);
+}
+
+/// Induced sort: seed bucket ends with `lms` (in the given order), then
+/// induce L-types left-to-right and S-types right-to-left.
+fn induce(s: &[u32], sa: &mut [u32], bucket_sizes: &[u32], is_s: &[bool], lms: &[u32]) {
+    let n = s.len();
+    sa.fill(EMPTY);
+
+    let mut tails = bucket_tails(bucket_sizes);
+    for &pos in lms.iter().rev() {
+        let c = s[pos as usize] as usize;
+        tails[c] -= 1;
+        sa[tails[c] as usize] = pos;
+    }
+
+    let mut heads = bucket_heads(bucket_sizes);
+    for i in 0..n {
+        let pos = sa[i];
+        if pos != EMPTY && pos > 0 {
+            let j = (pos - 1) as usize;
+            if !is_s[j] {
+                let c = s[j] as usize;
+                sa[heads[c] as usize] = j as u32;
+                heads[c] += 1;
+            }
+        }
+    }
+
+    let mut tails = bucket_tails(bucket_sizes);
+    for i in (0..n).rev() {
+        let pos = sa[i];
+        if pos != EMPTY && pos > 0 {
+            let j = (pos - 1) as usize;
+            if is_s[j] {
+                let c = s[j] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = j as u32;
+            }
+        }
+    }
+}
+
+fn bucket_heads(sizes: &[u32]) -> Vec<u32> {
+    let mut heads = Vec::with_capacity(sizes.len());
+    let mut sum = 0u32;
+    for &size in sizes {
+        heads.push(sum);
+        sum += size;
+    }
+    heads
+}
+
+fn bucket_tails(sizes: &[u32]) -> Vec<u32> {
+    let mut tails = Vec::with_capacity(sizes.len());
+    let mut sum = 0u32;
+    for &size in sizes {
+        sum += size;
+        tails.push(sum);
+    }
+    tails
+}
+
+/// Compare two LMS substrings (from their start to the next LMS
+/// position, inclusive).
+fn lms_substring_eq(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = s.len();
+    if a == b {
+        return true;
+    }
+    // The sentinel LMS substring is unique.
+    if a == n - 1 || b == n - 1 {
+        return false;
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut i = 0usize;
+    loop {
+        let (ai, bi) = (a + i, b + i);
+        if ai >= n || bi >= n {
+            return false;
+        }
+        if s[ai] != s[bi] || is_s[ai] != is_s[bi] {
+            return false;
+        }
+        if i > 0 && (is_lms(ai) || is_lms(bi)) {
+            return is_lms(ai) && is_lms(bi);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n² log n) reference for cross-checking.
+    fn naive_suffix_array(s: &[u32]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..s.len() as u32).collect();
+        sa.sort_by(|&a, &b| s[a as usize..].cmp(&s[b as usize..]));
+        sa
+    }
+
+    fn check(bytes: &[u8]) {
+        let mut s: Vec<u32> = bytes.iter().map(|&b| b as u32 + 1).collect();
+        s.push(0);
+        let got = suffix_array(&s, 257);
+        let want = naive_suffix_array(&s);
+        assert_eq!(got, want, "input {bytes:?}");
+    }
+
+    #[test]
+    fn classic_textbook_strings() {
+        check(b"banana");
+        check(b"mississippi");
+        check(b"abracadabra");
+        check(b"GTCCCGATGTCATGTCAGGA");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        check(b"");
+        check(b"a");
+        check(b"aa");
+        check(b"aaaaaaaaaa");
+        check(b"ab");
+        check(b"ba");
+        check(b"abababababab");
+        check(&[0u8, 0, 0, 1, 0, 0]);
+        check(&[255u8; 32]);
+    }
+
+    #[test]
+    fn forces_recursion_with_repeated_lms_names() {
+        // Periodic strings create identical LMS substrings, exercising
+        // the recursive branch.
+        check(b"abcabcabcabcabcabcabcabc");
+        check(b"aabaabaabaabaab");
+        check(b"xyzxyzxyxyzxyzxyxyzxyzxy");
+    }
+
+    #[test]
+    fn pseudorandom_inputs_match_naive() {
+        let mut state = 0xdeadbeefu32;
+        for len in [2usize, 3, 5, 17, 64, 257, 1000] {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    // Small alphabet stresses ties and recursion.
+                    ((state >> 24) % 4) as u8
+                })
+                .collect();
+            check(&bytes);
+        }
+    }
+
+    #[test]
+    fn byte_wrapper_places_sentinel_first() {
+        let sa = suffix_array_bytes(b"banana");
+        assert_eq!(sa.len(), 7);
+        assert_eq!(sa[0], 6, "sentinel suffix must sort first");
+        // banana suffix order: a, ana, anana, banana, na, nana
+        assert_eq!(&sa[1..], &[5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn suffix_array_is_a_permutation() {
+        let bytes: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        let sa = suffix_array_bytes(&bytes);
+        let mut seen = vec![false; sa.len()];
+        for &p in &sa {
+            assert!(!seen[p as usize], "duplicate position {p}");
+            seen[p as usize] = true;
+        }
+        // Verify sortedness on a sample of adjacent pairs.
+        let mut s: Vec<u32> = bytes.iter().map(|&b| b as u32 + 1).collect();
+        s.push(0);
+        for w in sa.windows(2).step_by(97) {
+            assert!(s[w[0] as usize..] < s[w[1] as usize..]);
+        }
+    }
+}

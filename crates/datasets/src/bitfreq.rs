@@ -1,0 +1,106 @@
+//! Per-bit-position probability profiles (Figure 1 of the paper).
+//!
+//! For each of the ω·8 bit positions of an element, compute the
+//! probability of the *more common* bit value at that position — 1.0
+//! means the bit is perfectly predictable, 0.5 means it is a fair coin.
+//! The paper uses these profiles to show why hard-to-compress datasets
+//! are hard: their mantissa bits sit at 0.5.
+
+/// Probability of the dominant bit value at each bit position.
+///
+/// Bit positions are numbered 1..=ω·8 as in Fig. 1: position 1 is the
+/// most significant bit of the element interpreted as a big-endian
+/// number (sign bit for IEEE floats), matching the paper's reading
+/// order.
+pub fn bit_frequencies(bytes: &[u8], width: usize) -> Vec<f64> {
+    assert!(width > 0 && bytes.len().is_multiple_of(width));
+    let n = bytes.len() / width;
+    let mut ones = vec![0u64; width * 8];
+    for element in bytes.chunks_exact(width) {
+        // Big-endian bit order over the element: byte width-1 first
+        // (little-endian storage puts the sign/exponent byte last).
+        for (pos, slot) in ones.iter_mut().enumerate() {
+            let byte = element[width - 1 - pos / 8];
+            let bit = (byte >> (7 - pos % 8)) & 1;
+            *slot += bit as u64;
+        }
+    }
+    ones.iter()
+        .map(|&count| {
+            if n == 0 {
+                1.0
+            } else {
+                let p = count as f64 / n as f64;
+                p.max(1.0 - p)
+            }
+        })
+        .collect()
+}
+
+/// Fraction of bit positions that are coin-flips (within `epsilon` of
+/// probability 0.5) — a scalar summary of Fig. 1 used by tests.
+pub fn noise_bit_fraction(bytes: &[u8], width: usize, epsilon: f64) -> f64 {
+    let freqs = bit_frequencies(bytes, width);
+    let noisy = freqs.iter().filter(|&&p| p <= 0.5 + epsilon).count();
+    noisy as f64 / freqs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn constant_data_is_fully_predictable() {
+        let bytes = vec![0xA5u8; 800];
+        let freqs = bit_frequencies(&bytes, 8);
+        assert_eq!(freqs.len(), 64);
+        assert!(freqs.iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn alternating_bit_is_a_coin_flip() {
+        // Element value alternates between 0 and 1 → the LSB (position
+        // 64 in Fig. 1 numbering) has probability exactly 0.5.
+        let mut bytes = Vec::new();
+        for i in 0..1000u64 {
+            bytes.extend_from_slice(&(i % 2).to_le_bytes());
+        }
+        let freqs = bit_frequencies(&bytes, 8);
+        assert_eq!(freqs[63], 0.5);
+        assert!(freqs[..63].iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn bit_order_is_big_endian_like_figure_1() {
+        // Set only the sign bit (MSB of the big-endian view) on half
+        // the elements: position 1 must be the 0.5 one.
+        let mut bytes = Vec::new();
+        for i in 0..1000u64 {
+            let v = if i % 2 == 0 { 0u64 } else { 1 << 63 };
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let freqs = bit_frequencies(&bytes, 8);
+        assert_eq!(freqs[0], 0.5);
+        assert!(freqs[1..].iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn hard_datasets_have_many_noise_bits_and_sppm_few() {
+        // The qualitative content of Fig. 1: gts/xgc/flash have large
+        // 0.5-probability regions, msg_sppm does not.
+        let n = 30_000;
+        let gts = catalog::spec("gts_chkp_zeon").unwrap().generate(n, 1);
+        let sppm = catalog::spec("msg_sppm").unwrap().generate(n, 1);
+        let gts_noise = noise_bit_fraction(&gts.bytes, 8, 0.02);
+        let sppm_noise = noise_bit_fraction(&sppm.bytes, 8, 0.02);
+        assert!(gts_noise > 0.6, "gts noise fraction {gts_noise}");
+        assert!(sppm_noise < 0.2, "sppm noise fraction {sppm_noise}");
+    }
+
+    #[test]
+    fn empty_input_yields_unit_probabilities() {
+        let freqs = bit_frequencies(&[], 8);
+        assert!(freqs.iter().all(|&p| p == 1.0));
+    }
+}

@@ -1,0 +1,293 @@
+//! The 24-dataset catalog (Tables I, III, IV of the paper).
+//!
+//! Each [`DatasetSpec`] pairs a synthetic generator recipe with the
+//! paper-reported reference statistics, so the benchmark harness can
+//! print measured-vs-paper columns side by side. Dataset sizes are
+//! parameterized (`generate(n, seed)`) because the paper's element
+//! counts (2.3M–153M) are impractical for per-commit testing; the
+//! harness scales them down proportionally.
+
+use crate::gen::{generate, GenKind};
+
+/// Element type of a dataset, fixing the byte width ω.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementType {
+    /// IEEE-754 double (ω = 8). Also used for xgc_iphase's "8 doubles"
+    /// records, which ISOBAR processes as ω = 8 aggregates.
+    F64,
+    /// IEEE-754 single (ω = 4).
+    F32,
+    /// 64-bit integer (ω = 8).
+    I64,
+}
+
+impl ElementType {
+    /// Bytes per element (the paper's ω).
+    pub fn width(self) -> usize {
+        match self {
+            ElementType::F64 | ElementType::I64 => 8,
+            ElementType::F32 => 4,
+        }
+    }
+
+    /// Type name as printed in Table III.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElementType::F64 => "double",
+            ElementType::F32 => "single",
+            ElementType::I64 => "64-bit integer",
+        }
+    }
+}
+
+/// One catalog entry: generator recipe + paper-reported reference data.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name as used throughout the paper (e.g. "gts_phi_l").
+    pub name: &'static str,
+    /// Producing application (Table I).
+    pub application: &'static str,
+    /// Element type.
+    pub element: ElementType,
+    /// Synthetic generator recipe.
+    pub kind: GenKind,
+    /// Paper: dataset size in MB (Table III).
+    pub paper_mb: f64,
+    /// Paper: element count in millions (Table III).
+    pub paper_millions: f64,
+    /// Paper: unique-value percentage (Table III, Eq. 4).
+    pub paper_unique_pct: f64,
+    /// Paper: Shannon entropy of the element distribution (Table III).
+    pub paper_entropy: f64,
+    /// Paper: randomness percentage (Table III, Eq. 6).
+    pub paper_randomness_pct: f64,
+    /// Paper: hard-to-compress byte percentage (Table IV).
+    pub paper_htc_pct: f64,
+    /// Paper: identified as improvable by the analyzer (Table IV).
+    pub paper_improvable: bool,
+}
+
+impl DatasetSpec {
+    /// Generate `n` elements of this dataset, deterministically from
+    /// `seed` (the same seed always produces the same bytes).
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        Dataset {
+            spec: self.clone(),
+            bytes: generate(self.kind, n, seed ^ fnv(self.name)),
+        }
+    }
+
+    /// Element count proportional to the paper's, scaled by `scale`
+    /// (1.0 reproduces the paper sizes; benches default much lower).
+    pub fn scaled_elements(&self, scale: f64) -> usize {
+        ((self.paper_millions * 1e6 * scale) as usize).max(1024)
+    }
+
+    /// The paper's expected hard-byte count for this dataset's width.
+    pub fn expected_hard_bytes(&self) -> usize {
+        (self.paper_htc_pct / 100.0 * self.element.width() as f64).round() as usize
+    }
+}
+
+/// A generated dataset: spec + element bytes (little-endian).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The catalog entry this was generated from.
+    pub spec: DatasetSpec,
+    /// Raw element bytes, `element_count() * width()` long.
+    pub bytes: Vec<u8>,
+}
+
+impl Dataset {
+    /// Bytes per element.
+    pub fn width(&self) -> usize {
+        self.spec.element.width()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.bytes.len() / self.width()
+    }
+}
+
+/// Deterministic 64-bit FNV-1a hash for per-dataset seed derivation.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+macro_rules! spec {
+    ($name:literal, $app:literal, $elem:ident, $kind:expr,
+     mb: $mb:literal, m: $m:literal, uniq: $u:literal, h: $h:literal,
+     rand: $r:literal, htc: $htc:literal, improvable: $imp:literal) => {
+        DatasetSpec {
+            name: $name,
+            application: $app,
+            element: ElementType::$elem,
+            kind: $kind,
+            paper_mb: $mb,
+            paper_millions: $m,
+            paper_unique_pct: $u,
+            paper_entropy: $h,
+            paper_randomness_pct: $r,
+            paper_htc_pct: $htc,
+            paper_improvable: $imp,
+        }
+    };
+}
+
+/// All 24 datasets, in Table III order.
+pub fn all() -> Vec<DatasetSpec> {
+    use GenKind::*;
+    vec![
+        spec!("gts_phi_l", "GTS", F64, DoubleField { hard_bytes: 6, unique_fraction: 1.0 },
+              mb: 42.0, m: 5.5, uniq: 99.9, h: 12.05, rand: 99.9, htc: 75.0, improvable: true),
+        spec!("gts_phi_nl", "GTS", F64, DoubleField { hard_bytes: 6, unique_fraction: 1.0 },
+              mb: 42.0, m: 5.5, uniq: 99.9, h: 12.05, rand: 99.9, htc: 75.0, improvable: true),
+        spec!("gts_chkp_zeon", "GTS", F64, DoubleField { hard_bytes: 6, unique_fraction: 1.0 },
+              mb: 18.0, m: 2.4, uniq: 99.9, h: 14.68, rand: 99.9, htc: 75.0, improvable: true),
+        spec!("gts_chkp_zion", "GTS", F64, DoubleField { hard_bytes: 6, unique_fraction: 1.0 },
+              mb: 18.0, m: 2.4, uniq: 99.9, h: 15.12, rand: 99.9, htc: 75.0, improvable: true),
+        spec!("xgc_igid", "XGC", I64, IntIds { hard_bytes: 3, unique_fraction: 0.226 },
+              mb: 146.0, m: 19.2, uniq: 22.6, h: 13.81, rand: 100.0, htc: 37.5, improvable: true),
+        spec!("xgc_iphase", "XGC", F64, DoubleField { hard_bytes: 6, unique_fraction: 0.077 },
+              mb: 1170.0, m: 153.4, uniq: 7.7, h: 12.32, rand: 76.4, htc: 75.0, improvable: true),
+        spec!("s3d_temp", "S3D", F32, FloatField { hard_bytes: 1 },
+              mb: 77.0, m: 20.2, uniq: 45.9, h: 12.21, rand: 95.4, htc: 25.0, improvable: true),
+        spec!("s3d_vmag", "S3D", F32, FloatField { hard_bytes: 2 },
+              mb: 77.0, m: 20.2, uniq: 49.9, h: 12.81, rand: 99.9, htc: 50.0, improvable: true),
+        spec!("flash_velx", "FLASH", F64, DoubleField { hard_bytes: 6, unique_fraction: 1.0 },
+              mb: 520.0, m: 68.1, uniq: 100.0, h: 24.34, rand: 100.0, htc: 75.0, improvable: true),
+        spec!("flash_vely", "FLASH", F64, DoubleField { hard_bytes: 6, unique_fraction: 1.0 },
+              mb: 520.0, m: 68.1, uniq: 100.0, h: 25.74, rand: 100.0, htc: 75.0, improvable: true),
+        spec!("flash_gamc", "FLASH", F64, DoubleField { hard_bytes: 5, unique_fraction: 1.0 },
+              mb: 520.0, m: 68.1, uniq: 100.0, h: 11.26, rand: 100.0, htc: 62.5, improvable: true),
+        spec!("msg_bt", "MSG", F64, SkewedNoise { spike_prob: 0.02, unique_fraction: 0.929 },
+              mb: 254.0, m: 33.3, uniq: 92.9, h: 23.67, rand: 94.7, htc: 0.0, improvable: false),
+        spec!("msg_lu", "MSG", F64, DoubleField { hard_bytes: 6, unique_fraction: 0.992 },
+              mb: 185.0, m: 24.2, uniq: 99.2, h: 24.47, rand: 99.7, htc: 75.0, improvable: true),
+        spec!("msg_sp", "MSG", F64, DoubleField { hard_bytes: 5, unique_fraction: 0.989 },
+              mb: 276.0, m: 36.2, uniq: 98.9, h: 25.03, rand: 99.7, htc: 62.5, improvable: true),
+        spec!("msg_sppm", "MSG", F64, Repetitive { unique_fraction: 0.102, repeat_prob: 0.8 },
+              mb: 266.0, m: 34.8, uniq: 10.2, h: 11.24, rand: 44.9, htc: 0.0, improvable: false),
+        spec!("msg_sweep3d", "MSG", F64, DoubleField { hard_bytes: 4, unique_fraction: 0.898 },
+              mb: 119.0, m: 15.7, uniq: 89.8, h: 23.41, rand: 97.9, htc: 50.0, improvable: true),
+        spec!("num_brain", "NUM", F64, DoubleField { hard_bytes: 6, unique_fraction: 0.949 },
+              mb: 135.0, m: 17.7, uniq: 94.9, h: 23.97, rand: 99.5, htc: 75.0, improvable: true),
+        spec!("num_comet", "NUM", F64, DoubleField { hard_bytes: 3, unique_fraction: 0.889 },
+              mb: 102.0, m: 13.4, uniq: 88.9, h: 22.04, rand: 93.1, htc: 37.5, improvable: true),
+        spec!("num_control", "NUM", F64, DoubleField { hard_bytes: 6, unique_fraction: 0.985 },
+              mb: 152.0, m: 19.9, uniq: 98.5, h: 24.14, rand: 99.6, htc: 75.0, improvable: true),
+        spec!("num_plasma", "NUM", F64, Repetitive { unique_fraction: 0.003, repeat_prob: 0.85 },
+              mb: 33.0, m: 4.4, uniq: 0.3, h: 13.65, rand: 61.9, htc: 0.0, improvable: false),
+        spec!("obs_error", "OBS", F64, SkewedNoise { spike_prob: 0.03, unique_fraction: 0.18 },
+              mb: 59.0, m: 7.7, uniq: 18.0, h: 17.80, rand: 77.8, htc: 0.0, improvable: false),
+        spec!("obs_info", "OBS", F64, DoubleField { hard_bytes: 6, unique_fraction: 0.239 },
+              mb: 18.0, m: 2.3, uniq: 23.9, h: 18.07, rand: 85.3, htc: 75.0, improvable: true),
+        spec!("obs_spitzer", "OBS", F64, Repetitive { unique_fraction: 0.057, repeat_prob: 0.6 },
+              mb: 189.0, m: 24.7, uniq: 5.7, h: 17.36, rand: 70.7, htc: 0.0, improvable: false),
+        spec!("obs_temp", "OBS", F64, DoubleField { hard_bytes: 6, unique_fraction: 1.0 },
+              mb: 38.0, m: 4.9, uniq: 100.0, h: 22.25, rand: 100.0, htc: 75.0, improvable: true),
+    ]
+}
+
+/// Look up a dataset spec by name.
+pub fn spec(name: &str) -> Option<DatasetSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// Names of the 19 datasets the paper identifies as improvable.
+pub fn improvable_names() -> Vec<&'static str> {
+    all()
+        .into_iter()
+        .filter(|s| s.paper_improvable)
+        .map(|s| s.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_24_datasets_with_unique_names() {
+        let specs = all();
+        assert_eq!(specs.len(), 24);
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn nineteen_datasets_are_improvable() {
+        // Table IV: 19 of 24 identified as improvable.
+        assert_eq!(improvable_names().len(), 19);
+    }
+
+    #[test]
+    fn htc_percentages_match_generator_recipes() {
+        // The generator's hard-byte count must express the paper's HTC
+        // byte percentage exactly.
+        for s in all() {
+            let hard = match s.kind {
+                GenKind::DoubleField { hard_bytes, .. } => hard_bytes,
+                GenKind::FloatField { hard_bytes } => hard_bytes,
+                GenKind::IntIds { hard_bytes, .. } => hard_bytes,
+                GenKind::Repetitive { .. } | GenKind::SkewedNoise { .. } => 0,
+            };
+            assert_eq!(
+                hard,
+                s.expected_hard_bytes(),
+                "{}: {}% of width {}",
+                s.name,
+                s.paper_htc_pct,
+                s.element.width()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_matches_requested_count_and_width() {
+        for s in all() {
+            let ds = s.generate(1000, 1);
+            assert_eq!(ds.element_count(), 1000, "{}", s.name);
+            assert_eq!(ds.bytes.len(), 1000 * s.element.width());
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_datasets() {
+        // Same seed argument, different dataset → different bytes (the
+        // name is folded into the seed).
+        let a = spec("gts_phi_l").unwrap().generate(1000, 5);
+        let b = spec("gts_phi_nl").unwrap().generate(1000, 5);
+        assert_ne!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn scaled_elements_are_proportional() {
+        let s = spec("flash_velx").unwrap();
+        assert_eq!(s.scaled_elements(1.0), 68_100_000);
+        assert_eq!(s.scaled_elements(0.01), 681_000);
+        // Tiny scales are floored to a usable minimum.
+        assert_eq!(s.scaled_elements(1e-9), 1024);
+    }
+
+    #[test]
+    fn element_type_names_match_table_iii() {
+        assert_eq!(ElementType::F64.name(), "double");
+        assert_eq!(ElementType::F32.name(), "single");
+        assert_eq!(ElementType::I64.name(), "64-bit integer");
+        assert_eq!(ElementType::F64.width(), 8);
+        assert_eq!(ElementType::F32.width(), 4);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(spec("msg_sppm").is_some());
+        assert!(spec("no_such_dataset").is_none());
+    }
+}

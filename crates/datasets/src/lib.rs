@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Synthetic scientific datasets for the ISOBAR reproduction.
+//!
+//! The paper evaluates on 24 datasets from 7 HPC applications (GTS,
+//! XGC, S3D, FLASH, MSG, NUM, OBS — Tables I/III/IV). Those files are
+//! proprietary simulation outputs, so this crate generates synthetic
+//! equivalents that reproduce the *byte-level statistical signature*
+//! each dataset exposes to ISOBAR:
+//!
+//! * element type and width (f64, f32, i64),
+//! * which byte-columns are noise-like (uniform) vs. predictable —
+//!   ISOBAR's "hard-to-compress byte %" of Table IV,
+//! * unique-value fraction and entropy/randomness class (Table III),
+//! * temporal run structure (for the repetitive MSG/NUM/OBS sets).
+//!
+//! ISOBAR's analyzer sees only per-byte-column frequency histograms, so
+//! matching these statistics preserves its classification decisions and
+//! the relative compression behaviour of the solvers — which is what
+//! the reproduction needs (absolute ratios on the authors' files are
+//! unknowable without the files).
+//!
+//! # Example
+//!
+//! ```
+//! use isobar_datasets::catalog;
+//!
+//! let spec = catalog::spec("gts_phi_l").unwrap();
+//! let ds = spec.generate(10_000, 42);
+//! assert_eq!(ds.bytes.len(), 10_000 * 8);
+//! let stats = isobar_datasets::stats::dataset_stats(&ds);
+//! assert!(stats.unique_pct > 99.0); // GTS potential values are unique
+//! ```
+
+pub mod bitfreq;
+pub mod catalog;
+pub mod gen;
+pub mod stats;
+
+pub use catalog::{Dataset, DatasetSpec, ElementType};

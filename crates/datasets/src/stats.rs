@@ -1,0 +1,185 @@
+//! Dataset statistics: Eq. 4 (unique values), Eq. 5 (Shannon entropy),
+//! Eq. 6 (randomness), plus the per-byte-column histograms the
+//! analyzer consumes (Table III of the paper).
+
+use crate::catalog::Dataset;
+use std::collections::HashMap;
+
+/// Statistics of one dataset, mirroring Table III's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset size in bytes.
+    pub size_bytes: usize,
+    /// Number of elements.
+    pub elements: usize,
+    /// Percentage of distinct element values (Eq. 4).
+    pub unique_pct: f64,
+    /// Shannon entropy of the element-value distribution in bits (Eq. 5).
+    pub entropy_bits: f64,
+    /// Entropy relative to an all-unique dataset of the same size (Eq. 6).
+    pub randomness_pct: f64,
+}
+
+/// Compute Eq. 4–6 for a dataset.
+pub fn dataset_stats(ds: &Dataset) -> DatasetStats {
+    element_stats(&ds.bytes, ds.width())
+}
+
+/// Compute Eq. 4–6 for raw element bytes.
+pub fn element_stats(bytes: &[u8], width: usize) -> DatasetStats {
+    assert!(width > 0 && bytes.len().is_multiple_of(width));
+    let n = bytes.len() / width;
+    let mut counts: HashMap<&[u8], u64> = HashMap::with_capacity(n.min(1 << 20));
+    for element in bytes.chunks_exact(width) {
+        *counts.entry(element).or_insert(0) += 1;
+    }
+    let unique = counts.len();
+    let entropy_bits = shannon_entropy(counts.values().copied());
+    // H(Random(|V|)) for an all-unique vector is log2(n).
+    let max_entropy = if n > 1 { (n as f64).log2() } else { 1.0 };
+    DatasetStats {
+        size_bytes: bytes.len(),
+        elements: n,
+        unique_pct: if n == 0 {
+            0.0
+        } else {
+            unique as f64 / n as f64 * 100.0
+        },
+        entropy_bits,
+        randomness_pct: (entropy_bits / max_entropy * 100.0).min(100.0),
+    }
+}
+
+/// Shannon entropy (bits) of a frequency distribution (Eq. 5).
+pub fn shannon_entropy(counts: impl IntoIterator<Item = u64>) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Per-byte-column value histograms: `hist[col][byte_value]`.
+///
+/// This is the exact statistic the ISOBAR-analyzer thresholds; it is
+/// exposed here so the figure-1-style analyses and tests can reuse it.
+pub fn byte_column_histograms(bytes: &[u8], width: usize) -> Vec<[u32; 256]> {
+    assert!(width > 0 && bytes.len().is_multiple_of(width));
+    let mut hists = vec![[0u32; 256]; width];
+    for element in bytes.chunks_exact(width) {
+        for (hist, &b) in hists.iter_mut().zip(element) {
+            hist[b as usize] += 1;
+        }
+    }
+    hists
+}
+
+/// Shannon entropy (bits, max 8) of each byte-column.
+pub fn byte_column_entropies(bytes: &[u8], width: usize) -> Vec<f64> {
+    byte_column_histograms(bytes, width)
+        .iter()
+        .map(|hist| shannon_entropy(hist.iter().map(|&c| c as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn entropy_of_uniform_distribution_is_log2() {
+        let h = shannon_entropy([10u64; 16]);
+        assert!((h - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        assert_eq!(shannon_entropy([42u64]), 0.0);
+        assert_eq!(shannon_entropy([]), 0.0);
+    }
+
+    #[test]
+    fn entropy_ignores_zero_counts() {
+        assert_eq!(shannon_entropy([5u64, 0, 5]), 1.0);
+    }
+
+    #[test]
+    fn all_unique_elements_have_full_randomness() {
+        let bytes: Vec<u8> = (0..1024u32).flat_map(|i| i.to_le_bytes()).collect();
+        let stats = element_stats(&bytes, 4);
+        assert_eq!(stats.elements, 1024);
+        assert_eq!(stats.unique_pct, 100.0);
+        assert!((stats.entropy_bits - 10.0).abs() < 1e-9);
+        assert!((stats.randomness_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_elements_reduce_unique_and_randomness() {
+        let mut bytes = Vec::new();
+        for i in 0..1024u32 {
+            bytes.extend_from_slice(&(i % 8).to_le_bytes());
+        }
+        let stats = element_stats(&bytes, 4);
+        assert!((stats.unique_pct - 8.0 / 1024.0 * 100.0).abs() < 1e-9);
+        assert!((stats.entropy_bits - 3.0).abs() < 1e-9);
+        assert!(stats.randomness_pct < 31.0);
+    }
+
+    #[test]
+    fn byte_column_histograms_count_every_byte() {
+        let bytes = [1u8, 2, 1, 2, 1, 3];
+        let hists = byte_column_histograms(&bytes, 2);
+        assert_eq!(hists[0][1], 3);
+        assert_eq!(hists[1][2], 2);
+        assert_eq!(hists[1][3], 1);
+        let total: u32 = hists.iter().flat_map(|h| h.iter()).sum();
+        assert_eq!(total as usize, bytes.len());
+    }
+
+    #[test]
+    fn byte_column_entropies_distinguish_noise_from_signal() {
+        let ds = catalog::spec("gts_phi_l").unwrap().generate(50_000, 3);
+        let entropies = byte_column_entropies(&ds.bytes, 8);
+        // Low 6 bytes ≈ 8 bits (uniform); top 2 bytes strongly skewed.
+        for (c, &h) in entropies.iter().enumerate() {
+            if c < 6 {
+                assert!(h > 7.9, "column {c}: {h}");
+            } else {
+                assert!(h < 7.0, "column {c}: {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_unique_percentages_track_paper_classes() {
+        // Spot-check the three uniqueness regimes of Table III.
+        let n = 50_000;
+        let high = dataset_stats(&catalog::spec("flash_velx").unwrap().generate(n, 1));
+        assert!(high.unique_pct > 99.0, "{}", high.unique_pct);
+        let mid = dataset_stats(&catalog::spec("xgc_igid").unwrap().generate(n, 1));
+        assert!((10.0..40.0).contains(&mid.unique_pct), "{}", mid.unique_pct);
+        let low = dataset_stats(&catalog::spec("num_plasma").unwrap().generate(n, 1));
+        assert!(low.unique_pct < 1.0, "{}", low.unique_pct);
+    }
+
+    #[test]
+    fn randomness_tracks_paper_classes() {
+        let n = 50_000;
+        let random = dataset_stats(&catalog::spec("flash_velx").unwrap().generate(n, 1));
+        assert!(random.randomness_pct > 99.0);
+        let repetitive = dataset_stats(&catalog::spec("msg_sppm").unwrap().generate(n, 1));
+        assert!(
+            repetitive.randomness_pct < 85.0,
+            "{}",
+            repetitive.randomness_pct
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! FPC: high-speed compressor for double-precision floating-point data.
+//!
+//! Reimplementation of Burtscher & Ratanaworabhan's FPC (*FPC: A
+//! High-Speed Compressor for Double-Precision Floating-Point Data*,
+//! IEEE ToC 2009). Each double is predicted twice — by an FCM
+//! (finite-context-method) table and a DFCM (differential FCM) table —
+//! the closer prediction is XORed with the true value, and the residual
+//! is stored as a 4-bit header (1 predictor-select bit + 3 bits of
+//! leading-zero-byte count) plus its nonzero bytes. Two headers pack
+//! into one byte, exactly as in the original.
+//!
+//! FPC's hash constants and update rules are reproduced verbatim: the
+//! FCM hash folds in the top 16 bits of each value
+//! (`h = (h << 6) ^ (v >> 48)`), the DFCM hash folds in the top 24 bits
+//! of each delta (`h = (h << 2) ^ (Δ >> 40)`).
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding an FPC stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpcError {
+    /// Stream too short or missing the magic tag.
+    BadHeader,
+    /// The stream ended before all residual bytes were read.
+    Truncated,
+}
+
+impl fmt::Display for FpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpcError::BadHeader => write!(f, "fpc: bad or missing header"),
+            FpcError::Truncated => write!(f, "fpc: truncated stream"),
+        }
+    }
+}
+
+impl Error for FpcError {}
+
+const MAGIC: [u8; 4] = *b"FPC1";
+
+/// The FPC codec. `table_bits` sets the predictor table sizes
+/// (`2^table_bits` entries each); the original exposes the same knob as
+/// its command-line "level".
+///
+/// # Example
+///
+/// ```
+/// use isobar_float_codecs::Fpc;
+///
+/// let values: Vec<f64> = (0..10_000).map(|i| 300.0 + (i as f64).sqrt()).collect();
+/// let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+///
+/// let fpc = Fpc::default();
+/// let packed = fpc.compress(&bytes);
+/// assert!(packed.len() < bytes.len());
+/// assert_eq!(fpc.decompress(&packed).unwrap(), bytes); // bit-exact
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fpc {
+    table_bits: u32,
+}
+
+impl Default for Fpc {
+    fn default() -> Self {
+        // 2^16 entries × 8 bytes × 2 tables = 1 MiB, FPC's mid-range.
+        Fpc { table_bits: 16 }
+    }
+}
+
+/// Shared predictor state, updated identically during compression and
+/// decompression.
+struct Predictors {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+    mask: usize,
+}
+
+impl Predictors {
+    fn new(table_bits: u32) -> Self {
+        let size = 1usize << table_bits;
+        Predictors {
+            fcm: vec![0; size],
+            dfcm: vec![0; size],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+            mask: size - 1,
+        }
+    }
+
+    /// Current predictions: (FCM, DFCM).
+    #[inline]
+    fn predict(&self) -> (u64, u64) {
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
+    }
+
+    /// Fold the true value into both tables and hashes.
+    #[inline]
+    fn update(&mut self, value: u64) {
+        self.fcm[self.fcm_hash] = value;
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (value >> 48) as usize) & self.mask;
+        let delta = value.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & self.mask;
+        self.last = value;
+    }
+}
+
+/// Map a leading-zero-byte count (0..=8) to its 3-bit code. A count of
+/// exactly 4 is not representable and is encoded as 3 (one extra
+/// residual byte) — FPC's original trade-off.
+#[inline]
+fn lzb_to_code(lzb: u32) -> u32 {
+    match lzb {
+        0..=3 => lzb,
+        4 => 3,
+        _ => lzb - 1,
+    }
+}
+
+/// Inverse of [`lzb_to_code`].
+#[inline]
+fn code_to_lzb(code: u32) -> u32 {
+    if code >= 4 {
+        code + 1
+    } else {
+        code
+    }
+}
+
+impl Fpc {
+    /// Create an FPC codec with `2^table_bits`-entry predictor tables.
+    pub fn new(table_bits: u32) -> Self {
+        assert!((4..=28).contains(&table_bits));
+        Fpc { table_bits }
+    }
+
+    /// Compress `data`, interpreted as little-endian `f64` values.
+    /// `data.len()` must be a multiple of 8.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len() % 8, 0, "FPC input must be whole doubles");
+        let n = data.len() / 8;
+        let mut headers = Vec::with_capacity(n.div_ceil(2));
+        let mut residuals = Vec::with_capacity(data.len() / 2);
+        let mut pred = Predictors::new(self.table_bits);
+
+        let mut nibble_buf = 0u8;
+        let mut have_nibble = false;
+        for chunk in data.chunks_exact(8) {
+            let value = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let (p_fcm, p_dfcm) = pred.predict();
+            pred.update(value);
+
+            let x_fcm = value ^ p_fcm;
+            let x_dfcm = value ^ p_dfcm;
+            // Smaller XOR ⇒ more leading zero bytes; ties go to FCM.
+            let (selector, xor) = if x_fcm <= x_dfcm {
+                (0u32, x_fcm)
+            } else {
+                (1u32, x_dfcm)
+            };
+            let lzb = xor.leading_zeros() / 8;
+            let code = lzb_to_code(lzb);
+            let nibble = ((selector << 3) | code) as u8;
+            if have_nibble {
+                headers.push(nibble_buf | (nibble << 4));
+                have_nibble = false;
+            } else {
+                nibble_buf = nibble;
+                have_nibble = true;
+            }
+            let keep = 8 - code_to_lzb(code) as usize;
+            residuals.extend_from_slice(&xor.to_le_bytes()[..keep]);
+        }
+        if have_nibble {
+            headers.push(nibble_buf);
+        }
+
+        let mut out = Vec::with_capacity(13 + headers.len() + residuals.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(self.table_bits as u8);
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.extend_from_slice(&headers);
+        out.extend_from_slice(&residuals);
+        out
+    }
+
+    /// Decompress a stream produced by [`Fpc::compress`].
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, FpcError> {
+        if data.len() < 13 || data[..4] != MAGIC {
+            return Err(FpcError::BadHeader);
+        }
+        let table_bits = data[4] as u32;
+        if !(4..=28).contains(&table_bits) {
+            return Err(FpcError::BadHeader);
+        }
+        let n = u64::from_le_bytes(data[5..13].try_into().expect("8-byte count")) as usize;
+        let header_bytes = n.div_ceil(2);
+        if data.len() < 13 + header_bytes {
+            return Err(FpcError::Truncated);
+        }
+        let headers = &data[13..13 + header_bytes];
+        let mut residuals = &data[13 + header_bytes..];
+
+        let mut pred = Predictors::new(table_bits);
+        let mut out = Vec::with_capacity(n * 8);
+        for i in 0..n {
+            let nibble = if i % 2 == 0 {
+                headers[i / 2] & 0x0f
+            } else {
+                headers[i / 2] >> 4
+            };
+            let selector = (nibble >> 3) as u32;
+            let code = (nibble & 0x07) as u32;
+            let keep = 8 - code_to_lzb(code) as usize;
+            if residuals.len() < keep {
+                return Err(FpcError::Truncated);
+            }
+            let mut xor_bytes = [0u8; 8];
+            xor_bytes[..keep].copy_from_slice(&residuals[..keep]);
+            residuals = &residuals[keep..];
+            let xor = u64::from_le_bytes(xor_bytes);
+
+            let (p_fcm, p_dfcm) = pred.predict();
+            let value = xor ^ if selector == 0 { p_fcm } else { p_dfcm };
+            pred.update(value);
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64_bytes(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let codec = Fpc::default();
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+        packed
+    }
+
+    #[test]
+    fn lzb_code_mapping_is_consistent() {
+        // Every representable count round-trips; 4 degrades to 3.
+        for lzb in 0..=8u32 {
+            let code = lzb_to_code(lzb);
+            assert!(code < 8);
+            let back = code_to_lzb(code);
+            if lzb == 4 {
+                assert_eq!(back, 3);
+            } else {
+                assert_eq!(back, lzb);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn single_value_and_odd_counts() {
+        round_trip(&f64_bytes(&[std::f64::consts::PI]));
+        round_trip(&f64_bytes(&[1.0, 2.0, 3.0]));
+        round_trip(&f64_bytes(&[0.0; 7]));
+    }
+
+    #[test]
+    fn constant_stream_compresses_extremely_well() {
+        let data = f64_bytes(&vec![42.0f64; 10_000]);
+        let packed = round_trip(&data);
+        // After warm-up the FCM predicts exactly: ~0.5 bytes/value.
+        assert!(
+            packed.len() < data.len() / 10,
+            "{} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn smooth_ramp_is_predicted_by_dfcm() {
+        // A constant stride is exactly what DFCM captures.
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let data = f64_bytes(&values);
+        let packed = round_trip(&data);
+        assert!(
+            packed.len() < data.len() / 2,
+            "{} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn random_data_round_trips_with_bounded_expansion() {
+        let mut state = 99u64;
+        let values: Vec<u64> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            })
+            .collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let packed = round_trip(&data);
+        // Worst case: full 8 residual bytes + half a header byte per value.
+        assert!(packed.len() <= data.len() + data.len() / 16 + 16);
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        round_trip(&f64_bytes(&[
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            f64::MIN_POSITIVE,
+        ]));
+    }
+
+    #[test]
+    fn table_size_changes_format_compatibly() {
+        let values: Vec<f64> = (0..2000).map(|i| (i as f64).sqrt()).collect();
+        let data = f64_bytes(&values);
+        for bits in [8u32, 12, 16, 20] {
+            let codec = Fpc::new(bits);
+            let packed = codec.compress(&data);
+            // The stream self-describes its table size.
+            assert_eq!(
+                Fpc::default().decompress(&packed).unwrap(),
+                data,
+                "bits {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_streams_are_rejected() {
+        let codec = Fpc::default();
+        let packed = codec.compress(&f64_bytes(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(codec.decompress(&packed[..3]), Err(FpcError::BadHeader));
+        assert_eq!(
+            codec.decompress(&packed[..packed.len() - 1]),
+            Err(FpcError::Truncated)
+        );
+        let mut bad_magic = packed.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(codec.decompress(&bad_magic), Err(FpcError::BadHeader));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole doubles")]
+    fn non_multiple_of_eight_is_rejected() {
+        Fpc::default().compress(&[1, 2, 3]);
+    }
+}

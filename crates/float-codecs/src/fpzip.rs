@@ -1,0 +1,459 @@
+//! fpzip-class lossless floating-point codec.
+//!
+//! Follows the architecture of fpzip (Lindstrom & Isenburg, *Fast and
+//! Efficient Compression of Floating-Point Data*, TVCG 2006): traverse
+//! the field in raster order, predict each sample with the Lorenzo
+//! predictor, map predicted and actual values to a monotone unsigned
+//! integer domain, and entropy-code the residual with a range coder —
+//! an adaptively modelled bit-length symbol followed by the residual's
+//! trailing bits verbatim.
+
+use crate::lorenzo::{Dims, Lorenzo};
+use crate::range_coder::{AdaptiveModel, RangeDecoder, RangeEncoder};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding an fpzip-class stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpzipError {
+    /// Stream too short or missing the magic tag.
+    BadHeader,
+    /// Header element type byte is unknown.
+    UnknownElementType(u8),
+    /// Input length is inconsistent with the header's dimensions.
+    LengthMismatch,
+}
+
+impl fmt::Display for FpzipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpzipError::BadHeader => write!(f, "fpzip: bad or missing header"),
+            FpzipError::UnknownElementType(t) => write!(f, "fpzip: unknown element type {t}"),
+            FpzipError::LengthMismatch => write!(f, "fpzip: length mismatch"),
+        }
+    }
+}
+
+impl Error for FpzipError {}
+
+const MAGIC: [u8; 4] = *b"FPZ1";
+
+/// Map an IEEE-754 double to the monotone unsigned integer domain:
+/// negative values are bit-flipped, positive values get the sign bit
+/// set, so unsigned integer order equals numeric order.
+#[inline]
+pub fn map_f64(bits: u64) -> u64 {
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`map_f64`].
+#[inline]
+pub fn unmap_f64(mapped: u64) -> u64 {
+    if mapped >> 63 == 1 {
+        mapped & !(1 << 63)
+    } else {
+        !mapped
+    }
+}
+
+/// Map an IEEE-754 single to the monotone unsigned integer domain.
+#[inline]
+pub fn map_f32(bits: u32) -> u32 {
+    if bits >> 31 == 1 {
+        !bits
+    } else {
+        bits | (1 << 31)
+    }
+}
+
+/// Inverse of [`map_f32`].
+#[inline]
+pub fn unmap_f32(mapped: u32) -> u32 {
+    if mapped >> 31 == 1 {
+        mapped & !(1 << 31)
+    } else {
+        !mapped
+    }
+}
+
+/// Zigzag-encode a wrapping difference so small ± residuals become
+/// small unsigned values.
+#[inline]
+fn zigzag(d: u64) -> u64 {
+    let s = d as i64;
+    ((s << 1) ^ (s >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(z: u64) -> u64 {
+    ((z >> 1) as i64 ^ -((z & 1) as i64)) as u64
+}
+
+/// The fpzip-class codec. Stateless; configuration is the grid shape
+/// passed per call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpzipLike;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ElementType {
+    F32 = 1,
+    F64 = 2,
+}
+
+impl FpzipLike {
+    /// Compress a `f64` field of shape `dims` given as raw little-endian
+    /// bytes. `data.len()` must equal `8 * dims.len()`.
+    pub fn compress_f64(&self, data: &[u8], dims: Dims) -> Result<Vec<u8>, FpzipError> {
+        if data.len() != dims.len() * 8 {
+            return Err(FpzipError::LengthMismatch);
+        }
+        let mut out = header(ElementType::F64, dims);
+        let mut predictor = Lorenzo::new(dims);
+        let mut model = AdaptiveModel::new(65);
+        let mut enc = RangeEncoder::new();
+        for chunk in data.chunks_exact(8) {
+            let bits = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let mapped = map_f64(bits);
+            let pred = predictor.predict();
+            predictor.advance(mapped);
+            encode_residual(&mut enc, &mut model, zigzag(mapped.wrapping_sub(pred)));
+        }
+        out.extend_from_slice(&enc.finish());
+        Ok(out)
+    }
+
+    /// Compress a `f32` field of shape `dims` given as raw little-endian
+    /// bytes. `data.len()` must equal `4 * dims.len()`.
+    pub fn compress_f32(&self, data: &[u8], dims: Dims) -> Result<Vec<u8>, FpzipError> {
+        if data.len() != dims.len() * 4 {
+            return Err(FpzipError::LengthMismatch);
+        }
+        let mut out = header(ElementType::F32, dims);
+        let mut predictor = Lorenzo::new(dims);
+        let mut model = AdaptiveModel::new(33);
+        let mut enc = RangeEncoder::new();
+        for chunk in data.chunks_exact(4) {
+            let bits = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            let mapped = map_f32(bits) as u64;
+            let pred = predictor.predict() & 0xFFFF_FFFF;
+            predictor.advance(mapped);
+            let diff = (mapped as u32).wrapping_sub(pred as u32);
+            encode_residual32(&mut enc, &mut model, zigzag32(diff));
+        }
+        out.extend_from_slice(&enc.finish());
+        Ok(out)
+    }
+
+    /// Decompress a stream produced by either compress method; returns
+    /// the original little-endian bytes.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, FpzipError> {
+        if data.len() < 17 || data[..4] != MAGIC {
+            return Err(FpzipError::BadHeader);
+        }
+        let elem = match data[4] {
+            1 => ElementType::F32,
+            2 => ElementType::F64,
+            other => return Err(FpzipError::UnknownElementType(other)),
+        };
+        let rd = |i: usize| {
+            u32::from_le_bytes(data[i..i + 4].try_into().expect("4-byte field")) as usize
+        };
+        let dims = Dims {
+            nx: rd(5),
+            ny: rd(9),
+            nz: rd(13),
+        };
+        let payload = &data[17..];
+        let n = dims
+            .nx
+            .checked_mul(dims.ny)
+            .and_then(|p| p.checked_mul(dims.nz))
+            .ok_or(FpzipError::BadHeader)?;
+        // The range coder cannot represent a symbol in fewer than
+        // log2(65536/65535) bits, so a valid stream carries well under
+        // 50 000 samples per payload byte. Anything above that is a
+        // corrupt header trying to force a huge allocation.
+        if n > payload.len().saturating_add(16).saturating_mul(50_000) {
+            return Err(FpzipError::BadHeader);
+        }
+        let mut predictor = Lorenzo::new(dims);
+        let mut dec = RangeDecoder::new(payload);
+        match elem {
+            ElementType::F64 => {
+                let mut model = AdaptiveModel::new(65);
+                let mut out = Vec::with_capacity(n * 8);
+                for _ in 0..n {
+                    let z = decode_residual(&mut dec, &mut model);
+                    let pred = predictor.predict();
+                    let mapped = pred.wrapping_add(unzigzag(z));
+                    predictor.advance(mapped);
+                    out.extend_from_slice(&unmap_f64(mapped).to_le_bytes());
+                }
+                Ok(out)
+            }
+            ElementType::F32 => {
+                let mut model = AdaptiveModel::new(33);
+                let mut out = Vec::with_capacity(n * 4);
+                for _ in 0..n {
+                    let z = decode_residual32(&mut dec, &mut model);
+                    let pred = (predictor.predict() & 0xFFFF_FFFF) as u32;
+                    let mapped = pred.wrapping_add(unzigzag32(z));
+                    predictor.advance(mapped as u64);
+                    out.extend_from_slice(&unmap_f32(mapped).to_le_bytes());
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn header(elem: ElementType, dims: Dims) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    out.extend_from_slice(&MAGIC);
+    out.push(elem as u8);
+    out.extend_from_slice(&(dims.nx as u32).to_le_bytes());
+    out.extend_from_slice(&(dims.ny as u32).to_le_bytes());
+    out.extend_from_slice(&(dims.nz as u32).to_le_bytes());
+    out
+}
+
+/// Encode a zigzagged residual: adaptive bit-length symbol, then the
+/// bits below the implicit leading 1.
+fn encode_residual(enc: &mut RangeEncoder, model: &mut AdaptiveModel, z: u64) {
+    let nbits = 64 - z.leading_zeros();
+    model.encode(enc, nbits as usize);
+    if nbits > 1 {
+        enc.encode_raw_bits(z & !(1u64 << (nbits - 1)), nbits - 1);
+    }
+}
+
+fn decode_residual(dec: &mut RangeDecoder<'_>, model: &mut AdaptiveModel) -> u64 {
+    let nbits = model.decode(dec) as u32;
+    match nbits {
+        0 => 0,
+        1 => 1,
+        _ => (1u64 << (nbits - 1)) | dec.decode_raw_bits(nbits - 1),
+    }
+}
+
+#[inline]
+fn zigzag32(d: u32) -> u32 {
+    let s = d as i32;
+    ((s << 1) ^ (s >> 31)) as u32
+}
+
+#[inline]
+fn unzigzag32(z: u32) -> u32 {
+    ((z >> 1) as i32 ^ -((z & 1) as i32)) as u32
+}
+
+fn encode_residual32(enc: &mut RangeEncoder, model: &mut AdaptiveModel, z: u32) {
+    let nbits = 32 - z.leading_zeros();
+    model.encode(enc, nbits as usize);
+    if nbits > 1 {
+        enc.encode_raw_bits((z & !(1u32 << (nbits - 1))) as u64, nbits - 1);
+    }
+}
+
+fn decode_residual32(dec: &mut RangeDecoder<'_>, model: &mut AdaptiveModel) -> u32 {
+    let nbits = model.decode(dec) as u32;
+    match nbits {
+        0 => 0,
+        1 => 1,
+        _ => (1u32 << (nbits - 1)) | dec.decode_raw_bits(nbits - 1) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64_bytes(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn f32_bytes(values: &[f32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn map_f64_is_monotone_and_invertible() {
+        let values = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -1e-300,
+            -0.0,
+            0.0,
+            1e-300,
+            1.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        let mapped: Vec<u64> = values.iter().map(|v| map_f64(v.to_bits())).collect();
+        // -0.0 < 0.0 in the mapped domain (they are distinct bit patterns).
+        for w in mapped.windows(2) {
+            assert!(w[0] < w[1], "mapping must be strictly monotone");
+        }
+        for v in values {
+            assert_eq!(unmap_f64(map_f64(v.to_bits())), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn map_f32_is_monotone_and_invertible() {
+        let values = [-1e30f32, -2.5, -0.0, 0.0, 2.5, 1e30];
+        let mapped: Vec<u32> = values.iter().map(|v| map_f32(v.to_bits())).collect();
+        for w in mapped.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for v in values {
+            assert_eq!(unmap_f32(map_f32(v.to_bits())), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for d in [0u64, 1, u64::MAX, 1 << 63, 42, u64::MAX - 41] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        // Small magnitudes (either sign) map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(u64::MAX), 1); // −1
+    }
+
+    #[test]
+    fn smooth_f64_field_round_trips_and_compresses() {
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 * 0.001).sin() * 100.0 + 0.3)
+            .collect();
+        let data = f64_bytes(&values);
+        let codec = FpzipLike;
+        let packed = codec
+            .compress_f64(&data, Dims::linear(values.len()))
+            .unwrap();
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+        assert!(
+            packed.len() < data.len(),
+            "smooth field must compress: {} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn random_mantissa_f64_round_trips() {
+        let mut state = 7u64;
+        let values: Vec<f64> = (0..5000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                f64::from_bits((1023u64 << 52) | (state >> 12))
+            })
+            .collect();
+        let data = f64_bytes(&values);
+        let codec = FpzipLike;
+        let packed = codec
+            .compress_f64(&data, Dims::linear(values.len()))
+            .unwrap();
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn special_values_round_trip() {
+        let values = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+        ];
+        let data = f64_bytes(&values);
+        let codec = FpzipLike;
+        let packed = codec
+            .compress_f64(&data, Dims::linear(values.len()))
+            .unwrap();
+        // Bit-exact: NaN payloads preserved.
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn two_d_grid_beats_poor_linearization() {
+        // A field varying smoothly in y but jumping in x: 2-D Lorenzo
+        // should compress it better than treating it as 1-D.
+        let (nx, ny) = (64usize, 64usize);
+        let values: Vec<f64> = (0..ny)
+            .flat_map(|y| (0..nx).map(move |x| ((x * 7919) % 13) as f64 * 1e6 + y as f64 * 0.125))
+            .collect();
+        let data = f64_bytes(&values);
+        let codec = FpzipLike;
+        let packed_1d = codec.compress_f64(&data, Dims::linear(nx * ny)).unwrap();
+        let packed_2d = codec.compress_f64(&data, Dims::grid2(nx, ny)).unwrap();
+        assert_eq!(codec.decompress(&packed_2d).unwrap(), data);
+        assert!(
+            packed_2d.len() < packed_1d.len(),
+            "2-D {} vs 1-D {}",
+            packed_2d.len(),
+            packed_1d.len()
+        );
+    }
+
+    #[test]
+    fn f32_round_trips() {
+        let values: Vec<f32> = (0..8000).map(|i| (i as f32 * 0.01).cos() * 300.0).collect();
+        let data = f32_bytes(&values);
+        let codec = FpzipLike;
+        let packed = codec
+            .compress_f32(&data, Dims::linear(values.len()))
+            .unwrap();
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+        assert!(packed.len() < data.len());
+    }
+
+    #[test]
+    fn empty_field_round_trips() {
+        let codec = FpzipLike;
+        let packed = codec.compress_f64(&[], Dims::linear(0)).unwrap();
+        assert_eq!(codec.decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let codec = FpzipLike;
+        assert_eq!(
+            codec.compress_f64(&[0u8; 12], Dims::linear(2)),
+            Err(FpzipError::LengthMismatch)
+        );
+        assert_eq!(
+            codec.compress_f32(&[0u8; 7], Dims::linear(2)),
+            Err(FpzipError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        let codec = FpzipLike;
+        assert_eq!(codec.decompress(&[]), Err(FpzipError::BadHeader));
+        assert_eq!(
+            codec.decompress(b"NOPEnopenopenopen"),
+            Err(FpzipError::BadHeader)
+        );
+        let mut packed = codec.compress_f64(&[0u8; 8], Dims::linear(1)).unwrap();
+        packed[4] = 9;
+        assert_eq!(
+            codec.decompress(&packed),
+            Err(FpzipError::UnknownElementType(9))
+        );
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Floating-point compression baselines for the ISOBAR reproduction.
+//!
+//! Table X of the ISOBAR paper compares ISOBAR-Sp against two
+//! special-purpose floating-point compressors. Both are reimplemented
+//! here from their publications:
+//!
+//! * [`fpc::Fpc`] — FPC (Burtscher & Ratanaworabhan 2009): dual
+//!   FCM/DFCM hash-table value prediction, XOR residuals,
+//!   leading-zero-byte encoding. Optimized for speed.
+//! * [`fpzip::FpzipLike`] — an fpzip-class codec (Lindstrom & Isenburg
+//!   2006): Lorenzo prediction over 1–3-D grids with a range-coded
+//!   residual stream. Optimized for ratio on smooth fields.
+//!
+//! Substrates: [`range_coder`] (LZMA-style carry-handled range coder
+//! plus adaptive models) and [`lorenzo`] (n-D Lorenzo predictor).
+//!
+//! # Example
+//!
+//! ```
+//! use isobar_float_codecs::fpc::Fpc;
+//! use isobar_float_codecs::fpzip::FpzipLike;
+//! use isobar_float_codecs::lorenzo::Dims;
+//!
+//! let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+//! let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+//!
+//! let fpc = Fpc::default();
+//! assert_eq!(fpc.decompress(&fpc.compress(&bytes)).unwrap(), bytes);
+//!
+//! let fpz = FpzipLike;
+//! let packed = fpz.compress_f64(&bytes, Dims::linear(values.len())).unwrap();
+//! assert_eq!(fpz.decompress(&packed).unwrap(), bytes);
+//! ```
+
+pub mod fpc;
+pub mod fpzip;
+pub mod lorenzo;
+pub mod range_coder;
+
+pub use fpc::Fpc;
+pub use fpzip::FpzipLike;
+pub use lorenzo::Dims;

@@ -1,0 +1,396 @@
+//! Byte-oriented range coder with adaptive frequency models.
+//!
+//! This is the entropy back end of the fpzip-class codec: a 32-bit
+//! range coder in the LZMA style, renormalizing one byte at a time.
+//! Carries are handled with the classic cache + pending-0xFF scheme, so
+//! a carry that propagates past already-settled bytes increments the
+//! cached byte and flips the pending 0xFF run to 0x00 — emitted output
+//! is never revisited.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a range-coded stream ends prematurely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeDecodeError;
+
+impl fmt::Display for RangeDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "range-coded stream ended prematurely")
+    }
+}
+
+impl Error for RangeDecodeError {}
+
+const TOP: u32 = 1 << 24;
+/// Total frequency budget for models (must stay below `TOP`).
+pub const MAX_TOTAL_FREQ: u32 = 1 << 16;
+
+/// Range encoder writing to an internal byte buffer.
+pub struct RangeEncoder {
+    /// Low bound; only the low 33 bits are ever set (bit 32 is carry).
+    low: u64,
+    range: u32,
+    cache: u8,
+    /// Bytes held back waiting for a possible carry: one cached byte
+    /// plus `cache_size - 1` pending 0xFF bytes.
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Create an encoder with an empty output buffer.
+    pub fn new() -> Self {
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    /// Encode a symbol that occupies `[cum_freq, cum_freq + freq)` out
+    /// of `total` in the model's cumulative distribution.
+    #[inline]
+    pub fn encode(&mut self, cum_freq: u32, freq: u32, total: u32) {
+        debug_assert!(freq > 0 && cum_freq + freq <= total && total <= MAX_TOTAL_FREQ);
+        let r = self.range / total;
+        self.low += (r as u64) * (cum_freq as u64);
+        self.range = r * freq;
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > 0xFFFF_FFFF {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encode `count` raw bits (for residual payloads the model does not
+    /// predict). Most significant bit first.
+    pub fn encode_raw_bits(&mut self, value: u64, count: u32) {
+        debug_assert!(count <= 64);
+        // Split into ≤16-bit slices so `total` stays within budget.
+        let mut remaining = count;
+        while remaining > 0 {
+            let take = remaining.min(16);
+            remaining -= take;
+            let slice = ((value >> remaining) & ((1u64 << take) - 1)) as u32;
+            self.encode(slice, 1, 1 << take);
+        }
+    }
+
+    /// Flush the final state and return the encoded bytes.
+    ///
+    /// The stream starts with one padding byte (the initial cache),
+    /// which the decoder skips.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Range decoder reading from a byte slice.
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Create a decoder over `data` produced by [`RangeEncoder`].
+    pub fn new(data: &'a [u8]) -> Self {
+        let mut dec = RangeDecoder {
+            code: 0,
+            range: u32::MAX,
+            data,
+            pos: 0,
+        };
+        dec.next_byte(); // skip the encoder's initial cache byte
+        for _ in 0..4 {
+            dec.code = (dec.code << 8) | dec.next_byte() as u32;
+        }
+        dec
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        // Reading past the end yields zeros; truncation is caught by the
+        // caller's structural checks (counts, checksums).
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Return the cumulative-frequency slot of the next symbol under a
+    /// model with the given `total`. The caller locates the symbol and
+    /// must then call [`RangeDecoder::decode_update`].
+    #[inline]
+    pub fn decode_freq(&mut self, total: u32) -> u32 {
+        let r = self.range / total;
+        let off = self.code / r;
+        off.min(total - 1)
+    }
+
+    /// Complete the decode of a symbol spanning
+    /// `[cum_freq, cum_freq + freq)` out of `total`.
+    #[inline]
+    pub fn decode_update(&mut self, cum_freq: u32, freq: u32, total: u32) {
+        let r = self.range / total;
+        self.code -= r * cum_freq;
+        self.range = r * freq;
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+    }
+
+    /// Decode `count` raw bits written by
+    /// [`RangeEncoder::encode_raw_bits`].
+    pub fn decode_raw_bits(&mut self, count: u32) -> u64 {
+        let mut remaining = count;
+        let mut value = 0u64;
+        while remaining > 0 {
+            let take = remaining.min(16);
+            remaining -= take;
+            let total = 1u32 << take;
+            let slice = self.decode_freq(total);
+            self.decode_update(slice, 1, total);
+            value = (value << take) | slice as u64;
+        }
+        value
+    }
+}
+
+/// Adaptive frequency model over a small alphabet.
+///
+/// Frequencies start uniform at 1 and increase by a fixed increment per
+/// observation; when the total reaches the budget all frequencies are
+/// halved (ageing). Alphabets here are ≤ 66 symbols, so linear scans
+/// are cheaper than a Fenwick tree.
+#[derive(Debug, Clone)]
+pub struct AdaptiveModel {
+    freq: Vec<u32>,
+    total: u32,
+    increment: u32,
+}
+
+impl AdaptiveModel {
+    /// Create a model over `n` symbols.
+    pub fn new(n: usize) -> Self {
+        AdaptiveModel {
+            freq: vec![1; n],
+            total: n as u32,
+            increment: 32,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// True when the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freq.is_empty()
+    }
+
+    fn cum_freq(&self, sym: usize) -> u32 {
+        self.freq[..sym].iter().sum()
+    }
+
+    fn bump(&mut self, sym: usize) {
+        self.freq[sym] += self.increment;
+        self.total += self.increment;
+        if self.total >= MAX_TOTAL_FREQ {
+            self.total = 0;
+            for f in &mut self.freq {
+                *f = (*f >> 1).max(1);
+                self.total += *f;
+            }
+        }
+    }
+
+    /// Encode `sym` and update the model.
+    pub fn encode(&mut self, enc: &mut RangeEncoder, sym: usize) {
+        let cum = self.cum_freq(sym);
+        enc.encode(cum, self.freq[sym], self.total);
+        self.bump(sym);
+    }
+
+    /// Decode a symbol and update the model identically to the encoder.
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> usize {
+        let target = dec.decode_freq(self.total);
+        let mut cum = 0u32;
+        let mut sym = self.freq.len() - 1;
+        for (i, &f) in self.freq.iter().enumerate() {
+            if cum + f > target {
+                sym = i;
+                break;
+            }
+            cum += f;
+        }
+        dec.decode_update(cum, self.freq[sym], self.total);
+        self.bump(sym);
+        sym
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_bits_round_trip() {
+        let mut enc = RangeEncoder::new();
+        let values = [
+            (0u64, 1u32),
+            (1, 1),
+            (0xff, 8),
+            (0x1234_5678_9abc_def0, 64),
+            (0, 0),
+            (0x7fff, 15),
+            (u64::MAX, 64),
+        ];
+        for &(v, n) in &values {
+            enc.encode_raw_bits(v, n);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(dec.decode_raw_bits(n), v, "{n} bits");
+        }
+    }
+
+    #[test]
+    fn carry_heavy_streams_round_trip() {
+        // All-ones payloads drive `low` towards 0xFFFF_FFFF, the regime
+        // where the cache/pending-FF carry machinery matters.
+        let mut enc = RangeEncoder::new();
+        for _ in 0..10_000 {
+            enc.encode_raw_bits(u64::MAX, 64);
+            enc.encode(0xFFFE, 1, 0xFFFF);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for _ in 0..10_000 {
+            assert_eq!(dec.decode_raw_bits(64), u64::MAX);
+            let slot = dec.decode_freq(0xFFFF);
+            assert_eq!(slot, 0xFFFE);
+            dec.decode_update(slot, 1, 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn adaptive_model_round_trips_skewed_stream() {
+        let symbols: Vec<usize> = (0..20_000)
+            .map(|i| if i % 17 == 0 { i % 5 } else { 0 })
+            .collect();
+        let mut enc_model = AdaptiveModel::new(5);
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            enc_model.encode(&mut enc, s);
+        }
+        let bytes = enc.finish();
+        // A heavily skewed stream must compress well below 1 byte/symbol.
+        assert!(bytes.len() < symbols.len() / 4, "{} bytes", bytes.len());
+
+        let mut dec_model = AdaptiveModel::new(5);
+        let mut dec = RangeDecoder::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec_model.decode(&mut dec), s);
+        }
+    }
+
+    #[test]
+    fn adaptive_model_round_trips_uniform_stream() {
+        let mut state = 12345u64;
+        let symbols: Vec<usize> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 64) as usize
+            })
+            .collect();
+        let mut enc_model = AdaptiveModel::new(64);
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            enc_model.encode(&mut enc, s);
+        }
+        let bytes = enc.finish();
+        let mut dec_model = AdaptiveModel::new(64);
+        let mut dec = RangeDecoder::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec_model.decode(&mut dec), s);
+        }
+    }
+
+    #[test]
+    fn interleaved_model_and_raw_bits() {
+        // The fpzip codec interleaves model-coded bit lengths with raw
+        // residual bits; exercise that interleaving.
+        let items: Vec<(usize, u64)> = (0..5000)
+            .map(|i| {
+                let len = (i * 7) % 33;
+                let mask = if len == 0 { 0 } else { (1u64 << len) - 1 };
+                let payload = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) & mask;
+                (len, payload)
+            })
+            .collect();
+        let mut model = AdaptiveModel::new(33);
+        let mut enc = RangeEncoder::new();
+        for &(len, payload) in &items {
+            model.encode(&mut enc, len);
+            enc.encode_raw_bits(payload, len as u32);
+        }
+        let bytes = enc.finish();
+        let mut model = AdaptiveModel::new(33);
+        let mut dec = RangeDecoder::new(&bytes);
+        for &(len, payload) in &items {
+            assert_eq!(model.decode(&mut dec), len);
+            assert_eq!(dec.decode_raw_bits(len as u32), payload);
+        }
+    }
+
+    #[test]
+    fn ageing_keeps_total_bounded() {
+        let mut model = AdaptiveModel::new(3);
+        let mut enc = RangeEncoder::new();
+        for _ in 0..1_000_000 {
+            model.encode(&mut enc, 1);
+        }
+        assert!(model.total < MAX_TOTAL_FREQ);
+        assert!(model.freq.iter().all(|&f| f >= 1));
+    }
+
+    #[test]
+    fn empty_stream_decodes_zeros() {
+        let mut dec = RangeDecoder::new(&[]);
+        assert_eq!(dec.decode_raw_bits(16), 0);
+    }
+}

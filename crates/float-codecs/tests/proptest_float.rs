@@ -1,0 +1,95 @@
+//! Property tests for the floating-point baselines.
+//!
+//! Losslessness must hold for *every* bit pattern, including NaNs with
+//! arbitrary payloads, infinities, and denormals — checkpoint/restart
+//! data (the paper's motivating workload) cannot tolerate a single
+//! changed bit.
+
+use isobar_float_codecs::fpc::Fpc;
+use isobar_float_codecs::fpzip::{map_f64, unmap_f64, FpzipLike};
+use isobar_float_codecs::lorenzo::Dims;
+use proptest::prelude::*;
+
+/// Arbitrary f64 bit patterns: uniform bits, smooth series, and
+/// clustered exponents (the scientific-data regime).
+fn f64_streams() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u64>(), 0..512),
+        (
+            0.0f64..1000.0,
+            proptest::collection::vec(-1.0f64..1.0, 0..512)
+        )
+            .prop_map(|(start, deltas)| {
+                let mut acc = start;
+                deltas
+                    .into_iter()
+                    .map(|d| {
+                        acc += d;
+                        acc.to_bits()
+                    })
+                    .collect()
+            }),
+        proptest::collection::vec((0u64..4096).prop_map(|m| (1023u64 << 52) | m), 0..512),
+    ]
+}
+
+fn to_bytes(bits: &[u64]) -> Vec<u8> {
+    bits.iter().flat_map(|b| b.to_le_bytes()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fpc_round_trips(bits in f64_streams(), table_bits in 4u32..18) {
+        let codec = Fpc::new(table_bits);
+        let data = to_bytes(&bits);
+        let packed = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn fpzip_round_trips_1d(bits in f64_streams()) {
+        let codec = FpzipLike;
+        let data = to_bytes(&bits);
+        let packed = codec.compress_f64(&data, Dims::linear(bits.len())).unwrap();
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn fpzip_round_trips_2d(bits in f64_streams(), nx in 1usize..16) {
+        // Truncate to a whole number of rows.
+        let rows = bits.len() / nx;
+        let bits = &bits[..rows * nx];
+        let codec = FpzipLike;
+        let data = to_bytes(bits);
+        let packed = codec.compress_f64(&data, Dims::grid2(nx, rows)).unwrap();
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn fpzip_round_trips_f32(words in proptest::collection::vec(any::<u32>(), 0..512)) {
+        let codec = FpzipLike;
+        let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let packed = codec.compress_f32(&data, Dims::linear(words.len())).unwrap();
+        prop_assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn f64_mapping_is_an_order_isomorphism(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(unmap_f64(map_f64(a)), a);
+        // Monotone over the total order of floats-by-bits-with-sign-fix:
+        // compare as the mapped integers and as "sign-magnitude" order.
+        let key = |bits: u64| -> i128 {
+            let sign = bits >> 63;
+            let mag = (bits & ((1 << 63) - 1)) as i128;
+            if sign == 1 { -mag - 1 } else { mag }
+        };
+        prop_assert_eq!(map_f64(a).cmp(&map_f64(b)), key(a).cmp(&key(b)));
+    }
+
+    #[test]
+    fn fpc_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Fpc::default().decompress(&data);
+    }
+}

@@ -1,0 +1,367 @@
+//! The merged output container (§II.D, Fig. 7).
+//!
+//! The merger concatenates: a file header carrying the EUPA decision
+//! and chunking parameters, then per chunk its analyzer metadata, the
+//! solver-compressed bytes C′, and the verbatim incompressible bytes I.
+//! Everything is little-endian and self-describing so decompression
+//! needs no out-of-band information; a whole-stream Adler-32 of the
+//! original data guards reassembly.
+
+use crate::analyzer::ColumnSelection;
+use crate::error::IsobarError;
+use isobar_codecs::{CodecId, CompressionLevel};
+use isobar_linearize::Linearization;
+
+/// Container magic: "ISBR".
+pub const MAGIC: [u8; 4] = *b"ISBR";
+/// Container format version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 28;
+/// Fixed per-chunk metadata size in bytes.
+pub const CHUNK_HEADER_LEN: usize = 29;
+
+/// File header fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Header {
+    /// Element width ω in bytes.
+    pub width: u8,
+    /// EUPA-chosen solver.
+    pub codec: CodecId,
+    /// Solver effort level.
+    pub level: CompressionLevel,
+    /// EUPA-chosen linearization for compressible columns.
+    pub linearization: Linearization,
+    /// Preference byte (for provenance only; not needed to decode).
+    pub preference: u8,
+    /// Chunk size in elements.
+    pub chunk_elements: u32,
+    /// Original (uncompressed) length in bytes.
+    pub total_len: u64,
+    /// Adler-32 of the original bytes.
+    pub checksum: u32,
+}
+
+impl Header {
+    /// Serialize into the output buffer.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.width);
+        out.push(self.codec as u8);
+        out.push(level_to_u8(self.level));
+        out.push(self.linearization as u8);
+        out.push(self.preference);
+        out.extend_from_slice(&[0u8; 2]); // reserved
+        out.extend_from_slice(&self.chunk_elements.to_le_bytes());
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+    }
+
+    /// Parse from the front of `data`.
+    pub fn read(data: &[u8]) -> Result<Header, IsobarError> {
+        if data.len() < HEADER_LEN {
+            return Err(IsobarError::Truncated);
+        }
+        if data[..4] != MAGIC {
+            return Err(IsobarError::Corrupt("bad magic"));
+        }
+        if data[4] != VERSION {
+            return Err(IsobarError::Corrupt("unsupported version"));
+        }
+        let width = data[5];
+        if width == 0 || width as usize > 64 {
+            return Err(IsobarError::Corrupt("bad element width"));
+        }
+        let codec = CodecId::from_u8(data[6]).map_err(IsobarError::Codec)?;
+        let level = level_from_u8(data[7]).ok_or(IsobarError::Corrupt("bad level byte"))?;
+        let linearization =
+            Linearization::from_u8(data[8]).ok_or(IsobarError::Corrupt("bad linearization"))?;
+        let preference = data[9];
+        let chunk_elements = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes"));
+        if chunk_elements == 0 {
+            return Err(IsobarError::Corrupt("zero chunk size"));
+        }
+        let total_len = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+        let checksum = u32::from_le_bytes(data[24..28].try_into().expect("4 bytes"));
+        Ok(Header {
+            width,
+            codec,
+            level,
+            linearization,
+            preference,
+            chunk_elements,
+            total_len,
+            checksum,
+        })
+    }
+}
+
+/// How one chunk was encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ChunkMode {
+    /// Undetermined chunk: the whole chunk went through the solver
+    /// (Algorithm 1, lines 2–3).
+    Passthrough = 0,
+    /// Improvable chunk: compressible columns solved, incompressible
+    /// stored (Algorithm 1, lines 5–7).
+    Partitioned = 1,
+}
+
+/// Per-chunk record: metadata + payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// Encoding mode.
+    pub mode: ChunkMode,
+    /// Elements in this chunk.
+    pub elements: u32,
+    /// Analyzer column mask (bit c set = column c compressible); 0 for
+    /// passthrough chunks.
+    pub mask: u64,
+    /// Solver output C′.
+    pub compressed: Vec<u8>,
+    /// Verbatim incompressible bytes I (column-major).
+    pub incompressible: Vec<u8>,
+}
+
+impl ChunkRecord {
+    /// Serialize into the output buffer.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.mode as u8);
+        out.extend_from_slice(&self.elements.to_le_bytes());
+        out.extend_from_slice(&self.mask.to_le_bytes());
+        out.extend_from_slice(&(self.compressed.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.incompressible.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.compressed);
+        out.extend_from_slice(&self.incompressible);
+    }
+
+    /// Parse one record from the front of `data`; returns the record
+    /// and the number of bytes consumed.
+    pub fn read(data: &[u8], width: usize) -> Result<(ChunkRecord, usize), IsobarError> {
+        if data.len() < CHUNK_HEADER_LEN {
+            return Err(IsobarError::Truncated);
+        }
+        let mode = match data[0] {
+            0 => ChunkMode::Passthrough,
+            1 => ChunkMode::Partitioned,
+            _ => return Err(IsobarError::Corrupt("bad chunk mode")),
+        };
+        let elements = u32::from_le_bytes(data[1..5].try_into().expect("4 bytes"));
+        let mask = u64::from_le_bytes(data[5..13].try_into().expect("8 bytes"));
+        let comp_len = u64::from_le_bytes(data[13..21].try_into().expect("8 bytes")) as usize;
+        let incomp_len = u64::from_le_bytes(data[21..29].try_into().expect("8 bytes")) as usize;
+
+        // Structural validation before any allocation.
+        if mask >> width != 0 {
+            return Err(IsobarError::Corrupt("column mask wider than element"));
+        }
+        let incompressible_cols = width - (mask & mask_low(width)).count_ones() as usize;
+        let expected_incomp = match mode {
+            ChunkMode::Passthrough => 0,
+            ChunkMode::Partitioned => elements as usize * incompressible_cols,
+        };
+        if incomp_len != expected_incomp {
+            return Err(IsobarError::Corrupt("incompressible length mismatch"));
+        }
+        let total = CHUNK_HEADER_LEN
+            .checked_add(comp_len)
+            .and_then(|t| t.checked_add(incomp_len))
+            .ok_or(IsobarError::Corrupt("chunk length overflow"))?;
+        if data.len() < total {
+            return Err(IsobarError::Truncated);
+        }
+        Ok((
+            ChunkRecord {
+                mode,
+                elements,
+                mask,
+                compressed: data[CHUNK_HEADER_LEN..CHUNK_HEADER_LEN + comp_len].to_vec(),
+                incompressible: data[CHUNK_HEADER_LEN + comp_len..total].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// The analyzer selection this record encodes.
+    pub fn selection(&self, width: usize) -> ColumnSelection {
+        ColumnSelection::from_mask(self.mask, width)
+    }
+}
+
+#[inline]
+fn mask_low(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Map a compression level to its metadata byte.
+pub fn level_to_u8(level: CompressionLevel) -> u8 {
+    match level {
+        CompressionLevel::Fast => 0,
+        CompressionLevel::Default => 1,
+        CompressionLevel::Best => 2,
+    }
+}
+
+/// Inverse of [`level_to_u8`].
+pub fn level_from_u8(raw: u8) -> Option<CompressionLevel> {
+    match raw {
+        0 => Some(CompressionLevel::Fast),
+        1 => Some(CompressionLevel::Default),
+        2 => Some(CompressionLevel::Best),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_header() -> Header {
+        Header {
+            width: 8,
+            codec: CodecId::Deflate,
+            level: CompressionLevel::Default,
+            linearization: Linearization::Row,
+            preference: 1,
+            chunk_elements: 375_000,
+            total_len: 12345,
+            checksum: 0xDEADBEEF,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let mut buf = Vec::new();
+        demo_header().write(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(Header::read(&buf).unwrap(), demo_header());
+    }
+
+    #[test]
+    fn header_rejects_corruption() {
+        let mut buf = Vec::new();
+        demo_header().write(&mut buf);
+        assert!(matches!(
+            Header::read(&buf[..10]),
+            Err(IsobarError::Truncated)
+        ));
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(Header::read(&bad).is_err());
+
+        let mut bad = buf.clone();
+        bad[4] = 99; // version
+        assert!(Header::read(&bad).is_err());
+
+        let mut bad = buf.clone();
+        bad[6] = 77; // codec id
+        assert!(Header::read(&bad).is_err());
+
+        let mut bad = buf.clone();
+        bad[7] = 9; // level
+        assert!(Header::read(&bad).is_err());
+
+        let mut bad = buf;
+        bad[12..16].copy_from_slice(&0u32.to_le_bytes()); // chunk size 0
+        assert!(Header::read(&bad).is_err());
+    }
+
+    #[test]
+    fn chunk_record_round_trips() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Partitioned,
+            elements: 100,
+            mask: 0b1100_0011, // 4 compressible columns of 8
+            compressed: vec![1, 2, 3, 4, 5],
+            incompressible: vec![9; 400],
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        buf.extend_from_slice(&[0xFF; 7]); // trailing data must be left alone
+        let (parsed, consumed) = ChunkRecord::read(&buf, 8).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(consumed, buf.len() - 7);
+    }
+
+    #[test]
+    fn passthrough_record_round_trips() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Passthrough,
+            elements: 50,
+            mask: 0,
+            compressed: vec![7; 64],
+            incompressible: vec![],
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        let (parsed, consumed) = ChunkRecord::read(&buf, 8).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn chunk_record_rejects_inconsistent_lengths() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Partitioned,
+            elements: 100,
+            mask: 0b0000_1111,
+            compressed: vec![],
+            incompressible: vec![0; 400], // correct for 4 incompressible cols
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        // Claim a different element count → expected incompressible
+        // length no longer matches.
+        buf[1..5].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ChunkRecord::read(&buf, 8),
+            Err(IsobarError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_record_rejects_wide_mask_and_truncation() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Partitioned,
+            elements: 10,
+            mask: 0b1_0000_0000, // bit 8 set but width is 8
+            compressed: vec![],
+            incompressible: vec![0; 80],
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        assert!(matches!(
+            ChunkRecord::read(&buf, 8),
+            Err(IsobarError::Corrupt(_))
+        ));
+
+        let ok = ChunkRecord {
+            mode: ChunkMode::Passthrough,
+            elements: 10,
+            mask: 0,
+            compressed: vec![5; 100],
+            incompressible: vec![],
+        };
+        let mut buf = Vec::new();
+        ok.write(&mut buf);
+        assert!(matches!(
+            ChunkRecord::read(&buf[..buf.len() - 1], 8),
+            Err(IsobarError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn level_bytes_round_trip() {
+        for level in CompressionLevel::ALL {
+            assert_eq!(level_from_u8(level_to_u8(level)), Some(level));
+        }
+        assert_eq!(level_from_u8(3), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the ISOBAR pipeline.
+
+use isobar_codecs::CodecError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while compressing or decompressing ISOBAR streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsobarError {
+    /// Input length is not a multiple of the element width.
+    MisalignedInput {
+        /// Input length in bytes.
+        len: usize,
+        /// Element width in bytes.
+        width: usize,
+    },
+    /// Element width outside the supported 1..=64 range.
+    BadWidth(usize),
+    /// The container is structurally invalid.
+    Corrupt(&'static str),
+    /// The container ended prematurely.
+    Truncated,
+    /// The embedded solver failed to decode its stream.
+    Codec(CodecError),
+    /// Whole-stream integrity check failed after reassembly.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for IsobarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsobarError::MisalignedInput { len, width } => {
+                write!(
+                    f,
+                    "input of {len} bytes is not a multiple of element width {width}"
+                )
+            }
+            IsobarError::BadWidth(w) => write!(f, "unsupported element width {w}"),
+            IsobarError::Corrupt(what) => write!(f, "corrupt ISOBAR container: {what}"),
+            IsobarError::Truncated => write!(f, "truncated ISOBAR container"),
+            IsobarError::Codec(e) => write!(f, "solver error: {e}"),
+            IsobarError::ChecksumMismatch => write!(f, "reassembled data failed integrity check"),
+        }
+    }
+}
+
+impl Error for IsobarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsobarError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for IsobarError {
+    fn from(e: CodecError) -> Self {
+        IsobarError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = IsobarError::MisalignedInput { len: 10, width: 8 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("8"));
+        assert!(IsobarError::Truncated.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn codec_errors_are_wrapped_with_source() {
+        let e: IsobarError = CodecError::UnexpectedEof.into();
+        assert!(matches!(e, IsobarError::Codec(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,775 @@
+//! The end-to-end ISOBAR-compress workflow (paper Fig. 2).
+//!
+//! [`IsobarCompressor::compress`] drives the full pipeline: EUPA
+//! selection on random samples, per-chunk byte-column analysis,
+//! partitioning, solver compression of the compressible part, and
+//! merging into the self-describing container.
+//! [`IsobarCompressor::decompress`] inverts it byte-exactly.
+
+use crate::analyzer::{Analyzer, ColumnSelection};
+use crate::chunk::{element_chunks, DEFAULT_CHUNK_ELEMENTS};
+use crate::container::{ChunkMode, ChunkRecord, Header, HEADER_LEN};
+use crate::error::IsobarError;
+use crate::eupa::{EupaDecision, EupaSelector, Preference};
+use crate::partitioner::{partition, reassemble_into, Partitioned};
+use isobar_codecs::deflate::adler32;
+use isobar_codecs::{codec_for, Codec, CodecId, CompressionLevel};
+use isobar_linearize::Linearization;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Configuration for [`IsobarCompressor`].
+#[derive(Debug, Clone, Copy)]
+pub struct IsobarOptions {
+    /// End-user preference driving EUPA (paper input E).
+    pub preference: Preference,
+    /// Solver effort level.
+    pub level: CompressionLevel,
+    /// Analyzer tolerance factor τ.
+    pub tau: f64,
+    /// Chunk size in elements (paper recommends 375 000 ≈ 3 MB).
+    pub chunk_elements: usize,
+    /// Skip EUPA and force this solver (the paper permits explicit
+    /// parameter fixing).
+    pub codec_override: Option<CodecId>,
+    /// Skip EUPA and force this linearization.
+    pub linearization_override: Option<Linearization>,
+    /// EUPA sampling configuration.
+    pub eupa: EupaSelector,
+    /// Compress chunks on multiple threads (extension; the paper's
+    /// numbers are single-core).
+    pub parallel: bool,
+}
+
+impl Default for IsobarOptions {
+    fn default() -> Self {
+        IsobarOptions {
+            preference: Preference::Ratio,
+            level: CompressionLevel::Default,
+            tau: crate::analyzer::DEFAULT_TAU,
+            chunk_elements: DEFAULT_CHUNK_ELEMENTS,
+            codec_override: None,
+            linearization_override: None,
+            eupa: EupaSelector::default(),
+            parallel: false,
+        }
+    }
+}
+
+/// Per-chunk outcome, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkDecision {
+    /// How the chunk was encoded.
+    pub mode: ChunkMode,
+    /// Elements in the chunk.
+    pub elements: usize,
+    /// Hard-to-compress byte percentage found by the analyzer.
+    pub htc_pct: f64,
+    /// Analyzer column mask.
+    pub mask: u64,
+    /// Solver output size.
+    pub compressed_len: usize,
+    /// Verbatim incompressible bytes.
+    pub incompressible_len: usize,
+}
+
+/// What happened during one compression run.
+#[derive(Debug, Clone)]
+pub struct CompressionReport {
+    /// Solver chosen (EUPA or override).
+    pub codec: CodecId,
+    /// Linearization chosen (EUPA or override).
+    pub linearization: Linearization,
+    /// EUPA sample evidence (empty when both overrides were set).
+    pub eupa: Option<EupaDecision>,
+    /// Per-chunk decisions.
+    pub chunks: Vec<ChunkDecision>,
+    /// Input length in bytes.
+    pub input_len: usize,
+    /// Container length in bytes.
+    pub output_len: usize,
+    /// Time spent in byte-column analysis (all chunks).
+    pub analysis_secs: f64,
+    /// Time spent inside the solver (all chunks).
+    pub solver_secs: f64,
+    /// Time spent in EUPA sampling.
+    pub eupa_secs: f64,
+    /// Wall time of the whole compress call.
+    pub total_secs: f64,
+}
+
+impl CompressionReport {
+    /// Compression ratio (Eq. 1).
+    pub fn ratio(&self) -> f64 {
+        if self.output_len == 0 {
+            1.0
+        } else {
+            self.input_len as f64 / self.output_len as f64
+        }
+    }
+
+    /// Compression throughput in MB/s over the whole call.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.input_len as f64 / 1e6 / self.total_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the analyzer identified the dataset as improvable
+    /// (Table IV's "Improvable?"): true when any chunk partitioned.
+    pub fn improvable(&self) -> bool {
+        self.chunks.iter().any(|c| c.mode == ChunkMode::Partitioned)
+    }
+
+    /// Element-weighted mean hard-to-compress byte percentage.
+    pub fn htc_pct(&self) -> f64 {
+        let total: usize = self.chunks.iter().map(|c| c.elements).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.chunks
+            .iter()
+            .map(|c| c.htc_pct * c.elements as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// The ISOBAR-compress preconditioner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IsobarCompressor {
+    options: IsobarOptions,
+}
+
+impl IsobarCompressor {
+    /// Create a compressor with the given options.
+    pub fn new(options: IsobarOptions) -> Self {
+        IsobarCompressor { options }
+    }
+
+    /// Convenience constructor: defaults with the given preference.
+    pub fn with_preference(preference: Preference) -> Self {
+        IsobarCompressor::new(IsobarOptions {
+            preference,
+            ..Default::default()
+        })
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &IsobarOptions {
+        &self.options
+    }
+
+    /// Compress `data` as elements of `width` bytes.
+    pub fn compress(&self, data: &[u8], width: usize) -> Result<Vec<u8>, IsobarError> {
+        self.compress_with_report(data, width).map(|(out, _)| out)
+    }
+
+    /// Compress and return the detailed report (per-chunk decisions,
+    /// stage timings) used by the benchmark harness.
+    pub fn compress_with_report(
+        &self,
+        data: &[u8],
+        width: usize,
+    ) -> Result<(Vec<u8>, CompressionReport), IsobarError> {
+        let t_start = Instant::now();
+        if width == 0 || width > 64 {
+            return Err(IsobarError::BadWidth(width));
+        }
+        if !data.len().is_multiple_of(width) {
+            return Err(IsobarError::MisalignedInput {
+                len: data.len(),
+                width,
+            });
+        }
+        let opts = &self.options;
+        let analyzer = Analyzer::with_tau(opts.tau);
+
+        // EUPA: decide solver + linearization, unless fully overridden.
+        let mut eupa_secs = 0.0;
+        let (codec_id, linearization, eupa_decision) =
+            match (opts.codec_override, opts.linearization_override) {
+                (Some(codec), Some(lin)) => (codec, lin, None),
+                (codec_override, lin_override) => {
+                    let t = Instant::now();
+                    // The sample inherits the head chunk's classification;
+                    // undetermined datasets sample as all-compressible.
+                    let head = element_chunks(data, width, opts.chunk_elements)
+                        .next()
+                        .unwrap_or(&[]);
+                    let head_sel = analyzer.analyze(head, width)?;
+                    let eupa_sel = if head_sel.is_improvable() {
+                        head_sel
+                    } else {
+                        ColumnSelection::new(vec![true; width])
+                    };
+                    let mut eupa = opts.eupa;
+                    eupa.level = opts.level;
+                    let decision = eupa.select(data, width, &eupa_sel, opts.preference);
+                    eupa_secs = t.elapsed().as_secs_f64();
+                    (
+                        codec_override.unwrap_or(decision.codec),
+                        lin_override.unwrap_or(decision.linearization),
+                        Some(decision),
+                    )
+                }
+            };
+        let codec = codec_for(codec_id, opts.level);
+
+        // Per-chunk analysis + compression.
+        let chunks: Vec<&[u8]> = element_chunks(data, width, opts.chunk_elements).collect();
+        let results = if opts.parallel && chunks.len() > 1 {
+            compress_chunks_parallel(&chunks, width, &analyzer, codec.as_ref(), linearization)?
+        } else {
+            let mut results = Vec::with_capacity(chunks.len());
+            for chunk in &chunks {
+                results.push(compress_chunk(
+                    chunk,
+                    width,
+                    &analyzer,
+                    codec.as_ref(),
+                    linearization,
+                )?);
+            }
+            results
+        };
+
+        let mut analysis_secs = 0.0;
+        let mut solver_secs = 0.0;
+        let mut decisions = Vec::with_capacity(results.len());
+        let mut body = Vec::new();
+        for r in &results {
+            analysis_secs += r.analysis_secs;
+            solver_secs += r.solver_secs;
+            decisions.push(r.decision);
+            r.record.write(&mut body);
+        }
+
+        let header = Header {
+            width: width as u8,
+            codec: codec_id,
+            level: opts.level,
+            linearization,
+            preference: opts.preference.to_u8(),
+            chunk_elements: opts.chunk_elements as u32,
+            total_len: data.len() as u64,
+            checksum: adler32(data),
+        };
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        header.write(&mut out);
+        out.extend_from_slice(&body);
+
+        let report = CompressionReport {
+            codec: codec_id,
+            linearization,
+            eupa: eupa_decision,
+            chunks: decisions,
+            input_len: data.len(),
+            output_len: out.len(),
+            analysis_secs,
+            solver_secs,
+            eupa_secs,
+            total_secs: t_start.elapsed().as_secs_f64(),
+        };
+        Ok((out, report))
+    }
+
+    /// Decompress an ISOBAR container back to the original bytes.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, IsobarError> {
+        let header = Header::read(data)?;
+        let width = header.width as usize;
+        let codec = codec_for(header.codec, header.level);
+
+        // Parse all chunk records up front (cheap: payloads are
+        // borrowed-range copies), so the decode stage can go parallel.
+        let mut records = Vec::new();
+        let mut cursor = &data[HEADER_LEN..];
+        let mut claimed: u64 = 0;
+        while claimed < header.total_len {
+            let (record, consumed) = ChunkRecord::read(cursor, width)?;
+            if record.elements == 0 {
+                return Err(IsobarError::Corrupt("empty chunk record"));
+            }
+            cursor = &cursor[consumed..];
+            claimed += record.elements as u64 * width as u64;
+            records.push(record);
+        }
+        if claimed != header.total_len {
+            return Err(IsobarError::Corrupt("reassembled length mismatch"));
+        }
+
+        // Cap the pre-allocation: a corrupted header must not be able
+        // to request an absurd reservation before validation fails.
+        let capacity = (header.total_len as usize)
+            .min(data.len().saturating_mul(512))
+            .min(1 << 31);
+        let mut out = Vec::with_capacity(capacity);
+        if self.options.parallel && records.len() > 1 {
+            let chunks =
+                decode_records_parallel(&records, width, codec.as_ref(), header.linearization)?;
+            for chunk in chunks {
+                out.extend_from_slice(&chunk);
+            }
+        } else {
+            for record in &records {
+                decode_chunk_record(
+                    record,
+                    width,
+                    codec.as_ref(),
+                    header.linearization,
+                    &mut out,
+                )?;
+            }
+        }
+        if out.len() != header.total_len as usize {
+            return Err(IsobarError::Corrupt("reassembled length mismatch"));
+        }
+        if adler32(&out) != header.checksum {
+            return Err(IsobarError::ChecksumMismatch);
+        }
+        Ok(out)
+    }
+}
+
+/// Decode chunk records with a scoped thread pool; results keep order.
+fn decode_records_parallel(
+    records: &[ChunkRecord],
+    width: usize,
+    codec: &dyn Codec,
+    linearization: Linearization,
+) -> Result<Vec<Vec<u8>>, IsobarError> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(records.len());
+    let next = AtomicUsize::new(0);
+    type Slot = Mutex<Option<Result<Vec<u8>, IsobarError>>>;
+    let slots: Vec<Slot> = (0..records.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= records.len() {
+                    break;
+                }
+                let mut chunk = Vec::new();
+                let result =
+                    decode_chunk_record(&records[i], width, codec, linearization, &mut chunk)
+                        .map(|()| chunk);
+                *slots[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("slot filled")
+        })
+        .collect()
+}
+
+/// Intermediate result of compressing one chunk.
+struct ChunkResult {
+    record: ChunkRecord,
+    decision: ChunkDecision,
+    analysis_secs: f64,
+    solver_secs: f64,
+}
+
+/// Encode one chunk: analyze, then partition+solve or pass through
+/// (Algorithm 1). Shared by the batch pipeline and the streaming
+/// writer.
+pub(crate) fn build_chunk_record(
+    chunk: &[u8],
+    width: usize,
+    analyzer: &Analyzer,
+    codec: &dyn Codec,
+    linearization: Linearization,
+) -> Result<ChunkRecord, IsobarError> {
+    let selection = analyzer.analyze(chunk, width)?;
+    build_chunk_record_with(chunk, width, &selection, codec, linearization)
+}
+
+/// [`build_chunk_record`] with a precomputed analyzer selection.
+pub(crate) fn build_chunk_record_with(
+    chunk: &[u8],
+    width: usize,
+    selection: &ColumnSelection,
+    codec: &dyn Codec,
+    linearization: Linearization,
+) -> Result<ChunkRecord, IsobarError> {
+    let elements = (chunk.len() / width) as u32;
+    if selection.is_improvable() {
+        let Partitioned {
+            compressible,
+            incompressible,
+        } = partition(chunk, width, selection, linearization);
+        let compressed = codec.compress(&compressible);
+        Ok(ChunkRecord {
+            mode: ChunkMode::Partitioned,
+            elements,
+            mask: selection.to_mask(),
+            compressed,
+            incompressible,
+        })
+    } else {
+        // Undetermined: Algorithm 1 lines 2–3 — whole chunk through
+        // the solver.
+        Ok(ChunkRecord {
+            mode: ChunkMode::Passthrough,
+            elements,
+            mask: 0,
+            compressed: codec.compress(chunk),
+            incompressible: Vec::new(),
+        })
+    }
+}
+
+fn compress_chunk(
+    chunk: &[u8],
+    width: usize,
+    analyzer: &Analyzer,
+    codec: &dyn Codec,
+    linearization: Linearization,
+) -> Result<ChunkResult, IsobarError> {
+    let t_analysis = Instant::now();
+    let selection = analyzer.analyze(chunk, width)?;
+    let analysis_secs = t_analysis.elapsed().as_secs_f64();
+
+    let t_solver = Instant::now();
+    let record = build_chunk_record_with(chunk, width, &selection, codec, linearization)?;
+    let solver_secs = t_solver.elapsed().as_secs_f64();
+
+    let decision = ChunkDecision {
+        mode: record.mode,
+        elements: record.elements as usize,
+        htc_pct: selection.htc_pct(),
+        mask: record.mask,
+        compressed_len: record.compressed.len(),
+        incompressible_len: record.incompressible.len(),
+    };
+    Ok(ChunkResult {
+        record,
+        decision,
+        analysis_secs,
+        solver_secs,
+    })
+}
+
+/// Compress chunks with a scoped thread pool; results keep input order.
+fn compress_chunks_parallel(
+    chunks: &[&[u8]],
+    width: usize,
+    analyzer: &Analyzer,
+    codec: &dyn Codec,
+    linearization: Linearization,
+) -> Result<Vec<ChunkResult>, IsobarError> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(chunks.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<ChunkResult, IsobarError>>>> =
+        (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                let result = compress_chunk(chunks[i], width, analyzer, codec, linearization);
+                *slots[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("slot filled")
+        })
+        .collect()
+}
+
+pub(crate) fn decode_chunk_record(
+    record: &ChunkRecord,
+    width: usize,
+    codec: &dyn Codec,
+    linearization: Linearization,
+    out: &mut Vec<u8>,
+) -> Result<(), IsobarError> {
+    let expected = record.elements as usize * width;
+    match record.mode {
+        ChunkMode::Passthrough => {
+            let bytes = codec.decompress(&record.compressed)?;
+            if bytes.len() != expected {
+                return Err(IsobarError::Corrupt("passthrough chunk length mismatch"));
+            }
+            out.extend_from_slice(&bytes);
+        }
+        ChunkMode::Partitioned => {
+            let selection = record.selection(width);
+            let compressible = codec.decompress(&record.compressed)?;
+            if compressible.len() + record.incompressible.len() != expected {
+                return Err(IsobarError::Corrupt("partitioned chunk length mismatch"));
+            }
+            // Scatter both streams straight into the output buffer — no
+            // intermediate per-chunk allocation or copy.
+            let start = out.len();
+            out.resize(start + expected, 0);
+            reassemble_into(
+                &compressible,
+                &record.incompressible,
+                width,
+                &selection,
+                linearization,
+                &mut out[start..],
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Improvable data: half predictable, half noise per element.
+    fn improvable_data(n: usize) -> Vec<u8> {
+        let mut state = 0x853C49E6748FEA9Bu64;
+        (0..n)
+            .flat_map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = state >> 32;
+                let pred = (i as u64 / 100) % 50;
+                ((pred << 32) | noise).to_le_bytes()
+            })
+            .collect()
+    }
+
+    /// Uniform noise: undetermined (all columns incompressible).
+    fn noise_data(n: usize) -> Vec<u8> {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        (0..n * 8)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn compressor(pref: Preference) -> IsobarCompressor {
+        // Chunks well above the statistical floor (the analyzer's
+        // τ·N/256 test needs a few tens of thousands of elements to be
+        // stable — the paper's Fig. 8 point), but small enough for fast
+        // unit tests. Test inputs are multiples of the chunk size so no
+        // statistically-marginal tail chunk appears.
+        IsobarCompressor::new(IsobarOptions {
+            preference: pref,
+            chunk_elements: 25_000,
+            eupa: EupaSelector {
+                sample_elements: 2048,
+                sample_blocks: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn improvable_round_trip_with_report() {
+        let data = improvable_data(50_000);
+        let isobar = compressor(Preference::Speed);
+        let (packed, report) = isobar.compress_with_report(&data, 8).unwrap();
+        assert_eq!(isobar.decompress(&packed).unwrap(), data);
+        assert!(report.improvable());
+        assert!(report.ratio() > 1.0, "ratio {}", report.ratio());
+        assert_eq!(report.chunks.len(), 2);
+        assert!((report.htc_pct() - 50.0).abs() < 1e-9);
+        assert_eq!(report.input_len, data.len());
+        assert_eq!(report.output_len, packed.len());
+    }
+
+    #[test]
+    fn undetermined_round_trip() {
+        let data = noise_data(50_000);
+        let isobar = compressor(Preference::Speed);
+        let (packed, report) = isobar.compress_with_report(&data, 8).unwrap();
+        assert_eq!(isobar.decompress(&packed).unwrap(), data);
+        assert!(!report.improvable());
+        assert!(report
+            .chunks
+            .iter()
+            .all(|c| c.mode == ChunkMode::Passthrough));
+    }
+
+    #[test]
+    fn both_preferences_round_trip() {
+        let data = improvable_data(20_000);
+        for pref in [Preference::Ratio, Preference::Speed] {
+            let isobar = compressor(pref);
+            let packed = isobar.compress(&data, 8).unwrap();
+            assert_eq!(isobar.decompress(&packed).unwrap(), data, "{pref:?}");
+        }
+    }
+
+    #[test]
+    fn overrides_bypass_eupa() {
+        let data = improvable_data(20_000);
+        let isobar = IsobarCompressor::new(IsobarOptions {
+            codec_override: Some(CodecId::Bzip2Like),
+            linearization_override: Some(Linearization::Column),
+            chunk_elements: 10_000,
+            ..Default::default()
+        });
+        let (packed, report) = isobar.compress_with_report(&data, 8).unwrap();
+        assert_eq!(report.codec, CodecId::Bzip2Like);
+        assert_eq!(report.linearization, Linearization::Column);
+        assert!(report.eupa.is_none());
+        assert_eq!(report.eupa_secs, 0.0);
+        assert_eq!(isobar.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn all_widths_round_trip() {
+        for width in [1usize, 2, 3, 4, 5, 8, 12, 16] {
+            let mut state = 7u64;
+            let data: Vec<u8> = (0..width * 5000)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if i % width < width / 2 {
+                        (state >> 33) as u8
+                    } else {
+                        (i / width % 16) as u8
+                    }
+                })
+                .collect();
+            let isobar = compressor(Preference::Speed);
+            let packed = isobar.compress(&data, width).unwrap();
+            assert_eq!(isobar.decompress(&packed).unwrap(), data, "width {width}");
+        }
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let isobar = compressor(Preference::Ratio);
+        let packed = isobar.compress(&[], 8).unwrap();
+        assert_eq!(isobar.decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn misaligned_and_bad_width_rejected() {
+        let isobar = compressor(Preference::Ratio);
+        assert!(matches!(
+            isobar.compress(&[0u8; 10], 8),
+            Err(IsobarError::MisalignedInput { .. })
+        ));
+        assert!(matches!(
+            isobar.compress(&[], 0),
+            Err(IsobarError::BadWidth(0))
+        ));
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_serial() {
+        let data = improvable_data(60_000);
+        let serial = IsobarCompressor::new(IsobarOptions {
+            chunk_elements: 8_000,
+            codec_override: Some(CodecId::Deflate),
+            linearization_override: Some(Linearization::Row),
+            ..Default::default()
+        });
+        let parallel = IsobarCompressor::new(IsobarOptions {
+            parallel: true,
+            ..*serial.options()
+        });
+        let a = serial.compress(&data, 8).unwrap();
+        let b = parallel.compress(&data, 8).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(parallel.decompress(&b).unwrap(), data);
+        // Cross-decodes: parallel decode of serial output and vice versa.
+        assert_eq!(parallel.decompress(&a).unwrap(), data);
+        assert_eq!(serial.decompress(&b).unwrap(), data);
+    }
+
+    #[test]
+    fn parallel_decompress_rejects_corruption_like_serial() {
+        let data = improvable_data(40_000);
+        let isobar = IsobarCompressor::new(IsobarOptions {
+            chunk_elements: 8_000,
+            parallel: true,
+            codec_override: Some(CodecId::Deflate),
+            linearization_override: Some(Linearization::Row),
+            ..Default::default()
+        });
+        let packed = isobar.compress(&data, 8).unwrap();
+        let mut bad = packed.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x04;
+        match isobar.decompress(&bad) {
+            Err(_) => {}
+            Ok(out) => assert_eq!(out, data, "silent corruption"),
+        }
+    }
+
+    #[test]
+    fn corrupted_container_is_rejected() {
+        let data = improvable_data(20_000);
+        let isobar = compressor(Preference::Speed);
+        let packed = isobar.compress(&data, 8).unwrap();
+
+        // Truncations at various depths.
+        for cut in [0, HEADER_LEN - 1, HEADER_LEN + 3, packed.len() - 1] {
+            assert!(isobar.decompress(&packed[..cut]).is_err(), "cut {cut}");
+        }
+        // Bit flip in a payload.
+        let mut bad = packed.clone();
+        let mid = packed.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(isobar.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn incompressible_bytes_are_stored_not_expanded() {
+        // The container must not pay solver overhead on the noise
+        // columns: output ≤ input + small metadata.
+        let data = noise_data(40_000);
+        let isobar = compressor(Preference::Speed);
+        let (packed, _) = isobar.compress_with_report(&data, 8).unwrap();
+        assert!(
+            packed.len() < data.len() + data.len() / 50 + 256,
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn report_throughput_and_timings_are_populated() {
+        let data = improvable_data(30_000);
+        let isobar = compressor(Preference::Speed);
+        let (_, report) = isobar.compress_with_report(&data, 8).unwrap();
+        assert!(report.total_secs > 0.0);
+        assert!(report.analysis_secs > 0.0);
+        assert!(report.solver_secs > 0.0);
+        assert!(report.eupa_secs > 0.0);
+        assert!(report.throughput_mbps() > 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Row-wise and column-wise byte-column gathering.
+//!
+//! An input of `n` elements of `width` bytes is conceptually an
+//! `n × width` byte matrix (Fig. 3 of the paper). The partitioner
+//! selects a subset of columns; these functions serialize that subset
+//! in either order and reassemble it exactly.
+
+/// Order in which selected byte-columns are serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Linearization {
+    /// Element by element: `e₀c₀ e₀c₁ … e₁c₀ e₁c₁ …`.
+    Row = 0,
+    /// Column by column: `e₀c₀ e₁c₀ … e₀c₁ e₁c₁ …`.
+    Column = 1,
+}
+
+impl Linearization {
+    /// Both strategies, for sweeps.
+    pub const ALL: [Linearization; 2] = [Linearization::Row, Linearization::Column];
+
+    /// Parse from a metadata byte.
+    pub fn from_u8(raw: u8) -> Option<Self> {
+        match raw {
+            0 => Some(Linearization::Row),
+            1 => Some(Linearization::Column),
+            _ => None,
+        }
+    }
+
+    /// Name used in the paper's tables ("Row" / "Column").
+    pub fn name(self) -> &'static str {
+        match self {
+            Linearization::Row => "Row",
+            Linearization::Column => "Column",
+        }
+    }
+}
+
+impl std::fmt::Display for Linearization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Serialize the byte-columns in `cols` from `data` (`n` elements of
+/// `width` bytes) into a new buffer using `lin`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `width`, or any column
+/// index is out of range.
+pub fn gather_columns(data: &[u8], width: usize, cols: &[usize], lin: Linearization) -> Vec<u8> {
+    assert!(width > 0 && data.len().is_multiple_of(width));
+    assert!(cols.iter().all(|&c| c < width));
+    let n = data.len() / width;
+    if cols.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u8; n * cols.len()];
+    match lin {
+        Linearization::Row => {
+            for (element, slot) in data
+                .chunks_exact(width)
+                .zip(out.chunks_exact_mut(cols.len()))
+            {
+                for (s, &c) in slot.iter_mut().zip(cols) {
+                    *s = element[c];
+                }
+            }
+        }
+        Linearization::Column => {
+            // Cache-blocked transpose: touch each source cache line once
+            // per block instead of once per column.
+            for block_start in (0..n).step_by(TRANSPOSE_BLOCK) {
+                let block_end = (block_start + TRANSPOSE_BLOCK).min(n);
+                for (k, &c) in cols.iter().enumerate() {
+                    let dst = &mut out[k * n + block_start..k * n + block_end];
+                    for (slot, i) in dst.iter_mut().zip(block_start..block_end) {
+                        *slot = data[i * width + c];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Elements per transpose block: 4096 × ω ≤ 256 KiB of source stays
+/// cache-resident while every selected column sweeps it.
+const TRANSPOSE_BLOCK: usize = 4096;
+
+/// Inverse of [`gather_columns`]: write the serialized bytes in `src`
+/// back into the positions of `cols` inside `out` (`n` elements of
+/// `width` bytes). Bytes of unselected columns are left untouched.
+///
+/// # Panics
+///
+/// Panics if the buffer shapes are inconsistent.
+pub fn scatter_columns(
+    src: &[u8],
+    width: usize,
+    cols: &[usize],
+    lin: Linearization,
+    out: &mut [u8],
+) {
+    assert!(width > 0 && out.len().is_multiple_of(width));
+    let n = out.len() / width;
+    assert_eq!(src.len(), n * cols.len(), "serialized length mismatch");
+    if cols.is_empty() {
+        return;
+    }
+    match lin {
+        Linearization::Row => {
+            for (element, bytes) in out
+                .chunks_exact_mut(width)
+                .zip(src.chunks_exact(cols.len()))
+            {
+                for (&c, &b) in cols.iter().zip(bytes) {
+                    element[c] = b;
+                }
+            }
+        }
+        Linearization::Column => {
+            // Blocked inverse transpose, mirroring gather_columns.
+            for block_start in (0..n).step_by(TRANSPOSE_BLOCK) {
+                let block_end = (block_start + TRANSPOSE_BLOCK).min(n);
+                for (k, &c) in cols.iter().enumerate() {
+                    let col = &src[k * n + block_start..k * n + block_end];
+                    for (&b, i) in col.iter().zip(block_start..block_end) {
+                        out[i * width + c] = b;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 4 elements × 3 bytes, values chosen so every byte is unique.
+    const DATA: [u8; 12] = [10, 11, 12, 20, 21, 22, 30, 31, 32, 40, 41, 42];
+
+    #[test]
+    fn row_gather_interleaves_per_element() {
+        let out = gather_columns(&DATA, 3, &[0, 2], Linearization::Row);
+        assert_eq!(out, vec![10, 12, 20, 22, 30, 32, 40, 42]);
+    }
+
+    #[test]
+    fn column_gather_is_contiguous_per_column() {
+        let out = gather_columns(&DATA, 3, &[0, 2], Linearization::Column);
+        assert_eq!(out, vec![10, 20, 30, 40, 12, 22, 32, 42]);
+    }
+
+    #[test]
+    fn gather_with_all_columns_row_is_identity() {
+        let out = gather_columns(&DATA, 3, &[0, 1, 2], Linearization::Row);
+        assert_eq!(out, DATA.to_vec());
+    }
+
+    #[test]
+    fn gather_empty_column_set() {
+        assert!(gather_columns(&DATA, 3, &[], Linearization::Row).is_empty());
+        assert!(gather_columns(&DATA, 3, &[], Linearization::Column).is_empty());
+    }
+
+    #[test]
+    fn scatter_reverses_gather_both_orders() {
+        for lin in Linearization::ALL {
+            for cols in [vec![0], vec![1], vec![0, 2], vec![0, 1, 2], vec![2, 0]] {
+                let gathered = gather_columns(&DATA, 3, &cols, lin);
+                let mut rebuilt = [0u8; 12];
+                scatter_columns(&gathered, 3, &cols, lin, &mut rebuilt);
+                for (i, (&orig, &got)) in DATA.iter().zip(&rebuilt).enumerate() {
+                    if cols.contains(&(i % 3)) {
+                        assert_eq!(got, orig, "{lin:?} cols {cols:?} byte {i}");
+                    } else {
+                        assert_eq!(got, 0, "untouched byte {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complementary_scatters_rebuild_everything() {
+        // Scatter selected and unselected columns separately — this is
+        // exactly how the ISOBAR merger reassembles a chunk.
+        let selected = vec![0usize, 2];
+        let rest = vec![1usize];
+        let a = gather_columns(&DATA, 3, &selected, Linearization::Column);
+        let b = gather_columns(&DATA, 3, &rest, Linearization::Row);
+        let mut rebuilt = [0u8; 12];
+        scatter_columns(&a, 3, &selected, Linearization::Column, &mut rebuilt);
+        scatter_columns(&b, 3, &rest, Linearization::Row, &mut rebuilt);
+        assert_eq!(rebuilt, DATA);
+    }
+
+    #[test]
+    fn linearization_metadata_round_trips() {
+        for lin in Linearization::ALL {
+            assert_eq!(Linearization::from_u8(lin as u8), Some(lin));
+        }
+        assert_eq!(Linearization::from_u8(7), None);
+        assert_eq!(Linearization::Row.name(), "Row");
+        assert_eq!(Linearization::Column.to_string(), "Column");
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_rejects_misaligned_data() {
+        gather_columns(&DATA[..11], 3, &[0], Linearization::Row);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_rejects_out_of_range_column() {
+        gather_columns(&DATA, 3, &[3], Linearization::Row);
+    }
+}

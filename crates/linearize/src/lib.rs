@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Data linearization strategies for the ISOBAR reproduction.
+//!
+//! ISOBAR's partitioner can hand byte-columns to the solver in two
+//! orders (§II.B–C of the paper):
+//!
+//! * **row-wise** — for each element, its selected bytes in order
+//!   (good when the selected bytes of one element correlate);
+//! * **column-wise** — each selected byte-column contiguously
+//!   (good when a column is self-similar across elements).
+//!
+//! The robustness experiments (§III.G, Figs. 9–10) additionally permute
+//! whole *elements* before compression: original order, Hilbert
+//! space-filling-curve order, and random order. Those orderings live
+//! here too: [`hilbert`] and [`permute`].
+
+pub mod gather;
+pub mod hilbert;
+pub mod permute;
+
+pub use gather::{gather_columns, scatter_columns, Linearization};
+pub use hilbert::{hilbert_d2xy, hilbert_order, hilbert_xy2d};
+pub use permute::{apply_permutation, invert_permutation, random_permutation};

@@ -1,0 +1,101 @@
+//! Element-order permutations for the robustness experiments.
+//!
+//! §III.G and §III.H of the paper compress datasets under different
+//! element orderings (original, Hilbert, random) and report that
+//! ISOBAR's improvement is insensitive to the ordering — byte-column
+//! statistics are permutation-invariant. These helpers reorder whole
+//! elements (each `width` bytes) of a buffer.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic random permutation of `0..count`, seeded for
+/// reproducible experiments.
+pub fn random_permutation(count: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..count).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    perm
+}
+
+/// Reorder the `width`-byte elements of `data` so output element `i`
+/// is input element `perm[i]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `perm` indexes out of range.
+pub fn apply_permutation(data: &[u8], width: usize, perm: &[usize]) -> Vec<u8> {
+    assert!(width > 0 && data.len().is_multiple_of(width));
+    let n = data.len() / width;
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut out = Vec::with_capacity(data.len());
+    for &src in perm {
+        let start = src * width;
+        out.extend_from_slice(&data[start..start + width]);
+    }
+    out
+}
+
+/// Invert a permutation: if `perm[i] = j` then `inv[j] = i`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &j) in perm.iter().enumerate() {
+        inv[j] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let perm = random_permutation(1000, 42);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_permutation_is_seed_deterministic() {
+        assert_eq!(random_permutation(100, 7), random_permutation(100, 7));
+        assert_ne!(random_permutation(100, 7), random_permutation(100, 8));
+    }
+
+    #[test]
+    fn apply_moves_whole_elements() {
+        let data = [1u8, 2, 3, 4, 5, 6]; // three 2-byte elements
+        let out = apply_permutation(&data, 2, &[2, 0, 1]);
+        assert_eq!(out, vec![5, 6, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn inverse_restores_original_order() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let perm = random_permutation(8, 123);
+        let shuffled = apply_permutation(&data, 8, &perm);
+        let restored = apply_permutation(&shuffled, 8, &invert_permutation(&perm));
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let data: Vec<u8> = (0..30u8).collect();
+        let ident: Vec<usize> = (0..10).collect();
+        assert_eq!(apply_permutation(&data, 3, &ident), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(apply_permutation(&[], 4, &[]).is_empty());
+        assert!(random_permutation(0, 1).is_empty());
+        assert!(invert_permutation(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_permutation_length_panics() {
+        apply_permutation(&[0u8; 8], 2, &[0, 1, 2]);
+    }
+}

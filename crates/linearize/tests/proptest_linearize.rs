@@ -1,0 +1,99 @@
+//! Property tests for the linearization crate: every reordering must be
+//! exactly invertible, since ISOBAR's merger reassembles the original
+//! byte stream from the reordered pieces.
+
+use isobar_linearize::{
+    apply_permutation, gather_columns, hilbert_order, invert_permutation, random_permutation,
+    scatter_columns, Linearization,
+};
+use proptest::prelude::*;
+
+/// (element width, element count, data) with consistent shape.
+fn shaped_data() -> impl Strategy<Value = (usize, Vec<u8>)> {
+    (1usize..12).prop_flat_map(|width| {
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(move |elems| {
+            let n = elems.len();
+            let mut data = Vec::with_capacity(n * width);
+            for (i, b) in elems.into_iter().enumerate() {
+                for k in 0..width {
+                    data.push(b.wrapping_add((i * k) as u8));
+                }
+            }
+            (width, data)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gather_scatter_round_trips_any_column_subset(
+        (width, data) in shaped_data(),
+        mask in any::<u16>(),
+        lin_idx in 0usize..2,
+    ) {
+        let lin = Linearization::ALL[lin_idx];
+        let cols: Vec<usize> = (0..width).filter(|c| mask & (1 << c) != 0).collect();
+        let rest: Vec<usize> = (0..width).filter(|c| !cols.contains(c)).collect();
+
+        let a = gather_columns(&data, width, &cols, lin);
+        let b = gather_columns(&data, width, &rest, lin);
+        prop_assert_eq!(a.len() + b.len(), data.len());
+
+        let mut rebuilt = vec![0u8; data.len()];
+        scatter_columns(&a, width, &cols, lin, &mut rebuilt);
+        scatter_columns(&b, width, &rest, lin, &mut rebuilt);
+        prop_assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn gather_row_and_column_hold_same_multiset(
+        (width, data) in shaped_data(),
+        mask in any::<u16>(),
+    ) {
+        let cols: Vec<usize> = (0..width).filter(|c| mask & (1 << c) != 0).collect();
+        let mut row = gather_columns(&data, width, &cols, Linearization::Row);
+        let mut col = gather_columns(&data, width, &cols, Linearization::Column);
+        row.sort_unstable();
+        col.sort_unstable();
+        prop_assert_eq!(row, col);
+    }
+
+    #[test]
+    fn permutations_invert((width, data) in shaped_data(), seed in any::<u64>()) {
+        let n = data.len() / width;
+        let perm = random_permutation(n, seed);
+        let inv = invert_permutation(&perm);
+        let forward = apply_permutation(&data, width, &perm);
+        prop_assert_eq!(apply_permutation(&forward, width, &inv), data);
+    }
+
+    #[test]
+    fn hilbert_order_inverts(count in 0usize..2000) {
+        let order = hilbert_order(count);
+        let inv = invert_permutation(&order);
+        for (i, &j) in order.iter().enumerate() {
+            prop_assert_eq!(inv[j], i);
+        }
+    }
+
+    #[test]
+    fn byte_column_stats_are_permutation_invariant(
+        (width, data) in shaped_data(),
+        seed in any::<u64>(),
+    ) {
+        // The analyzer's frequency histograms must not change under
+        // element permutation — the invariant behind §III.G.
+        let n = data.len() / width;
+        let perm = random_permutation(n, seed);
+        let shuffled = apply_permutation(&data, width, &perm);
+        for c in 0..width {
+            let mut orig: Vec<u8> = data.iter().skip(c).step_by(width).copied().collect();
+            let mut shuf: Vec<u8> = shuffled.iter().skip(c).step_by(width).copied().collect();
+            orig.sort_unstable();
+            shuf.sort_unstable();
+            prop_assert_eq!(orig, shuf, "column {}", c);
+        }
+    }
+}

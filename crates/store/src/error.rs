@@ -1,0 +1,103 @@
+//! Store error type.
+
+use isobar::IsobarError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the checkpoint store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The file is not a store, or its structure is damaged.
+    Corrupt(&'static str),
+    /// A requested `(step, variable)` pair does not exist.
+    NotFound {
+        /// Requested time step.
+        step: u32,
+        /// Requested variable name.
+        name: String,
+    },
+    /// The embedded ISOBAR container failed to decode.
+    Isobar(IsobarError),
+    /// A variable name exceeds the 64 KiB format limit.
+    NameTooLong(usize),
+    /// The same `(step, variable)` was written twice.
+    Duplicate {
+        /// Time step of the collision.
+        step: u32,
+        /// Variable name of the collision.
+        name: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::NotFound { step, name } => {
+                write!(f, "no variable '{name}' at step {step}")
+            }
+            StoreError::Isobar(e) => write!(f, "store payload error: {e}"),
+            StoreError::NameTooLong(len) => {
+                write!(
+                    f,
+                    "variable name of {len} bytes exceeds the 65535-byte limit"
+                )
+            }
+            StoreError::Duplicate { step, name } => {
+                write!(f, "variable '{name}' already written at step {step}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Isobar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<IsobarError> for StoreError {
+    fn from(e: IsobarError) -> Self {
+        StoreError::Isobar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::NotFound {
+            step: 7,
+            name: "density".into(),
+        };
+        assert!(e.to_string().contains("density"));
+        assert!(e.to_string().contains('7'));
+        assert!(StoreError::NameTooLong(70_000)
+            .to_string()
+            .contains("70000"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e: StoreError = IsobarError::Truncated.into();
+        assert!(Error::source(&e).is_some());
+        let e: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! On-disk layout constants and the index entry record.
+
+use crate::error::StoreError;
+
+/// Store file magic: "ISST".
+pub const MAGIC: [u8; 4] = *b"ISST";
+/// Trailer magic: "ISSX".
+pub const TRAILER_MAGIC: [u8; 4] = *b"ISSX";
+/// Store format version.
+pub const VERSION: u8 = 1;
+/// Trailer size: index offset (8) + entry count (4) + magic (4).
+pub const TRAILER_LEN: usize = 16;
+
+/// One index entry: where to find one variable of one time step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Variable name.
+    pub name: String,
+    /// Simulation time step.
+    pub step: u32,
+    /// Element width the variable was written with.
+    pub width: u8,
+    /// File offset of the record's ISOBAR container.
+    pub offset: u64,
+    /// Length of the ISOBAR container in bytes.
+    pub container_len: u64,
+    /// Uncompressed variable size in bytes.
+    pub raw_len: u64,
+}
+
+impl IndexEntry {
+    /// Serialize into `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let name = self.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.push(self.width);
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.container_len.to_le_bytes());
+        out.extend_from_slice(&self.raw_len.to_le_bytes());
+    }
+
+    /// Parse one entry from the front of `data`; returns the entry and
+    /// bytes consumed.
+    pub fn read(data: &[u8]) -> Result<(IndexEntry, usize), StoreError> {
+        if data.len() < 2 {
+            return Err(StoreError::Corrupt("index entry truncated"));
+        }
+        let name_len = u16::from_le_bytes(data[..2].try_into().expect("2 bytes")) as usize;
+        let fixed_after_name = 4 + 1 + 8 + 8 + 8;
+        let total = 2 + name_len + fixed_after_name;
+        if data.len() < total {
+            return Err(StoreError::Corrupt("index entry truncated"));
+        }
+        let name = std::str::from_utf8(&data[2..2 + name_len])
+            .map_err(|_| StoreError::Corrupt("index entry name is not UTF-8"))?
+            .to_string();
+        let rest = &data[2 + name_len..];
+        Ok((
+            IndexEntry {
+                name,
+                step: u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")),
+                width: rest[4],
+                offset: u64::from_le_bytes(rest[5..13].try_into().expect("8 bytes")),
+                container_len: u64::from_le_bytes(rest[13..21].try_into().expect("8 bytes")),
+                raw_len: u64::from_le_bytes(rest[21..29].try_into().expect("8 bytes")),
+            },
+            total,
+        ))
+    }
+
+    /// Compression ratio achieved for this variable.
+    pub fn ratio(&self) -> f64 {
+        if self.container_len == 0 {
+            1.0
+        } else {
+            self.raw_len as f64 / self.container_len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> IndexEntry {
+        IndexEntry {
+            name: "potential_nl".into(),
+            step: 300_000,
+            width: 8,
+            offset: 123_456_789,
+            container_len: 42_000,
+            raw_len: 64_000,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let mut buf = Vec::new();
+        demo().write(&mut buf);
+        buf.extend_from_slice(&[0xAA; 3]); // trailing data untouched
+        let (entry, consumed) = IndexEntry::read(&buf).unwrap();
+        assert_eq!(entry, demo());
+        assert_eq!(consumed, buf.len() - 3);
+    }
+
+    #[test]
+    fn truncated_entries_are_rejected() {
+        let mut buf = Vec::new();
+        demo().write(&mut buf);
+        for cut in [0, 1, 5, buf.len() - 1] {
+            assert!(IndexEntry::read(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_names_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        buf.extend_from_slice(&[0u8; 29]);
+        assert!(matches!(
+            IndexEntry::read(&buf),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn ratio_is_raw_over_container() {
+        assert!((demo().ratio() - 64_000.0 / 42_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_name_round_trips() {
+        let entry = IndexEntry {
+            name: String::new(),
+            ..demo()
+        };
+        let mut buf = Vec::new();
+        entry.write(&mut buf);
+        assert_eq!(IndexEntry::read(&buf).unwrap().0, entry);
+    }
+}

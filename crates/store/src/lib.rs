@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! In-situ checkpoint store built on ISOBAR-compress.
+//!
+//! The paper motivates ISOBAR with checkpoint/restart pipelines: a
+//! simulation periodically dumps named variables (density, potential,
+//! particle phase, …) and must write them faster than the file system
+//! can absorb raw data — losslessly, because a perturbed restart
+//! diverges. This crate provides the minimal storage substrate that
+//! workflow needs, in the spirit of the ADIOS ecosystem the paper's
+//! authors work in:
+//!
+//! * [`StoreWriter`] — append variables step by step; each variable is
+//!   compressed through the full ISOBAR pipeline as it is written.
+//! * [`StoreReader`] — random access by `(step, variable)` without
+//!   touching unrelated data, via an index at the end of the file.
+//!
+//! # File format (all little-endian)
+//!
+//! ```text
+//! magic "ISST" | version u8
+//! repeated records:
+//!   name_len u16 | name bytes | step u32 | width u8 |
+//!   container_len u64 | ISOBAR container
+//! index (written at close):
+//!   per entry: name_len u16 | name | step u32 | offset u64 |
+//!              container_len u64 | raw_len u64
+//! trailer: index_offset u64 | entry_count u32 | magic "ISSX"
+//! ```
+//!
+//! # Example
+//!
+//! ```no_run
+//! use isobar_store::{StoreReader, StoreWriter};
+//! use isobar::{IsobarOptions, Preference};
+//!
+//! # fn demo(density: &[u8], potential: &[u8]) -> Result<(), isobar_store::StoreError> {
+//! let mut writer = StoreWriter::create("run.isst", IsobarOptions {
+//!     preference: Preference::Speed,
+//!     ..Default::default()
+//! })?;
+//! writer.put(0, "density", density, 8)?;
+//! writer.put(0, "potential", potential, 8)?;
+//! writer.close()?;
+//!
+//! let reader = StoreReader::open("run.isst")?;
+//! let restored = reader.get(0, "density")?;
+//! assert_eq!(restored, density);
+//! # Ok(()) }
+//! ```
+
+mod error;
+mod format;
+mod pipelined;
+mod reader;
+mod writer;
+
+pub use error::StoreError;
+pub use format::{IndexEntry, MAGIC, TRAILER_MAGIC, VERSION};
+pub use pipelined::PipelinedStoreWriter;
+pub use reader::StoreReader;
+pub use writer::StoreWriter;

@@ -1,0 +1,131 @@
+//! Random-access store reader.
+
+use crate::error::StoreError;
+use crate::format::{IndexEntry, MAGIC, TRAILER_LEN, TRAILER_MAGIC, VERSION};
+use isobar::IsobarCompressor;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Reads a closed checkpoint store with per-variable random access.
+pub struct StoreReader {
+    file: Mutex<File>,
+    index: Vec<IndexEntry>,
+}
+
+impl StoreReader {
+    /// Open a store and load its index.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let mut file = File::open(path)?;
+        let file_len = file.seek(SeekFrom::End(0))?;
+        if file_len < (MAGIC.len() + 1 + TRAILER_LEN) as u64 {
+            return Err(StoreError::Corrupt("file too short for a store"));
+        }
+
+        let mut head = [0u8; 5];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        if head[..4] != MAGIC {
+            return Err(StoreError::Corrupt("bad store magic"));
+        }
+        if head[4] != VERSION {
+            return Err(StoreError::Corrupt("unsupported store version"));
+        }
+
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.seek(SeekFrom::Start(file_len - TRAILER_LEN as u64))?;
+        file.read_exact(&mut trailer)?;
+        if trailer[12..] != TRAILER_MAGIC {
+            return Err(StoreError::Corrupt("missing trailer (store not closed?)"));
+        }
+        let index_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        let entry_count = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
+        if index_offset >= file_len {
+            return Err(StoreError::Corrupt("index offset past end of file"));
+        }
+
+        let index_len = file_len - TRAILER_LEN as u64 - index_offset;
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.seek(SeekFrom::Start(index_offset))?;
+        file.read_exact(&mut index_bytes)?;
+
+        let mut index = Vec::with_capacity(entry_count as usize);
+        let mut cursor = &index_bytes[..];
+        for _ in 0..entry_count {
+            let (entry, used) = IndexEntry::read(cursor)?;
+            cursor = &cursor[used..];
+            index.push(entry);
+        }
+        if !cursor.is_empty() {
+            return Err(StoreError::Corrupt("trailing bytes after index"));
+        }
+
+        Ok(StoreReader {
+            file: Mutex::new(file),
+            index,
+        })
+    }
+
+    /// All index entries, in write order.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.index
+    }
+
+    /// Distinct time steps present, ascending.
+    pub fn steps(&self) -> Vec<u32> {
+        let mut steps: Vec<u32> = self.index.iter().map(|e| e.step).collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// Distinct variable names, in first-appearance order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        self.index
+            .iter()
+            .filter(|e| seen.insert(e.name.as_str()))
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+
+    /// Locate the entry for `(step, name)`.
+    pub fn entry(&self, step: u32, name: &str) -> Result<&IndexEntry, StoreError> {
+        self.index
+            .iter()
+            .find(|e| e.step == step && e.name == name)
+            .ok_or_else(|| StoreError::NotFound {
+                step,
+                name: name.to_string(),
+            })
+    }
+
+    /// Read and decompress one variable.
+    pub fn get(&self, step: u32, name: &str) -> Result<Vec<u8>, StoreError> {
+        let entry = self.entry(step, name)?.clone();
+        let mut container = vec![0u8; entry.container_len as usize];
+        {
+            let mut file = self.file.lock().expect("reader poisoned");
+            file.seek(SeekFrom::Start(entry.offset))?;
+            file.read_exact(&mut container)?;
+        }
+        let data = IsobarCompressor::default().decompress(&container)?;
+        if data.len() as u64 != entry.raw_len {
+            return Err(StoreError::Corrupt("variable length mismatch"));
+        }
+        Ok(data)
+    }
+
+    /// Total raw and stored bytes across all entries: the store-level
+    /// compression ratio.
+    pub fn overall_ratio(&self) -> f64 {
+        let raw: u64 = self.index.iter().map(|e| e.raw_len).sum();
+        let stored: u64 = self.index.iter().map(|e| e.container_len).sum();
+        if stored == 0 {
+            1.0
+        } else {
+            raw as f64 / stored as f64
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Appending store writer.
+
+use crate::error::StoreError;
+use crate::format::{IndexEntry, MAGIC, TRAILER_MAGIC, VERSION};
+use isobar::{IsobarCompressor, IsobarOptions};
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Writes a checkpoint store file, compressing each variable through
+/// the ISOBAR pipeline as it arrives.
+///
+/// Records are appended in arrival order; the index and trailer are
+/// written by [`StoreWriter::close`]. A store that was not closed is
+/// detectable (no trailer) and rejected by the reader — half-written
+/// checkpoints must not be restorable by accident.
+pub struct StoreWriter {
+    sink: BufWriter<File>,
+    compressor: IsobarCompressor,
+    index: Vec<IndexEntry>,
+    seen: HashSet<(u32, String)>,
+    offset: u64,
+}
+
+impl StoreWriter {
+    /// Create (truncate) a store at `path`.
+    pub fn create(path: impl AsRef<Path>, options: IsobarOptions) -> Result<Self, StoreError> {
+        let mut sink = BufWriter::new(File::create(path)?);
+        sink.write_all(&MAGIC)?;
+        sink.write_all(&[VERSION])?;
+        Ok(StoreWriter {
+            sink,
+            compressor: IsobarCompressor::new(options),
+            index: Vec::new(),
+            seen: HashSet::new(),
+            offset: (MAGIC.len() + 1) as u64,
+        })
+    }
+
+    /// Compress and append one variable for one time step.
+    ///
+    /// `data` must be a whole number of `width`-byte elements. Each
+    /// `(step, name)` pair may be written once.
+    pub fn put(
+        &mut self,
+        step: u32,
+        name: &str,
+        data: &[u8],
+        width: usize,
+    ) -> Result<&IndexEntry, StoreError> {
+        if name.len() > u16::MAX as usize {
+            return Err(StoreError::NameTooLong(name.len()));
+        }
+        if !self.seen.insert((step, name.to_string())) {
+            return Err(StoreError::Duplicate {
+                step,
+                name: name.to_string(),
+            });
+        }
+        let container = self.compressor.compress(data, width)?;
+
+        let name_bytes = name.as_bytes();
+        self.sink
+            .write_all(&(name_bytes.len() as u16).to_le_bytes())?;
+        self.sink.write_all(name_bytes)?;
+        self.sink.write_all(&step.to_le_bytes())?;
+        self.sink.write_all(&[width as u8])?;
+        self.sink
+            .write_all(&(container.len() as u64).to_le_bytes())?;
+        let record_header = 2 + name_bytes.len() as u64 + 4 + 1 + 8;
+        let container_offset = self.offset + record_header;
+        self.sink.write_all(&container)?;
+        self.offset = container_offset + container.len() as u64;
+
+        self.index.push(IndexEntry {
+            name: name.to_string(),
+            step,
+            width: width as u8,
+            offset: container_offset,
+            container_len: container.len() as u64,
+            raw_len: data.len() as u64,
+        });
+        Ok(self.index.last().expect("just pushed"))
+    }
+
+    /// Entries written so far (in arrival order).
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.index
+    }
+
+    /// Write the index and trailer, flush, and close the file.
+    pub fn close(mut self) -> Result<(), StoreError> {
+        let index_offset = self.offset;
+        let mut encoded = Vec::new();
+        for entry in &self.index {
+            entry.write(&mut encoded);
+        }
+        self.sink.write_all(&encoded)?;
+        self.sink.write_all(&index_offset.to_le_bytes())?;
+        self.sink
+            .write_all(&(self.index.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&TRAILER_MAGIC)?;
+        self.sink.flush()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,190 @@
+//! Integration tests for the checkpoint store: a simulated multi-step,
+//! multi-variable run written in-situ and restored variable by
+//! variable.
+
+use isobar::{EupaSelector, IsobarOptions, Preference};
+use isobar_datasets::catalog;
+use isobar_store::{StoreError, StoreReader, StoreWriter};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("isobar-store-test-{}-{name}", std::process::id()));
+    dir
+}
+
+fn options() -> IsobarOptions {
+    IsobarOptions {
+        preference: Preference::Speed,
+        chunk_elements: 20_000,
+        eupa: EupaSelector {
+            sample_elements: 1024,
+            sample_blocks: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn checkpoint_run_round_trips_every_variable() {
+    let path = tmp("run");
+    let variables = ["zion", "zeon", "phi"];
+    let steps = 4u32;
+    let spec = catalog::spec("gts_chkp_zion").unwrap();
+
+    let mut originals = Vec::new();
+    {
+        let mut writer = StoreWriter::create(&path, options()).unwrap();
+        for step in 0..steps {
+            for (v, name) in variables.iter().enumerate() {
+                let ds = spec.generate(25_000, (step as u64) << 8 | v as u64);
+                let entry = writer.put(step, name, &ds.bytes, 8).unwrap();
+                assert_eq!(entry.raw_len as usize, ds.bytes.len());
+                assert!(entry.container_len < entry.raw_len, "compression happened");
+                originals.push((step, *name, ds.bytes));
+            }
+        }
+        assert_eq!(writer.entries().len(), (steps as usize) * variables.len());
+        writer.close().unwrap();
+    }
+
+    let reader = StoreReader::open(&path).unwrap();
+    assert_eq!(reader.steps(), vec![0, 1, 2, 3]);
+    assert_eq!(reader.variables(), variables.to_vec());
+    assert!(reader.overall_ratio() > 1.0);
+
+    // Random access in arbitrary order.
+    for (step, name, bytes) in originals.iter().rev() {
+        assert_eq!(&reader.get(*step, name).unwrap(), bytes, "{name}@{step}");
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mixed_widths_per_variable() {
+    let path = tmp("widths");
+    let doubles = catalog::spec("flash_velx").unwrap().generate(20_000, 1);
+    let floats = catalog::spec("s3d_temp").unwrap().generate(20_000, 2);
+    {
+        let mut writer = StoreWriter::create(&path, options()).unwrap();
+        writer.put(0, "velx", &doubles.bytes, 8).unwrap();
+        writer.put(0, "temp", &floats.bytes, 4).unwrap();
+        writer.close().unwrap();
+    }
+    let reader = StoreReader::open(&path).unwrap();
+    assert_eq!(reader.entry(0, "velx").unwrap().width, 8);
+    assert_eq!(reader.entry(0, "temp").unwrap().width, 4);
+    assert_eq!(reader.get(0, "velx").unwrap(), doubles.bytes);
+    assert_eq!(reader.get(0, "temp").unwrap(), floats.bytes);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn duplicate_variables_are_rejected() {
+    let path = tmp("dup");
+    let mut writer = StoreWriter::create(&path, options()).unwrap();
+    writer.put(0, "x", &[0u8; 80], 8).unwrap();
+    assert!(matches!(
+        writer.put(0, "x", &[0u8; 80], 8),
+        Err(StoreError::Duplicate { .. })
+    ));
+    // Same name at a different step is fine.
+    writer.put(1, "x", &[0u8; 80], 8).unwrap();
+    writer.close().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_variables_are_not_found() {
+    let path = tmp("missing");
+    let mut writer = StoreWriter::create(&path, options()).unwrap();
+    writer.put(0, "present", &[0u8; 80], 8).unwrap();
+    writer.close().unwrap();
+    let reader = StoreReader::open(&path).unwrap();
+    assert!(matches!(
+        reader.get(0, "absent"),
+        Err(StoreError::NotFound { .. })
+    ));
+    assert!(matches!(
+        reader.get(9, "present"),
+        Err(StoreError::NotFound { .. })
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unclosed_store_is_rejected() {
+    let path = tmp("unclosed");
+    {
+        let mut writer = StoreWriter::create(&path, options()).unwrap();
+        writer.put(0, "x", &[1u8; 800], 8).unwrap();
+        // Dropped without close(): no trailer on disk... but BufWriter
+        // flushes on drop, so bytes exist. The reader must still refuse.
+    }
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(StoreError::Corrupt(_)) | Err(StoreError::Io(_))
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_store_is_rejected() {
+    let path = tmp("trunc");
+    {
+        let mut writer = StoreWriter::create(&path, options()).unwrap();
+        writer.put(0, "x", &[1u8; 8000], 8).unwrap();
+        writer.close().unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [0usize, 4, bytes.len() / 2, bytes.len() - 1] {
+        let cut_path = tmp(&format!("trunc-{cut}"));
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        assert!(StoreReader::open(&cut_path).is_err(), "cut {cut}");
+        let _ = std::fs::remove_file(&cut_path);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn empty_store_round_trips() {
+    let path = tmp("empty");
+    StoreWriter::create(&path, options())
+        .unwrap()
+        .close()
+        .unwrap();
+    let reader = StoreReader::open(&path).unwrap();
+    assert!(reader.entries().is_empty());
+    assert!(reader.steps().is_empty());
+    assert_eq!(reader.overall_ratio(), 1.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reader_is_shareable_across_threads() {
+    let path = tmp("threads");
+    let ds = catalog::spec("gts_phi_l").unwrap().generate(20_000, 3);
+    {
+        let mut writer = StoreWriter::create(&path, options()).unwrap();
+        for step in 0..4u32 {
+            writer.put(step, "phi", &ds.bytes, 8).unwrap();
+        }
+        writer.close().unwrap();
+    }
+    let reader = std::sync::Arc::new(StoreReader::open(&path).unwrap());
+    let handles: Vec<_> = (0..4u32)
+        .map(|step| {
+            let reader = reader.clone();
+            let want = ds.bytes.clone();
+            std::thread::spawn(move || {
+                assert_eq!(reader.get(step, "phi").unwrap(), want);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the ISOBAR reproduction workspace.
+//!
+//! This crate re-exports the public APIs of the member crates so the
+//! workspace-level examples and integration tests have a single import
+//! root. Library users should depend on the individual crates
+//! ([`isobar`], [`isobar_codecs`], …) directly.
+
+pub use isobar;
+pub use isobar_codecs;
+pub use isobar_datasets;
+pub use isobar_float_codecs;
+pub use isobar_linearize;
+pub use isobar_store;
