@@ -7,7 +7,8 @@
 //! columns.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use isobar_codecs::{bwt::Bzip2Like, deflate::Deflate, Codec};
+use isobar_codecs::lz77::{Matcher, MatcherScratch};
+use isobar_codecs::{bwt::Bzip2Like, deflate::Deflate, Codec, CompressionLevel};
 use isobar_datasets::catalog;
 use isobar_float_codecs::{Dims, Fpc, FpzipLike};
 
@@ -64,5 +65,56 @@ fn bench_float_codecs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_general_codecs, bench_float_codecs);
+/// Input profiles for the LZ77 matcher, spanning its fast paths:
+/// constant data (maximal match lengths), mixed-entropy scientific
+/// doubles (the pipeline's real diet), and pure noise (probe misses,
+/// where the Fast level's run-skip heuristic pays off).
+fn matcher_profiles() -> Vec<(&'static str, Vec<u8>)> {
+    const BYTES: usize = 1 << 20;
+    let constant = vec![0x5Au8; BYTES];
+    let mixed = catalog::spec("gts_chkp_zion")
+        .expect("catalog entry")
+        .generate(BYTES / 8, 7)
+        .bytes;
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let noise: Vec<u8> = (0..BYTES)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 56) as u8
+        })
+        .collect();
+    vec![
+        ("constant", constant),
+        ("mixed_doubles", mixed),
+        ("noise", noise),
+    ]
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz77_matcher");
+    group.sample_size(10);
+    for (profile, data) in matcher_profiles() {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        for level in CompressionLevel::ALL {
+            // The scratch persists across iterations, matching how the
+            // pipeline drives the matcher chunk after chunk.
+            let mut scratch = MatcherScratch::default();
+            group.bench_with_input(
+                BenchmarkId::new(format!("tokenize/{level}"), profile),
+                &data,
+                |b, data| b.iter(|| Matcher::new(data, level, &mut scratch).tokenize().len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_general_codecs,
+    bench_float_codecs,
+    bench_matcher
+);
 criterion_main!(benches);

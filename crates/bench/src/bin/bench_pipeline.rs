@@ -1,0 +1,193 @@
+//! End-to-end pipeline throughput benchmark with a JSON trajectory.
+//!
+//! Measures ISOBAR compression/decompression throughput on the paper's
+//! headline workload — chunks of 375 000 eight-byte elements (≈ 3 MB)
+//! of a hard-to-compress double field — and writes the numbers to a
+//! JSON file (default `BENCH_pipeline.json`) so future changes have a
+//! recorded baseline to regress against.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pipeline [--label NAME] [--out FILE]
+//!                [--baseline-label NAME --baseline-mbps X ...]
+//! ```
+//!
+//! `--baseline-mbps` takes `key=value` pairs (repeatable) naming a
+//! prior run's results; each is embedded in the output together with
+//! the speedup of this run over it.
+
+use isobar::{CodecId, IsobarCompressor, IsobarOptions, Linearization, Preference};
+use isobar_codecs::CompressionLevel;
+use isobar_datasets::catalog;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One paper chunk: 375 000 doubles ≈ 3 MB.
+const CHUNK_ELEMENTS: usize = 375_000;
+/// Whole workload: 8 chunks ≈ 24 MB.
+const CHUNKS: usize = 8;
+/// Timed repetitions per configuration (median reported).
+const ITERS: usize = 5;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN throughputs"));
+    samples[samples.len() / 2]
+}
+
+/// Median throughput of `f` over [`ITERS`] runs, in MB/s of `bytes`.
+fn throughput_mbps(bytes: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        f();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        samples.push(bytes as f64 / 1e6 / secs);
+    }
+    median(&mut samples)
+}
+
+fn options(level: CompressionLevel, parallel: bool) -> IsobarOptions {
+    IsobarOptions {
+        level,
+        chunk_elements: CHUNK_ELEMENTS,
+        codec_override: Some(CodecId::Deflate),
+        linearization_override: Some(Linearization::Row),
+        parallel,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut baseline_label = String::new();
+    let mut baseline: Vec<(String, f64)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => label = args.next().expect("--label NAME"),
+            "--out" => out_path = args.next().expect("--out FILE"),
+            "--baseline-label" => baseline_label = args.next().expect("--baseline-label NAME"),
+            "--baseline-mbps" => {
+                let pair = args.next().expect("--baseline-mbps key=value");
+                let (key, value) = pair.split_once('=').expect("key=value");
+                baseline.push((key.to_string(), value.parse().expect("numeric value")));
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let ds = catalog::spec("gts_chkp_zion")
+        .expect("catalog entry")
+        .generate(CHUNKS * CHUNK_ELEMENTS, 7);
+    let bytes = ds.bytes.len();
+    let width = ds.width();
+    eprintln!(
+        "workload: gts_chkp_zion, {} elements x {width} bytes = {:.1} MB, {CHUNKS} chunks",
+        CHUNKS * CHUNK_ELEMENTS,
+        bytes as f64 / 1e6
+    );
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, mbps: f64| {
+        eprintln!("{name:<28} {mbps:>9.1} MB/s");
+        results.push((name.to_string(), mbps));
+    };
+
+    // Headline: serial end-to-end compression (analyze + partition +
+    // deflate + merge) at both solver effort levels.
+    for (name, level) in [
+        ("compress_serial_fast", CompressionLevel::Fast),
+        ("compress_serial_default", CompressionLevel::Default),
+    ] {
+        let isobar = IsobarCompressor::new(options(level, false));
+        record(
+            name,
+            throughput_mbps(bytes, || {
+                isobar.compress(&ds.bytes, width).expect("aligned input");
+            }),
+        );
+    }
+
+    // Parallel chunk pipeline.
+    let isobar = IsobarCompressor::new(options(CompressionLevel::Fast, true));
+    record(
+        "compress_parallel_fast",
+        throughput_mbps(bytes, || {
+            isobar.compress(&ds.bytes, width).expect("aligned input");
+        }),
+    );
+
+    // EUPA-driven end-to-end path (no overrides).
+    let isobar = IsobarCompressor::new(IsobarOptions {
+        preference: Preference::Speed,
+        chunk_elements: CHUNK_ELEMENTS,
+        ..Default::default()
+    });
+    record(
+        "compress_eupa_speed",
+        throughput_mbps(bytes, || {
+            isobar.compress(&ds.bytes, width).expect("aligned input");
+        }),
+    );
+
+    // Decompression of the default-level container.
+    let isobar = IsobarCompressor::new(options(CompressionLevel::Default, false));
+    let packed = isobar.compress(&ds.bytes, width).expect("aligned input");
+    let ratio = bytes as f64 / packed.len() as f64;
+    record(
+        "decompress_serial_default",
+        throughput_mbps(bytes, || {
+            isobar.decompress(&packed).expect("own container");
+        }),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"dataset\": \"gts_chkp_zion\",");
+    let _ = writeln!(json, "  \"chunk_elements\": {CHUNK_ELEMENTS},");
+    let _ = writeln!(json, "  \"chunks\": {CHUNKS},");
+    let _ = writeln!(json, "  \"element_width\": {width},");
+    let _ = writeln!(json, "  \"input_bytes\": {bytes},");
+    let _ = writeln!(json, "  \"ratio_default\": {ratio:.4},");
+    let _ = writeln!(json, "  \"iters_per_result\": {ITERS},");
+    json.push_str("  \"results_mbps\": {\n");
+    for (i, (name, mbps)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {mbps:.1}{comma}");
+    }
+    json.push_str("  }");
+    if !baseline.is_empty() {
+        json.push_str(",\n  \"baseline\": {\n");
+        let _ = writeln!(json, "    \"label\": \"{baseline_label}\",");
+        json.push_str("    \"results_mbps\": {\n");
+        for (i, (name, mbps)) in baseline.iter().enumerate() {
+            let comma = if i + 1 < baseline.len() { "," } else { "" };
+            let _ = writeln!(json, "      \"{name}\": {mbps:.1}{comma}");
+        }
+        json.push_str("    }\n  },\n  \"speedup_vs_baseline\": {\n");
+        let speedups: Vec<(usize, String)> = baseline
+            .iter()
+            .filter_map(|(name, base)| {
+                results
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .map(|i| (i, format!("    \"{name}\": {:.3}", results[i].1 / base)))
+            })
+            .collect();
+        for (i, (_, line)) in speedups.iter().enumerate() {
+            let comma = if i + 1 < speedups.len() { "," } else { "" };
+            json.push_str(line);
+            json.push_str(comma);
+            json.push('\n');
+        }
+        json.push_str("  }");
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

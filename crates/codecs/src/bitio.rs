@@ -13,7 +13,7 @@ pub struct LsbBitWriter {
     out: Vec<u8>,
     /// Pending bits, least significant bit is the oldest unwritten bit.
     acc: u64,
-    /// Number of valid bits in `acc` (always < 8 after `spill`).
+    /// Number of valid bits in `acc` (always < 32 between calls).
     nbits: u32,
 }
 
@@ -33,31 +33,33 @@ impl LsbBitWriter {
     }
 
     /// Append the low `count` bits of `bits` (0 ≤ count ≤ 32).
+    ///
+    /// Bytes are spilled four at a time: the accumulator holds up to 31
+    /// pending bits between calls, so a 32-bit write always fits and the
+    /// flush is a single 4-byte copy instead of a per-byte loop. This is
+    /// the hottest call in the encoder (one or two per token).
     #[inline]
     pub fn write_bits(&mut self, bits: u32, count: u32) {
         debug_assert!(count <= 32);
         debug_assert!(count == 32 || bits < (1u32 << count));
+        debug_assert!(self.nbits < 32);
         self.acc |= (bits as u64) << self.nbits;
         self.nbits += count;
-        self.spill();
-    }
-
-    #[inline]
-    fn spill(&mut self) {
-        while self.nbits >= 8 {
-            self.out.push(self.acc as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
+        if self.nbits >= 32 {
+            self.out.extend_from_slice(&(self.acc as u32).to_le_bytes());
+            self.acc >>= 32;
+            self.nbits -= 32;
         }
     }
 
     /// Pad with zero bits to the next byte boundary.
     pub fn align_to_byte(&mut self) {
-        if self.nbits > 0 {
-            self.out.push(self.acc as u8);
-            self.acc = 0;
-            self.nbits = 0;
-        }
+        // Bits above `nbits` in the accumulator are always zero, so the
+        // partial byte comes out zero-padded.
+        let bytes = (self.nbits as usize).div_ceil(8);
+        self.out.extend_from_slice(&self.acc.to_le_bytes()[..bytes]);
+        self.acc = 0;
+        self.nbits = 0;
     }
 
     /// Append whole bytes; the stream must be byte-aligned.
@@ -214,6 +216,15 @@ impl MsbBitWriter {
     /// Create an empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create a writer whose output buffer starts with `prefix` bytes.
+    pub fn with_prefix(prefix: Vec<u8>) -> Self {
+        MsbBitWriter {
+            out: prefix,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Append the low `count` bits of `bits`, most significant first.

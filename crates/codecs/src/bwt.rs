@@ -15,7 +15,7 @@
 //! integrity checksum is Adler-32 over the whole payload.
 
 use crate::bitio::{MsbBitReader, MsbBitWriter};
-use crate::codec::{Codec, CodecError, CodecId, CompressionLevel};
+use crate::codec::{Codec, CodecError, CodecId, CodecScratch, CompressionLevel};
 use crate::deflate::adler32;
 use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
 use crate::mtf::{mtf_decode, mtf_encode};
@@ -154,37 +154,60 @@ impl Codec for Bzip2Like {
     }
 
     fn compress(&self, data: &[u8]) -> Vec<u8> {
-        let mut w = MsbBitWriter::new();
-        let blocks: Vec<&[u8]> = if data.is_empty() {
-            Vec::new()
+        let mut out = Vec::new();
+        self.compress_into(data, &mut out, &mut CodecScratch::new());
+        out
+    }
+
+    fn compress_into(&self, data: &[u8], out: &mut Vec<u8>, _scratch: &mut CodecScratch) {
+        // The output buffer is reused across calls; the BWT stages still
+        // allocate internally per block (see DESIGN.md — the suffix-array
+        // and MTF temporaries dominate and are a planned follow-up).
+        out.clear();
+        let mut w = MsbBitWriter::with_prefix(std::mem::take(out));
+        let num_blocks = if data.is_empty() {
+            0
         } else {
-            data.chunks(self.block_size()).collect()
+            data.len().div_ceil(self.block_size())
         };
-        w.write_bits(blocks.len() as u32, 32);
-        for block in blocks {
-            encode_block(&mut w, block);
+        w.write_bits(num_blocks as u32, 32);
+        if !data.is_empty() {
+            for block in data.chunks(self.block_size()) {
+                encode_block(&mut w, block);
+            }
         }
         w.write_bits(adler32(data), 32);
-        w.finish()
+        *out = w.finish();
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out, &mut CodecScratch::new())?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        data: &[u8],
+        out: &mut Vec<u8>,
+        _scratch: &mut CodecScratch,
+    ) -> Result<(), CodecError> {
         let mut r = MsbBitReader::new(data);
         let num_blocks = r.read_bits(32)? as usize;
         // Sanity bound: each block encodes at least a few bits.
         if num_blocks > data.len().saturating_mul(8) + 1 {
             return Err(CodecError::Corrupt("implausible block count"));
         }
-        let mut out = Vec::new();
+        out.clear();
         for _ in 0..num_blocks {
-            decode_block(&mut r, &mut out)?;
+            decode_block(&mut r, out)?;
         }
         let expected = r.read_bits(32)?;
-        let actual = adler32(&out);
+        let actual = adler32(out);
         if expected != actual {
             return Err(CodecError::ChecksumMismatch { expected, actual });
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -119,11 +119,34 @@ impl fmt::Display for CodecId {
     }
 }
 
+/// Reusable working memory for the allocation-free codec entry points
+/// ([`Codec::compress_into`] / [`Codec::decompress_into`]).
+///
+/// One scratch serves every codec: each implementation uses its own
+/// compartment and ignores the rest, so a caller can hold a single
+/// scratch per worker (or per serial loop) and reuse it across chunks
+/// regardless of which solver EUPA picked. All buffers start empty and
+/// grow to their steady-state capacity during the first chunk.
+#[derive(Default)]
+pub struct CodecScratch {
+    pub(crate) deflate: crate::deflate::encoder::DeflateScratch,
+}
+
+impl CodecScratch {
+    /// Fresh, empty scratch; compartments are populated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A byte-oriented lossless compressor: the "solver" in the paper's
 /// preconditioner/solver framing.
 ///
 /// Implementations must round-trip exactly: for every `data`,
-/// `decompress(&compress(data)) == data`.
+/// `decompress(&compress(data)) == data`. The `*_into` methods must be
+/// byte-identical to their allocating counterparts for the same input —
+/// scratch state carried over from earlier buffers must never change
+/// the output (the `scratch_reuse` property suite enforces this).
 pub trait Codec: Send + Sync {
     /// Stable identifier for container metadata.
     fn id(&self) -> CodecId;
@@ -134,6 +157,36 @@ pub trait Codec: Send + Sync {
 
     /// Decompress a stream produced by [`Codec::compress`].
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError>;
+
+    /// Compress `data`, replacing the contents of `out` and borrowing
+    /// working memory from `scratch`.
+    ///
+    /// The default delegates to [`Codec::compress`]; codecs with native
+    /// support reuse both `out` and `scratch` so a warm steady state
+    /// performs no allocations at all.
+    fn compress_into(&self, data: &[u8], out: &mut Vec<u8>, scratch: &mut CodecScratch) {
+        let _ = scratch;
+        out.clear();
+        out.extend_from_slice(&self.compress(data));
+    }
+
+    /// Decompress a stream produced by [`Codec::compress`], replacing
+    /// the contents of `out`.
+    ///
+    /// The default delegates to [`Codec::decompress`]; codecs with
+    /// native support decode straight into the reused `out` buffer.
+    fn decompress_into(
+        &self,
+        data: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut CodecScratch,
+    ) -> Result<(), CodecError> {
+        let _ = scratch;
+        let bytes = self.decompress(data)?;
+        out.clear();
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
 
     /// Human-readable name (defaults to the id's name).
     fn name(&self) -> &'static str {

@@ -1,9 +1,18 @@
 //! DEFLATE encoder: token blocks → bit stream (RFC 1951).
+//!
+//! The encode path is built around [`DeflateScratch`]: the LZ77 hash
+//! tables, the per-block token buffer, the Huffman construction lists,
+//! and the dynamic-header workspace all live there and are reused from
+//! chunk to chunk. Tokens stream straight out of the matcher into a
+//! fixed-capacity block buffer while the literal/length and distance
+//! histograms accumulate in the same pass, so no whole-input token
+//! vector ever exists and nothing on this path allocates once the
+//! scratch is warm.
 
 use crate::bitio::LsbBitWriter;
 use crate::codec::CompressionLevel;
-use crate::huffman::HuffmanEncoder;
-use crate::lz77::{Matcher, Token};
+use crate::huffman::{HuffmanEncoder, PackageMergeScratch};
+use crate::lz77::{Matcher, MatcherScratch, Token};
 
 use super::tables::*;
 
@@ -11,40 +20,112 @@ use super::tables::*;
 /// this bounds how stale the statistics can get on heterogeneous input.
 const BLOCK_TOKENS: usize = 1 << 16;
 
+/// Reusable working memory for the DEFLATE encode path.
+///
+/// Owned by the caller and threaded through [`deflate_raw_into`]; every
+/// buffer reaches its steady-state capacity during the first chunk and
+/// is only cleared, never reallocated, afterwards.
+#[derive(Default)]
+pub struct DeflateScratch {
+    matcher: MatcherScratch,
+    /// Current block's tokens (≤ [`BLOCK_TOKENS`]).
+    tokens: Vec<Token>,
+    block: BlockScratch,
+}
+
+impl DeflateScratch {
+    /// Fresh, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-block encoder state: Huffman tables and header workspace.
+#[derive(Default)]
+struct BlockScratch {
+    pm: PackageMergeScratch,
+    dyn_lit: HuffmanEncoder,
+    dyn_dist: HuffmanEncoder,
+    /// Fixed-code encoders, built once on first use (their lengths are
+    /// constants from RFC 1951 §3.2.6).
+    fixed_lit: HuffmanEncoder,
+    fixed_dist: HuffmanEncoder,
+    header: DynamicHeader,
+}
+
 /// Compress `data` into a raw DEFLATE stream (no zlib wrapper).
 pub fn deflate_raw(data: &[u8], level: CompressionLevel) -> Vec<u8> {
-    let tokens = Matcher::new(data, level).tokenize();
     let mut w = LsbBitWriter::new();
+    deflate_raw_into(data, level, &mut DeflateScratch::default(), &mut w);
+    w.finish()
+}
 
-    if tokens.is_empty() {
-        // Zero-length input still needs one final block.
-        write_stored_blocks(&mut w, data, true);
-        return w.finish();
-    }
+/// Compress `data` into `w` as a raw DEFLATE stream, borrowing all
+/// working memory from `scratch`.
+pub fn deflate_raw_into(
+    data: &[u8],
+    level: CompressionLevel,
+    scratch: &mut DeflateScratch,
+    w: &mut LsbBitWriter,
+) {
+    let DeflateScratch {
+        matcher: matcher_scratch,
+        tokens,
+        block,
+    } = scratch;
+    let mut matcher = Matcher::new(data, level, matcher_scratch);
 
-    let mut token_start = 0usize;
     let mut byte_start = 0usize;
-    while token_start < tokens.len() {
-        let token_end = (token_start + BLOCK_TOKENS).min(tokens.len());
-        let block = &tokens[token_start..token_end];
-        let byte_len: usize = block
-            .iter()
-            .map(|t| match t {
-                Token::Literal(_) => 1,
-                Token::Match { len, .. } => *len as usize,
-            })
-            .sum();
-        let is_final = token_end == tokens.len();
+    loop {
+        // Fill one block's worth of tokens, fusing frequency counting
+        // and cost bookkeeping into the same pass.
+        tokens.clear();
+        let mut freqs = BlockFreqs::new();
+        let mut byte_len = 0usize;
+        let mut extra_bits = 0u64;
+        while tokens.len() < BLOCK_TOKENS {
+            let Some(token) = matcher.next_token() else {
+                break;
+            };
+            tokens.push(token);
+            match token {
+                Token::Literal(b) => {
+                    freqs.litlen[b as usize] += 1;
+                    byte_len += 1;
+                }
+                Token::Match { len, dist } => {
+                    freqs.litlen[257 + length_code(len).0] += 1;
+                    freqs.dist[dist_code(dist).0] += 1;
+                    extra_bits += length_code(len).1 as u64 + dist_code(dist).1 as u64;
+                    byte_len += len as usize;
+                }
+            }
+        }
+        if tokens.is_empty() {
+            // Zero-length input still needs one final block.
+            debug_assert!(byte_start == 0 && data.is_empty());
+            write_stored_blocks(w, data, true);
+            return;
+        }
+        freqs.litlen[EOB] += 1;
+
+        // Every next_token() call emits exactly one token, so an
+        // exhausted matcher here means this block holds the last one.
+        let is_final = matcher.is_done();
         write_block(
-            &mut w,
-            block,
+            w,
+            tokens,
+            &freqs,
+            extra_bits,
             &data[byte_start..byte_start + byte_len],
             is_final,
+            block,
         );
-        token_start = token_end;
         byte_start += byte_len;
+        if is_final {
+            return;
+        }
     }
-    w.finish()
 }
 
 /// Histogram of literal/length and distance symbols for one block.
@@ -53,54 +134,52 @@ struct BlockFreqs {
     dist: [u64; NUM_DIST],
 }
 
-fn block_freqs(block: &[Token]) -> BlockFreqs {
-    let mut litlen = [0u64; NUM_LITLEN];
-    let mut dist = [0u64; NUM_DIST];
-    for token in block {
-        match *token {
-            Token::Literal(b) => litlen[b as usize] += 1,
-            Token::Match { len, dist: d } => {
-                litlen[257 + length_code(len).0] += 1;
-                dist[dist_code(d).0] += 1;
-            }
+impl BlockFreqs {
+    fn new() -> Self {
+        BlockFreqs {
+            litlen: [0; NUM_LITLEN],
+            dist: [0; NUM_DIST],
         }
     }
-    litlen[EOB] += 1;
-    BlockFreqs { litlen, dist }
 }
 
 /// Pick the cheapest representation (stored / fixed / dynamic) and emit
-/// the block.
-fn write_block(w: &mut LsbBitWriter, block: &[Token], raw: &[u8], is_final: bool) {
-    let freqs = block_freqs(block);
-
+/// the block. `freqs` already includes the end-of-block symbol;
+/// `extra_bits` is the total extra-bit payload of the block's matches.
+fn write_block(
+    w: &mut LsbBitWriter,
+    block: &[Token],
+    freqs: &BlockFreqs,
+    extra_bits: u64,
+    raw: &[u8],
+    is_final: bool,
+    s: &mut BlockScratch,
+) {
     // Dynamic codes. Guarantee at least one distance code so the header
     // never encodes an empty alphabet.
     let mut dist_freqs = freqs.dist;
     if dist_freqs.iter().all(|&f| f == 0) {
         dist_freqs[0] = 1;
     }
-    let dyn_lit = HuffmanEncoder::from_freqs(&freqs.litlen, MAX_CODE_LEN);
-    let dyn_dist = HuffmanEncoder::from_freqs(&dist_freqs, MAX_CODE_LEN);
-    let header = DynamicHeader::build(dyn_lit.lengths(), dyn_dist.lengths());
+    s.dyn_lit
+        .rebuild_from_freqs(&freqs.litlen, MAX_CODE_LEN, &mut s.pm);
+    s.dyn_dist
+        .rebuild_from_freqs(&dist_freqs, MAX_CODE_LEN, &mut s.pm);
+    s.header
+        .build(s.dyn_lit.lengths(), s.dyn_dist.lengths(), &mut s.pm);
 
-    let extra_bits: u64 = block
-        .iter()
-        .map(|t| match *t {
-            Token::Literal(_) => 0,
-            Token::Match { len, dist } => length_code(len).1 as u64 + dist_code(dist).1 as u64,
-        })
-        .sum();
     let dyn_cost = 3
-        + header.cost_bits
-        + dyn_lit.cost_bits(&freqs.litlen)
-        + dyn_dist.cost_bits(&freqs.dist)
+        + s.header.cost_bits
+        + s.dyn_lit.cost_bits(&freqs.litlen)
+        + s.dyn_dist.cost_bits(&freqs.dist)
         + extra_bits;
 
-    let fixed_lit = HuffmanEncoder::from_lengths(&fixed_litlen_lengths());
-    let fixed_dist = HuffmanEncoder::from_lengths(&fixed_dist_lengths());
+    if s.fixed_lit.lengths().is_empty() {
+        s.fixed_lit.rebuild_from_lengths(&fixed_litlen_lengths());
+        s.fixed_dist.rebuild_from_lengths(&fixed_dist_lengths());
+    }
     let fixed_cost =
-        3 + fixed_lit.cost_bits(&freqs.litlen) + fixed_dist.cost_bits(&freqs.dist) + extra_bits;
+        3 + s.fixed_lit.cost_bits(&freqs.litlen) + s.fixed_dist.cost_bits(&freqs.dist) + extra_bits;
 
     // Stored cost: alignment + 4-byte length header per 65535-byte piece.
     let stored_pieces = raw.len().div_ceil(65535).max(1) as u64;
@@ -111,24 +190,21 @@ fn write_block(w: &mut LsbBitWriter, block: &[Token], raw: &[u8], is_final: bool
     } else if fixed_cost <= dyn_cost {
         w.write_bits(is_final as u32, 1);
         w.write_bits(0b01, 2);
-        write_tokens(w, block, &fixed_lit, &fixed_dist);
+        write_tokens(w, block, &s.fixed_lit, &s.fixed_dist);
     } else {
         w.write_bits(is_final as u32, 1);
         w.write_bits(0b10, 2);
-        header.write(w);
-        write_tokens(w, block, &dyn_lit, &dyn_dist);
+        s.header.write(w);
+        write_tokens(w, block, &s.dyn_lit, &s.dyn_dist);
     }
 }
 
 /// Emit `raw` as one or more stored blocks (type 00).
 fn write_stored_blocks(w: &mut LsbBitWriter, raw: &[u8], is_final: bool) {
-    let mut pieces: Vec<&[u8]> = raw.chunks(65535).collect();
-    if pieces.is_empty() {
-        pieces.push(&[]);
-    }
-    let last = pieces.len() - 1;
-    for (i, piece) in pieces.iter().enumerate() {
-        w.write_bits((is_final && i == last) as u32, 1);
+    let pieces = raw.len().div_ceil(65535).max(1);
+    for i in 0..pieces {
+        let piece = &raw[i * 65535..raw.len().min((i + 1) * 65535)];
+        w.write_bits((is_final && i + 1 == pieces) as u32, 1);
         w.write_bits(0b00, 2);
         w.align_to_byte();
         let len = piece.len() as u16;
@@ -148,12 +224,15 @@ fn write_tokens(
         match *token {
             Token::Literal(b) => lit.write_lsb(w, b as usize),
             Token::Match { len, dist: d } => {
+                // Fuse each Huffman code with its extra bits into one
+                // write: LSB-first concatenation makes
+                // `code | extra << code_len` bit-identical to two calls.
                 let (lc, lextra, lval) = length_code(len);
-                lit.write_lsb(w, 257 + lc);
-                w.write_bits(lval as u32, lextra as u32);
+                let (code, nbits) = lit.code_lsb(257 + lc);
+                w.write_bits(code | (lval as u32) << nbits, nbits + lextra as u32);
                 let (dc, dextra, dval) = dist_code(d);
-                dist.write_lsb(w, dc);
-                w.write_bits(dval as u32, dextra as u32);
+                let (code, nbits) = dist.code_lsb(dc);
+                w.write_bits(code | (dval as u32) << nbits, nbits + dextra as u32);
             }
         }
     }
@@ -162,51 +241,50 @@ fn write_tokens(
 
 /// A dynamic block header: the RLE-compressed code lengths plus the
 /// code-length code that describes them (RFC 1951 §3.2.7).
+///
+/// Reusable: [`DynamicHeader::build`] refills the same buffers for each
+/// block instead of constructing a fresh header.
+#[derive(Default)]
 struct DynamicHeader {
     hlit: usize,
     hdist: usize,
     hclen: usize,
     cl_encoder: HuffmanEncoder,
+    /// Concatenated (trimmed) literal + distance lengths.
+    all: Vec<u8>,
     /// RLE symbols: (code-length symbol 0..=18, extra value, extra bits).
     rle: Vec<(u8, u16, u8)>,
     cost_bits: u64,
 }
 
 impl DynamicHeader {
-    fn build(lit_lengths: &[u8], dist_lengths: &[u8]) -> Self {
-        let hlit = trimmed_len(lit_lengths, 257);
-        let hdist = trimmed_len(dist_lengths, 1);
+    fn build(&mut self, lit_lengths: &[u8], dist_lengths: &[u8], pm: &mut PackageMergeScratch) {
+        self.hlit = trimmed_len(lit_lengths, 257);
+        self.hdist = trimmed_len(dist_lengths, 1);
 
-        let mut all = Vec::with_capacity(hlit + hdist);
-        all.extend_from_slice(&lit_lengths[..hlit]);
-        all.extend_from_slice(&dist_lengths[..hdist]);
-        let rle = rle_code_lengths(&all);
+        self.all.clear();
+        self.all.extend_from_slice(&lit_lengths[..self.hlit]);
+        self.all.extend_from_slice(&dist_lengths[..self.hdist]);
+        rle_code_lengths_into(&self.all, &mut self.rle);
 
         let mut cl_freqs = [0u64; NUM_CODELEN];
-        for &(sym, _, _) in &rle {
+        for &(sym, _, _) in &self.rle {
             cl_freqs[sym as usize] += 1;
         }
-        let cl_encoder = HuffmanEncoder::from_freqs(&cl_freqs, MAX_CODELEN_LEN);
+        self.cl_encoder
+            .rebuild_from_freqs(&cl_freqs, MAX_CODELEN_LEN, pm);
 
-        let hclen = CODELEN_ORDER
+        self.hclen = CODELEN_ORDER
             .iter()
-            .rposition(|&sym| cl_encoder.len(sym) > 0)
+            .rposition(|&sym| self.cl_encoder.len(sym) > 0)
             .map_or(4, |i| (i + 1).max(4));
 
-        let body_bits: u64 = rle
+        let body_bits: u64 = self
+            .rle
             .iter()
-            .map(|&(sym, _, extra)| cl_encoder.len(sym as usize) as u64 + extra as u64)
+            .map(|&(sym, _, extra)| self.cl_encoder.len(sym as usize) as u64 + extra as u64)
             .sum();
-        let cost_bits = 5 + 5 + 4 + hclen as u64 * 3 + body_bits;
-
-        DynamicHeader {
-            hlit,
-            hdist,
-            hclen,
-            cl_encoder,
-            rle,
-            cost_bits,
-        }
+        self.cost_bits = 5 + 5 + 4 + self.hclen as u64 * 3 + body_bits;
     }
 
     fn write(&self, w: &mut LsbBitWriter) {
@@ -236,8 +314,8 @@ fn trimmed_len(lengths: &[u8], min: usize) -> usize {
 
 /// RLE-compress a code-length sequence using symbols 16 (repeat previous
 /// 3–6 times), 17 (3–10 zeros) and 18 (11–138 zeros).
-fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u16, u8)> {
-    let mut out = Vec::new();
+fn rle_code_lengths_into(lengths: &[u8], out: &mut Vec<(u8, u16, u8)>) {
+    out.clear();
     let mut i = 0usize;
     while i < lengths.len() {
         let len = lengths[i];
@@ -274,12 +352,17 @@ fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u16, u8)> {
         }
         i += run;
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u16, u8)> {
+        let mut out = Vec::new();
+        rle_code_lengths_into(lengths, &mut out);
+        out
+    }
 
     fn expand_rle(rle: &[(u8, u16, u8)]) -> Vec<u8> {
         let mut out: Vec<u8> = Vec::new();
@@ -345,7 +428,8 @@ mod tests {
         lit[..257].iter_mut().for_each(|l| *l = 9);
         lit[256] = 9;
         let dist = [5u8; NUM_DIST];
-        let header = DynamicHeader::build(&lit, &dist);
+        let mut header = DynamicHeader::default();
+        header.build(&lit, &dist, &mut PackageMergeScratch::new());
         let mut w = LsbBitWriter::new();
         header.write(&mut w);
         assert_eq!(w.bit_len(), header.cost_bits);
@@ -355,5 +439,33 @@ mod tests {
     fn empty_input_produces_valid_stream() {
         let out = deflate_raw(&[], CompressionLevel::Default);
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh_encode() {
+        // The same scratch driven across dissimilar inputs must emit
+        // exactly the bytes a fresh encode does.
+        let inputs: Vec<Vec<u8>> = vec![
+            b"abcabcabcabcabcabc".repeat(100),
+            vec![0x11; 100_000],
+            (0..150_000u32)
+                .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+                .collect(),
+            Vec::new(),
+            b"tail".to_vec(),
+        ];
+        for level in CompressionLevel::ALL {
+            let mut scratch = DeflateScratch::new();
+            for data in &inputs {
+                let mut w = LsbBitWriter::new();
+                deflate_raw_into(data, level, &mut scratch, &mut w);
+                assert_eq!(
+                    w.finish(),
+                    deflate_raw(data, level),
+                    "level {level:?}, len {}",
+                    data.len()
+                );
+            }
+        }
     }
 }

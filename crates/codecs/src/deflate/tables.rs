@@ -42,17 +42,67 @@ pub const DIST_EXTRA: [u8; 30] = [
     13,
 ];
 
+/// Length (minus [`MIN_MATCH`](crate::lz77::MIN_MATCH)) → length code.
+/// Each symbol is resolved twice per match (frequency pass and emit
+/// pass), so a direct 256-entry lookup beats searching the base table.
+static LENGTH_TO_CODE: [u8; 256] = build_length_table();
+
+const fn build_length_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut code = 0;
+    while code < 29 {
+        let start = LENGTH_BASE[code] as usize;
+        // Length 258 gets code 285 (base 258, 0 extra), never 284 + extra.
+        let end = if code + 1 < 29 {
+            LENGTH_BASE[code + 1] as usize
+        } else {
+            259
+        };
+        let mut len = start;
+        while len < end {
+            t[len - 3] = code as u8;
+            len += 1;
+        }
+        code += 1;
+    }
+    t
+}
+
+/// Two-level distance table, zlib-style: index `dist - 1` directly for
+/// distances up to 256, and `256 + ((dist - 1) >> 7)` beyond. Codes for
+/// distances above 256 have at least 7 extra bits, so their base ranges
+/// are 128-aligned and the high half of the table is exact.
+static DIST_TO_CODE: [u8; 512] = build_dist_table();
+
+const fn build_dist_table() -> [u8; 512] {
+    const fn code_of(dist: u16) -> u8 {
+        let mut i = 29;
+        loop {
+            if DIST_BASE[i] <= dist {
+                return i as u8;
+            }
+            i -= 1;
+        }
+    }
+    let mut t = [0u8; 512];
+    let mut d = 1usize;
+    while d <= 256 {
+        t[d - 1] = code_of(d as u16);
+        d += 1;
+    }
+    let mut i = 2usize; // (dist - 1) >> 7 for dist in 257..=32768
+    while i < 256 {
+        t[256 + i] = code_of(((i << 7) + 1) as u16);
+        i += 1;
+    }
+    t
+}
+
 /// Map a match length (3..=258) to `(length code - 257, extra bits, extra value)`.
 #[inline]
 pub fn length_code(len: u16) -> (usize, u8, u16) {
     debug_assert!((3..=258).contains(&len));
-    // Binary search over the 29-entry base table is branch-light and
-    // avoids a 256-entry lookup; lengths are hot but the table is tiny.
-    let idx = match LENGTH_BASE.binary_search(&len) {
-        Ok(i) => i,
-        Err(i) => i - 1,
-    };
-    // Length 258 must use code 285 (0 extra bits), not 284 + extra.
+    let idx = LENGTH_TO_CODE[(len - 3) as usize] as usize;
     (idx, LENGTH_EXTRA[idx], len - LENGTH_BASE[idx])
 }
 
@@ -60,9 +110,11 @@ pub fn length_code(len: u16) -> (usize, u8, u16) {
 #[inline]
 pub fn dist_code(dist: u16) -> (usize, u8, u16) {
     debug_assert!(dist >= 1);
-    let idx = match DIST_BASE.binary_search(&dist) {
-        Ok(i) => i,
-        Err(i) => i - 1,
+    let x = (dist - 1) as usize;
+    let idx = if x < 256 {
+        DIST_TO_CODE[x] as usize
+    } else {
+        DIST_TO_CODE[256 + (x >> 7)] as usize
     };
     (idx, DIST_EXTRA[idx], dist - DIST_BASE[idx])
 }

@@ -14,6 +14,35 @@ use crate::codec::CodecError;
 /// Maximum supported code length (fits the `u32` code registers).
 pub const MAX_SUPPORTED_LEN: u8 = 24;
 
+/// Package-merge arena node: a leaf symbol or a merged pair.
+enum Node {
+    Leaf(u16),
+    Pair(u32, u32),
+}
+
+/// Reusable working memory for [`package_merge_into`].
+///
+/// The lists package-merge builds are bounded by the alphabet size times
+/// the length limit, so after one warm-up run the buffers never grow
+/// again and repeated code constructions stay off the allocator.
+#[derive(Default)]
+pub struct PackageMergeScratch {
+    leaves: Vec<(u64, u16)>,
+    arena: Vec<Node>,
+    singletons: Vec<(u64, u32)>,
+    current: Vec<(u64, u32)>,
+    next: Vec<(u64, u32)>,
+    merged: Vec<(u64, u32)>,
+    stack: Vec<u32>,
+}
+
+impl PackageMergeScratch {
+    /// Fresh, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compute optimal length-limited code lengths for `freqs`.
 ///
 /// Returns one length per symbol; symbols with zero frequency get length
@@ -25,85 +54,107 @@ pub const MAX_SUPPORTED_LEN: u8 = 24;
 /// Panics if `max_len` is 0, exceeds [`MAX_SUPPORTED_LEN`], or cannot
 /// accommodate the number of distinct symbols (`2^max_len` codes).
 pub fn package_merge(freqs: &[u64], max_len: u8) -> Vec<u8> {
-    assert!((1..=MAX_SUPPORTED_LEN).contains(&max_len));
     let mut lengths = vec![0u8; freqs.len()];
-    let mut leaves: Vec<(u64, u16)> = freqs
-        .iter()
-        .enumerate()
-        .filter(|&(_, &f)| f > 0)
-        .map(|(sym, &f)| (f, sym as u16))
-        .collect();
-    match leaves.len() {
-        0 => return lengths,
+    package_merge_into(
+        freqs,
+        max_len,
+        &mut PackageMergeScratch::default(),
+        &mut lengths,
+    );
+    lengths
+}
+
+/// [`package_merge`] writing into caller-owned `lengths` and borrowing
+/// all intermediate lists from `scratch`.
+///
+/// `lengths` must have exactly one slot per symbol; it is fully
+/// overwritten.
+pub fn package_merge_into(
+    freqs: &[u64],
+    max_len: u8,
+    s: &mut PackageMergeScratch,
+    lengths: &mut [u8],
+) {
+    assert!((1..=MAX_SUPPORTED_LEN).contains(&max_len));
+    assert_eq!(lengths.len(), freqs.len(), "one length slot per symbol");
+    lengths.fill(0);
+    s.leaves.clear();
+    s.leaves.extend(
+        freqs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(sym, &f)| (f, sym as u16)),
+    );
+    match s.leaves.len() {
+        0 => return,
         1 => {
-            lengths[leaves[0].1 as usize] = 1;
-            return lengths;
+            lengths[s.leaves[0].1 as usize] = 1;
+            return;
         }
         n => assert!(
             (n as u64) <= 1u64 << max_len,
             "{n} symbols cannot fit in {max_len}-bit codes"
         ),
     }
-    leaves.sort_unstable();
+    s.leaves.sort_unstable();
 
     // Package-merge with packages stored in an arena as binary trees;
     // `level` runs from the deepest tree level up. After `max_len`
     // rounds, the cheapest 2·(n−1) packages tell us how often each
     // leaf is "used", which is exactly its code length. Arena nodes
     // make the merge O(n·L) instead of cloning symbol lists.
-    enum Node {
-        Leaf(u16),
-        Pair(u32, u32),
-    }
-    let mut arena: Vec<Node> = Vec::with_capacity(leaves.len() * (max_len as usize + 1));
+    s.arena.clear();
+    s.singletons.clear();
     // Singleton packages, sorted by weight: (weight, arena index).
-    let singletons: Vec<(u64, u32)> = leaves
-        .iter()
-        .map(|&(w, s)| {
-            arena.push(Node::Leaf(s));
-            (w, arena.len() as u32 - 1)
-        })
-        .collect();
+    for &(w, sym) in &s.leaves {
+        s.arena.push(Node::Leaf(sym));
+        s.singletons.push((w, s.arena.len() as u32 - 1));
+    }
 
-    let mut current = singletons.clone();
+    s.current.clear();
+    s.current.extend_from_slice(&s.singletons);
     for _ in 1..max_len {
-        let mut next: Vec<(u64, u32)> = Vec::with_capacity(singletons.len() + current.len() / 2);
-        for pair in current.chunks_exact(2) {
-            arena.push(Node::Pair(pair[0].1, pair[1].1));
-            next.push((pair[0].0 + pair[1].0, arena.len() as u32 - 1));
+        s.next.clear();
+        for pair in s.current.chunks_exact(2) {
+            s.arena.push(Node::Pair(pair[0].1, pair[1].1));
+            s.next
+                .push((pair[0].0 + pair[1].0, s.arena.len() as u32 - 1));
         }
         // Both `next` (so far) and `singletons` are weight-sorted:
         // merge instead of re-sorting.
-        let packaged = next.len();
-        next.extend_from_slice(&singletons);
-        merge_sorted_halves(&mut next, packaged);
-        current = next;
+        let packaged = s.next.len();
+        s.next.extend_from_slice(&s.singletons);
+        merge_sorted_halves(&mut s.next, packaged, &mut s.merged);
+        std::mem::swap(&mut s.current, &mut s.next);
     }
 
     // Count leaf occurrences in the cheapest 2(n−1) packages with an
     // explicit stack (package trees can be max_len deep).
-    let mut stack: Vec<u32> = current
-        .iter()
-        .take(2 * (leaves.len() - 1))
-        .map(|&(_, idx)| idx)
-        .collect();
-    while let Some(idx) = stack.pop() {
-        match arena[idx as usize] {
+    s.stack.clear();
+    s.stack.extend(
+        s.current
+            .iter()
+            .take(2 * (s.leaves.len() - 1))
+            .map(|&(_, idx)| idx),
+    );
+    while let Some(idx) = s.stack.pop() {
+        match s.arena[idx as usize] {
             Node::Leaf(sym) => lengths[sym as usize] += 1,
             Node::Pair(a, b) => {
-                stack.push(a);
-                stack.push(b);
+                s.stack.push(a);
+                s.stack.push(b);
             }
         }
     }
-    lengths
 }
 
 /// Merge a slice whose `[..mid]` and `[mid..]` halves are each sorted
 /// by weight into a single sorted order (stable; ties keep the
-/// packaged-before-singleton order the algorithm expects).
-fn merge_sorted_halves(items: &mut Vec<(u64, u32)>, mid: usize) {
-    let mut merged = Vec::with_capacity(items.len());
+/// packaged-before-singleton order the algorithm expects). `merged` is
+/// a reusable spill buffer; on return it holds the pre-merge contents.
+fn merge_sorted_halves(items: &mut Vec<(u64, u32)>, mid: usize, merged: &mut Vec<(u64, u32)>) {
+    merged.clear();
     let (mut i, mut j) = (0usize, mid);
     while i < mid && j < items.len() {
         if items[i].0 <= items[j].0 {
@@ -116,7 +167,7 @@ fn merge_sorted_halves(items: &mut Vec<(u64, u32)>, mid: usize) {
     }
     merged.extend_from_slice(&items[i..mid]);
     merged.extend_from_slice(&items[j..]);
-    *items = merged;
+    std::mem::swap(items, merged);
 }
 
 /// Assign canonical code values to `lengths` (RFC 1951 §3.2.2 rules:
@@ -125,30 +176,38 @@ fn merge_sorted_halves(items: &mut Vec<(u64, u32)>, mid: usize) {
 /// Returns the code value for each symbol, MSB-first. Symbols with
 /// length 0 get code 0 (unused).
 pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let mut codes = Vec::new();
+    canonical_codes_into(lengths, &mut codes);
+    codes
+}
+
+/// [`canonical_codes`] writing into a caller-owned buffer. The per-length
+/// bookkeeping lives in stack arrays, so a warm `codes` buffer makes the
+/// whole assignment allocation-free.
+pub fn canonical_codes_into(lengths: &[u8], codes: &mut Vec<u32>) {
     let max_len = lengths.iter().copied().max().unwrap_or(0);
-    let mut len_count = vec![0u32; max_len as usize + 1];
+    debug_assert!(max_len <= MAX_SUPPORTED_LEN);
+    let mut len_count = [0u32; MAX_SUPPORTED_LEN as usize + 1];
     for &len in lengths {
         len_count[len as usize] += 1;
     }
     len_count[0] = 0;
-    let mut next_code = vec![0u32; max_len as usize + 2];
+    let mut next_code = [0u32; MAX_SUPPORTED_LEN as usize + 2];
     let mut code = 0u32;
     for len in 1..=max_len as usize {
         code = (code + len_count[len - 1]) << 1;
         next_code[len] = code;
     }
-    lengths
-        .iter()
-        .map(|&len| {
-            if len == 0 {
-                0
-            } else {
-                let c = next_code[len as usize];
-                next_code[len as usize] += 1;
-                c
-            }
-        })
-        .collect()
+    codes.clear();
+    codes.extend(lengths.iter().map(|&len| {
+        if len == 0 {
+            0
+        } else {
+            let c = next_code[len as usize];
+            next_code[len as usize] += 1;
+            c
+        }
+    }));
 }
 
 /// Reverse the low `len` bits of `code` (for LSB-first bit streams).
@@ -159,7 +218,11 @@ pub fn reverse_bits(code: u32, len: u8) -> u32 {
 
 /// Encoding table: canonical codes plus their bit-reversed twins so the
 /// hot path has no per-symbol reversal.
-#[derive(Debug, Clone)]
+///
+/// An encoder can be rebuilt in place ([`HuffmanEncoder::rebuild_from_freqs`],
+/// [`HuffmanEncoder::rebuild_from_lengths`]): the internal tables are
+/// reused, so rebuilding for a same-sized alphabet never allocates.
+#[derive(Debug, Clone, Default)]
 pub struct HuffmanEncoder {
     lengths: Vec<u8>,
     /// Canonical (MSB-first) code values.
@@ -171,23 +234,50 @@ pub struct HuffmanEncoder {
 impl HuffmanEncoder {
     /// Build an encoder from per-symbol code lengths.
     pub fn from_lengths(lengths: &[u8]) -> Self {
-        let codes = canonical_codes(lengths);
-        let rev_codes = codes
-            .iter()
-            .zip(lengths)
-            .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, l) })
-            .collect();
-        HuffmanEncoder {
-            lengths: lengths.to_vec(),
-            codes,
-            rev_codes,
-        }
+        let mut enc = HuffmanEncoder::default();
+        enc.rebuild_from_lengths(lengths);
+        enc
     }
 
     /// Build optimal length-limited lengths from frequencies, then the
     /// encoder for them.
     pub fn from_freqs(freqs: &[u64], max_len: u8) -> Self {
         Self::from_lengths(&package_merge(freqs, max_len))
+    }
+
+    /// Replace this encoder's code with one built from `lengths`,
+    /// reusing the internal tables.
+    pub fn rebuild_from_lengths(&mut self, lengths: &[u8]) {
+        self.lengths.clear();
+        self.lengths.extend_from_slice(lengths);
+        canonical_codes_into(&self.lengths, &mut self.codes);
+        self.rev_codes.clear();
+        self.rev_codes
+            .extend(self.codes.iter().zip(&self.lengths).map(|(&c, &l)| {
+                if l == 0 {
+                    0
+                } else {
+                    reverse_bits(c, l)
+                }
+            }));
+    }
+
+    /// Replace this encoder's code with an optimal length-limited one
+    /// for `freqs`, borrowing package-merge working memory from `pm`.
+    pub fn rebuild_from_freqs(&mut self, freqs: &[u64], max_len: u8, pm: &mut PackageMergeScratch) {
+        self.lengths.clear();
+        self.lengths.resize(freqs.len(), 0);
+        package_merge_into(freqs, max_len, pm, &mut self.lengths);
+        canonical_codes_into(&self.lengths, &mut self.codes);
+        self.rev_codes.clear();
+        self.rev_codes
+            .extend(self.codes.iter().zip(&self.lengths).map(|(&c, &l)| {
+                if l == 0 {
+                    0
+                } else {
+                    reverse_bits(c, l)
+                }
+            }));
     }
 
     /// Code length for `sym` (0 = unused symbol).
@@ -212,6 +302,15 @@ impl HuffmanEncoder {
     pub fn write_lsb(&self, w: &mut LsbBitWriter, sym: usize) {
         debug_assert!(self.lengths[sym] > 0, "symbol {sym} has no code");
         w.write_bits(self.rev_codes[sym], self.lengths[sym] as u32);
+    }
+
+    /// Bit-reversed (LSB-first) code and its length for `sym`, for
+    /// callers that fuse the code with trailing extra bits into a single
+    /// [`LsbBitWriter::write_bits`] call.
+    #[inline]
+    pub fn code_lsb(&self, sym: usize) -> (u32, u32) {
+        debug_assert!(self.lengths[sym] > 0, "symbol {sym} has no code");
+        (self.rev_codes[sym], self.lengths[sym] as u32)
     }
 
     /// Emit `sym` into an MSB-first (bzip2) stream.
@@ -545,6 +644,29 @@ mod tests {
     #[should_panic(expected = "cannot fit")]
     fn package_merge_rejects_impossible_limits() {
         package_merge(&[1; 9], 3);
+    }
+
+    #[test]
+    fn rebuilt_encoder_matches_fresh_build_across_scratch_reuse() {
+        // One scratch and one encoder carried across differently-shaped
+        // alphabets must produce the same tables as fresh builds.
+        let mut pm = PackageMergeScratch::new();
+        let mut enc = HuffmanEncoder::default();
+        let freq_sets: Vec<Vec<u64>> = vec![
+            (0..64u64).map(|i| 1 + (i * 37) % 101).collect(),
+            vec![0; 300],
+            (0..286u64).map(|i| i % 5).collect(),
+            vec![0, 42, 0],
+            vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144],
+        ];
+        for freqs in &freq_sets {
+            enc.rebuild_from_freqs(freqs, 15, &mut pm);
+            let fresh = HuffmanEncoder::from_freqs(freqs, 15);
+            assert_eq!(enc.lengths(), fresh.lengths(), "freqs {freqs:?}");
+            for sym in 0..freqs.len() {
+                assert_eq!(enc.code(sym), fresh.code(sym), "sym {sym}");
+            }
+        }
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub mod rle;
 pub mod shuffle;
 pub mod suffix;
 
-pub use codec::{codec_for, Codec, CodecError, CodecId, CompressionLevel};
+pub use codec::{codec_for, Codec, CodecError, CodecId, CodecScratch, CompressionLevel};

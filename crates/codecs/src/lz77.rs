@@ -6,6 +6,14 @@
 //! by a 3-byte hash plus a prev-chain threaded through the window) and
 //! the same lazy-matching heuristic (defer emitting a match by one
 //! position if the next position matches longer).
+//!
+//! The matcher does not own its hash tables: they live in a
+//! [`MatcherScratch`] that callers keep across invocations, so the
+//! per-chunk steady state touches no allocator. The head table is
+//! invalidated by bumping a generation counter instead of rewriting
+//! 128 KiB of sentinel values per chunk; `prev` entries are only ever
+//! read for positions inserted in the current generation, so they need
+//! no reset at all.
 
 use crate::codec::CompressionLevel;
 
@@ -18,6 +26,12 @@ pub const MAX_MATCH: usize = 258;
 
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Consecutive match-probe misses before the Fast matcher starts
+/// blind-skipping positions (zlib's `deflate_fast` insertion degrade).
+const SKIP_TRIGGER: u32 = 32;
+/// Cap on how many positions a single blind skip may cover.
+const MAX_SKIP: u32 = 16;
 
 /// One LZ77 token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +59,13 @@ struct MatcherParams {
     lazy_threshold: usize,
     /// Enable lazy (one-step deferred) matching at all.
     lazy: bool,
+    /// Degrade probe/insert frequency through long matchless stretches.
+    run_skip: bool,
+    /// Do not index the covered span of matches longer than this
+    /// (zlib's `max_insert_length` fast-level behaviour). Long matches
+    /// on repetitive data otherwise spend most of the matcher's time
+    /// hashing positions that later searches rarely benefit from.
+    max_insert: usize,
 }
 
 impl MatcherParams {
@@ -52,26 +73,37 @@ impl MatcherParams {
         // Chain depths are tuned for ISOBAR's workload: preconditioned
         // scientific byte streams have tiny effective alphabets, so
         // 3-byte grams collide heavily and deep chains burn time for
-        // almost no ratio (measured: chain 128 was 5× slower than
-        // chain 8 on gts-like columns for < 1% size difference).
+        // almost no ratio. Fast mirrors zlib level 1 (chain 4, shallow
+        // nice length, capped span indexing): on gts-like columns that
+        // costs ~0.5% of end-to-end ratio for a large throughput gain.
+        //
+        // Run-skip and the insert cap are Fast-only: Default and Best
+        // promise a stable token stream (the container golden test pins
+        // Default output).
         match level {
             CompressionLevel::Fast => MatcherParams {
-                max_chain: 8,
-                nice_len: 32,
+                max_chain: 4,
+                nice_len: 16,
                 lazy_threshold: 0,
                 lazy: false,
+                run_skip: true,
+                max_insert: 16,
             },
             CompressionLevel::Default => MatcherParams {
                 max_chain: 32,
                 nice_len: 64,
                 lazy_threshold: 16,
                 lazy: true,
+                run_skip: false,
+                max_insert: MAX_MATCH,
             },
             CompressionLevel::Best => MatcherParams {
                 max_chain: 256,
                 nice_len: MAX_MATCH,
                 lazy_threshold: MAX_MATCH,
                 lazy: true,
+                run_skip: false,
+                max_insert: MAX_MATCH,
             },
         }
     }
@@ -85,26 +117,97 @@ fn hash3(data: &[u8], pos: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
+/// Reusable hash-chain tables for [`Matcher`].
+///
+/// A head entry is only trusted when its generation tag matches the
+/// current generation, so starting a new buffer costs one counter bump
+/// instead of a 32 768-entry rewrite. `prev` is indexed by position and
+/// is written before it can be read within a generation (a chain only
+/// reaches positions inserted this generation), so stale contents are
+/// harmless.
+#[derive(Default)]
+pub struct MatcherScratch {
+    /// Generation tag (high 32 bits) fused with the head position (low
+    /// 32 bits): one cache line touched per probe instead of two
+    /// parallel arrays.
+    heads: Vec<u64>,
+    generation: u32,
+    prev: Vec<i32>,
+}
+
+impl MatcherScratch {
+    /// Fresh, empty scratch; tables are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, data_len: usize) {
+        if self.heads.is_empty() {
+            self.heads = vec![0; HASH_SIZE];
+            self.generation = 0;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // The 32-bit tag wrapped: ancient entries could alias the
+            // new generation, so pay for one full reset every 2^32 uses.
+            self.heads.fill(0);
+            self.generation = 1;
+        }
+        if self.prev.len() < data_len {
+            self.prev.resize(data_len, 0);
+        }
+    }
+
+    /// Head of the chain for hash bucket `h`, or -1 if the bucket was
+    /// last written in an earlier generation (i.e. for another buffer).
+    #[inline]
+    fn head(&self, h: usize) -> i32 {
+        let entry = self.heads[h];
+        if (entry >> 32) as u32 == self.generation {
+            entry as i32
+        } else {
+            -1
+        }
+    }
+}
+
 /// Hash-chain match finder over a complete input buffer.
 ///
 /// ISOBAR feeds each chunk's compressible bytes to the solver as one
 /// buffer, so an in-memory (non-streaming) matcher fits the workload and
-/// keeps indexing simple.
-pub struct Matcher<'a> {
+/// keeps indexing simple. Tokens stream out of [`Matcher::next_token`]
+/// one at a time; the encoder consumes them directly into per-block
+/// frequency counters without materializing a whole-input token vector.
+pub struct Matcher<'a, 's> {
     data: &'a [u8],
-    head: Vec<i32>,
-    prev: Vec<i32>,
+    scratch: &'s mut MatcherScratch,
     params: MatcherParams,
+    pos: usize,
+    /// Consecutive probed positions without a match (run-skip state).
+    miss_run: u32,
+    /// Positions left to emit blindly (no probe, no insert).
+    blind: u32,
+    /// Match found by the last lazy probe, valid for the current `pos`.
+    /// When the matcher defers (emits a literal because `pos + 1`
+    /// matches longer), that probe result is kept so the next call does
+    /// not repeat the chain walk; no table insert happens between the
+    /// probe and its reuse, so the cached result is exact.
+    pending: Option<(usize, usize)>,
 }
 
-impl<'a> Matcher<'a> {
-    /// Create a matcher for `data` at the given effort level.
-    pub fn new(data: &'a [u8], level: CompressionLevel) -> Self {
+impl<'a, 's> Matcher<'a, 's> {
+    /// Create a matcher for `data` at the given effort level, borrowing
+    /// its hash tables from `scratch`.
+    pub fn new(data: &'a [u8], level: CompressionLevel, scratch: &'s mut MatcherScratch) -> Self {
+        scratch.begin(data.len());
         Matcher {
             data,
-            head: vec![-1; HASH_SIZE],
-            prev: vec![-1; data.len()],
+            scratch,
             params: MatcherParams::for_level(level),
+            pos: 0,
+            miss_run: 0,
+            blind: 0,
+            pending: None,
         }
     }
 
@@ -112,24 +215,47 @@ impl<'a> Matcher<'a> {
     fn insert(&mut self, pos: usize) {
         if pos + MIN_MATCH <= self.data.len() {
             let h = hash3(self.data, pos);
-            self.prev[pos] = self.head[h];
-            self.head[h] = pos as i32;
+            let s = &mut *self.scratch;
+            s.prev[pos] = s.head(h);
+            s.heads[h] = (u64::from(s.generation) << 32) | pos as u64;
         }
     }
 
     /// Find the longest match at `pos`, returning `(len, dist)` or
     /// `None` when no match of at least [`MIN_MATCH`] exists.
+    #[inline]
     fn longest_match(&self, pos: usize) -> Option<(usize, usize)> {
+        self.longest_match_over(pos, MIN_MATCH - 1)
+    }
+
+    /// Find the longest match at `pos` strictly longer than `floor`, or
+    /// `None` when nothing beats it. The chain is walked exactly as
+    /// [`Matcher::longest_match`] would, so when a result is returned it
+    /// is the overall longest match — the floor only lets the byte
+    /// filter reject can't-improve candidates in one compare, which is
+    /// what makes the lazy probe cheap.
+    fn longest_match_over(&self, pos: usize, floor: usize) -> Option<(usize, usize)> {
         let data = self.data;
         if pos + MIN_MATCH > data.len() {
             return None;
         }
         let max_len = (data.len() - pos).min(MAX_MATCH);
+        if floor >= max_len {
+            // No candidate can beat the floor in the room left.
+            return None;
+        }
         let window_start = pos.saturating_sub(WINDOW_SIZE);
-        let mut best_len = MIN_MATCH - 1;
+        let mut best_len = floor;
         let mut best_dist = 0usize;
-        let mut candidate = self.head[hash3(data, pos)];
+        let s = &*self.scratch;
+        let h = hash3(data, pos);
+        let mut candidate = s.head(h);
         let mut chain_left = self.params.max_chain;
+        // Hoisted probe bytes: the byte just past the current best match
+        // is the cheapest rejection test, and it only changes when the
+        // best improves.
+        let first = data[pos];
+        let mut scan = data[pos + best_len];
 
         while candidate >= 0 && chain_left > 0 {
             let cand = candidate as usize;
@@ -139,86 +265,157 @@ impl<'a> Matcher<'a> {
             debug_assert!(cand < pos);
             // Check the byte just past the current best first: cheapest
             // way to reject chains that cannot improve on it.
-            if best_len < max_len
-                && data[cand + best_len] == data[pos + best_len]
-                && data[cand] == data[pos]
-            {
+            if data[cand + best_len] == scan && data[cand] == first {
                 let len = common_prefix(data, cand, pos, max_len);
                 if len > best_len {
                     best_len = len;
                     best_dist = pos - cand;
-                    if len >= self.params.nice_len {
+                    if len >= self.params.nice_len || len >= max_len {
+                        // `nice_len` ends the search by policy; `max_len`
+                        // ends it because no longer match can exist.
                         break;
                     }
+                    scan = data[pos + best_len];
                 }
             }
-            candidate = self.prev[cand];
+            candidate = s.prev[cand];
             chain_left -= 1;
         }
 
-        if best_len >= MIN_MATCH {
+        if best_len > floor {
             Some((best_len, best_dist))
         } else {
             None
         }
     }
 
-    /// Tokenize the whole buffer.
-    pub fn tokenize(mut self) -> Vec<Token> {
+    /// Whether the whole input has been tokenized.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Produce the next token, or `None` once the input is exhausted.
+    ///
+    /// Every call advances by at least one byte and emits exactly one
+    /// token, so `is_done()` is equivalent to "the next call returns
+    /// `None`" — the encoder uses that to place the final-block bit.
+    pub fn next_token(&mut self) -> Option<Token> {
         let data = self.data;
-        let mut tokens = Vec::with_capacity(data.len() / 4 + 16);
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let here = self.longest_match(pos);
-            match here {
-                None => {
-                    tokens.push(Token::Literal(data[pos]));
-                    self.insert(pos);
-                    pos += 1;
-                }
-                Some((len, dist)) => {
-                    // Lazy matching: if the next position holds a longer
-                    // match, emit this byte as a literal and defer.
-                    let defer = if self.params.lazy && len <= self.params.lazy_threshold {
-                        self.insert(pos);
-                        let next = self.longest_match(pos + 1);
-                        matches!(next, Some((next_len, _)) if next_len > len)
-                    } else {
-                        false
-                    };
-                    if defer {
-                        tokens.push(Token::Literal(data[pos]));
-                        pos += 1; // position already inserted above
-                        continue;
+        let pos = self.pos;
+        if pos >= data.len() {
+            return None;
+        }
+        // Blind stretch: deep inside a matchless run the Fast profile
+        // stops probing and indexing entirely for a few positions.
+        if self.blind > 0 {
+            self.blind -= 1;
+            self.pos += 1;
+            return Some(Token::Literal(data[pos]));
+        }
+        // A lazy probe from the previous call already searched this
+        // position; reuse its result instead of walking the chain again.
+        let found = match self.pending.take() {
+            Some(m) => Some(m),
+            None => self.longest_match(pos),
+        };
+        match found {
+            None => {
+                self.insert(pos);
+                self.pos += 1;
+                if self.params.run_skip {
+                    self.miss_run += 1;
+                    if self.miss_run >= SKIP_TRIGGER {
+                        self.blind = ((self.miss_run - SKIP_TRIGGER) >> 5).min(MAX_SKIP);
                     }
-                    tokens.push(Token::Match {
-                        len: len as u16,
-                        dist: dist as u16,
-                    });
-                    // Index every covered position so later matches can
-                    // reach into this span. Skip pos itself if the lazy
-                    // probe already inserted it.
-                    let start = if self.params.lazy && len <= self.params.lazy_threshold {
-                        pos + 1
-                    } else {
-                        pos
-                    };
-                    for p in start..pos + len {
-                        self.insert(p);
-                    }
-                    pos += len;
                 }
+                Some(Token::Literal(data[pos]))
             }
+            Some((len, dist)) => {
+                self.miss_run = 0;
+                // Lazy matching: if the next position holds a longer
+                // match, emit this byte as a literal and defer.
+                let defer = if self.params.lazy && len <= self.params.lazy_threshold {
+                    self.insert(pos);
+                    // Floored probe: only a strictly longer match at
+                    // pos + 1 matters, and when one exists the probe
+                    // returns the overall longest, which becomes the
+                    // cached match for the deferred position.
+                    match self.longest_match_over(pos + 1, len) {
+                        Some(next) => {
+                            self.pending = Some(next);
+                            true
+                        }
+                        None => false,
+                    }
+                } else {
+                    false
+                };
+                if defer {
+                    self.pos += 1; // position already inserted above
+                    return Some(Token::Literal(data[pos]));
+                }
+                // Index the covered positions so later matches can reach
+                // into this span. Skip pos itself if the lazy probe
+                // already inserted it; skip the whole span (beyond the
+                // match head) when it is longer than the level's insert
+                // budget — chains stay consistent because `prev` is only
+                // ever read for inserted positions.
+                let start = if self.params.lazy && len <= self.params.lazy_threshold {
+                    pos + 1
+                } else {
+                    pos
+                };
+                let end = if len <= self.params.max_insert {
+                    pos + len
+                } else {
+                    (start + 1).min(pos + len)
+                };
+                for p in start..end {
+                    self.insert(p);
+                }
+                self.pos += len;
+                Some(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                })
+            }
+        }
+    }
+
+    /// Tokenize the whole buffer into a vector (convenience for tests
+    /// and benchmarks; the encoder streams via [`Matcher::next_token`]).
+    pub fn tokenize(mut self) -> Vec<Token> {
+        let mut tokens = Vec::with_capacity(self.data.len() / 4 + 16);
+        while let Some(token) = self.next_token() {
+            tokens.push(token);
         }
         tokens
     }
 }
 
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max_len`. Compares eight bytes per step; the XOR of the first
+/// differing word locates the exact mismatch byte, so the result is
+/// identical to a byte-at-a-time scan.
 #[inline]
 fn common_prefix(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
     let lhs = &data[a..a + max_len];
     let rhs = &data[b..b + max_len];
-    lhs.iter().zip(rhs).take_while(|(x, y)| x == y).count()
+    let mut i = 0usize;
+    while i + 8 <= max_len {
+        let x = u64::from_le_bytes(lhs[i..i + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(rhs[i..i + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return i + (diff.trailing_zeros() >> 3) as usize;
+        }
+        i += 8;
+    }
+    while i < max_len && lhs[i] == rhs[i] {
+        i += 1;
+    }
+    i
 }
 
 /// Reconstruct the original bytes from a token stream (the LZ77 half of
@@ -245,8 +442,13 @@ pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
 mod tests {
     use super::*;
 
+    fn tokenize(data: &[u8], level: CompressionLevel) -> Vec<Token> {
+        let mut scratch = MatcherScratch::new();
+        Matcher::new(data, level, &mut scratch).tokenize()
+    }
+
     fn round_trip(data: &[u8], level: CompressionLevel) -> Vec<Token> {
-        let tokens = Matcher::new(data, level).tokenize();
+        let tokens = tokenize(data, level);
         assert_eq!(detokenize(&tokens), data, "level {level:?}");
         tokens
     }
@@ -335,11 +537,58 @@ mod tests {
         // Classic lazy-match case: "abc" then "bcd..." where deferring
         // one literal yields a longer match.
         let data = b"xabcy_abcde_bcdef_abcdef_bcdefg".repeat(64);
-        let fast = Matcher::new(&data, CompressionLevel::Fast).tokenize();
-        let best = Matcher::new(&data, CompressionLevel::Best).tokenize();
+        let fast = tokenize(&data, CompressionLevel::Fast);
+        let best = tokenize(&data, CompressionLevel::Best);
         assert_eq!(detokenize(&fast), data.as_slice());
         assert_eq!(detokenize(&best), data.as_slice());
         assert!(best.len() <= fast.len());
+    }
+
+    #[test]
+    fn reused_scratch_produces_identical_tokens() {
+        // A dirty scratch (previous buffer's chains, bumped generation)
+        // must not change the token stream of a later buffer.
+        let poison: Vec<u8> = (0..60_000u32)
+            .flat_map(|i| (i % 251).to_le_bytes())
+            .collect();
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(300);
+        for level in CompressionLevel::ALL {
+            let mut dirty = MatcherScratch::new();
+            let _ = Matcher::new(&poison, level, &mut dirty).tokenize();
+            let reused = Matcher::new(&data, level, &mut dirty).tokenize();
+            let fresh = tokenize(&data, level);
+            assert_eq!(reused, fresh, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_tokenization() {
+        let data = b"abcabcabc_noise_1234567_abcabcabc".repeat(100);
+        for level in CompressionLevel::ALL {
+            let mut scratch = MatcherScratch::new();
+            let mut m = Matcher::new(&data, level, &mut scratch);
+            let mut streamed = Vec::new();
+            while let Some(t) = m.next_token() {
+                streamed.push(t);
+            }
+            assert_eq!(streamed, tokenize(&data, level), "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn run_skip_keeps_fast_output_decodable_on_noise() {
+        // Pure noise drives the Fast matcher deep into its blind-skip
+        // regime; the stream must still round-trip exactly.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..200_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 56) as u8
+            })
+            .collect();
+        round_trip(&data, CompressionLevel::Fast);
     }
 
     #[test]

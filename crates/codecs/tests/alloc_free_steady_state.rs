@@ -1,0 +1,90 @@
+//! Proof that the steady-state compress loop is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up pass that grows every scratch buffer to its steady-state
+//! capacity, a further `compress_into` call on the same-shaped input
+//! must perform zero heap allocations.
+//!
+//! This file intentionally contains exactly ONE `#[test]`: cargo runs
+//! each integration-test file as its own binary, and a second
+//! concurrently-running test would pollute the allocation counter.
+
+use isobar_codecs::{Codec, CodecScratch, CompressionLevel};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is an allocation event for our purposes: the hot
+        // loop must not even grow an existing buffer.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// The bench workload in miniature: interleaved smooth/noisy doubles.
+fn chunk(elements: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed;
+    (0..elements)
+        .flat_map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = state >> 32;
+            let pred = (i as u64 / 100) % 50;
+            ((pred << 32) | noise).to_le_bytes()
+        })
+        .collect()
+}
+
+#[test]
+fn warm_deflate_compress_into_performs_zero_allocations() {
+    let codec = isobar_codecs::deflate::Deflate::new(CompressionLevel::Default);
+    let mut scratch = CodecScratch::new();
+    let mut out = Vec::new();
+
+    // Two warm-up chunks with different content grow every buffer —
+    // token queue, hash tables, Huffman scratch, header RLE buffers,
+    // and the output vector — to their steady-state capacity.
+    let warm_a = chunk(40_000, 0x9E37_79B9_7F4A_7C15);
+    let warm_b = chunk(40_000, 0x2545_F491_4F6C_DD1D);
+    codec.compress_into(&warm_a, &mut out, &mut scratch);
+    codec.compress_into(&warm_b, &mut out, &mut scratch);
+
+    // Steady state: same-sized chunk, different bytes. Not one byte of
+    // heap traffic is allowed.
+    let hot = chunk(40_000, 0x853C_49E6_748F_EA9B);
+    let before = allocs();
+    codec.compress_into(&hot, &mut out, &mut scratch);
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state compress_into allocated {during} times"
+    );
+
+    // Sanity: the output is still a valid stream for this input.
+    assert_eq!(codec.decompress(&out).unwrap(), hot);
+}

@@ -36,7 +36,8 @@ proptest! {
     #[test]
     fn lz77_round_trips(data in byte_inputs(), level in 0usize..3) {
         let level = CompressionLevel::ALL[level];
-        let tokens = Matcher::new(&data, level).tokenize();
+        let mut scratch = isobar_codecs::lz77::MatcherScratch::default();
+        let tokens = Matcher::new(&data, level, &mut scratch).tokenize();
         prop_assert_eq!(detokenize(&tokens), data);
     }
 

@@ -63,18 +63,30 @@ impl ColumnSelection {
     }
 
     /// Pack into a bitmask for container metadata (bit c = column c).
-    pub fn to_mask(&self) -> u64 {
-        self.bits
+    ///
+    /// Errors on selections wider than 64 columns — `1u64 << c` would
+    /// overflow the shift (a panic in debug builds, silent wraparound
+    /// in release) and the container's mask field is a fixed `u64`.
+    pub fn to_mask(&self) -> Result<u64, IsobarError> {
+        if self.bits.len() > 64 {
+            return Err(IsobarError::BadWidth(self.bits.len()));
+        }
+        Ok(self
+            .bits
             .iter()
             .enumerate()
-            .fold(0u64, |m, (c, &b)| if b { m | (1 << c) } else { m })
+            .fold(0u64, |m, (c, &b)| if b { m | (1 << c) } else { m }))
     }
 
-    /// Unpack from a container bitmask.
-    pub fn from_mask(mask: u64, width: usize) -> Self {
-        ColumnSelection {
-            bits: (0..width).map(|c| mask & (1 << c) != 0).collect(),
+    /// Unpack from a container bitmask. Errors on widths > 64 for the
+    /// same shift-overflow reason as [`ColumnSelection::to_mask`].
+    pub fn from_mask(mask: u64, width: usize) -> Result<Self, IsobarError> {
+        if width > 64 {
+            return Err(IsobarError::BadWidth(width));
         }
+        Ok(ColumnSelection {
+            bits: (0..width).map(|c| mask & (1 << c) != 0).collect(),
+        })
     }
 }
 
@@ -145,18 +157,33 @@ impl Analyzer {
         let n = data.len() / width;
         let tolerance = self.tau * n as f64 / 256.0;
 
-        // One pass over the data filling ω histograms; the iteration is
-        // element-major so the inner loop is a fixed-width stride.
-        let mut hists = vec![[0u32; 256]; width];
-        for element in data.chunks_exact(width) {
-            for (hist, &b) in hists.iter_mut().zip(element) {
-                hist[b as usize] += 1;
+        // One pass over the data filling two interleaved histogram banks
+        // per column. Low-entropy columns (the interesting ones) hit the
+        // same counter on consecutive elements; splitting even and odd
+        // elements across banks halves that store-to-load dependency
+        // chain, which is what bounds this loop.
+        let mut hists = vec![[0u32; 256]; width * 2];
+        let (even_bank, odd_bank) = hists.split_at_mut(width);
+        let mut pairs = data.chunks_exact(width * 2);
+        for pair in pairs.by_ref() {
+            for c in 0..width {
+                even_bank[c][pair[c] as usize] += 1;
+                odd_bank[c][pair[width + c] as usize] += 1;
             }
         }
+        for (hist, &b) in even_bank.iter_mut().zip(pairs.remainder()) {
+            hist[b as usize] += 1;
+        }
 
-        let bits = hists
+        let (even_bank, odd_bank) = hists.split_at(width);
+        let bits = even_bank
             .iter()
-            .map(|hist| hist.iter().any(|&c| c as f64 > tolerance))
+            .zip(odd_bank)
+            .map(|(even, odd)| {
+                even.iter()
+                    .zip(odd)
+                    .any(|(&e, &o)| (e + o) as f64 > tolerance)
+            })
             .collect();
         Ok(ColumnSelection::new(bits))
     }
@@ -290,9 +317,29 @@ mod tests {
     #[test]
     fn mask_round_trips() {
         let sel = ColumnSelection::new(vec![true, false, true, true, false, false, true, false]);
-        let mask = sel.to_mask();
+        let mask = sel.to_mask().unwrap();
         assert_eq!(mask, 0b0100_1101);
-        assert_eq!(ColumnSelection::from_mask(mask, 8), sel);
+        assert_eq!(ColumnSelection::from_mask(mask, 8).unwrap(), sel);
+    }
+
+    #[test]
+    fn mask_round_trips_at_full_width() {
+        // Width 64 exercises the `1 << 63` edge without overflowing.
+        let bits: Vec<bool> = (0..64).map(|c| c % 3 == 0 || c == 63).collect();
+        let sel = ColumnSelection::new(bits);
+        let mask = sel.to_mask().unwrap();
+        assert_ne!(mask & (1 << 63), 0);
+        assert_eq!(ColumnSelection::from_mask(mask, 64).unwrap(), sel);
+    }
+
+    #[test]
+    fn mask_rejects_overwide_selections() {
+        let sel = ColumnSelection::new(vec![true; 65]);
+        assert!(matches!(sel.to_mask(), Err(IsobarError::BadWidth(65))));
+        assert!(matches!(
+            ColumnSelection::from_mask(0, 65),
+            Err(IsobarError::BadWidth(65))
+        ));
     }
 
     #[test]

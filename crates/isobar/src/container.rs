@@ -184,8 +184,9 @@ impl ChunkRecord {
         ))
     }
 
-    /// The analyzer selection this record encodes.
-    pub fn selection(&self, width: usize) -> ColumnSelection {
+    /// The analyzer selection this record encodes. Errors on widths
+    /// > 64, which no valid header can carry.
+    pub fn selection(&self, width: usize) -> Result<ColumnSelection, IsobarError> {
         ColumnSelection::from_mask(self.mask, width)
     }
 }

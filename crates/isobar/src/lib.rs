@@ -59,7 +59,9 @@ pub mod stream;
 pub use analyzer::{Analyzer, ColumnSelection, DEFAULT_TAU};
 pub use error::IsobarError;
 pub use eupa::{EupaDecision, EupaSelector, Preference};
-pub use pipeline::{ChunkDecision, CompressionReport, IsobarCompressor, IsobarOptions};
+pub use pipeline::{
+    ChunkDecision, CompressionReport, IsobarCompressor, IsobarOptions, PipelineScratch,
+};
 pub use stream::{IsobarReader, IsobarWriter};
 
 pub use isobar_codecs::{Codec, CodecId, CompressionLevel};

@@ -50,63 +50,106 @@ pub fn partition(
     selection: &ColumnSelection,
     lin: Linearization,
 ) -> Partitioned {
+    let mut parts = Partitioned {
+        compressible: Vec::new(),
+        incompressible: Vec::new(),
+    };
+    partition_into(
+        data,
+        width,
+        selection,
+        lin,
+        &mut parts.compressible,
+        &mut parts.incompressible,
+    );
+    parts
+}
+
+/// [`partition`] into caller-provided buffers (cleared and refilled) —
+/// the allocation-free path the compressor's hot loop uses. For ω ≤ 8
+/// the fused register path writes straight into the reused buffers; the
+/// rare wide-element path falls back to the allocating gather.
+pub fn partition_into(
+    data: &[u8],
+    width: usize,
+    selection: &ColumnSelection,
+    lin: Linearization,
+    compressible: &mut Vec<u8>,
+    incompressible: &mut Vec<u8>,
+) {
     debug_assert_eq!(selection.width(), width);
     if width <= 8 && !data.is_empty() {
-        // Fused fast path: one u64 load per element feeds both output
+        // Blocked fast path: one pass over the source feeds both output
         // streams, instead of two independent strided passes.
-        return fused_partition8(data, width, selection, lin);
+        fused_partition8(data, width, selection, lin, compressible, incompressible);
+        return;
     }
-    let compressible = gather_columns(data, width, &selection.compressible(), lin);
-    let incompressible = gather_columns(
+    *compressible = gather_columns(data, width, &selection.compressible(), lin);
+    *incompressible = gather_columns(
         data,
         width,
         &selection.incompressible(),
         Linearization::Column,
     );
-    Partitioned {
-        compressible,
-        incompressible,
-    }
 }
 
-/// Register-splitting partition for ω ≤ 8 (the inverse of
+/// Cache-blocked partition for ω ≤ 8 (the inverse of
 /// `fused_reassemble8`).
+///
+/// Elements are processed in blocks small enough that the source rows
+/// stay in L1 while each output column streams sequentially, and the
+/// inner loops are written over lockstep iterators so no per-byte index
+/// arithmetic or bounds checks survive.
 fn fused_partition8(
     data: &[u8],
     width: usize,
     selection: &ColumnSelection,
     lin: Linearization,
-) -> Partitioned {
+    compressible: &mut Vec<u8>,
+    incompressible: &mut Vec<u8>,
+) {
     let n = data.len() / width;
     let comp_cols = selection.compressible();
     let incomp_cols = selection.incompressible();
     let k = comp_cols.len();
-    let mut compressible = vec![0u8; n * k];
-    let mut incompressible = vec![0u8; n * incomp_cols.len()];
+    compressible.clear();
+    compressible.resize(n * k, 0);
+    incompressible.clear();
+    incompressible.resize(n * incomp_cols.len(), 0);
 
-    for i in 0..n {
-        let mut bytes = [0u8; 8];
-        bytes[..width].copy_from_slice(&data[i * width..(i + 1) * width]);
-        let v = u64::from_le_bytes(bytes);
+    const BLOCK: usize = 1024;
+    let mut start = 0usize;
+    while start < n {
+        let m = (n - start).min(BLOCK);
+        let src = &data[start * width..(start + m) * width];
         match lin {
-            Linearization::Row => {
-                for (j, &c) in comp_cols.iter().enumerate() {
-                    compressible[i * k + j] = (v >> (8 * c)) as u8;
+            // A fully-incompressible selection (k = 0) has no C stream;
+            // chunks of width 0 would panic.
+            Linearization::Row if k > 0 => {
+                let dst = &mut compressible[start * k..(start + m) * k];
+                for (row, out) in src.chunks_exact(width).zip(dst.chunks_exact_mut(k)) {
+                    for (o, &c) in out.iter_mut().zip(&comp_cols) {
+                        *o = row[c];
+                    }
                 }
             }
+            Linearization::Row => {}
             Linearization::Column => {
                 for (j, &c) in comp_cols.iter().enumerate() {
-                    compressible[j * n + i] = (v >> (8 * c)) as u8;
+                    let dst = &mut compressible[j * n + start..j * n + start + m];
+                    for (o, row) in dst.iter_mut().zip(src.chunks_exact(width)) {
+                        *o = row[c];
+                    }
                 }
             }
         }
         for (j, &c) in incomp_cols.iter().enumerate() {
-            incompressible[j * n + i] = (v >> (8 * c)) as u8;
+            let dst = &mut incompressible[j * n + start..j * n + start + m];
+            for (o, row) in dst.iter_mut().zip(src.chunks_exact(width)) {
+                *o = row[c];
+            }
         }
-    }
-    Partitioned {
-        compressible,
-        incompressible,
+        start += m;
     }
 }
 
@@ -148,10 +191,9 @@ pub fn reassemble_into(
 ) {
     assert_eq!(out.len(), compressible.len() + incompressible.len());
     if width <= 8 && !out.is_empty() {
-        // Fused fast path: assemble each element in a u64 register and
-        // store it once, instead of ω strided byte writes. All source
-        // reads are sequential (per column, or per element for a
-        // row-linearized C), so this runs at memory speed.
+        // Blocked fast path: all source reads are sequential (per
+        // column, or per element for a row-linearized C) and the output
+        // block stays in L1 across the column passes.
         fused_reassemble8(compressible, incompressible, width, selection, lin, out);
         return;
     }
@@ -165,7 +207,9 @@ pub fn reassemble_into(
     );
 }
 
-/// Register-combining reassembly for ω ≤ 8.
+/// Cache-blocked reassembly for ω ≤ 8. Every output byte belongs to
+/// exactly one column (C and I together cover the element), so the
+/// column passes fill each block completely.
 fn fused_reassemble8(
     compressible: &[u8],
     incompressible: &[u8],
@@ -181,25 +225,39 @@ fn fused_reassemble8(
     debug_assert_eq!(incompressible.len(), n * incomp_cols.len());
     let k = comp_cols.len();
 
-    for i in 0..n {
-        let mut v = 0u64;
+    const BLOCK: usize = 1024;
+    let mut start = 0usize;
+    while start < n {
+        let m = (n - start).min(BLOCK);
+        let dst = &mut out[start * width..(start + m) * width];
         match lin {
-            Linearization::Row => {
-                let element = &compressible[i * k..(i + 1) * k];
-                for (&b, &c) in element.iter().zip(&comp_cols) {
-                    v |= (b as u64) << (8 * c);
+            // A fully-incompressible selection (k = 0) has no C stream;
+            // chunks of width 0 would panic.
+            Linearization::Row if k > 0 => {
+                let src = &compressible[start * k..(start + m) * k];
+                for (row, element) in dst.chunks_exact_mut(width).zip(src.chunks_exact(k)) {
+                    for (&b, &c) in element.iter().zip(&comp_cols) {
+                        row[c] = b;
+                    }
                 }
             }
+            Linearization::Row => {}
             Linearization::Column => {
                 for (j, &c) in comp_cols.iter().enumerate() {
-                    v |= (compressible[j * n + i] as u64) << (8 * c);
+                    let src = &compressible[j * n + start..j * n + start + m];
+                    for (row, &b) in dst.chunks_exact_mut(width).zip(src) {
+                        row[c] = b;
+                    }
                 }
             }
         }
         for (j, &c) in incomp_cols.iter().enumerate() {
-            v |= (incompressible[j * n + i] as u64) << (8 * c);
+            let src = &incompressible[j * n + start..j * n + start + m];
+            for (row, &b) in dst.chunks_exact_mut(width).zip(src) {
+                row[c] = b;
+            }
         }
-        out[i * width..(i + 1) * width].copy_from_slice(&v.to_le_bytes()[..width]);
+        start += m;
     }
 }
 
@@ -268,6 +326,25 @@ mod tests {
         assert!(parts.compressible.is_empty());
         assert_eq!(parts.incompressible.len(), data.len());
         assert_eq!(reassemble(&parts, 4, &sel, Linearization::Column), data);
+    }
+
+    #[test]
+    fn partition_into_reused_buffers_match_fresh_partition() {
+        // Dirty, differently-sized buffers must not leak into results.
+        let a = demo_data(10_000);
+        let b = demo_data(3_000);
+        let sel_a = Analyzer::default().analyze(&a, 4).unwrap();
+        let sel_b = Analyzer::default().analyze(&b, 4).unwrap();
+        let mut comp = vec![0xAA; 999];
+        let mut incomp = vec![0x55; 7];
+        for lin in Linearization::ALL {
+            for (data, sel) in [(&a, &sel_a), (&b, &sel_b)] {
+                partition_into(data, 4, sel, lin, &mut comp, &mut incomp);
+                let fresh = partition(data, 4, sel, lin);
+                assert_eq!(comp, fresh.compressible, "{lin}");
+                assert_eq!(incomp, fresh.incompressible, "{lin}");
+            }
+        }
     }
 
     #[test]

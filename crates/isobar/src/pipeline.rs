@@ -11,9 +11,9 @@ use crate::chunk::{element_chunks, DEFAULT_CHUNK_ELEMENTS};
 use crate::container::{ChunkMode, ChunkRecord, Header, HEADER_LEN};
 use crate::error::IsobarError;
 use crate::eupa::{EupaDecision, EupaSelector, Preference};
-use crate::partitioner::{partition, reassemble_into, Partitioned};
+use crate::partitioner::{partition_into, reassemble_into};
 use isobar_codecs::deflate::adler32;
-use isobar_codecs::{codec_for, Codec, CodecId, CompressionLevel};
+use isobar_codecs::{codec_for, Codec, CodecId, CodecScratch, CompressionLevel};
 use isobar_linearize::Linearization;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -110,12 +110,13 @@ impl CompressionReport {
     }
 
     /// Compression throughput in MB/s over the whole call.
+    ///
+    /// The elapsed time is clamped to a nanosecond floor so degenerate
+    /// timings (empty input, coarse clocks) report a large-but-finite
+    /// number instead of `f64::INFINITY`, which poisons any average or
+    /// JSON serialization built on top of it.
     pub fn throughput_mbps(&self) -> f64 {
-        if self.total_secs > 0.0 {
-            self.input_len as f64 / 1e6 / self.total_secs
-        } else {
-            f64::INFINITY
-        }
+        self.input_len as f64 / 1e6 / self.total_secs.max(1e-9)
     }
 
     /// Whether the analyzer identified the dataset as improvable
@@ -135,6 +136,28 @@ impl CompressionReport {
             .map(|c| c.htc_pct * c.elements as f64)
             .sum::<f64>()
             / total as f64
+    }
+}
+
+/// Reusable working memory for the per-chunk pipeline loop.
+///
+/// Holds the solver's [`CodecScratch`] plus the partition buffer that
+/// feeds it, so a caller compressing many chunks (or many datasets)
+/// through one scratch performs no per-chunk setup allocations in
+/// steady state. One scratch belongs to one thread: the serial loops
+/// keep one, the parallel paths create one per worker.
+#[derive(Default)]
+pub struct PipelineScratch {
+    codec: CodecScratch,
+    /// Partition output fed to the solver during compression, or the
+    /// solver's decoded output awaiting reassembly during decompression.
+    compressible: Vec<u8>,
+}
+
+impl PipelineScratch {
+    /// Fresh, empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -168,12 +191,36 @@ impl IsobarCompressor {
         self.compress_with_report(data, width).map(|(out, _)| out)
     }
 
+    /// [`IsobarCompressor::compress`] reusing caller-held working
+    /// memory — the steady-state entry point for callers that compress
+    /// many datasets in sequence (e.g. the checkpoint store).
+    pub fn compress_with_scratch(
+        &self,
+        data: &[u8],
+        width: usize,
+        scratch: &mut PipelineScratch,
+    ) -> Result<Vec<u8>, IsobarError> {
+        self.compress_with_report_scratch(data, width, scratch)
+            .map(|(out, _)| out)
+    }
+
     /// Compress and return the detailed report (per-chunk decisions,
     /// stage timings) used by the benchmark harness.
     pub fn compress_with_report(
         &self,
         data: &[u8],
         width: usize,
+    ) -> Result<(Vec<u8>, CompressionReport), IsobarError> {
+        self.compress_with_report_scratch(data, width, &mut PipelineScratch::new())
+    }
+
+    /// [`IsobarCompressor::compress_with_report`] with caller-held
+    /// scratch.
+    pub fn compress_with_report_scratch(
+        &self,
+        data: &[u8],
+        width: usize,
+        scratch: &mut PipelineScratch,
     ) -> Result<(Vec<u8>, CompressionReport), IsobarError> {
         let t_start = Instant::now();
         if width == 0 || width > 64 {
@@ -232,6 +279,7 @@ impl IsobarCompressor {
                     &analyzer,
                     codec.as_ref(),
                     linearization,
+                    scratch,
                 )?);
             }
             results
@@ -279,6 +327,16 @@ impl IsobarCompressor {
 
     /// Decompress an ISOBAR container back to the original bytes.
     pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, IsobarError> {
+        self.decompress_with_scratch(data, &mut PipelineScratch::new())
+    }
+
+    /// [`IsobarCompressor::decompress`] reusing caller-held working
+    /// memory across calls.
+    pub fn decompress_with_scratch(
+        &self,
+        data: &[u8],
+        scratch: &mut PipelineScratch,
+    ) -> Result<Vec<u8>, IsobarError> {
         let header = Header::read(data)?;
         let width = header.width as usize;
         let codec = codec_for(header.codec, header.level);
@@ -321,6 +379,7 @@ impl IsobarCompressor {
                     codec.as_ref(),
                     header.linearization,
                     &mut out,
+                    scratch,
                 )?;
             }
         }
@@ -349,22 +408,32 @@ fn decode_records_parallel(
     type Slot = Mutex<Option<Result<Vec<u8>, IsobarError>>>;
     let slots: Vec<Slot> = (0..records.len()).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= records.len() {
-                    break;
+            scope.spawn(|| {
+                // One scratch per worker: chunks decoded on this thread
+                // share solver tables and the reassembly buffer.
+                let mut scratch = PipelineScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= records.len() {
+                        break;
+                    }
+                    let mut chunk = Vec::new();
+                    let result = decode_chunk_record(
+                        &records[i],
+                        width,
+                        codec,
+                        linearization,
+                        &mut chunk,
+                        &mut scratch,
+                    )
+                    .map(|()| chunk);
+                    *slots[i].lock().expect("slot poisoned") = Some(result);
                 }
-                let mut chunk = Vec::new();
-                let result =
-                    decode_chunk_record(&records[i], width, codec, linearization, &mut chunk)
-                        .map(|()| chunk);
-                *slots[i].lock().expect("slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
@@ -393,41 +462,56 @@ pub(crate) fn build_chunk_record(
     analyzer: &Analyzer,
     codec: &dyn Codec,
     linearization: Linearization,
+    scratch: &mut PipelineScratch,
 ) -> Result<ChunkRecord, IsobarError> {
     let selection = analyzer.analyze(chunk, width)?;
-    build_chunk_record_with(chunk, width, &selection, codec, linearization)
+    build_chunk_record_with(chunk, width, &selection, codec, linearization, scratch)
 }
 
 /// [`build_chunk_record`] with a precomputed analyzer selection.
+///
+/// The record must own its payload bytes (it outlives the scratch), so
+/// the solver output and the verbatim stream are freshly allocated; the
+/// partition buffer feeding the solver and all solver-internal state
+/// come from `scratch` and are reused across chunks.
 pub(crate) fn build_chunk_record_with(
     chunk: &[u8],
     width: usize,
     selection: &ColumnSelection,
     codec: &dyn Codec,
     linearization: Linearization,
+    scratch: &mut PipelineScratch,
 ) -> Result<ChunkRecord, IsobarError> {
     let elements = (chunk.len() / width) as u32;
     if selection.is_improvable() {
-        let Partitioned {
-            compressible,
-            incompressible,
-        } = partition(chunk, width, selection, linearization);
-        let compressed = codec.compress(&compressible);
+        let mut incompressible = Vec::new();
+        partition_into(
+            chunk,
+            width,
+            selection,
+            linearization,
+            &mut scratch.compressible,
+            &mut incompressible,
+        );
+        let mut compressed = Vec::with_capacity(scratch.compressible.len() / 2 + 64);
+        codec.compress_into(&scratch.compressible, &mut compressed, &mut scratch.codec);
         Ok(ChunkRecord {
             mode: ChunkMode::Partitioned,
             elements,
-            mask: selection.to_mask(),
+            mask: selection.to_mask()?,
             compressed,
             incompressible,
         })
     } else {
         // Undetermined: Algorithm 1 lines 2–3 — whole chunk through
         // the solver.
+        let mut compressed = Vec::with_capacity(chunk.len() / 2 + 64);
+        codec.compress_into(chunk, &mut compressed, &mut scratch.codec);
         Ok(ChunkRecord {
             mode: ChunkMode::Passthrough,
             elements,
             mask: 0,
-            compressed: codec.compress(chunk),
+            compressed,
             incompressible: Vec::new(),
         })
     }
@@ -439,13 +523,14 @@ fn compress_chunk(
     analyzer: &Analyzer,
     codec: &dyn Codec,
     linearization: Linearization,
+    scratch: &mut PipelineScratch,
 ) -> Result<ChunkResult, IsobarError> {
     let t_analysis = Instant::now();
     let selection = analyzer.analyze(chunk, width)?;
     let analysis_secs = t_analysis.elapsed().as_secs_f64();
 
     let t_solver = Instant::now();
-    let record = build_chunk_record_with(chunk, width, &selection, codec, linearization)?;
+    let record = build_chunk_record_with(chunk, width, &selection, codec, linearization, scratch)?;
     let solver_secs = t_solver.elapsed().as_secs_f64();
 
     let decision = ChunkDecision {
@@ -480,19 +565,30 @@ fn compress_chunks_parallel(
     let slots: Vec<Mutex<Option<Result<ChunkResult, IsobarError>>>> =
         (0..chunks.len()).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= chunks.len() {
-                    break;
+            scope.spawn(|| {
+                // One scratch per worker: every chunk this thread picks
+                // up reuses the same hash tables and partition buffer.
+                let mut scratch = PipelineScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let result = compress_chunk(
+                        chunks[i],
+                        width,
+                        analyzer,
+                        codec,
+                        linearization,
+                        &mut scratch,
+                    );
+                    *slots[i].lock().expect("slot poisoned") = Some(result);
                 }
-                let result = compress_chunk(chunks[i], width, analyzer, codec, linearization);
-                *slots[i].lock().expect("slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
@@ -510,20 +606,29 @@ pub(crate) fn decode_chunk_record(
     codec: &dyn Codec,
     linearization: Linearization,
     out: &mut Vec<u8>,
+    scratch: &mut PipelineScratch,
 ) -> Result<(), IsobarError> {
     let expected = record.elements as usize * width;
     match record.mode {
         ChunkMode::Passthrough => {
-            let bytes = codec.decompress(&record.compressed)?;
-            if bytes.len() != expected {
+            codec.decompress_into(
+                &record.compressed,
+                &mut scratch.compressible,
+                &mut scratch.codec,
+            )?;
+            if scratch.compressible.len() != expected {
                 return Err(IsobarError::Corrupt("passthrough chunk length mismatch"));
             }
-            out.extend_from_slice(&bytes);
+            out.extend_from_slice(&scratch.compressible);
         }
         ChunkMode::Partitioned => {
-            let selection = record.selection(width);
-            let compressible = codec.decompress(&record.compressed)?;
-            if compressible.len() + record.incompressible.len() != expected {
+            let selection = record.selection(width)?;
+            codec.decompress_into(
+                &record.compressed,
+                &mut scratch.compressible,
+                &mut scratch.codec,
+            )?;
+            if scratch.compressible.len() + record.incompressible.len() != expected {
                 return Err(IsobarError::Corrupt("partitioned chunk length mismatch"));
             }
             // Scatter both streams straight into the output buffer — no
@@ -531,7 +636,7 @@ pub(crate) fn decode_chunk_record(
             let start = out.len();
             out.resize(start + expected, 0);
             reassemble_into(
-                &compressible,
+                &scratch.compressible,
                 &record.incompressible,
                 width,
                 &selection,
@@ -707,6 +812,55 @@ mod tests {
         // Cross-decodes: parallel decode of serial output and vice versa.
         assert_eq!(parallel.decompress(&a).unwrap(), data);
         assert_eq!(serial.decompress(&b).unwrap(), data);
+
+        // Scratch reuse must not change a single byte either: run two
+        // dissimilar datasets through one warm scratch and compare
+        // against the fresh-scratch outputs above.
+        let other = noise_data(20_000);
+        let mut scratch = PipelineScratch::new();
+        let warm_other = serial
+            .compress_with_scratch(&other, 8, &mut scratch)
+            .unwrap();
+        let warm_a = serial
+            .compress_with_scratch(&data, 8, &mut scratch)
+            .unwrap();
+        assert_eq!(warm_other, serial.compress(&other, 8).unwrap());
+        assert_eq!(warm_a, a);
+        assert_eq!(
+            serial
+                .decompress_with_scratch(&warm_a, &mut scratch)
+                .unwrap(),
+            data
+        );
+        assert_eq!(
+            serial
+                .decompress_with_scratch(&warm_other, &mut scratch)
+                .unwrap(),
+            other
+        );
+    }
+
+    #[test]
+    fn throughput_is_finite_even_for_degenerate_timings() {
+        let report = CompressionReport {
+            codec: CodecId::Deflate,
+            linearization: Linearization::Row,
+            eupa: None,
+            chunks: Vec::new(),
+            input_len: 1_000_000,
+            output_len: 10,
+            analysis_secs: 0.0,
+            solver_secs: 0.0,
+            eupa_secs: 0.0,
+            total_secs: 0.0,
+        };
+        assert!(report.throughput_mbps().is_finite());
+        // Normal timings still divide through as before.
+        let normal = CompressionReport {
+            total_secs: 2.0,
+            ..report
+        };
+        assert!((normal.throughput_mbps() - 0.5).abs() < 1e-12);
     }
 
     #[test]

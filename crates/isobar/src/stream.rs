@@ -25,7 +25,7 @@
 use crate::analyzer::{Analyzer, ColumnSelection};
 use crate::container::{level_from_u8, level_to_u8, ChunkRecord};
 use crate::error::IsobarError;
-use crate::pipeline::IsobarOptions;
+use crate::pipeline::{IsobarOptions, PipelineScratch};
 use isobar_codecs::deflate::Adler32;
 use isobar_codecs::{codec_for, Codec, CodecId};
 use isobar_linearize::Linearization;
@@ -83,6 +83,8 @@ pub struct IsobarWriter<W: Write> {
     checksum: Adler32,
     header_written: bool,
     finished: bool,
+    /// Working memory reused across chunk flushes.
+    scratch: PipelineScratch,
 }
 
 impl<W: Write> IsobarWriter<W> {
@@ -108,6 +110,7 @@ impl<W: Write> IsobarWriter<W> {
             checksum: Adler32::new(),
             header_written: false,
             finished: false,
+            scratch: PipelineScratch::new(),
             options,
         })
     }
@@ -170,6 +173,7 @@ impl<W: Write> IsobarWriter<W> {
             &self.analyzer,
             codec,
             self.linearization,
+            &mut self.scratch,
         )
         .map_err(io_err)?;
         let mut encoded = Vec::with_capacity(record.compressed.len() + 64);
@@ -235,6 +239,8 @@ pub struct IsobarReader<R: Read> {
     checksum: Adler32,
     produced: u64,
     done: bool,
+    /// Working memory reused across chunk decodes.
+    scratch: PipelineScratch,
 }
 
 impl<R: Read> IsobarReader<R> {
@@ -266,6 +272,7 @@ impl<R: Read> IsobarReader<R> {
             checksum: Adler32::new(),
             produced: 0,
             done: false,
+            scratch: PipelineScratch::new(),
         })
     }
 
@@ -301,17 +308,19 @@ impl<R: Read> IsobarReader<R> {
                 read_exact(&mut self.source, &mut payload)?;
                 record_bytes.extend_from_slice(&payload);
                 let (record, _) = ChunkRecord::read(&record_bytes, self.width)?;
-                let mut chunk = Vec::new();
+                // Decode into the fully-consumed pending buffer so its
+                // capacity (and the scratch) carry across chunks.
+                self.pending.clear();
                 crate::pipeline::decode_chunk_record(
                     &record,
                     self.width,
                     self.codec.as_ref(),
                     self.linearization,
-                    &mut chunk,
+                    &mut self.pending,
+                    &mut self.scratch,
                 )?;
-                self.checksum.update(&chunk);
-                self.produced += chunk.len() as u64;
-                self.pending = chunk;
+                self.checksum.update(&self.pending);
+                self.produced += self.pending.len() as u64;
                 self.pending_pos = 0;
                 Ok(())
             }

@@ -101,7 +101,7 @@ proptest! {
         mask in any::<u16>(),
         lin in 0usize..2,
     ) {
-        let selection = ColumnSelection::from_mask(mask as u64 & ((1 << width) - 1), width);
+        let selection = ColumnSelection::from_mask(mask as u64 & ((1 << width) - 1), width).unwrap();
         let lin = Linearization::ALL[lin];
         let parts = partition(&data, width, &selection, lin);
         prop_assert_eq!(reassemble(&parts, width, &selection, lin), data);

@@ -11,9 +11,9 @@
 use crate::error::StoreError;
 use crate::format::IndexEntry;
 use crate::writer::StoreWriter;
-use crossbeam::channel::{bounded, Sender};
 use isobar::IsobarOptions;
 use std::path::Path;
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
 
 struct Job {
@@ -25,7 +25,7 @@ struct Job {
 
 /// A [`StoreWriter`] fronted by a bounded queue and a worker thread.
 pub struct PipelinedStoreWriter {
-    tx: Option<Sender<Job>>,
+    tx: Option<SyncSender<Job>>,
     worker: Option<JoinHandle<Result<Vec<IndexEntry>, StoreError>>>,
 }
 
@@ -38,7 +38,7 @@ impl PipelinedStoreWriter {
         queue_depth: usize,
     ) -> Result<Self, StoreError> {
         let mut writer = StoreWriter::create(path, options)?;
-        let (tx, rx) = bounded::<Job>(queue_depth.max(1));
+        let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
         let worker = std::thread::spawn(move || {
             for job in rx {
                 writer.put(job.step, &job.name, &job.data, job.width)?;

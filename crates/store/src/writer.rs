@@ -2,7 +2,7 @@
 
 use crate::error::StoreError;
 use crate::format::{IndexEntry, MAGIC, TRAILER_MAGIC, VERSION};
-use isobar::{IsobarCompressor, IsobarOptions};
+use isobar::{IsobarCompressor, IsobarOptions, PipelineScratch};
 use std::collections::HashSet;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -18,6 +18,8 @@ use std::path::Path;
 pub struct StoreWriter {
     sink: BufWriter<File>,
     compressor: IsobarCompressor,
+    /// Pipeline working memory, warm across every `put` call.
+    scratch: PipelineScratch,
     index: Vec<IndexEntry>,
     seen: HashSet<(u32, String)>,
     offset: u64,
@@ -32,6 +34,7 @@ impl StoreWriter {
         Ok(StoreWriter {
             sink,
             compressor: IsobarCompressor::new(options),
+            scratch: PipelineScratch::new(),
             index: Vec::new(),
             seen: HashSet::new(),
             offset: (MAGIC.len() + 1) as u64,
@@ -58,7 +61,9 @@ impl StoreWriter {
                 name: name.to_string(),
             });
         }
-        let container = self.compressor.compress(data, width)?;
+        let container = self
+            .compressor
+            .compress_with_scratch(data, width, &mut self.scratch)?;
 
         let name_bytes = name.as_bytes();
         self.sink

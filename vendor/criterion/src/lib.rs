@@ -1,0 +1,180 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the benchmark surface its `harness = false` benches use:
+//! groups, throughput annotation, `bench_function` /
+//! `bench_with_input`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is deliberately simple — per benchmark it runs
+//! a short warm-up, then `sample_size` timed samples (each sample
+//! auto-batched to at least ~5 ms), and reports the median sample with
+//! min/max spread and, when a `Throughput` is set, MB/s. No plotting,
+//! no statistics beyond the median, no saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Collects iteration timings for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time the routine: warm up, choose a batch size so one sample
+    /// lasts at least ~5 ms, then record `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warmup = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+
+        let batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(
+                start
+                    .elapsed()
+                    .div_f64(batch as f64)
+                    .max(Duration::from_nanos(1)),
+            );
+        }
+        self.samples.sort_unstable();
+    }
+
+    fn median(&self) -> Duration {
+        self.samples
+            .get(self.samples.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let median = bencher.median();
+    let lo = bencher.samples.first().copied().unwrap_or_default();
+    let hi = bencher.samples.last().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>10.1} MB/s",
+                n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{label:<45} {median:>12.3?}  [{lo:.3?} .. {hi:.3?}]{rate}");
+}
+
+/// A named set of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, label),
+            &bencher,
+            self.throughput,
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) {
+        self.run(label, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.run(label, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filter args) to
+            // `harness = false` binaries; this simple runner always
+            // runs everything.
+            $($group();)+
+        }
+    };
+}
