@@ -17,11 +17,16 @@
 //! prior run's results; each is embedded in the output together with
 //! the speedup of this run over it.
 
-use isobar::{CodecId, IsobarCompressor, IsobarOptions, Linearization, Preference};
+use isobar::telemetry::{Stage, ENABLED};
+use isobar::{CodecId, IsobarCompressor, IsobarOptions, Linearization, Preference, Recorder};
 use isobar_codecs::CompressionLevel;
 use isobar_datasets::catalog;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Version of the JSON layout written by this benchmark. Bumped when
+/// fields are added, renamed, or change meaning.
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One paper chunk: 375 000 doubles ≈ 3 MB.
 const CHUNK_ELEMENTS: usize = 375_000;
@@ -144,8 +149,40 @@ fn main() {
         }),
     );
 
+    // One instrumented round trip (serial default, outside the timed
+    // loops) yielding the telemetry per-stage wall-time breakdown.
+    let stage_breakdown = if ENABLED {
+        let mut recorder = Recorder::new();
+        let mut scratch = isobar::PipelineScratch::new();
+        isobar
+            .compress_recorded(&ds.bytes, width, &mut scratch, &mut recorder)
+            .expect("aligned input");
+        isobar
+            .decompress_recorded(&packed, &mut scratch, &mut recorder)
+            .expect("own container");
+        let snap = recorder.snapshot();
+        let lines: Vec<String> = Stage::ALL
+            .iter()
+            .filter(|&&s| snap.stage(s).count > 0)
+            .map(|&s| {
+                let stats = snap.stage(s);
+                format!(
+                    "    \"{}\": {{\"count\": {}, \"total_ms\": {:.3}, \"mean_us\": {:.3}}}",
+                    s.name(),
+                    stats.count,
+                    stats.total_nanos as f64 / 1e6,
+                    stats.mean_nanos() as f64 / 1e3,
+                )
+            })
+            .collect();
+        Some(lines)
+    } else {
+        None
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
     let _ = writeln!(json, "  \"dataset\": \"gts_chkp_zion\",");
     let _ = writeln!(json, "  \"chunk_elements\": {CHUNK_ELEMENTS},");
@@ -160,6 +197,13 @@ fn main() {
         let _ = writeln!(json, "    \"{name}\": {mbps:.1}{comma}");
     }
     json.push_str("  }");
+    if let Some(lines) = &stage_breakdown {
+        // Per-stage wall time from one instrumented serial round trip;
+        // the throughput numbers above come from uninstrumented runs.
+        json.push_str(",\n  \"stage_breakdown\": {\n");
+        json.push_str(&lines.join(",\n"));
+        json.push_str("\n  }");
+    }
     if !baseline.is_empty() {
         json.push_str(",\n  \"baseline\": {\n");
         let _ = writeln!(json, "    \"label\": \"{baseline_label}\",");

@@ -23,10 +23,34 @@ compress options:
   --parallel           compress chunks on all cores
   --stream             constant-memory streaming mode (one chunk in
                        flight; output uses the streamable framing)
+  --stats[=table|json] print per-stage telemetry after the run
+                       (default format: table)
   --quiet              suppress the summary report
 
 decompress options:
-  --stream             required for containers written with --stream";
+  --stream             required for containers written with --stream
+  --stats[=table|json] print per-stage telemetry after the run";
+
+/// How `--stats` output should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable aligned table.
+    Table,
+    /// The snapshot's canonical JSON form.
+    Json,
+}
+
+impl StatsFormat {
+    fn parse_flag(arg: &str) -> Option<Result<StatsFormat, String>> {
+        match arg {
+            "--stats" | "--stats=table" => Some(Ok(StatsFormat::Table)),
+            "--stats=json" => Some(Ok(StatsFormat::Json)),
+            _ => arg
+                .strip_prefix("--stats=")
+                .map(|other| Err(format!("--stats must be table|json, got '{other}'"))),
+        }
+    }
+}
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +69,8 @@ pub enum Command {
         stream: bool,
         /// Suppress the summary.
         quiet: bool,
+        /// Print telemetry after the run, in this format.
+        stats: Option<StatsFormat>,
     },
     /// Decompress `input` into `output`.
     Decompress {
@@ -54,6 +80,8 @@ pub enum Command {
         output: PathBuf,
         /// The container uses the streaming framing.
         stream: bool,
+        /// Print telemetry after the run, in this format.
+        stats: Option<StatsFormat>,
     },
     /// Analyze and report, without writing anything.
     Analyze {
@@ -114,8 +142,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "compress" | "c" => parse_compress(&mut it),
         "decompress" | "d" => {
             let mut stream = false;
+            let mut stats = None;
             let mut paths: Vec<PathBuf> = Vec::new();
             for arg in it {
+                if let Some(parsed) = StatsFormat::parse_flag(arg) {
+                    stats = Some(parsed?);
+                    continue;
+                }
                 match arg.as_str() {
                     "--stream" => stream = true,
                     other if other.starts_with('-') => {
@@ -131,6 +164,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 input,
                 output,
                 stream,
+                stats,
             })
         }
         "analyze" | "a" => parse_analyze(&mut it),
@@ -152,9 +186,14 @@ fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
     let mut ratio_floor: Option<f64> = None;
     let mut quiet = false;
     let mut stream = false;
+    let mut stats = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
     while let Some(arg) = it.next() {
+        if let Some(parsed) = StatsFormat::parse_flag(arg) {
+            stats = Some(parsed?);
+            continue;
+        }
         match arg.as_str() {
             "--stream" => stream = true,
             "--width" | "-w" => {
@@ -232,6 +271,7 @@ fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
         options,
         stream,
         quiet,
+        stats,
     })
 }
 
@@ -409,6 +449,7 @@ mod tests {
                 input: "a".into(),
                 output: "b".into(),
                 stream: false,
+                stats: None,
             }
         );
         assert_eq!(
@@ -417,6 +458,7 @@ mod tests {
                 input: "a".into(),
                 output: "b".into(),
                 stream: true,
+                stats: None,
             }
         );
         assert_eq!(
@@ -456,6 +498,40 @@ mod tests {
             Command::Compress { stream, .. } => assert!(!stream),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_flag_variants_parse() {
+        match parse(&strings(&["compress", "--width", "8", "--stats", "a", "b"])).unwrap() {
+            Command::Compress { stats, .. } => assert_eq!(stats, Some(StatsFormat::Table)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&strings(&[
+            "compress",
+            "--width",
+            "8",
+            "--stats=json",
+            "a",
+            "b",
+        ]))
+        .unwrap()
+        {
+            Command::Compress { stats, .. } => assert_eq!(stats, Some(StatsFormat::Json)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&strings(&["decompress", "--stats=table", "a", "b"])).unwrap() {
+            Command::Decompress { stats, .. } => assert_eq!(stats, Some(StatsFormat::Table)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&strings(&[
+            "compress",
+            "--width",
+            "8",
+            "--stats=xml",
+            "a",
+            "b"
+        ]))
+        .is_err());
     }
 
     #[test]

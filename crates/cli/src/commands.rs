@@ -1,8 +1,8 @@
 //! Command implementations for the `isobar` CLI.
 
-use crate::args::{Command, CompressOptions};
+use crate::args::{Command, CompressOptions, StatsFormat};
 use isobar::container::Header;
-use isobar::{Analyzer, IsobarCompressor, IsobarOptions};
+use isobar::{Analyzer, IsobarCompressor, IsobarOptions, Recorder, TelemetrySnapshot};
 use std::fs;
 use std::path::Path;
 
@@ -16,7 +16,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             options,
             stream: false,
             quiet,
-        } => compress(&input, &output, width, options, quiet),
+            stats,
+        } => compress(&input, &output, width, options, quiet, stats),
         Command::Compress {
             input,
             output,
@@ -24,17 +25,20 @@ pub fn run(cmd: Command) -> Result<(), String> {
             options,
             stream: true,
             quiet,
-        } => compress_stream(&input, &output, width, options, quiet),
+            stats,
+        } => compress_stream(&input, &output, width, options, quiet, stats),
         Command::Decompress {
             input,
             output,
             stream: false,
-        } => decompress(&input, &output),
+            stats,
+        } => decompress(&input, &output, stats),
         Command::Decompress {
             input,
             output,
             stream: true,
-        } => decompress_stream(&input, &output),
+            stats,
+        } => decompress_stream(&input, &output, stats),
         Command::Analyze {
             input,
             width,
@@ -53,28 +57,36 @@ fn write(path: &Path, bytes: &[u8]) -> Result<(), String> {
     fs::write(path, bytes).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Print a telemetry snapshot in the requested format. JSON goes to
+/// stdout (it is the machine-readable artifact); the table goes to
+/// stderr alongside the human summary.
+fn print_stats(snapshot: &TelemetrySnapshot, format: StatsFormat) {
+    if !isobar::telemetry::ENABLED {
+        eprintln!("note: this binary was built without telemetry; all stats are zero");
+    }
+    match format {
+        StatsFormat::Json => println!("{}", snapshot.to_json()),
+        StatsFormat::Table => eprintln!("{}", snapshot.render_table()),
+    }
+}
+
 fn compress(
     input: &Path,
     output: &Path,
     width: usize,
     options: CompressOptions,
     quiet: bool,
+    stats: Option<StatsFormat>,
 ) -> Result<(), String> {
     let data = read(input)?;
-    let isobar = IsobarCompressor::new(IsobarOptions {
-        preference: options.preference,
-        level: options.level,
-        tau: options.tau,
-        chunk_elements: options.chunk_elements,
-        codec_override: options.codec,
-        linearization_override: options.linearization,
-        parallel: options.parallel,
-        ..Default::default()
-    });
+    let isobar = IsobarCompressor::new(options_from(&options));
     let (packed, report) = isobar
         .compress_with_report(&data, width)
         .map_err(|e| e.to_string())?;
     write(output, &packed)?;
+    if let Some(format) = stats {
+        print_stats(&report.telemetry, format);
+    }
     if !quiet {
         eprintln!(
             "{} -> {}: {} -> {} bytes (CR {:.3}, {:.1} MB/s)",
@@ -96,12 +108,18 @@ fn compress(
     Ok(())
 }
 
-fn decompress(input: &Path, output: &Path) -> Result<(), String> {
+fn decompress(input: &Path, output: &Path, stats: Option<StatsFormat>) -> Result<(), String> {
     let packed = read(input)?;
+    let mut recorder = Recorder::new();
+    let mut scratch = isobar::PipelineScratch::new();
     let restored = IsobarCompressor::default()
-        .decompress(&packed)
+        .decompress_recorded(&packed, &mut scratch, &mut recorder)
         .map_err(|e| e.to_string())?;
-    write(output, &restored)
+    write(output, &restored)?;
+    if let Some(format) = stats {
+        print_stats(&recorder.snapshot(), format);
+    }
+    Ok(())
 }
 
 fn options_from(options: &CompressOptions) -> IsobarOptions {
@@ -124,6 +142,7 @@ fn compress_stream(
     width: usize,
     options: CompressOptions,
     quiet: bool,
+    stats: Option<StatsFormat>,
 ) -> Result<(), String> {
     use std::io::{BufReader, BufWriter, Read, Write};
     let src = fs::File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
@@ -140,7 +159,10 @@ fn compress_stream(
         writer.write_all(&buf[..n]).map_err(|e| e.to_string())?;
     }
     let total_in = writer.bytes_written();
-    writer.finish().map_err(|e| e.to_string())?;
+    let (_, telemetry) = writer.finish_with_telemetry().map_err(|e| e.to_string())?;
+    if let Some(format) = stats {
+        print_stats(&telemetry, format);
+    }
     if !quiet {
         let out_len = fs::metadata(output).map(|m| m.len()).unwrap_or(0);
         eprintln!(
@@ -156,7 +178,11 @@ fn compress_stream(
 }
 
 /// Constant-memory decompression of the streamed framing.
-fn decompress_stream(input: &Path, output: &Path) -> Result<(), String> {
+fn decompress_stream(
+    input: &Path,
+    output: &Path,
+    stats: Option<StatsFormat>,
+) -> Result<(), String> {
     use std::io::{BufReader, BufWriter, Read, Write};
     let src = fs::File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
     let dst = fs::File::create(output).map_err(|e| format!("{}: {e}", output.display()))?;
@@ -170,7 +196,11 @@ fn decompress_stream(input: &Path, output: &Path) -> Result<(), String> {
         }
         writer.write_all(&buf[..n]).map_err(|e| e.to_string())?;
     }
-    writer.flush().map_err(|e| e.to_string())
+    writer.flush().map_err(|e| e.to_string())?;
+    if let Some(format) = stats {
+        print_stats(&reader.telemetry(), format);
+    }
+    Ok(())
 }
 
 fn analyze(input: &Path, width: usize, tau: f64, bits: bool) -> Result<(), String> {
@@ -274,9 +304,10 @@ mod tests {
                 ..Default::default()
             },
             true,
+            None,
         )
         .unwrap();
-        decompress(&packed, &restored).unwrap();
+        decompress(&packed, &restored, None).unwrap();
         assert_eq!(fs::read(&restored).unwrap(), ds.bytes);
 
         for p in [&input, &packed, &restored] {
@@ -289,7 +320,7 @@ mod tests {
         let input = tmp("info-in.bin");
         let packed = tmp("info-out.isbr");
         fs::write(&input, vec![7u8; 800]).unwrap();
-        compress(&input, &packed, 8, CompressOptions::default(), true).unwrap();
+        compress(&input, &packed, 8, CompressOptions::default(), true, None).unwrap();
         info(&packed).unwrap();
         for p in [&input, &packed] {
             let _ = fs::remove_file(p);
@@ -316,13 +347,14 @@ mod tests {
                 ..Default::default()
             },
             true,
+            None,
         )
         .unwrap();
-        decompress_stream(&packed, &restored).unwrap();
+        decompress_stream(&packed, &restored, None).unwrap();
         assert_eq!(fs::read(&restored).unwrap(), ds.bytes);
 
         // The batch decompressor must not accept the stream framing.
-        assert!(decompress(&packed, &tmp("never")).is_err());
+        assert!(decompress(&packed, &tmp("never"), None).is_err());
 
         for p in [&input, &packed, &restored] {
             let _ = fs::remove_file(p);
@@ -332,14 +364,14 @@ mod tests {
     #[test]
     fn missing_files_produce_errors_not_panics() {
         assert!(read(Path::new("/no/such/isobar/file")).is_err());
-        assert!(decompress(Path::new("/no/such/file"), Path::new("/tmp/x")).is_err());
+        assert!(decompress(Path::new("/no/such/file"), Path::new("/tmp/x"), None).is_err());
     }
 
     #[test]
     fn decompress_rejects_non_containers() {
         let input = tmp("garbage.bin");
         fs::write(&input, b"this is not a container").unwrap();
-        assert!(decompress(&input, &tmp("never-written")).is_err());
+        assert!(decompress(&input, &tmp("never-written"), None).is_err());
         let _ = fs::remove_file(&input);
     }
 }

@@ -34,8 +34,8 @@ const LEN_FIELD_BITS: u32 = 5;
 /// Burrows–Wheeler transform of `data`.
 ///
 /// Returns the last column of the sorted rotations of `data + sentinel`,
-/// as symbols over the [`BWT_ALPHA`] alphabet (byte `b` appears as
-/// `b + 1`; the sentinel 0 appears exactly once). Output length is
+/// as symbols over the 257-value `BWT_ALPHA` alphabet (byte `b` appears
+/// as `b + 1`; the sentinel 0 appears exactly once). Output length is
 /// `data.len() + 1`.
 ///
 /// # Example

@@ -8,6 +8,7 @@
 //! compression-ratio improvements are stable for τ ∈ [1.4, 1.5].
 
 use crate::error::IsobarError;
+use isobar_telemetry::{Counter, Recorder};
 
 /// The paper's tolerance factor (§II.A).
 pub const DEFAULT_TAU: f64 = 1.42;
@@ -145,6 +146,77 @@ impl Analyzer {
     /// # Ok::<(), isobar::IsobarError>(())
     /// ```
     pub fn analyze(&self, data: &[u8], width: usize) -> Result<ColumnSelection, IsobarError> {
+        let (hists, tolerance) = self.fill_histograms(data, width)?;
+        let (even_bank, odd_bank) = hists.split_at(width);
+        let bits = even_bank
+            .iter()
+            .zip(odd_bank)
+            .map(|(even, odd)| {
+                even.iter()
+                    .zip(odd)
+                    .any(|(&e, &o)| (e + o) as f64 > tolerance)
+            })
+            .collect();
+        Ok(ColumnSelection::new(bits))
+    }
+
+    /// [`Analyzer::analyze`], additionally recording per-column
+    /// frequency-test outcomes and the τ-margin distribution.
+    ///
+    /// The *τ-margin* of a column is its peak combined bin count
+    /// divided by the tolerance `τ·N/256`: margins above 1 pass the
+    /// frequency test (compressible), margins below fail. The recorded
+    /// histogram shows how far a dataset sits from the τ decision
+    /// boundary — the empirical basis for the paper's claim that
+    /// results are stable for τ ∈ [1.4, 1.5].
+    ///
+    /// Classification is bit-identical to [`Analyzer::analyze`]; in the
+    /// telemetry-off build the margin scan is skipped entirely and this
+    /// *is* `analyze`.
+    pub fn analyze_recorded(
+        &self,
+        data: &[u8],
+        width: usize,
+        recorder: &mut Recorder,
+    ) -> Result<ColumnSelection, IsobarError> {
+        if !isobar_telemetry::ENABLED {
+            return self.analyze(data, width);
+        }
+        let (hists, tolerance) = self.fill_histograms(data, width)?;
+        let (even_bank, odd_bank) = hists.split_at(width);
+        let mut bits = Vec::with_capacity(width);
+        for (even, odd) in even_bank.iter().zip(odd_bank) {
+            // `max > tolerance` ⇔ `any bin > tolerance`: same verdict
+            // as analyze(), but the peak also yields the margin.
+            let peak = even
+                .iter()
+                .zip(odd)
+                .map(|(&e, &o)| e + o)
+                .max()
+                .unwrap_or(0);
+            let compressible = peak as f64 > tolerance;
+            if tolerance > 0.0 {
+                recorder.record_tau_margin(peak as f64 / tolerance);
+            }
+            recorder.incr(if compressible {
+                Counter::ColumnsCompressible
+            } else {
+                Counter::ColumnsIncompressible
+            });
+            bits.push(compressible);
+        }
+        recorder.incr(Counter::AnalyzerChunks);
+        recorder.add(Counter::AnalyzerBytes, data.len() as u64);
+        Ok(ColumnSelection::new(bits))
+    }
+
+    /// The shared histogram pass: one 256-bin histogram pair per
+    /// column, plus the tolerance `τ·N/256` they are judged against.
+    fn fill_histograms(
+        &self,
+        data: &[u8],
+        width: usize,
+    ) -> Result<(Vec<[u32; 256]>, f64), IsobarError> {
         if width == 0 || width > 64 {
             return Err(IsobarError::BadWidth(width));
         }
@@ -174,18 +246,7 @@ impl Analyzer {
         for (hist, &b) in even_bank.iter_mut().zip(pairs.remainder()) {
             hist[b as usize] += 1;
         }
-
-        let (even_bank, odd_bank) = hists.split_at(width);
-        let bits = even_bank
-            .iter()
-            .zip(odd_bank)
-            .map(|(even, odd)| {
-                even.iter()
-                    .zip(odd)
-                    .any(|(&e, &o)| (e + o) as f64 > tolerance)
-            })
-            .collect();
-        Ok(ColumnSelection::new(bits))
+        Ok((hists, tolerance))
     }
 
     /// Analysis throughput helper: classify and report wall time — the
@@ -340,6 +401,31 @@ mod tests {
             ColumnSelection::from_mask(0, 65),
             Err(IsobarError::BadWidth(65))
         ));
+    }
+
+    #[test]
+    fn recorded_analysis_matches_plain_and_counts_columns() {
+        let data = mixed_data(100_000);
+        let mut rec = Recorder::new();
+        let plain = Analyzer::default().analyze(&data, 4).unwrap();
+        let recorded = Analyzer::default()
+            .analyze_recorded(&data, 4, &mut rec)
+            .unwrap();
+        assert_eq!(plain, recorded);
+        let snap = rec.snapshot();
+        if isobar_telemetry::ENABLED {
+            assert_eq!(snap.counter(Counter::ColumnsCompressible), 3);
+            assert_eq!(snap.counter(Counter::ColumnsIncompressible), 1);
+            assert_eq!(snap.counter(Counter::AnalyzerChunks), 1);
+            assert_eq!(snap.counter(Counter::AnalyzerBytes), data.len() as u64);
+            // One margin sample per column; the constant column's
+            // margin (N vs τ·N/256) lands in the open-ended top bucket,
+            // the uniform column's (≈1/τ) well below 1.
+            assert_eq!(snap.tau_margin.iter().sum::<u64>(), 4);
+            assert!(snap.tau_margin[15] >= 1);
+        } else {
+            assert!(snap.is_empty());
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::analyzer::ColumnSelection;
 use crate::partitioner::partition;
 use isobar_codecs::{codec_for, CodecId, CompressionLevel};
 use isobar_linearize::Linearization;
+use isobar_telemetry::{Counter, Recorder, Stage, StageTimer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -118,6 +119,27 @@ impl EupaSelector {
     /// sample inherits it — byte-column statistics are position
     /// independent). For undetermined datasets pass an all-compressible
     /// selection so the whole sample is routed through the solver.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use isobar::{Analyzer, EupaSelector, Preference};
+    ///
+    /// // 8-byte elements: a predictable top half, a noisy bottom half.
+    /// let data: Vec<u8> = (0..50_000u64)
+    ///     .flat_map(|i| ((i / 50) << 32 | (i.wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF)).to_le_bytes())
+    ///     .collect();
+    ///
+    /// let selection = Analyzer::default().analyze(&data, 8)?;
+    /// let decision = EupaSelector::default().select(&data, 8, &selection, Preference::Speed);
+    /// // All four solver × linearization combinations were measured...
+    /// assert_eq!(decision.samples.len(), 4);
+    /// // ...and the winner is one of them.
+    /// assert!(decision.samples.iter().any(|s| {
+    ///     s.codec == decision.codec && s.linearization == decision.linearization
+    /// }));
+    /// # Ok::<(), isobar::IsobarError>(())
+    /// ```
     pub fn select(
         &self,
         data: &[u8],
@@ -125,15 +147,35 @@ impl EupaSelector {
         selection: &ColumnSelection,
         preference: Preference,
     ) -> EupaDecision {
+        self.select_recorded(data, width, selection, preference, &mut Recorder::new())
+    }
+
+    /// [`EupaSelector::select`], additionally recording each trial
+    /// compression (combination, wall time) and the final decision.
+    pub fn select_recorded(
+        &self,
+        data: &[u8],
+        width: usize,
+        selection: &ColumnSelection,
+        preference: Preference,
+        recorder: &mut Recorder,
+    ) -> EupaDecision {
+        let stage = StageTimer::start(Stage::EupaSelect);
+        recorder.incr(Counter::EupaRuns);
         let sample = self.sample(data, width);
         let mut samples = Vec::with_capacity(4);
-        for codec_id in [CodecId::Deflate, CodecId::Bzip2Like] {
+        for (codec_idx, codec_id) in [CodecId::Deflate, CodecId::Bzip2Like]
+            .into_iter()
+            .enumerate()
+        {
             let codec = codec_for(codec_id, self.level);
             for lin in Linearization::ALL {
                 let start = Instant::now();
                 let parts = partition(&sample, width, selection, lin);
                 let compressed = codec.compress(&parts.compressible);
-                let elapsed = start.elapsed().as_secs_f64();
+                let elapsed = start.elapsed();
+                recorder.record_eupa_trial(codec_idx, lin as usize, elapsed.as_nanos() as u64);
+                let elapsed = elapsed.as_secs_f64();
                 let out_len = compressed.len() + parts.incompressible.len();
                 let ratio = if out_len == 0 {
                     1.0
@@ -154,6 +196,12 @@ impl EupaSelector {
             }
         }
         let best = choose(&samples, preference);
+        let codec_idx = match best.codec {
+            CodecId::Deflate => 0,
+            CodecId::Bzip2Like => 1,
+        };
+        recorder.record_eupa_selected(codec_idx, best.linearization as usize);
+        stage.finish(recorder);
         EupaDecision {
             codec: best.codec,
             linearization: best.linearization,

@@ -26,7 +26,15 @@
 //!
 //! The top-level entry points are [`IsobarCompressor::compress`] and
 //! [`IsobarCompressor::decompress`] in [`pipeline`]; round-trips are
-//! byte-exact.
+//! byte-exact. Every stage records into the [`telemetry`] substrate
+//! (free when compiled out — see the `docs/FORMAT.md` and README
+//! "Observability" notes): [`CompressionReport::telemetry`] carries the
+//! per-call snapshot, and the `*_recorded` variants
+//! ([`IsobarCompressor::compress_recorded`],
+//! [`Analyzer::analyze_recorded`], [`EupaSelector::select_recorded`])
+//! accumulate into a caller-held [`Recorder`]. The on-disk container
+//! layouts (batch `ISBR`, streaming `ISBS`, store `ISST`) are specified
+//! byte-by-byte in `docs/FORMAT.md`.
 //!
 //! # Example
 //!
@@ -66,3 +74,10 @@ pub use stream::{IsobarReader, IsobarWriter};
 
 pub use isobar_codecs::{Codec, CodecId, CompressionLevel};
 pub use isobar_linearize::Linearization;
+
+/// Re-export of the telemetry substrate so downstream crates can name
+/// counters, stages, and snapshots without a direct dependency. See
+/// [`isobar_telemetry`] for the recording model and the telemetry-off
+/// build configuration.
+pub use isobar_telemetry as telemetry;
+pub use isobar_telemetry::{Recorder, TelemetrySnapshot};

@@ -8,13 +8,14 @@
 
 use crate::analyzer::{Analyzer, ColumnSelection};
 use crate::chunk::{element_chunks, DEFAULT_CHUNK_ELEMENTS};
-use crate::container::{ChunkMode, ChunkRecord, Header, HEADER_LEN};
+use crate::container::{ChunkMode, ChunkRecord, Header, CHUNK_HEADER_LEN, HEADER_LEN};
 use crate::error::IsobarError;
 use crate::eupa::{EupaDecision, EupaSelector, Preference};
 use crate::partitioner::{partition_into, reassemble_into};
 use isobar_codecs::deflate::adler32;
 use isobar_codecs::{codec_for, Codec, CodecId, CodecScratch, CompressionLevel};
 use isobar_linearize::Linearization;
+use isobar_telemetry::{Counter, Recorder, Stage, StageTimer, TelemetrySnapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -97,6 +98,10 @@ pub struct CompressionReport {
     pub eupa_secs: f64,
     /// Wall time of the whole compress call.
     pub total_secs: f64,
+    /// Telemetry recorded during this call — per-stage wall times,
+    /// partitioner byte routing, analyzer column outcomes, EUPA trial
+    /// timings. All-zero in the telemetry-off build.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl CompressionReport {
@@ -187,6 +192,17 @@ impl IsobarCompressor {
     }
 
     /// Compress `data` as elements of `width` bytes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use isobar::IsobarCompressor;
+    ///
+    /// let data: Vec<u8> = (0..2000u64).flat_map(u64::to_le_bytes).collect();
+    /// let isobar = IsobarCompressor::default();
+    /// let packed = isobar.compress(&data, 8).unwrap();
+    /// assert_eq!(isobar.decompress(&packed).unwrap(), data);
+    /// ```
     pub fn compress(&self, data: &[u8], width: usize) -> Result<Vec<u8>, IsobarError> {
         self.compress_with_report(data, width).map(|(out, _)| out)
     }
@@ -205,13 +221,48 @@ impl IsobarCompressor {
     }
 
     /// Compress and return the detailed report (per-chunk decisions,
-    /// stage timings) used by the benchmark harness.
+    /// stage timings, and the [`CompressionReport::telemetry`]
+    /// snapshot) used by the benchmark harness and `--stats`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use isobar::telemetry::Counter;
+    /// use isobar::IsobarCompressor;
+    ///
+    /// let data: Vec<u8> = (0..2000u64).flat_map(u64::to_le_bytes).collect();
+    /// let (packed, report) = IsobarCompressor::default()
+    ///     .compress_with_report(&data, 8)
+    ///     .unwrap();
+    /// assert_eq!(report.input_len, data.len());
+    /// assert_eq!(report.output_len, packed.len());
+    /// if isobar::telemetry::ENABLED {
+    ///     let snap = &report.telemetry;
+    ///     assert_eq!(snap.counter(Counter::AnalyzerBytes), data.len() as u64);
+    /// }
+    /// ```
     pub fn compress_with_report(
         &self,
         data: &[u8],
         width: usize,
     ) -> Result<(Vec<u8>, CompressionReport), IsobarError> {
         self.compress_with_report_scratch(data, width, &mut PipelineScratch::new())
+    }
+
+    /// [`IsobarCompressor::compress`] recording telemetry into a
+    /// caller-held [`Recorder`] — for long-lived callers (the
+    /// checkpoint store, benchmark loops) that aggregate counters
+    /// across many compress calls.
+    pub fn compress_recorded(
+        &self,
+        data: &[u8],
+        width: usize,
+        scratch: &mut PipelineScratch,
+        recorder: &mut Recorder,
+    ) -> Result<Vec<u8>, IsobarError> {
+        let (out, report) = self.compress_with_report_scratch(data, width, scratch)?;
+        recorder.absorb_snapshot(&report.telemetry);
+        Ok(out)
     }
 
     /// [`IsobarCompressor::compress_with_report`] with caller-held
@@ -222,6 +273,8 @@ impl IsobarCompressor {
         width: usize,
         scratch: &mut PipelineScratch,
     ) -> Result<(Vec<u8>, CompressionReport), IsobarError> {
+        let mut recorder = Recorder::new();
+        let recorder = &mut recorder;
         let t_start = Instant::now();
         if width == 0 || width > 64 {
             return Err(IsobarError::BadWidth(width));
@@ -255,7 +308,8 @@ impl IsobarCompressor {
                     };
                     let mut eupa = opts.eupa;
                     eupa.level = opts.level;
-                    let decision = eupa.select(data, width, &eupa_sel, opts.preference);
+                    let decision =
+                        eupa.select_recorded(data, width, &eupa_sel, opts.preference, recorder);
                     eupa_secs = t.elapsed().as_secs_f64();
                     (
                         codec_override.unwrap_or(decision.codec),
@@ -269,7 +323,14 @@ impl IsobarCompressor {
         // Per-chunk analysis + compression.
         let chunks: Vec<&[u8]> = element_chunks(data, width, opts.chunk_elements).collect();
         let results = if opts.parallel && chunks.len() > 1 {
-            compress_chunks_parallel(&chunks, width, &analyzer, codec.as_ref(), linearization)?
+            compress_chunks_parallel(
+                &chunks,
+                width,
+                &analyzer,
+                codec.as_ref(),
+                linearization,
+                recorder,
+            )?
         } else {
             let mut results = Vec::with_capacity(chunks.len());
             for chunk in &chunks {
@@ -280,11 +341,13 @@ impl IsobarCompressor {
                     codec.as_ref(),
                     linearization,
                     scratch,
+                    recorder,
                 )?);
             }
             results
         };
 
+        let container_timer = StageTimer::start(Stage::ContainerWrite);
         let mut analysis_secs = 0.0;
         let mut solver_secs = 0.0;
         let mut decisions = Vec::with_capacity(results.len());
@@ -309,6 +372,11 @@ impl IsobarCompressor {
         let mut out = Vec::with_capacity(HEADER_LEN + body.len());
         header.write(&mut out);
         out.extend_from_slice(&body);
+        container_timer.finish(recorder);
+        recorder.add(
+            Counter::ContainerMetadataBytes,
+            (HEADER_LEN + results.len() * CHUNK_HEADER_LEN) as u64,
+        );
 
         let report = CompressionReport {
             codec: codec_id,
@@ -321,6 +389,7 @@ impl IsobarCompressor {
             solver_secs,
             eupa_secs,
             total_secs: t_start.elapsed().as_secs_f64(),
+            telemetry: recorder.snapshot(),
         };
         Ok((out, report))
     }
@@ -337,6 +406,18 @@ impl IsobarCompressor {
         data: &[u8],
         scratch: &mut PipelineScratch,
     ) -> Result<Vec<u8>, IsobarError> {
+        self.decompress_recorded(data, scratch, &mut Recorder::new())
+    }
+
+    /// [`IsobarCompressor::decompress`] recording telemetry into a
+    /// caller-held [`Recorder`].
+    pub fn decompress_recorded(
+        &self,
+        data: &[u8],
+        scratch: &mut PipelineScratch,
+        recorder: &mut Recorder,
+    ) -> Result<Vec<u8>, IsobarError> {
+        let container_timer = StageTimer::start(Stage::ContainerRead);
         let header = Header::read(data)?;
         let width = header.width as usize;
         let codec = codec_for(header.codec, header.level);
@@ -358,6 +439,11 @@ impl IsobarCompressor {
         if claimed != header.total_len {
             return Err(IsobarError::Corrupt("reassembled length mismatch"));
         }
+        container_timer.finish(recorder);
+        recorder.add(
+            Counter::ContainerMetadataBytes,
+            (HEADER_LEN + records.len() * CHUNK_HEADER_LEN) as u64,
+        );
 
         // Cap the pre-allocation: a corrupted header must not be able
         // to request an absurd reservation before validation fails.
@@ -366,8 +452,13 @@ impl IsobarCompressor {
             .min(1 << 31);
         let mut out = Vec::with_capacity(capacity);
         if self.options.parallel && records.len() > 1 {
-            let chunks =
-                decode_records_parallel(&records, width, codec.as_ref(), header.linearization)?;
+            let chunks = decode_records_parallel(
+                &records,
+                width,
+                codec.as_ref(),
+                header.linearization,
+                recorder,
+            )?;
             for chunk in chunks {
                 out.extend_from_slice(&chunk);
             }
@@ -380,6 +471,7 @@ impl IsobarCompressor {
                     header.linearization,
                     &mut out,
                     scratch,
+                    recorder,
                 )?;
             }
         }
@@ -399,6 +491,7 @@ fn decode_records_parallel(
     width: usize,
     codec: &dyn Codec,
     linearization: Linearization,
+    recorder: &mut Recorder,
 ) -> Result<Vec<Vec<u8>>, IsobarError> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -407,13 +500,18 @@ fn decode_records_parallel(
     let next = AtomicUsize::new(0);
     type Slot = Mutex<Option<Result<Vec<u8>, IsobarError>>>;
     let slots: Vec<Slot> = (0..records.len()).map(|_| Mutex::new(None)).collect();
+    // Per-worker recorders merge here at the join; the merge is
+    // commutative, so worker scheduling order cannot change the totals.
+    let merged = Mutex::new(Recorder::new());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 // One scratch per worker: chunks decoded on this thread
-                // share solver tables and the reassembly buffer.
+                // share solver tables and the reassembly buffer. The
+                // recorder follows the same thread-ownership rule.
                 let mut scratch = PipelineScratch::new();
+                let mut local = Recorder::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= records.len() {
@@ -427,13 +525,16 @@ fn decode_records_parallel(
                         linearization,
                         &mut chunk,
                         &mut scratch,
+                        &mut local,
                     )
                     .map(|()| chunk);
                     *slots[i].lock().expect("slot poisoned") = Some(result);
                 }
+                merged.lock().expect("recorder poisoned").absorb(&local);
             });
         }
     });
+    recorder.absorb(&merged.into_inner().expect("recorder poisoned"));
 
     slots
         .into_iter()
@@ -463,9 +564,29 @@ pub(crate) fn build_chunk_record(
     codec: &dyn Codec,
     linearization: Linearization,
     scratch: &mut PipelineScratch,
+    recorder: &mut Recorder,
 ) -> Result<ChunkRecord, IsobarError> {
-    let selection = analyzer.analyze(chunk, width)?;
-    build_chunk_record_with(chunk, width, &selection, codec, linearization, scratch)
+    let timer = StageTimer::start(Stage::Analyze);
+    let selection = analyzer.analyze_recorded(chunk, width, recorder)?;
+    timer.finish(recorder);
+    let timer = StageTimer::start(Stage::SolverCompress);
+    let record = build_chunk_record_with(
+        chunk,
+        width,
+        &selection,
+        codec,
+        linearization,
+        scratch,
+        recorder,
+    )?;
+    timer.finish(recorder);
+    recorder.incr(Counter::ChunksCompressed);
+    recorder.add(Counter::ChunkInputBytes, chunk.len() as u64);
+    recorder.add(
+        Counter::ChunkOutputBytes,
+        (CHUNK_HEADER_LEN + record.compressed.len() + record.incompressible.len()) as u64,
+    );
+    Ok(record)
 }
 
 /// [`build_chunk_record`] with a precomputed analyzer selection.
@@ -481,10 +602,16 @@ pub(crate) fn build_chunk_record_with(
     codec: &dyn Codec,
     linearization: Linearization,
     scratch: &mut PipelineScratch,
+    recorder: &mut Recorder,
 ) -> Result<ChunkRecord, IsobarError> {
     let elements = (chunk.len() / width) as u32;
     if selection.is_improvable() {
+        // A warm scratch whose partition buffer already holds enough
+        // capacity is a reuse hit: the chunk compresses without
+        // growing any pipeline-owned buffer.
+        let cap_before = scratch.compressible.capacity();
         let mut incompressible = Vec::new();
+        let timer = StageTimer::start(Stage::Partition);
         partition_into(
             chunk,
             width,
@@ -493,8 +620,22 @@ pub(crate) fn build_chunk_record_with(
             &mut scratch.compressible,
             &mut incompressible,
         );
+        timer.finish(recorder);
+        recorder.incr(
+            if cap_before > 0 && scratch.compressible.capacity() == cap_before {
+                Counter::ScratchReuseHits
+            } else {
+                Counter::ScratchReuseMisses
+            },
+        );
+        recorder.add(
+            Counter::PartitionCompressibleBytes,
+            scratch.compressible.len() as u64,
+        );
+        recorder.add(Counter::PartitionVerbatimBytes, incompressible.len() as u64);
         let mut compressed = Vec::with_capacity(scratch.compressible.len() / 2 + 64);
         codec.compress_into(&scratch.compressible, &mut compressed, &mut scratch.codec);
+        recorder.incr(Counter::ChunksPartitioned);
         Ok(ChunkRecord {
             mode: ChunkMode::Partitioned,
             elements,
@@ -507,6 +648,7 @@ pub(crate) fn build_chunk_record_with(
         // the solver.
         let mut compressed = Vec::with_capacity(chunk.len() / 2 + 64);
         codec.compress_into(chunk, &mut compressed, &mut scratch.codec);
+        recorder.incr(Counter::ChunksPassthrough);
         Ok(ChunkRecord {
             mode: ChunkMode::Passthrough,
             elements,
@@ -524,14 +666,34 @@ fn compress_chunk(
     codec: &dyn Codec,
     linearization: Linearization,
     scratch: &mut PipelineScratch,
+    recorder: &mut Recorder,
 ) -> Result<ChunkResult, IsobarError> {
     let t_analysis = Instant::now();
-    let selection = analyzer.analyze(chunk, width)?;
-    let analysis_secs = t_analysis.elapsed().as_secs_f64();
+    let selection = analyzer.analyze_recorded(chunk, width, recorder)?;
+    let analysis = t_analysis.elapsed();
+    recorder.record_stage(Stage::Analyze, analysis.as_nanos() as u64);
+    let analysis_secs = analysis.as_secs_f64();
 
     let t_solver = Instant::now();
-    let record = build_chunk_record_with(chunk, width, &selection, codec, linearization, scratch)?;
-    let solver_secs = t_solver.elapsed().as_secs_f64();
+    let record = build_chunk_record_with(
+        chunk,
+        width,
+        &selection,
+        codec,
+        linearization,
+        scratch,
+        recorder,
+    )?;
+    let solver = t_solver.elapsed();
+    recorder.record_stage(Stage::SolverCompress, solver.as_nanos() as u64);
+    let solver_secs = solver.as_secs_f64();
+
+    recorder.incr(Counter::ChunksCompressed);
+    recorder.add(Counter::ChunkInputBytes, chunk.len() as u64);
+    recorder.add(
+        Counter::ChunkOutputBytes,
+        (CHUNK_HEADER_LEN + record.compressed.len() + record.incompressible.len()) as u64,
+    );
 
     let decision = ChunkDecision {
         mode: record.mode,
@@ -556,6 +718,7 @@ fn compress_chunks_parallel(
     analyzer: &Analyzer,
     codec: &dyn Codec,
     linearization: Linearization,
+    recorder: &mut Recorder,
 ) -> Result<Vec<ChunkResult>, IsobarError> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -564,13 +727,18 @@ fn compress_chunks_parallel(
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<ChunkResult, IsobarError>>>> =
         (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    // Per-worker recorders merge here at the join; the merge is
+    // commutative, so work-stealing order cannot change the totals.
+    let merged = Mutex::new(Recorder::new());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 // One scratch per worker: every chunk this thread picks
                 // up reuses the same hash tables and partition buffer.
+                // The recorder follows the same thread-ownership rule.
                 let mut scratch = PipelineScratch::new();
+                let mut local = Recorder::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= chunks.len() {
@@ -583,12 +751,15 @@ fn compress_chunks_parallel(
                         codec,
                         linearization,
                         &mut scratch,
+                        &mut local,
                     );
                     *slots[i].lock().expect("slot poisoned") = Some(result);
                 }
+                merged.lock().expect("recorder poisoned").absorb(&local);
             });
         }
     });
+    recorder.absorb(&merged.into_inner().expect("recorder poisoned"));
 
     slots
         .into_iter()
@@ -607,15 +778,18 @@ pub(crate) fn decode_chunk_record(
     linearization: Linearization,
     out: &mut Vec<u8>,
     scratch: &mut PipelineScratch,
+    recorder: &mut Recorder,
 ) -> Result<(), IsobarError> {
     let expected = record.elements as usize * width;
     match record.mode {
         ChunkMode::Passthrough => {
+            let timer = StageTimer::start(Stage::SolverDecompress);
             codec.decompress_into(
                 &record.compressed,
                 &mut scratch.compressible,
                 &mut scratch.codec,
             )?;
+            timer.finish(recorder);
             if scratch.compressible.len() != expected {
                 return Err(IsobarError::Corrupt("passthrough chunk length mismatch"));
             }
@@ -623,11 +797,13 @@ pub(crate) fn decode_chunk_record(
         }
         ChunkMode::Partitioned => {
             let selection = record.selection(width)?;
+            let timer = StageTimer::start(Stage::SolverDecompress);
             codec.decompress_into(
                 &record.compressed,
                 &mut scratch.compressible,
                 &mut scratch.codec,
             )?;
+            timer.finish(recorder);
             if scratch.compressible.len() + record.incompressible.len() != expected {
                 return Err(IsobarError::Corrupt("partitioned chunk length mismatch"));
             }
@@ -635,6 +811,7 @@ pub(crate) fn decode_chunk_record(
             // intermediate per-chunk allocation or copy.
             let start = out.len();
             out.resize(start + expected, 0);
+            let timer = StageTimer::start(Stage::Reassemble);
             reassemble_into(
                 &scratch.compressible,
                 &record.incompressible,
@@ -643,8 +820,11 @@ pub(crate) fn decode_chunk_record(
                 linearization,
                 &mut out[start..],
             );
+            timer.finish(recorder);
         }
     }
+    recorder.incr(Counter::ChunksDecompressed);
+    recorder.add(Counter::ChunkDecodedBytes, expected as u64);
     Ok(())
 }
 
@@ -853,6 +1033,7 @@ mod tests {
             solver_secs: 0.0,
             eupa_secs: 0.0,
             total_secs: 0.0,
+            telemetry: TelemetrySnapshot::default(),
         };
         assert!(report.throughput_mbps().is_finite());
         // Normal timings still divide through as before.

@@ -29,6 +29,7 @@ use crate::pipeline::{IsobarOptions, PipelineScratch};
 use isobar_codecs::deflate::Adler32;
 use isobar_codecs::{codec_for, Codec, CodecId};
 use isobar_linearize::Linearization;
+use isobar_telemetry::{Counter, Recorder, TelemetrySnapshot};
 use std::io::{self, Read, Write};
 
 /// Stream container magic: "ISBS" (S for streaming).
@@ -40,6 +41,12 @@ pub const STREAM_VERSION: u8 = 1;
 const MARK_CHUNK: u8 = 1;
 /// Marker byte preceding the trailer.
 const MARK_END: u8 = 0;
+
+/// Stream header size: magic + version + width + codec + level +
+/// linearization.
+pub const STREAM_HEADER_LEN: usize = 9;
+/// Stream trailer size: end marker + total length (u64) + Adler-32.
+pub const STREAM_TRAILER_LEN: usize = 13;
 
 fn io_err(e: IsobarError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
@@ -85,6 +92,8 @@ pub struct IsobarWriter<W: Write> {
     finished: bool,
     /// Working memory reused across chunk flushes.
     scratch: PipelineScratch,
+    /// Telemetry accumulated across the stream's lifetime.
+    recorder: Recorder,
 }
 
 impl<W: Write> IsobarWriter<W> {
@@ -111,6 +120,7 @@ impl<W: Write> IsobarWriter<W> {
             header_written: false,
             finished: false,
             scratch: PipelineScratch::new(),
+            recorder: Recorder::new(),
             options,
         })
     }
@@ -118,6 +128,14 @@ impl<W: Write> IsobarWriter<W> {
     /// Bytes accepted so far.
     pub fn bytes_written(&self) -> u64 {
         self.total_len
+    }
+
+    /// Telemetry recorded so far (EUPA decision, per-chunk stage
+    /// timings, stream framing bytes). For the totals including the
+    /// final partial chunk and trailer, use
+    /// [`IsobarWriter::finish_with_telemetry`].
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot()
     }
 
     fn decide_if_needed(&mut self, first_chunk: &[u8]) -> Result<(), IsobarError> {
@@ -133,11 +151,12 @@ impl<W: Write> IsobarWriter<W> {
         };
         let mut eupa = self.options.eupa;
         eupa.level = self.options.level;
-        let decision = eupa.select(
+        let decision = eupa.select_recorded(
             first_chunk,
             self.width,
             &eupa_selection,
             self.options.preference,
+            &mut self.recorder,
         );
         self.codec = Some(codec_for(decision.codec, self.options.level));
         if self.options.linearization_override.is_none() {
@@ -157,6 +176,8 @@ impl<W: Write> IsobarWriter<W> {
             level_to_u8(self.options.level),
             self.linearization as u8,
         ])?;
+        self.recorder
+            .add(Counter::StreamMetadataBytes, STREAM_HEADER_LEN as u64);
         self.header_written = true;
         Ok(())
     }
@@ -174,17 +195,21 @@ impl<W: Write> IsobarWriter<W> {
             codec,
             self.linearization,
             &mut self.scratch,
+            &mut self.recorder,
         )
         .map_err(io_err)?;
         let mut encoded = Vec::with_capacity(record.compressed.len() + 64);
         encoded.push(MARK_CHUNK);
         record.write(&mut encoded);
+        self.recorder.incr(Counter::StreamChunksWritten);
+        self.recorder.add(
+            Counter::StreamMetadataBytes,
+            1 + crate::container::CHUNK_HEADER_LEN as u64,
+        );
         self.sink.write_all(&encoded)
     }
 
-    /// Flush any buffered partial chunk and write the trailer;
-    /// returns the inner sink.
-    pub fn finish(mut self) -> io::Result<W> {
+    fn finish_inner(&mut self) -> io::Result<()> {
         // Only whole elements can be compressed.
         let rem = self.buf.len() % self.width;
         if rem != 0 {
@@ -200,9 +225,26 @@ impl<W: Write> IsobarWriter<W> {
         self.sink.write_all(&[MARK_END])?;
         self.sink.write_all(&self.total_len.to_le_bytes())?;
         self.sink.write_all(&self.checksum.finish().to_le_bytes())?;
+        self.recorder
+            .add(Counter::StreamMetadataBytes, STREAM_TRAILER_LEN as u64);
         self.sink.flush()?;
         self.finished = true;
+        Ok(())
+    }
+
+    /// Flush any buffered partial chunk and write the trailer;
+    /// returns the inner sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.finish_inner()?;
         Ok(self.sink)
+    }
+
+    /// [`IsobarWriter::finish`], also returning the stream's complete
+    /// telemetry (including the final partial chunk and trailer).
+    pub fn finish_with_telemetry(mut self) -> io::Result<(W, TelemetrySnapshot)> {
+        self.finish_inner()?;
+        let snapshot = self.recorder.snapshot();
+        Ok((self.sink, snapshot))
     }
 }
 
@@ -241,12 +283,14 @@ pub struct IsobarReader<R: Read> {
     done: bool,
     /// Working memory reused across chunk decodes.
     scratch: PipelineScratch,
+    /// Telemetry accumulated across the stream's lifetime.
+    recorder: Recorder,
 }
 
 impl<R: Read> IsobarReader<R> {
     /// Parse the stream header and prepare to decode.
     pub fn new(mut source: R) -> Result<Self, IsobarError> {
-        let mut header = [0u8; 9];
+        let mut header = [0u8; STREAM_HEADER_LEN];
         read_exact(&mut source, &mut header)?;
         if header[..4] != STREAM_MAGIC {
             return Err(IsobarError::Corrupt("bad stream magic"));
@@ -262,6 +306,8 @@ impl<R: Read> IsobarReader<R> {
         let level = level_from_u8(header[7]).ok_or(IsobarError::Corrupt("bad level byte"))?;
         let linearization =
             Linearization::from_u8(header[8]).ok_or(IsobarError::Corrupt("bad linearization"))?;
+        let mut recorder = Recorder::new();
+        recorder.add(Counter::StreamMetadataBytes, STREAM_HEADER_LEN as u64);
         Ok(IsobarReader {
             source,
             width,
@@ -273,7 +319,14 @@ impl<R: Read> IsobarReader<R> {
             produced: 0,
             done: false,
             scratch: PipelineScratch::new(),
+            recorder,
         })
+    }
+
+    /// Snapshot of the telemetry recorded so far (header, chunk, and
+    /// trailer accounting accumulate as the stream is consumed).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot()
     }
 
     /// Read the whole remaining stream into a buffer.
@@ -318,7 +371,13 @@ impl<R: Read> IsobarReader<R> {
                     self.linearization,
                     &mut self.pending,
                     &mut self.scratch,
+                    &mut self.recorder,
                 )?;
+                self.recorder.incr(Counter::StreamChunksRead);
+                self.recorder.add(
+                    Counter::StreamMetadataBytes,
+                    1 + crate::container::CHUNK_HEADER_LEN as u64,
+                );
                 self.checksum.update(&self.pending);
                 self.produced += self.pending.len() as u64;
                 self.pending_pos = 0;
@@ -335,6 +394,8 @@ impl<R: Read> IsobarReader<R> {
                 if adler != self.checksum.finish() {
                     return Err(IsobarError::ChecksumMismatch);
                 }
+                self.recorder
+                    .add(Counter::StreamMetadataBytes, STREAM_TRAILER_LEN as u64);
                 self.done = true;
                 Ok(())
             }

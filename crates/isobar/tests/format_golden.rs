@@ -103,6 +103,76 @@ fn container_bytes_are_bit_stable() {
 }
 
 #[test]
+fn container_matches_documented_offsets() {
+    // Walk a real container using ONLY the offsets and field sizes
+    // written in docs/FORMAT.md — no parser structs. If this fails,
+    // either the format or the document changed; they must move
+    // together.
+    let input = fixed_input();
+    let packed = fixed_compressor().compress(&input, 4).unwrap();
+
+    // File header, 28 bytes (docs/FORMAT.md "File header" table).
+    assert_eq!(&packed[0..4], b"ISBR", "offset 0: magic");
+    assert_eq!(packed[4], 1, "offset 4: version");
+    assert_eq!(packed[5], 4, "offset 5: width");
+    assert_eq!(packed[6], 1, "offset 6: codec id (1 = zlib-class)");
+    assert_eq!(packed[7], 1, "offset 7: level (1 = default)");
+    assert_eq!(packed[8], 0, "offset 8: linearization (0 = row)");
+    assert_eq!(packed[9], 0, "offset 9: preference (0 = ratio)");
+    assert_eq!(&packed[10..12], &[0, 0], "offsets 10-11: reserved");
+    assert_eq!(
+        u32::from_le_bytes(packed[12..16].try_into().unwrap()),
+        65_536,
+        "offset 12: chunk_elements"
+    );
+    assert_eq!(
+        u64::from_le_bytes(packed[16..24].try_into().unwrap()),
+        input.len() as u64,
+        "offset 16: total_len"
+    );
+    let documented_checksum = u32::from_le_bytes(packed[24..28].try_into().unwrap());
+    assert_eq!(
+        documented_checksum,
+        isobar_codecs::deflate::adler32(&input),
+        "offset 24: Adler-32 of the original bytes"
+    );
+
+    // Chunk record at offset 28 (docs/FORMAT.md "Chunk record" table).
+    let rec = &packed[28..];
+    assert_eq!(rec[0], 1, "record offset 0: mode (1 = partitioned)");
+    let elements = u32::from_le_bytes(rec[1..5].try_into().unwrap());
+    assert_eq!(elements, 65_536, "record offset 1: elements");
+    let mask = u64::from_le_bytes(rec[5..13].try_into().unwrap());
+    assert_eq!(mask, 0b0011, "record offset 5: column mask");
+    let comp_len = u64::from_le_bytes(rec[13..21].try_into().unwrap()) as usize;
+    let incomp_len = u64::from_le_bytes(rec[21..29].try_into().unwrap()) as usize;
+    assert_eq!(
+        incomp_len,
+        elements as usize * (4 - mask.count_ones() as usize),
+        "incomp_len = elements x incompressible columns"
+    );
+    // Payloads: C' then I, and together they end the container.
+    assert_eq!(
+        28 + 29 + comp_len + incomp_len,
+        packed.len(),
+        "header + chunk header + payloads account for every byte"
+    );
+
+    // The verbatim section is the incompressible columns (2 and 3)
+    // column-major: all of column 2, then all of column 3.
+    let verbatim = &rec[29 + comp_len..29 + comp_len + incomp_len];
+    let n = elements as usize;
+    assert!(
+        (0..n).all(|i| verbatim[i] == input[i * 4 + 2]),
+        "first verbatim run is byte-column 2"
+    );
+    assert!(
+        (0..n).all(|i| verbatim[n + i] == input[i * 4 + 3]),
+        "second verbatim run is byte-column 3"
+    );
+}
+
+#[test]
 fn frozen_container_from_v1_still_decodes() {
     // A complete container produced by version 1 of this code, embedded
     // verbatim: 8 elements of width 2, passthrough mode. Future

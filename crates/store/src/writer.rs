@@ -2,7 +2,8 @@
 
 use crate::error::StoreError;
 use crate::format::{IndexEntry, MAGIC, TRAILER_MAGIC, VERSION};
-use isobar::{IsobarCompressor, IsobarOptions, PipelineScratch};
+use isobar::telemetry::Counter;
+use isobar::{IsobarCompressor, IsobarOptions, PipelineScratch, Recorder, TelemetrySnapshot};
 use std::collections::HashSet;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -23,6 +24,8 @@ pub struct StoreWriter {
     index: Vec<IndexEntry>,
     seen: HashSet<(u32, String)>,
     offset: u64,
+    /// Telemetry accumulated across every `put` on this store.
+    recorder: Recorder,
 }
 
 impl StoreWriter {
@@ -38,6 +41,7 @@ impl StoreWriter {
             index: Vec::new(),
             seen: HashSet::new(),
             offset: (MAGIC.len() + 1) as u64,
+            recorder: Recorder::new(),
         })
     }
 
@@ -61,9 +65,16 @@ impl StoreWriter {
                 name: name.to_string(),
             });
         }
-        let container = self
-            .compressor
-            .compress_with_scratch(data, width, &mut self.scratch)?;
+        let container = self.compressor.compress_recorded(
+            data,
+            width,
+            &mut self.scratch,
+            &mut self.recorder,
+        )?;
+        self.recorder.incr(Counter::StorePuts);
+        self.recorder.add(Counter::StoreRawBytes, data.len() as u64);
+        self.recorder
+            .add(Counter::StoreContainerBytes, container.len() as u64);
 
         let name_bytes = name.as_bytes();
         self.sink
@@ -94,8 +105,21 @@ impl StoreWriter {
         &self.index
     }
 
+    /// Snapshot of the telemetry recorded so far. The index-byte
+    /// accounting only lands once [`StoreWriter::close`] runs; use
+    /// [`StoreWriter::close_with_telemetry`] for the complete picture.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot()
+    }
+
     /// Write the index and trailer, flush, and close the file.
-    pub fn close(mut self) -> Result<(), StoreError> {
+    pub fn close(self) -> Result<(), StoreError> {
+        self.close_with_telemetry().map(|_| ())
+    }
+
+    /// [`StoreWriter::close`], also returning the store's complete
+    /// telemetry (including index and trailer bytes).
+    pub fn close_with_telemetry(mut self) -> Result<TelemetrySnapshot, StoreError> {
         let index_offset = self.offset;
         let mut encoded = Vec::new();
         for entry in &self.index {
@@ -107,6 +131,10 @@ impl StoreWriter {
             .write_all(&(self.index.len() as u32).to_le_bytes())?;
         self.sink.write_all(&TRAILER_MAGIC)?;
         self.sink.flush()?;
-        Ok(())
+        self.recorder.add(
+            Counter::StoreIndexBytes,
+            encoded.len() as u64 + crate::format::TRAILER_LEN as u64,
+        );
+        Ok(self.recorder.snapshot())
     }
 }

@@ -163,6 +163,40 @@ fn empty_store_round_trips() {
 }
 
 #[test]
+fn store_telemetry_accounts_for_every_byte() {
+    use isobar::telemetry::{Counter, ENABLED};
+
+    let path = tmp("telemetry");
+    let ds = catalog::spec("gts_chkp_zion").unwrap().generate(25_000, 7);
+    let mut writer = StoreWriter::create(&path, options()).unwrap();
+    writer.put(0, "zion", &ds.bytes, 8).unwrap();
+    writer.put(1, "zion", &ds.bytes, 8).unwrap();
+    let mid = writer.telemetry();
+    let container_bytes: u64 = writer.entries().iter().map(|e| e.container_len).sum();
+    let snap = writer.close_with_telemetry().unwrap();
+
+    if !ENABLED {
+        assert!(mid.is_empty() && snap.is_empty());
+        let _ = std::fs::remove_file(&path);
+        return;
+    }
+
+    assert_eq!(snap.counter(Counter::StorePuts), 2);
+    assert_eq!(
+        snap.counter(Counter::StoreRawBytes),
+        2 * ds.bytes.len() as u64
+    );
+    assert_eq!(snap.counter(Counter::StoreContainerBytes), container_bytes);
+    // Index bytes only land at close time.
+    assert_eq!(mid.counter(Counter::StoreIndexBytes), 0);
+    assert!(snap.counter(Counter::StoreIndexBytes) > 0);
+    // The underlying pipeline telemetry rides along.
+    assert_eq!(snap.counter(Counter::EupaRuns), 2);
+    assert!(snap.counter(Counter::AnalyzerBytes) >= 2 * ds.bytes.len() as u64);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn reader_is_shareable_across_threads() {
     let path = tmp("threads");
     let ds = catalog::spec("gts_phi_l").unwrap().generate(20_000, 3);

@@ -1,0 +1,331 @@
+//! Minimal JSON reader/writer for telemetry snapshots.
+//!
+//! The workspace deliberately vendors no serialization framework, so
+//! snapshots are written with a few formatting helpers and read back
+//! with a small recursive-descent parser. The dialect is the subset
+//! snapshots need — objects, arrays, strings, and unsigned integers —
+//! plus `true`/`false`/`null` and signed/float numbers, which parse
+//! but only integers convert via [`JsonValue::as_u64`].
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Object, as declaration-ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// String (escapes decoded).
+    String(String),
+    /// Any number, kept as f64 (telemetry only ever writes u64s that
+    /// fit f64's 53-bit mantissa in practice; exact u64s round-trip via
+    /// the raw text, see [`JsonValue::as_u64`]).
+    Number(f64),
+    /// Exact unsigned integer (the common case for telemetry).
+    Unsigned(u64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl JsonValue {
+    /// Member lookup on objects; `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array; `None` on anything else.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Unsigned(v) => Some(*v),
+            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing garbage is an error).
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} of JSON input",
+            ch as char, *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected '{}' at byte {}", *c as char, *pos)),
+        None => Err("unexpected end of JSON input".to_string()),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8: copy continuation bytes through.
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let end = start + len;
+                let slice = bytes
+                    .get(start..end)
+                    .ok_or_else(|| "truncated UTF-8".to_string())?;
+                out.push_str(std::str::from_utf8(slice).map_err(|_| "invalid UTF-8")?);
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(c) = bytes.get(*pos) {
+        if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+    if let Ok(v) = text.parse::<u64>() {
+        return Ok(JsonValue::Unsigned(v));
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("invalid number '{text}'"))
+}
+
+/// Append `  "name": value` at `indent` levels (two spaces each), with
+/// a trailing comma when `comma` is set.
+pub fn field_u64(out: &mut String, indent: usize, name: &str, value: u64, comma: bool) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\": ");
+    out.push_str(&value.to_string());
+    if comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+/// Append a compact `[1, 2, 3]` array.
+pub fn array_u64(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": {"b": [1, 2, {"c": 3}]}, "d": "x\ny"}"#).unwrap();
+        assert_eq!(
+            v.get("a")
+                .and_then(|a| a.get("b"))
+                .and_then(JsonValue::as_array)
+                .map(|arr| arr.len()),
+            Some(3)
+        );
+        assert_eq!(v.get("d").and_then(JsonValue::as_str), Some("x\ny"));
+    }
+
+    #[test]
+    fn exact_u64_values_survive() {
+        let v = parse(&format!("{{\"big\": {}}}", u64::MAX)).unwrap();
+        assert_eq!(v.get("big").and_then(JsonValue::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn floats_and_keywords_parse() {
+        let v = parse(r#"{"f": -1.5e2, "t": true, "n": null}"#).unwrap();
+        assert_eq!(v.get("f"), Some(&JsonValue::Number(-150.0)));
+        assert_eq!(v.get("t"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("f").and_then(JsonValue::as_u64), None);
+    }
+}

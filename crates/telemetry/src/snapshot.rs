@@ -1,0 +1,463 @@
+//! Plain-data snapshot of a recorder, with JSON in/out and merging.
+
+use crate::json::{self, JsonValue};
+use crate::{Counter, Stage};
+
+/// Version stamped into every serialized snapshot. Bump when the JSON
+/// shape changes incompatibly.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// Buckets in the τ-margin histogram. Linear, 0.25 wide, covering
+/// margins in `[0, 4)`; the last bucket also absorbs everything ≥ 3.75.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// EUPA combination names, indexed `codec_idx * 2 + lin_idx` where
+/// codec 0 = zlib (Deflate), 1 = bzlib2, and linearization 0 = row,
+/// 1 = column — matching the four candidates of the paper's §II.C.
+pub const EUPA_COMBOS: [&str; 4] = ["zlib_row", "zlib_column", "bzlib2_row", "bzlib2_column"];
+
+// Only called from the recording paths, which compile away when the
+// `enabled` feature is off.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+#[inline]
+pub(crate) fn margin_bucket(margin: f64) -> usize {
+    if margin.is_nan() || margin <= 0.0 {
+        return 0;
+    }
+    ((margin * 4.0) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+#[inline]
+pub(crate) fn combo_index(codec_idx: usize, lin_idx: usize) -> usize {
+    debug_assert!(codec_idx < 2 && lin_idx < 2);
+    (codec_idx * 2 + lin_idx).min(EUPA_COMBOS.len() - 1)
+}
+
+/// Aggregated wall-time statistics for one pipeline stage.
+///
+/// `min_nanos`/`max_nanos` are meaningful only when `count > 0`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Spans recorded.
+    pub count: u64,
+    /// Sum of all span durations, nanoseconds.
+    pub total_nanos: u64,
+    /// Shortest span, nanoseconds (0 when no spans recorded).
+    pub min_nanos: u64,
+    /// Longest span, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl StageStats {
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn record(&mut self, nanos: u64) {
+        if self.count == 0 {
+            self.min_nanos = nanos;
+            self.max_nanos = nanos;
+        } else {
+            self.min_nanos = self.min_nanos.min(nanos);
+            self.max_nanos = self.max_nanos.max(nanos);
+        }
+        self.count += 1;
+        self.total_nanos += nanos;
+    }
+
+    /// Fold another stage's stats into this one. Commutative.
+    pub fn merge(&mut self, other: &StageStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Mean span duration in nanoseconds (0 when nothing recorded).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Every telemetry total as plain, fixed-size data.
+///
+/// The struct is all inline arrays: cloning or defaulting one never
+/// allocates, which is what lets the recorder live inside hot loops.
+/// Heap memory is only touched by [`TelemetrySnapshot::to_json`] /
+/// [`TelemetrySnapshot::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters, indexed by `Counter as usize`.
+    pub counters: [u64; Counter::COUNT],
+    /// Per-stage wall-time stats, indexed by `Stage as usize`.
+    pub stages: [StageStats; Stage::COUNT],
+    /// Histogram of analyzer τ-margins (see
+    /// [`Recorder::record_tau_margin`](crate::Recorder::record_tau_margin)).
+    pub tau_margin: [u64; HISTOGRAM_BUCKETS],
+    /// How often EUPA selected each combination, indexed per [`EUPA_COMBOS`].
+    pub eupa_selected: [u64; EUPA_COMBOS.len()],
+    /// EUPA trial compressions run per combination.
+    pub eupa_trial_count: [u64; EUPA_COMBOS.len()],
+    /// Total nanoseconds spent trial-compressing each combination.
+    pub eupa_trial_nanos: [u64; EUPA_COMBOS.len()],
+}
+
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        TelemetrySnapshot {
+            counters: [0; Counter::COUNT],
+            stages: [StageStats::default(); Stage::COUNT],
+            tau_margin: [0; HISTOGRAM_BUCKETS],
+            eupa_selected: [0; EUPA_COMBOS.len()],
+            eupa_trial_count: [0; EUPA_COMBOS.len()],
+            eupa_trial_nanos: [0; EUPA_COMBOS.len()],
+        }
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Read one counter by name rather than index.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Read one stage's stats by name rather than index.
+    pub fn stage(&self, stage: Stage) -> StageStats {
+        self.stages[stage as usize]
+    }
+
+    /// True when nothing was ever recorded (e.g. the telemetry-off build).
+    pub fn is_empty(&self) -> bool {
+        *self == TelemetrySnapshot::default()
+    }
+
+    /// Fold another snapshot into this one. Commutative and
+    /// associative, so per-thread snapshots merge in any order.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.tau_margin.iter_mut().zip(&other.tau_margin) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.eupa_selected.iter_mut().zip(&other.eupa_selected) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self
+            .eupa_trial_count
+            .iter_mut()
+            .zip(&other.eupa_trial_count)
+        {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self
+            .eupa_trial_nanos
+            .iter_mut()
+            .zip(&other.eupa_trial_nanos)
+        {
+            *mine += theirs;
+        }
+    }
+
+    /// Serialize as pretty-printed JSON with a stable key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        json::field_u64(&mut out, 1, "schema_version", SNAPSHOT_SCHEMA_VERSION, true);
+
+        out.push_str("  \"counters\": {\n");
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            json::field_u64(
+                &mut out,
+                2,
+                counter.name(),
+                self.counters[i],
+                i + 1 < Counter::COUNT,
+            );
+        }
+        out.push_str("  },\n");
+
+        out.push_str("  \"stages\": {\n");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            let s = &self.stages[i];
+            out.push_str("    \"");
+            out.push_str(stage.name());
+            out.push_str("\": {");
+            out.push_str(&format!(
+                "\"count\": {}, \"total_nanos\": {}, \"min_nanos\": {}, \"max_nanos\": {}",
+                s.count, s.total_nanos, s.min_nanos, s.max_nanos
+            ));
+            out.push('}');
+            if i + 1 < Stage::COUNT {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  },\n");
+
+        out.push_str("  \"histograms\": {\n");
+        out.push_str("    \"tau_margin\": ");
+        json::array_u64(&mut out, &self.tau_margin);
+        out.push('\n');
+        out.push_str("  },\n");
+
+        out.push_str("  \"eupa\": {\n");
+        out.push_str("    \"combos\": [");
+        for (i, name) in EUPA_COMBOS.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push('"');
+        }
+        out.push_str("],\n");
+        out.push_str("    \"selected\": ");
+        json::array_u64(&mut out, &self.eupa_selected);
+        out.push_str(",\n    \"trial_count\": ");
+        json::array_u64(&mut out, &self.eupa_trial_count);
+        out.push_str(",\n    \"trial_nanos\": ");
+        json::array_u64(&mut out, &self.eupa_trial_nanos);
+        out.push('\n');
+        out.push_str("  }\n");
+        out.push('}');
+        out
+    }
+
+    /// Parse a snapshot previously produced by
+    /// [`TelemetrySnapshot::to_json`]. Unknown keys are ignored and
+    /// missing ones read as zero, so snapshots stay parseable across
+    /// minor additions; a different `schema_version` is an error.
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, String> {
+        let root = json::parse(text)?;
+        let version = root.get("schema_version").and_then(JsonValue::as_u64);
+        if version != Some(SNAPSHOT_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported telemetry schema_version {version:?} (expected {SNAPSHOT_SCHEMA_VERSION})"
+            ));
+        }
+
+        let mut snap = TelemetrySnapshot::default();
+        if let Some(counters) = root.get("counters") {
+            for (i, counter) in Counter::ALL.iter().enumerate() {
+                if let Some(v) = counters.get(counter.name()).and_then(JsonValue::as_u64) {
+                    snap.counters[i] = v;
+                }
+            }
+        }
+        if let Some(stages) = root.get("stages") {
+            for (i, stage) in Stage::ALL.iter().enumerate() {
+                if let Some(obj) = stages.get(stage.name()) {
+                    let field = |name: &str| obj.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
+                    snap.stages[i] = StageStats {
+                        count: field("count"),
+                        total_nanos: field("total_nanos"),
+                        min_nanos: field("min_nanos"),
+                        max_nanos: field("max_nanos"),
+                    };
+                }
+            }
+        }
+        if let Some(buckets) = root
+            .get("histograms")
+            .and_then(|h| h.get("tau_margin"))
+            .and_then(JsonValue::as_array)
+        {
+            for (slot, value) in snap.tau_margin.iter_mut().zip(buckets) {
+                *slot = value.as_u64().unwrap_or(0);
+            }
+        }
+        if let Some(eupa) = root.get("eupa") {
+            let fill = |dst: &mut [u64], key: &str| {
+                if let Some(values) = eupa.get(key).and_then(JsonValue::as_array) {
+                    for (slot, value) in dst.iter_mut().zip(values) {
+                        *slot = value.as_u64().unwrap_or(0);
+                    }
+                }
+            };
+            fill(&mut snap.eupa_selected, "selected");
+            fill(&mut snap.eupa_trial_count, "trial_count");
+            fill(&mut snap.eupa_trial_nanos, "trial_nanos");
+        }
+        Ok(snap)
+    }
+
+    /// Render a human-readable table (the CLI's `--stats=table` view).
+    /// Zero rows are skipped so quick runs stay readable.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry\n");
+        out.push_str("  counters\n");
+        let mut any = false;
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            if self.counters[i] != 0 {
+                any = true;
+                out.push_str(&format!(
+                    "    {:<30} {:>16}\n",
+                    counter.name(),
+                    self.counters[i]
+                ));
+            }
+        }
+        if !any {
+            out.push_str("    (none)\n");
+        }
+        out.push_str("  stages (count / total ms / mean us)\n");
+        any = false;
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            let s = &self.stages[i];
+            if s.count != 0 {
+                any = true;
+                out.push_str(&format!(
+                    "    {:<30} {:>8} {:>12.3} {:>12.3}\n",
+                    stage.name(),
+                    s.count,
+                    s.total_nanos as f64 / 1e6,
+                    s.mean_nanos() as f64 / 1e3,
+                ));
+            }
+        }
+        if !any {
+            out.push_str("    (none)\n");
+        }
+        if self.tau_margin.iter().any(|&b| b != 0) {
+            out.push_str("  tau_margin histogram (bucket width 0.25, last open-ended)\n");
+            for (i, &count) in self.tau_margin.iter().enumerate() {
+                if count != 0 {
+                    out.push_str(&format!(
+                        "    [{:>5.2}, {:>5.2}) {:>16}\n",
+                        i as f64 * 0.25,
+                        (i + 1) as f64 * 0.25,
+                        count
+                    ));
+                }
+            }
+        }
+        if self.eupa_trial_count.iter().any(|&c| c != 0) {
+            out.push_str("  eupa (selected / trials / trial ms)\n");
+            for (i, name) in EUPA_COMBOS.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {:<30} {:>8} {:>8} {:>12.3}\n",
+                    name,
+                    self.eupa_selected[i],
+                    self.eupa_trial_count[i],
+                    self.eupa_trial_nanos[i] as f64 / 1e6,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_buckets_cover_the_line() {
+        assert_eq!(margin_bucket(-1.0), 0);
+        assert_eq!(margin_bucket(0.0), 0);
+        assert_eq!(margin_bucket(0.1), 0);
+        assert_eq!(margin_bucket(0.25), 1);
+        assert_eq!(margin_bucket(1.0), 4);
+        assert_eq!(margin_bucket(3.74), 14);
+        assert_eq!(margin_bucket(3.75), 15);
+        assert_eq!(margin_bucket(1e9), 15);
+        assert_eq!(margin_bucket(f64::NAN), 0);
+    }
+
+    #[test]
+    fn stage_stats_merge_handles_empty_sides() {
+        let mut a = StageStats::default();
+        let mut b = StageStats::default();
+        b.record(10);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a, b);
+        let empty = StageStats::default();
+        a.merge(&empty);
+        assert_eq!(a, b);
+        assert_eq!(a.mean_nanos(), 20);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut snap = TelemetrySnapshot::default();
+        for (i, slot) in snap.counters.iter_mut().enumerate() {
+            *slot = (i as u64 + 1) * 7;
+        }
+        for (i, stage) in snap.stages.iter_mut().enumerate() {
+            stage.record((i as u64 + 1) * 1000);
+            stage.record((i as u64 + 1) * 3000);
+        }
+        for (i, slot) in snap.tau_margin.iter_mut().enumerate() {
+            *slot = i as u64;
+        }
+        snap.eupa_selected = [1, 0, 0, 2];
+        snap.eupa_trial_count = [4, 4, 4, 4];
+        snap.eupa_trial_nanos = [11, 22, 33, 44];
+
+        let json = snap.to_json();
+        let back = TelemetrySnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn json_output_is_byte_stable() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters[0] = 5;
+        assert_eq!(snap.to_json(), snap.clone().to_json());
+        // Key order is the declaration order of the enums, not hash order.
+        let json = snap.to_json();
+        let chunks_pos = json.find("\"analyzer_chunks\"").unwrap();
+        let bytes_pos = json.find("\"analyzer_bytes\"").unwrap();
+        assert!(chunks_pos < bytes_pos);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schema_versions() {
+        assert!(TelemetrySnapshot::from_json("{\"schema_version\": 2}").is_err());
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = TelemetrySnapshot::default();
+        a.counters[3] = 10;
+        a.stages[1].record(100);
+        a.tau_margin[2] = 4;
+        let mut b = TelemetrySnapshot::default();
+        b.counters[3] = 5;
+        b.counters[7] = 9;
+        b.stages[1].record(50);
+        b.eupa_selected[0] = 1;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters[3], 15);
+        assert_eq!(ab.stages[1].count, 2);
+        assert_eq!(ab.stages[1].min_nanos, 50);
+        assert_eq!(ab.stages[1].max_nanos, 100);
+    }
+
+    #[test]
+    fn render_table_mentions_nonzero_rows_only() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters[Counter::ChunksCompressed as usize] = 3;
+        let table = snap.render_table();
+        assert!(table.contains("chunks_compressed"));
+        assert!(!table.contains("store_puts"));
+    }
+}
