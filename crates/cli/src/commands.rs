@@ -114,7 +114,7 @@ fn decompress(input: &Path, output: &Path, stats: Option<StatsFormat>) -> Result
     let mut scratch = isobar::PipelineScratch::new();
     let restored = IsobarCompressor::default()
         .decompress_recorded(&packed, &mut scratch, &mut recorder)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| format!("{}: {e}", input.display()))?;
     write(output, &restored)?;
     if let Some(format) = stats {
         print_stats(&recorder.snapshot(), format);
@@ -186,11 +186,14 @@ fn decompress_stream(
     use std::io::{BufReader, BufWriter, Read, Write};
     let src = fs::File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
     let dst = fs::File::create(output).map_err(|e| format!("{}: {e}", output.display()))?;
-    let mut reader = isobar::IsobarReader::new(BufReader::new(src)).map_err(|e| e.to_string())?;
+    let mut reader = isobar::IsobarReader::new(BufReader::new(src))
+        .map_err(|e| format!("{}: {e}", input.display()))?;
     let mut writer = BufWriter::new(dst);
     let mut buf = vec![0u8; 1 << 20];
     loop {
-        let n = reader.read(&mut buf).map_err(|e| e.to_string())?;
+        let n = reader
+            .read(&mut buf)
+            .map_err(|e| format!("{}: {e}", input.display()))?;
         if n == 0 {
             break;
         }

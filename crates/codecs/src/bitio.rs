@@ -300,6 +300,14 @@ impl<'a> MsbBitReader<'a> {
     pub fn read_bit(&mut self) -> Result<u32, CodecError> {
         self.read_bits(1)
     }
+
+    /// Bits left in the stream (accumulator + unread bytes). Decoders
+    /// use this to reject length fields that claim more symbols than
+    /// the remaining stream could possibly encode.
+    #[inline]
+    pub fn remaining_bits(&self) -> usize {
+        self.nbits as usize + (self.data.len() - self.pos) * 8
+    }
 }
 
 #[inline]

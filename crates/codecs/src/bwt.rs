@@ -110,7 +110,11 @@ pub fn bwt_inverse(bwt: &[u16]) -> Result<Vec<u8>, CodecError> {
     let mut row = 0u32;
     for slot in out.iter_mut().rev() {
         let sym = bwt[row as usize];
-        debug_assert_ne!(sym, 0, "sentinel encountered mid-walk");
+        // A single sentinel does not guarantee a single cycle: a crafted
+        // last column can close the LF walk early and revisit row 0.
+        if sym == 0 {
+            return Err(CodecError::Corrupt("BWT sentinel encountered mid-walk"));
+        }
         *slot = (sym - 1) as u8;
         row = lf[row as usize];
     }
@@ -352,9 +356,30 @@ fn encode_block(w: &mut MsbBitWriter, block: &[u8]) {
     }
 }
 
+/// Largest RLE1 stream any encoder level can emit per block: the
+/// biggest block size (900 KiB at `Best`) times the worst-case RLE1
+/// expansion (a +1 count byte per 4-byte run, 5/4). A corrupt header
+/// claiming more is rejected before any allocation scales with it.
+const MAX_RLE1_LEN: usize = 900 * 1024 + 900 * 1024 / 4;
+
 fn decode_block(r: &mut MsbBitReader<'_>, out: &mut Vec<u8>) -> Result<(), CodecError> {
     let rle1_len = r.read_bits(32)? as usize;
     let num_symbols = r.read_bits(32)? as usize;
+    // The two 32-bit length fields are untrusted: bound them against
+    // what the format and the remaining input could possibly produce
+    // before they size any buffer.
+    if rle1_len > MAX_RLE1_LEN {
+        return Err(CodecError::Corrupt("block length exceeds format maximum"));
+    }
+    if num_symbols > rle1_len + 1 {
+        // Every zero-run/literal symbol expands to at least one MTF
+        // rank, and the rank stream is exactly rle1_len + 1 long.
+        return Err(CodecError::Corrupt("symbol count exceeds block length"));
+    }
+    if num_symbols > r.remaining_bits() {
+        // Every Huffman-coded symbol costs at least one input bit.
+        return Err(CodecError::Corrupt("symbol count exceeds input size"));
+    }
     let n_tables = r.read_bits(3)? as usize;
     if !(1..=MAX_TABLES).contains(&n_tables) {
         return Err(CodecError::Corrupt("bad Huffman table count"));

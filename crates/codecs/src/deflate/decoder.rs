@@ -10,10 +10,15 @@ use super::tables::*;
 ///
 /// `size_hint` pre-sizes the output buffer when the caller knows the
 /// decompressed size (the zlib wrapper does not carry one; ISOBAR's
-/// container does).
+/// container does). The hint may come from an untrusted length field,
+/// so the pre-allocation is capped at DEFLATE's maximum expansion of
+/// the actual input (1 bit per output byte plus slack, ~1032×): a lying
+/// hint costs only incremental growth while decoding, never an
+/// up-front allocation the stream cannot back.
 pub fn inflate_raw(data: &[u8], size_hint: usize) -> Result<Vec<u8>, CodecError> {
     let mut r = LsbBitReader::new(data);
-    let mut out = Vec::with_capacity(size_hint);
+    let max_expansion = data.len().saturating_mul(1040).saturating_add(256);
+    let mut out = Vec::with_capacity(size_hint.min(max_expansion));
     inflate_into(&mut r, &mut out)?;
     Ok(out)
 }

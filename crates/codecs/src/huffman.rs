@@ -522,7 +522,7 @@ impl FastDecoder {
                 .iter()
                 .map(|&s| lengths[s as usize] as u32 - FAST_ROOT_BITS)
                 .max()
-                .expect("non-empty group");
+                .ok_or(CodecError::Corrupt("empty escape group"))?;
             let base = secondary.len();
             secondary.resize(base + (1usize << sub_bits), FastEntry::default());
             for &sym in &syms {

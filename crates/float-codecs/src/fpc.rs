@@ -201,6 +201,15 @@ impl Fpc {
         if !(4..=28).contains(&table_bits) {
             return Err(FpcError::BadHeader);
         }
+        // The table-size byte is untrusted and sizes two 8-byte-entry
+        // predictor tables (up to 4 GiB at 28 bits). Accept large
+        // tables only when the input is itself large enough to have
+        // plausibly been compressed with them: a 2^20-entry floor (16
+        // MiB of tables) is always allowed, beyond that the table may
+        // not exceed 64× the input length.
+        if (1usize << table_bits) > (data.len().saturating_mul(64)).max(1 << 20) {
+            return Err(FpcError::BadHeader);
+        }
         let n = u64::from_le_bytes(data[5..13].try_into().expect("8-byte count")) as usize;
         let header_bytes = n.div_ceil(2);
         if data.len() < 13 + header_bytes {

@@ -23,6 +23,8 @@ pub enum FpzipError {
     UnknownElementType(u8),
     /// Input length is inconsistent with the header's dimensions.
     LengthMismatch,
+    /// The range-coded payload ran out before all samples decoded.
+    Truncated,
 }
 
 impl fmt::Display for FpzipError {
@@ -31,6 +33,7 @@ impl fmt::Display for FpzipError {
             FpzipError::BadHeader => write!(f, "fpzip: bad or missing header"),
             FpzipError::UnknownElementType(t) => write!(f, "fpzip: unknown element type {t}"),
             FpzipError::LengthMismatch => write!(f, "fpzip: length mismatch"),
+            FpzipError::Truncated => write!(f, "fpzip: truncated stream"),
         }
     }
 }
@@ -184,11 +187,20 @@ impl FpzipLike {
         }
         let mut predictor = Lorenzo::new(dims);
         let mut dec = RangeDecoder::new(payload);
+        // The sample count is untrusted: pre-size the output only up to
+        // a modest cap (growth past it is paid for by symbols actually
+        // decoded), and stop as soon as the range coder is demonstrably
+        // running on zero-fill past the end of the payload. The decoder
+        // legitimately touches a few padding bytes, so the overrun
+        // tolerance is larger than the encoder's 5 flush bytes.
         match elem {
             ElementType::F64 => {
                 let mut model = AdaptiveModel::new(65);
-                let mut out = Vec::with_capacity(n * 8);
+                let mut out = Vec::with_capacity(n.saturating_mul(8).min(1 << 20));
                 for _ in 0..n {
+                    if dec.overrun() > 8 {
+                        return Err(FpzipError::Truncated);
+                    }
                     let z = decode_residual(&mut dec, &mut model);
                     let pred = predictor.predict();
                     let mapped = pred.wrapping_add(unzigzag(z));
@@ -199,8 +211,11 @@ impl FpzipLike {
             }
             ElementType::F32 => {
                 let mut model = AdaptiveModel::new(33);
-                let mut out = Vec::with_capacity(n * 4);
+                let mut out = Vec::with_capacity(n.saturating_mul(4).min(1 << 20));
                 for _ in 0..n {
+                    if dec.overrun() > 8 {
+                        return Err(FpzipError::Truncated);
+                    }
                     let z = decode_residual32(&mut dec, &mut model);
                     let pred = (predictor.predict() & 0xFFFF_FFFF) as u32;
                     let mapped = pred.wrapping_add(unzigzag32(z));

@@ -68,6 +68,13 @@ impl Dims {
 ///
 /// Out-of-bounds neighbours contribute 0, matching fpzip's behaviour on
 /// boundary samples.
+///
+/// The plane buffers grow lazily with [`Lorenzo::advance`] instead of
+/// being pre-sized from `dims`: the decoder constructs a predictor from
+/// *untrusted* header dimensions, and an eager `nx × ny` reservation
+/// would let a corrupt header demand gigabytes before the first symbol
+/// is decoded. Cells not yet written read as 0, which is exactly what
+/// the eager zero-filled buffers provided.
 pub struct Lorenzo {
     dims: Dims,
     /// `prev[y * nx + x]` — mapped values of the previous z-plane.
@@ -81,13 +88,13 @@ pub struct Lorenzo {
 }
 
 impl Lorenzo {
-    /// Create a predictor for a grid of the given shape.
+    /// Create a predictor for a grid of the given shape. Allocates
+    /// nothing up front; memory grows with samples actually advanced.
     pub fn new(dims: Dims) -> Self {
-        let plane = dims.nx * dims.ny;
         Lorenzo {
             dims,
-            prev_plane: vec![0; plane],
-            cur_plane: vec![0; plane],
+            prev_plane: Vec::new(),
+            cur_plane: Vec::new(),
             idx: 0,
             z: 0,
         }
@@ -101,11 +108,12 @@ impl Lorenzo {
             return 0;
         }
         let i = (y - dy) * self.dims.nx + (x - dx);
-        if dz == 1 {
-            self.prev_plane[i]
+        let plane = if dz == 1 {
+            &self.prev_plane
         } else {
-            self.cur_plane[i]
-        }
+            &self.cur_plane
+        };
+        plane.get(i).copied().unwrap_or(0)
     }
 
     /// Predict the next sample in raster order.
@@ -131,10 +139,12 @@ impl Lorenzo {
     /// advance the scan position.
     #[inline]
     pub fn advance(&mut self, actual: u64) {
-        self.cur_plane[self.idx] = actual;
+        debug_assert_eq!(self.cur_plane.len(), self.idx);
+        self.cur_plane.push(actual);
         self.idx += 1;
         if self.idx == self.dims.nx * self.dims.ny {
             std::mem::swap(&mut self.prev_plane, &mut self.cur_plane);
+            self.cur_plane.clear();
             self.idx = 0;
             self.z += 1;
         }

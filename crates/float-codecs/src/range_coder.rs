@@ -171,6 +171,20 @@ impl<'a> RangeDecoder<'a> {
         }
     }
 
+    /// Bytes consumed past the end of the input slice.
+    ///
+    /// [`RangeDecoder`] zero-fills past the end (truncation is caught
+    /// by the caller's structural checks), but `pos` keeps advancing —
+    /// so a caller decoding an untrusted symbol count can poll this to
+    /// notice it is running on fabricated zeros and stop, instead of
+    /// producing output unbounded by the real input. The decoder
+    /// legitimately reads a few bytes of encoder padding past the
+    /// payload, so small values (≤ the 5 flush bytes) are normal.
+    #[inline]
+    pub fn overrun(&self) -> usize {
+        self.pos.saturating_sub(self.data.len())
+    }
+
     /// Decode `count` raw bits written by
     /// [`RangeEncoder::encode_raw_bits`].
     pub fn decode_raw_bits(&mut self, count: u32) -> u64 {

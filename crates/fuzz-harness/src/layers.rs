@@ -1,0 +1,640 @@
+//! One fuzz layer per untrusted decode surface.
+//!
+//! Each [`Layer`] owns a pool of *valid* artifacts (built once,
+//! deterministically) and a decode closure. The runner repeatedly
+//! picks an artifact, corrupts a clone of it with 1–3 structure-aware
+//! faults ([`crate::mutate`]), and feeds it to the decoder under three
+//! invariants:
+//!
+//! 1. **No panics.** Every outcome must be `Ok` or a typed `Err`.
+//! 2. **Bounded allocation.** Live-heap growth during the decode call
+//!    must stay under [`FIXED_ALLOC_BUDGET`] plus [`ALLOC_SCALE`] times
+//!    the input-plus-original size (enforced when the fuzz binary's
+//!    counting allocator is installed — see [`crate::alloc_track`]).
+//! 3. **Honest generators.** One iteration in ~64 skips mutation and
+//!    asserts an exact round-trip, so a layer cannot pass by rejecting
+//!    everything.
+//!
+//! Running any layer twice with the same seed replays the identical
+//! mutation sequence, which is what makes a CI failure reproducible
+//! locally from the one-line report.
+
+use crate::alloc_track;
+use crate::mutate::mutate;
+use crate::rng::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use isobar::{CodecId, IsobarCompressor, IsobarOptions, IsobarReader, IsobarWriter};
+use isobar_codecs::bwt::{bwt_forward, bwt_inverse};
+use isobar_codecs::deflate::{deflate_raw, inflate_raw};
+use isobar_codecs::pfor::{pfor_compress_bytes, pfor_decompress_bytes};
+use isobar_codecs::rle::{rle1_decode, rle1_encode};
+use isobar_codecs::{codec_for, CompressionLevel};
+use isobar_float_codecs::{Dims, Fpc, FpzipLike};
+use isobar_store::{StoreReader, StoreWriter};
+
+/// Fixed allocation headroom a decode call may use regardless of input
+/// size: covers prediction tables (FPC decodes with up to 16 MiB of
+/// hash tables for its default table size), BWT working state for a
+/// maximum-size block, and allocator slack.
+pub const FIXED_ALLOC_BUDGET: usize = 64 << 20;
+
+/// Default input-proportional allocation factor: a decode call may
+/// additionally keep this many live bytes per byte of (corrupt input +
+/// original payload). Generous against legitimate decompression
+/// expansion, tiny against a length-field allocation bomb. Layers
+/// whose format permits a larger legitimate expansion override it —
+/// see [`FPZIP_ALLOC_SCALE`].
+pub const ALLOC_SCALE: usize = 64;
+
+/// Allocation factor for the fpzip layer. A saturated adaptive model
+/// prices its most likely symbol at ~0.0014 bits, so a *valid* fpzip
+/// stream can decode roughly 5 700 residuals (45 000 output bytes) per
+/// payload byte; the truncation (overrun) check in the decoder caps a
+/// lying header at that same rate, and this budget verifies the cap.
+pub const FPZIP_ALLOC_SCALE: usize = 50_000;
+
+/// Seed used by the fuzz binary and the smoke test when none is given.
+pub const DEFAULT_SEED: u64 = 0x0150_BA2D_F00D_5EED;
+
+/// A valid encoded artifact plus the payload it decodes back to.
+pub struct Artifact {
+    /// The encoded form handed to the mutator.
+    pub bytes: Vec<u8>,
+    /// The original payload, for round-trip checks and alloc budgets.
+    pub original: Vec<u8>,
+}
+
+/// Outcome of running one layer to completion.
+#[derive(Debug, Clone)]
+pub struct LayerOutcome {
+    /// Layer name.
+    pub name: &'static str,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Decodes that returned `Ok` (mutation survived or was pristine).
+    pub accepted: u64,
+    /// Decodes that returned a typed error.
+    pub rejected: u64,
+    /// Largest live-heap growth observed during a single decode call.
+    pub max_alloc: usize,
+}
+
+/// Decode driver: `(artifact, corrupted bytes, pristine)` →
+/// `Ok(true)` accepted, `Ok(false)` rejected with a typed error, or
+/// `Err` describing a harness-level contract violation.
+type DecodeFn = Box<dyn Fn(&Artifact, &[u8], bool) -> Result<bool, String>>;
+
+/// One decode surface under fault injection.
+pub struct Layer {
+    name: &'static str,
+    pool: Vec<Artifact>,
+    alloc_scale: usize,
+    decode: DecodeFn,
+}
+
+impl Layer {
+    /// The layer's name (stable; usable with the binary's `--layer`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Run `iters` fault-injection iterations under `seed`.
+    ///
+    /// Returns `Err` with a reproducible one-line description on the
+    /// first panic, allocation-bound violation, pristine round-trip
+    /// failure, or harness error.
+    pub fn run(&self, seed: u64, iters: u64) -> Result<LayerOutcome, String> {
+        let mut rng = Rng::new(seed ^ fnv1a(self.name));
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut max_alloc = 0usize;
+        for i in 0..iters {
+            let artifact = &self.pool[rng.below(self.pool.len())];
+            let pristine = rng.one_in(64);
+            let mut bytes = artifact.bytes.clone();
+            let mut kinds: Vec<&'static str> = Vec::new();
+            if !pristine {
+                for _ in 0..1 + rng.below(3) {
+                    kinds.push(mutate(&mut rng, &mut bytes));
+                }
+            }
+            let budget =
+                FIXED_ALLOC_BUDGET + self.alloc_scale * (bytes.len() + artifact.original.len());
+            let before = alloc_track::current();
+            alloc_track::reset_peak();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                (self.decode)(artifact, &bytes, pristine)
+            }));
+            let delta = alloc_track::peak().saturating_sub(before);
+            max_alloc = max_alloc.max(delta);
+            let context = format!(
+                "layer {} iteration {i} seed {seed:#018x} mutations [{}]",
+                self.name,
+                kinds.join(", ")
+            );
+            match outcome {
+                Err(payload) => {
+                    return Err(format!("PANIC ({}) in {context}", panic_message(&payload)))
+                }
+                Ok(Err(msg)) => return Err(format!("{msg} in {context}")),
+                Ok(Ok(true)) => accepted += 1,
+                Ok(Ok(false)) => rejected += 1,
+            }
+            if alloc_track::installed() && delta > budget {
+                return Err(format!(
+                    "allocation bound exceeded: {delta} live bytes while decoding {} \
+                     input bytes (budget {budget}) in {context}",
+                    bytes.len()
+                ));
+            }
+        }
+        Ok(LayerOutcome {
+            name: self.name,
+            iterations: iters,
+            accepted,
+            rejected,
+            max_alloc,
+        })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// All fuzz layers, covering every format layer (batch container,
+/// stream framing, checkpoint store) and every codec decode path
+/// (deflate/zlib, bzip2-class BWT, PFOR, raw inflate, raw BWT block,
+/// RLE1, FPC, fpzip-class — the range coder is exercised through the
+/// fpzip layer, and Huffman/LZ77/MTF/ZRLE through the deflate and BWT
+/// streams).
+pub fn all_layers() -> Vec<Layer> {
+    vec![
+        container_layer(),
+        stream_layer(),
+        store_layer(),
+        codec_layer("codec-deflate", CodecId::Deflate),
+        codec_layer("codec-bzip2", CodecId::Bzip2Like),
+        pfor_layer(),
+        inflate_layer(),
+        bwt_layer(),
+        rle1_layer(),
+        fpc_layer(),
+        fpzip_layer(),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Deterministic payload generators.
+
+fn smooth_f64(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| (100.0 * (i as f64 * 0.01).sin()).to_le_bytes())
+        .collect()
+}
+
+fn mixed_u64(n: usize, rng: &mut Rng) -> Vec<u8> {
+    // Top half predictable, bottom half noise — the shape ISOBAR's
+    // analyzer is built for, so containers exercise partitioned chunks.
+    (0..n as u64)
+        .flat_map(|i| (((i / 7) << 32) | (rng.next_u64() & 0xFFFF_FFFF)).to_le_bytes())
+        .collect()
+}
+
+fn noise(len: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    rng.fill(&mut out);
+    out
+}
+
+fn text(len: usize) -> Vec<u8> {
+    b"the quick brown fox jumps over the lazy dog; "
+        .iter()
+        .copied()
+        .cycle()
+        .take(len)
+        .collect()
+}
+
+fn small_options() -> IsobarOptions {
+    IsobarOptions {
+        chunk_elements: 256,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Format layers.
+
+fn container_layer() -> Layer {
+    let mut rng = Rng::new(0xC0DE_C0DE);
+    let mk = |data: Vec<u8>, width: usize, codec: Option<CodecId>| {
+        let opts = IsobarOptions {
+            codec_override: codec,
+            ..small_options()
+        };
+        let bytes = IsobarCompressor::new(opts)
+            .compress(&data, width)
+            .expect("pool compress");
+        Artifact {
+            bytes,
+            original: data,
+        }
+    };
+    let pool = vec![
+        mk(smooth_f64(1024), 8, None),
+        mk(mixed_u64(1024, &mut rng), 8, Some(CodecId::Deflate)),
+        mk(noise(4096, &mut rng), 4, Some(CodecId::Bzip2Like)),
+        mk(text(6000), 8, None),
+    ];
+    Layer {
+        name: "container",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(|artifact, bytes, pristine| {
+            match IsobarCompressor::default().decompress(bytes) {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine container round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine container rejected".into()),
+                Err(_) => Ok(false),
+            }
+        }),
+    }
+}
+
+fn stream_layer() -> Layer {
+    let mut rng = Rng::new(0x57_BEA4);
+    let mk = |data: Vec<u8>, width: usize| {
+        let mut writer =
+            IsobarWriter::new(Vec::new(), width, small_options()).expect("pool stream");
+        std::io::Write::write_all(&mut writer, &data).expect("pool stream write");
+        let bytes = writer.finish().expect("pool stream finish");
+        Artifact {
+            bytes,
+            original: data,
+        }
+    };
+    let pool = vec![
+        mk(smooth_f64(1024), 8),
+        mk(mixed_u64(768, &mut rng), 8),
+        mk(noise(2048, &mut rng), 4),
+    ];
+    Layer {
+        name: "stream",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(|artifact, bytes, pristine| {
+            let result = IsobarReader::new(bytes).and_then(|r| r.read_to_vec());
+            match result {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine stream round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine stream rejected".into()),
+                Err(_) => Ok(false),
+            }
+        }),
+    }
+}
+
+fn store_layer() -> Layer {
+    let mut rng = Rng::new(0x5708E);
+    let vars: Vec<(u32, &'static str, Vec<u8>)> = vec![
+        (0, "density", smooth_f64(512)),
+        (0, "potential", mixed_u64(512, &mut rng)),
+        (1, "density", noise(2048, &mut rng)),
+    ];
+    let pool_path =
+        std::env::temp_dir().join(format!("isobar-fuzz-pool-{}.isst", std::process::id()));
+    let mut writer = StoreWriter::create(&pool_path, small_options()).expect("pool store create");
+    for (step, name, data) in &vars {
+        writer.put(*step, name, data, 8).expect("pool store put");
+    }
+    writer.close().expect("pool store close");
+    let bytes = std::fs::read(&pool_path).expect("pool store read");
+    let _ = std::fs::remove_file(&pool_path);
+    let original: Vec<u8> = vars
+        .iter()
+        .flat_map(|(_, _, d)| d.iter().copied())
+        .collect();
+    let pool = vec![Artifact { bytes, original }];
+
+    let decode_path =
+        std::env::temp_dir().join(format!("isobar-fuzz-decode-{}.isst", std::process::id()));
+    Layer {
+        name: "store",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(move |_, bytes, pristine| {
+            std::fs::write(&decode_path, bytes)
+                .map_err(|e| format!("harness: temp store write failed: {e}"))?;
+            match StoreReader::open(&decode_path) {
+                Ok(reader) => {
+                    let mut all_ok = true;
+                    for (step, name, data) in &vars {
+                        match reader.get(*step, name) {
+                            Ok(out) => {
+                                if pristine && out != *data {
+                                    return Err(format!(
+                                        "pristine store round-trip mismatch for {name}@{step}"
+                                    ));
+                                }
+                            }
+                            Err(_) if pristine => {
+                                return Err(format!("pristine store rejected {name}@{step}"))
+                            }
+                            Err(_) => all_ok = false,
+                        }
+                    }
+                    Ok(all_ok)
+                }
+                Err(_) if pristine => Err("pristine store failed to open".into()),
+                Err(_) => Ok(false),
+            }
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec layers.
+
+fn codec_layer(name: &'static str, id: CodecId) -> Layer {
+    let mut rng = Rng::new(fnv1a(name));
+    let mut pool = Vec::new();
+    for (level, data) in [
+        (CompressionLevel::Fast, text(8000)),
+        (CompressionLevel::Default, noise(4096, &mut rng)),
+        (CompressionLevel::Best, smooth_f64(512)),
+        (CompressionLevel::Default, vec![0u8; 4096]),
+    ] {
+        let codec = codec_for(id, level);
+        pool.push(Artifact {
+            bytes: codec.compress(&data),
+            original: data,
+        });
+    }
+    let codec = codec_for(id, CompressionLevel::Default);
+    Layer {
+        name,
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(
+            move |artifact, bytes, pristine| match codec.decompress(bytes) {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine codec round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine codec stream rejected".into()),
+                Err(_) => Ok(false),
+            },
+        ),
+    }
+}
+
+fn pfor_layer() -> Layer {
+    let mut rng = Rng::new(0x9F0A);
+    let monotone: Vec<u8> = (0..512u64)
+        .flat_map(|i| (1000 + i * 3).to_le_bytes())
+        .collect();
+    let pool = vec![
+        Artifact {
+            bytes: pfor_compress_bytes(&monotone, true),
+            original: monotone.clone(),
+        },
+        Artifact {
+            bytes: pfor_compress_bytes(&monotone, false),
+            original: monotone,
+        },
+        Artifact {
+            bytes: pfor_compress_bytes(&noise(4096, &mut rng), false),
+            original: noise(4096, &mut rng),
+        },
+    ];
+    // The third artifact's original differs from its encoded payload
+    // (two independent noise draws); repair it for honest round-trips.
+    let mut pool = pool;
+    pool[2].original = pfor_decompress_bytes(&pool[2].bytes).expect("pool pfor");
+    Layer {
+        name: "codec-pfor",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(
+            |artifact, bytes, pristine| match pfor_decompress_bytes(bytes) {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine PFOR round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine PFOR stream rejected".into()),
+                Err(_) => Ok(false),
+            },
+        ),
+    }
+}
+
+fn inflate_layer() -> Layer {
+    let mut rng = Rng::new(0x1F1A7E);
+    let mk = |data: Vec<u8>, level: CompressionLevel| Artifact {
+        bytes: deflate_raw(&data, level),
+        original: data,
+    };
+    let pool = vec![
+        mk(text(8000), CompressionLevel::Default),
+        mk(noise(4096, &mut rng), CompressionLevel::Fast),
+        mk(vec![7u8; 5000], CompressionLevel::Best),
+    ];
+    Layer {
+        name: "raw-inflate",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(|artifact, bytes, pristine| {
+            match inflate_raw(bytes, artifact.original.len()) {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine inflate round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine deflate stream rejected".into()),
+                Err(_) => Ok(false),
+            }
+        }),
+    }
+}
+
+fn bwt_layer() -> Layer {
+    let mut rng = Rng::new(0xB3717);
+    let mk = |data: Vec<u8>| {
+        let bwt = bwt_forward(&data);
+        let bytes: Vec<u8> = bwt.iter().flat_map(|s| s.to_le_bytes()).collect();
+        Artifact {
+            bytes,
+            original: data,
+        }
+    };
+    let pool = vec![
+        mk(text(3000)),
+        mk(noise(1024, &mut rng)),
+        mk(vec![0u8; 800]),
+    ];
+    Layer {
+        name: "raw-bwt",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(|artifact, bytes, pristine| {
+            // Reinterpret the (mutated) bytes as the u16 last column; a
+            // trailing odd byte is dropped, which is itself a fault.
+            let symbols: Vec<u16> = bytes
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                .collect();
+            match bwt_inverse(&symbols) {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine BWT round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine BWT block rejected".into()),
+                Err(_) => Ok(false),
+            }
+        }),
+    }
+}
+
+fn rle1_layer() -> Layer {
+    let mut rng = Rng::new(0x41E1);
+    let mk = |data: Vec<u8>| Artifact {
+        bytes: rle1_encode(&data),
+        original: data,
+    };
+    let pool = vec![
+        mk(vec![9u8; 10_000]),
+        mk(noise(2048, &mut rng)),
+        mk(text(4000)),
+    ];
+    Layer {
+        name: "raw-rle1",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(|artifact, bytes, pristine| {
+            // RLE1 decode is total: every byte string is a valid
+            // encoding. The layer still checks panic-freedom, the
+            // allocation bound (expansion is ≤ ~52× input), and exact
+            // pristine round-trips.
+            let out = rle1_decode(bytes);
+            if pristine && out != artifact.original {
+                return Err("pristine RLE1 round-trip mismatch".into());
+            }
+            Ok(true)
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Float-codec layers.
+
+fn fpc_layer() -> Layer {
+    let mut rng = Rng::new(0xF9C);
+    let fpc = Fpc::default();
+    let mk = |data: Vec<u8>| Artifact {
+        bytes: fpc.compress(&data),
+        original: data,
+    };
+    let pool = vec![
+        mk(smooth_f64(1024)),
+        mk(noise(4096, &mut rng)),
+        mk(vec![0u8; 2048]),
+    ];
+    Layer {
+        name: "float-fpc",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(
+            move |artifact, bytes, pristine| match fpc.decompress(bytes) {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine FPC round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine FPC stream rejected".into()),
+                Err(_) => Ok(false),
+            },
+        ),
+    }
+}
+
+fn fpzip_layer() -> Layer {
+    let fpz = FpzipLike;
+    let linear = smooth_f64(1024);
+    let grid: Vec<u8> = (0..32 * 32)
+        .flat_map(|i| {
+            let (x, y) = (i % 32, i / 32);
+            (((x as f64) * 0.2).sin() + ((y as f64) * 0.3).cos()).to_le_bytes()
+        })
+        .collect();
+    let pool = vec![
+        Artifact {
+            bytes: fpz
+                .compress_f64(&linear, Dims::linear(1024))
+                .expect("pool fpzip"),
+            original: linear,
+        },
+        Artifact {
+            bytes: fpz
+                .compress_f64(
+                    &grid,
+                    Dims {
+                        nx: 32,
+                        ny: 32,
+                        nz: 1,
+                    },
+                )
+                .expect("pool fpzip grid"),
+            original: grid,
+        },
+    ];
+    Layer {
+        name: "float-fpzip",
+        pool,
+        alloc_scale: FPZIP_ALLOC_SCALE,
+        decode: Box::new(
+            move |artifact, bytes, pristine| match fpz.decompress(bytes) {
+                Ok(out) => {
+                    if pristine && out != artifact.original {
+                        return Err("pristine fpzip round-trip mismatch".into());
+                    }
+                    Ok(true)
+                }
+                Err(_) if pristine => Err("pristine fpzip stream rejected".into()),
+                Err(_) => Ok(false),
+            },
+        ),
+    }
+}

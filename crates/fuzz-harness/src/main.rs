@@ -1,0 +1,98 @@
+//! Fuzz driver: run every decode layer under fault injection.
+//!
+//! ```text
+//! isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list]
+//! ```
+//!
+//! Exits 0 when every layer completes its iterations with zero panics
+//! and zero allocation-bound violations; exits 1 with a reproducible
+//! one-line report otherwise.
+
+use isobar_fuzz_harness::{all_layers, alloc_track::PeakAlloc, DEFAULT_SEED};
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+fn main() {
+    let mut iters: u64 = 10_000;
+    let mut seed: u64 = DEFAULT_SEED;
+    let mut selected: Vec<String> = Vec::new();
+    let mut list = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                iters = expect_value(&args, &mut i, "--iters")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--iters takes a positive integer"));
+            }
+            "--seed" => {
+                let raw = expect_value(&args, &mut i, "--seed");
+                let raw = raw.trim_start_matches("0x");
+                seed = u64::from_str_radix(raw, 16)
+                    .unwrap_or_else(|_| usage("--seed takes a hex value"));
+            }
+            "--layer" => {
+                selected.push(expect_value(&args, &mut i, "--layer"));
+            }
+            "--list" => list = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let layers = all_layers();
+    if list {
+        for layer in &layers {
+            println!("{}", layer.name());
+        }
+        return;
+    }
+    for name in &selected {
+        if !layers.iter().any(|l| l.name() == name) {
+            usage(&format!("unknown layer {name} (try --list)"));
+        }
+    }
+
+    let mut failed = false;
+    for layer in &layers {
+        if !selected.is_empty() && !selected.iter().any(|n| n == layer.name()) {
+            continue;
+        }
+        match layer.run(seed, iters) {
+            Ok(o) => println!(
+                "{:<14} {} iterations: {} accepted, {} rejected, peak decode alloc {} KiB",
+                o.name,
+                o.iterations,
+                o.accepted,
+                o.rejected,
+                o.max_alloc / 1024
+            ),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn expect_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .unwrap_or_else(|| usage(&format!("{flag} requires a value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

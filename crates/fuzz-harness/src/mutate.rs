@@ -1,0 +1,145 @@
+//! Structure-aware corruption of valid encoded artifacts.
+//!
+//! Random bytes almost never get past a magic-number check, so the
+//! harness starts from a *valid* container / stream / store / codec
+//! payload and injects the faults that actually occur in practice —
+//! flipped bits, torn writes, truncated transfers — plus the faults an
+//! adversary would choose, such as inflating a length field to provoke
+//! an oversized allocation or duplicating a chunk to confuse framing.
+
+use crate::rng::Rng;
+
+/// Kinds of fault the mutator can inject. The distribution is uniform;
+/// every kind degrades gracefully on inputs too small for it.
+const KINDS: &[&str] = &[
+    "bit-flip",
+    "byte-stomp",
+    "truncate",
+    "extend",
+    "length-inflate",
+    "duplicate-slice",
+    "zero-range",
+    "torn-tail",
+];
+
+/// Apply one randomly chosen fault to `bytes` in place and return its
+/// label (for failure reports).
+pub fn mutate(rng: &mut Rng, bytes: &mut Vec<u8>) -> &'static str {
+    if bytes.is_empty() {
+        extend(rng, bytes);
+        return "extend";
+    }
+    let kind = rng.below(KINDS.len());
+    match kind {
+        0 => {
+            // Flip 1..=8 individual bits anywhere in the artifact.
+            for _ in 0..1 + rng.below(8) {
+                let pos = rng.below(bytes.len());
+                bytes[pos] ^= 1 << rng.below(8);
+            }
+        }
+        1 => {
+            // Overwrite 1..=4 bytes with arbitrary values.
+            for _ in 0..1 + rng.below(4) {
+                let pos = rng.below(bytes.len());
+                bytes[pos] = rng.byte();
+            }
+        }
+        2 => {
+            // Truncate to a strictly shorter length (possibly empty).
+            bytes.truncate(rng.below(bytes.len()));
+        }
+        3 => extend(rng, bytes),
+        4 => {
+            // Interpret a random offset as a 2/4/8-byte little-endian
+            // length field and write an implausibly large value — the
+            // classic allocation-bomb probe.
+            let width = [2usize, 4, 8][rng.below(3)];
+            if bytes.len() >= width {
+                let pos = rng.below(bytes.len() - width + 1);
+                let value = match rng.below(5) {
+                    0 => u64::MAX,
+                    1 => u64::MAX >> 1,
+                    2 => u32::MAX as u64,
+                    3 => 1 << 40,
+                    _ => (bytes.len() as u64).saturating_mul(1009),
+                };
+                bytes[pos..pos + width].copy_from_slice(&value.to_le_bytes()[..width]);
+            } else {
+                bytes.fill(0xFF);
+            }
+        }
+        5 => {
+            // Duplicate a slice (e.g. a whole chunk record) elsewhere.
+            let len = 1 + rng.below(bytes.len().min(256));
+            let src = rng.below(bytes.len() - len + 1);
+            let copy: Vec<u8> = bytes[src..src + len].to_vec();
+            let dst = rng.below(bytes.len() + 1);
+            bytes.splice(dst..dst, copy);
+        }
+        6 => {
+            // Zero a contiguous range.
+            let len = 1 + rng.below(bytes.len().min(64));
+            let pos = rng.below(bytes.len() - len + 1);
+            bytes[pos..pos + len].fill(0);
+        }
+        _ => {
+            // Tear the tail off — simulates a torn trailer / partial
+            // final write. Up to 17 bytes covers every trailer format.
+            let cut = (1 + rng.below(17)).min(bytes.len());
+            bytes.truncate(bytes.len() - cut);
+        }
+    }
+    KINDS[kind]
+}
+
+fn extend(rng: &mut Rng, bytes: &mut Vec<u8>) {
+    let extra = 1 + rng.below(64);
+    let start = bytes.len();
+    bytes.resize(start + extra, 0);
+    let rest = &mut bytes[start..];
+    rng.fill(rest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_changes_or_resizes_the_input() {
+        let mut rng = Rng::new(99);
+        let mut changed = 0;
+        for _ in 0..500 {
+            let original: Vec<u8> = (0..100u8).collect();
+            let mut bytes = original.clone();
+            mutate(&mut rng, &mut bytes);
+            if bytes != original {
+                changed += 1;
+            }
+        }
+        // Bit flips etc. always change something; allow a tiny slack
+        // for duplicate-slice inserting an identical neighborhood.
+        assert!(changed > 450, "only {changed} of 500 mutations had effect");
+    }
+
+    #[test]
+    fn empty_input_grows() {
+        let mut rng = Rng::new(3);
+        let mut bytes = Vec::new();
+        mutate(&mut rng, &mut bytes);
+        assert!(!bytes.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let run = || {
+            let mut rng = Rng::new(1234);
+            let mut bytes: Vec<u8> = (0..64u8).collect();
+            for _ in 0..50 {
+                mutate(&mut rng, &mut bytes);
+            }
+            bytes
+        };
+        assert_eq!(run(), run());
+    }
+}

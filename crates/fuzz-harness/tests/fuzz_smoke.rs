@@ -1,0 +1,33 @@
+//! Reduced-count fuzz pass for `cargo test`: every layer must survive
+//! structure-aware fault injection with zero panics and bounded
+//! allocation. The full 10k-per-layer run is the fuzz binary
+//! (`cargo run -p isobar-fuzz-harness --release`), which CI executes.
+//!
+//! This file installs the counting allocator as the global allocator,
+//! so it must stay the only integration test in this binary (cargo
+//! builds each top-level test file into its own executable).
+
+use isobar_fuzz_harness::{all_layers, alloc_track::PeakAlloc, DEFAULT_SEED};
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+#[test]
+fn every_layer_survives_fault_injection() {
+    for layer in all_layers() {
+        let outcome = layer
+            .run(DEFAULT_SEED, 400)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(outcome.iterations, 400);
+        // A layer where no mutation is ever rejected would mean the
+        // mutator is not reaching the decoder (RLE1 is the exception:
+        // its decode is total, every input is a valid encoding).
+        if layer.name() != "raw-rle1" {
+            assert!(
+                outcome.rejected > 0,
+                "{}: no mutated input was ever rejected",
+                layer.name()
+            );
+        }
+    }
+}

@@ -139,7 +139,82 @@ impl ChunkRecord {
 
     /// Parse one record from the front of `data`; returns the record
     /// and the number of bytes consumed.
+    ///
+    /// Equivalent to [`ChunkRecord::read_bounded`] with no element
+    /// ceiling; callers that know the header's `chunk_elements` should
+    /// prefer the bounded form.
     pub fn read(data: &[u8], width: usize) -> Result<(ChunkRecord, usize), IsobarError> {
+        Self::read_bounded(data, width, u32::MAX)
+    }
+
+    /// Parse one record from the front of `data`, rejecting records
+    /// that claim more than `max_elements` elements (a valid container
+    /// never exceeds the header's `chunk_elements`); returns the record
+    /// and the number of bytes consumed.
+    pub fn read_bounded(
+        data: &[u8],
+        width: usize,
+        max_elements: u32,
+    ) -> Result<(ChunkRecord, usize), IsobarError> {
+        let header = ChunkHeader::validate(data, width, max_elements)?;
+        let total = CHUNK_HEADER_LEN
+            .checked_add(header.comp_len)
+            .and_then(|t| t.checked_add(header.incomp_len))
+            .ok_or(IsobarError::Corrupt("chunk length overflow"))?;
+        if data.len() < total {
+            return Err(IsobarError::Truncated);
+        }
+        Ok((
+            ChunkRecord {
+                mode: header.mode,
+                elements: header.elements,
+                mask: header.mask,
+                compressed: data[CHUNK_HEADER_LEN..CHUNK_HEADER_LEN + header.comp_len].to_vec(),
+                incompressible: data[CHUNK_HEADER_LEN + header.comp_len..total].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// The analyzer selection this record encodes. Errors on widths
+    /// > 64, which no valid header can carry.
+    pub fn selection(&self, width: usize) -> Result<ColumnSelection, IsobarError> {
+        ColumnSelection::from_mask(self.mask, width)
+    }
+}
+
+/// The validated fixed part of a chunk record.
+///
+/// Produced by [`ChunkHeader::validate`], which performs every
+/// structural check *before the caller allocates anything* — the
+/// streaming reader uses it to vet the 29 fixed bytes before deciding
+/// how much payload to pull off the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHeader {
+    /// Encoding mode.
+    pub mode: ChunkMode,
+    /// Elements in the chunk.
+    pub elements: u32,
+    /// Analyzer column mask.
+    pub mask: u64,
+    /// Solver payload length C′.
+    pub comp_len: usize,
+    /// Verbatim payload length I.
+    pub incomp_len: usize,
+}
+
+impl ChunkHeader {
+    /// Parse and validate the fixed 29-byte chunk header at the front
+    /// of `data`, without touching (or requiring) any payload bytes.
+    ///
+    /// Checks, in order: header completeness, mode byte, element count
+    /// against `max_elements`, mask width, passthrough mask, and the
+    /// incompressible-length consistency equation. Allocation-free.
+    pub fn validate(
+        data: &[u8],
+        width: usize,
+        max_elements: u32,
+    ) -> Result<ChunkHeader, IsobarError> {
         if data.len() < CHUNK_HEADER_LEN {
             return Err(IsobarError::Truncated);
         }
@@ -153,9 +228,14 @@ impl ChunkRecord {
         let comp_len = u64::from_le_bytes(data[13..21].try_into().expect("8 bytes")) as usize;
         let incomp_len = u64::from_le_bytes(data[21..29].try_into().expect("8 bytes")) as usize;
 
-        // Structural validation before any allocation.
+        if elements > max_elements {
+            return Err(IsobarError::Corrupt("chunk exceeds header chunk size"));
+        }
         if mask >> width != 0 {
             return Err(IsobarError::Corrupt("column mask wider than element"));
+        }
+        if mode == ChunkMode::Passthrough && mask != 0 {
+            return Err(IsobarError::Corrupt("passthrough chunk with column mask"));
         }
         let incompressible_cols = width - (mask & mask_low(width)).count_ones() as usize;
         let expected_incomp = match mode {
@@ -165,29 +245,13 @@ impl ChunkRecord {
         if incomp_len != expected_incomp {
             return Err(IsobarError::Corrupt("incompressible length mismatch"));
         }
-        let total = CHUNK_HEADER_LEN
-            .checked_add(comp_len)
-            .and_then(|t| t.checked_add(incomp_len))
-            .ok_or(IsobarError::Corrupt("chunk length overflow"))?;
-        if data.len() < total {
-            return Err(IsobarError::Truncated);
-        }
-        Ok((
-            ChunkRecord {
-                mode,
-                elements,
-                mask,
-                compressed: data[CHUNK_HEADER_LEN..CHUNK_HEADER_LEN + comp_len].to_vec(),
-                incompressible: data[CHUNK_HEADER_LEN + comp_len..total].to_vec(),
-            },
-            total,
-        ))
-    }
-
-    /// The analyzer selection this record encodes. Errors on widths
-    /// > 64, which no valid header can carry.
-    pub fn selection(&self, width: usize) -> Result<ColumnSelection, IsobarError> {
-        ColumnSelection::from_mask(self.mask, width)
+        Ok(ChunkHeader {
+            mode,
+            elements,
+            mask,
+            comp_len,
+            incomp_len,
+        })
     }
 }
 
@@ -356,6 +420,43 @@ mod tests {
             ChunkRecord::read(&buf[..buf.len() - 1], 8),
             Err(IsobarError::Truncated)
         ));
+    }
+
+    #[test]
+    fn passthrough_record_rejects_nonzero_mask() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Passthrough,
+            elements: 10,
+            mask: 0,
+            compressed: vec![5; 16],
+            incompressible: vec![],
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        // A passthrough record must carry mask == 0; set a bit.
+        buf[5] = 0b0000_0001;
+        assert_eq!(
+            ChunkRecord::read(&buf, 8),
+            Err(IsobarError::Corrupt("passthrough chunk with column mask"))
+        );
+    }
+
+    #[test]
+    fn bounded_read_rejects_oversized_element_count() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Passthrough,
+            elements: 1000,
+            mask: 0,
+            compressed: vec![5; 16],
+            incompressible: vec![],
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        assert!(ChunkRecord::read_bounded(&buf, 8, 1000).is_ok());
+        assert_eq!(
+            ChunkRecord::read_bounded(&buf, 8, 999),
+            Err(IsobarError::Corrupt("chunk exceeds header chunk size"))
+        );
     }
 
     #[test]

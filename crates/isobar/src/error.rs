@@ -24,6 +24,29 @@ pub enum IsobarError {
     Codec(CodecError),
     /// Whole-stream integrity check failed after reassembly.
     ChecksumMismatch,
+    /// An underlying error, located at a byte offset in the input.
+    At {
+        /// Byte offset (from the start of the container or stream) of
+        /// the structure that failed to parse.
+        offset: u64,
+        /// The underlying error.
+        source: Box<IsobarError>,
+    },
+}
+
+impl IsobarError {
+    /// Attach a byte offset to this error. Errors that already carry an
+    /// offset are returned unchanged — the innermost (first-attached)
+    /// location is the most precise one.
+    pub fn at(self, offset: u64) -> IsobarError {
+        match self {
+            e @ IsobarError::At { .. } => e,
+            e => IsobarError::At {
+                offset,
+                source: Box::new(e),
+            },
+        }
+    }
 }
 
 impl fmt::Display for IsobarError {
@@ -40,6 +63,9 @@ impl fmt::Display for IsobarError {
             IsobarError::Truncated => write!(f, "truncated ISOBAR container"),
             IsobarError::Codec(e) => write!(f, "solver error: {e}"),
             IsobarError::ChecksumMismatch => write!(f, "reassembled data failed integrity check"),
+            IsobarError::At { offset, source } => {
+                write!(f, "at byte offset {offset}: {source}")
+            }
         }
     }
 }
@@ -48,6 +74,7 @@ impl Error for IsobarError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             IsobarError::Codec(e) => Some(e),
+            IsobarError::At { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -69,6 +96,16 @@ mod tests {
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("8"));
         assert!(IsobarError::Truncated.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn at_wraps_once_and_reports_offset() {
+        let e = IsobarError::Truncated.at(28);
+        assert!(e.to_string().contains("offset 28"));
+        assert!(Error::source(&e).is_some());
+        // Re-attaching keeps the innermost (most precise) offset.
+        let e = e.at(999);
+        assert!(e.to_string().contains("offset 28"));
     }
 
     #[test]

@@ -411,30 +411,54 @@ impl IsobarCompressor {
 
     /// [`IsobarCompressor::decompress`] recording telemetry into a
     /// caller-held [`Recorder`].
+    ///
+    /// Any failure is a rejection of untrusted input: the error carries
+    /// the byte offset of the structure that failed to parse (via
+    /// [`IsobarError::At`]) and bumps
+    /// [`Counter::ContainerCorruptRejected`].
     pub fn decompress_recorded(
         &self,
         data: &[u8],
         scratch: &mut PipelineScratch,
         recorder: &mut Recorder,
     ) -> Result<Vec<u8>, IsobarError> {
+        let result = self.decompress_inner(data, scratch, recorder);
+        if result.is_err() {
+            recorder.incr(Counter::ContainerCorruptRejected);
+        }
+        result
+    }
+
+    fn decompress_inner(
+        &self,
+        data: &[u8],
+        scratch: &mut PipelineScratch,
+        recorder: &mut Recorder,
+    ) -> Result<Vec<u8>, IsobarError> {
         let container_timer = StageTimer::start(Stage::ContainerRead);
-        let header = Header::read(data)?;
+        let header = Header::read(data).map_err(|e| e.at(0))?;
         let width = header.width as usize;
         let codec = codec_for(header.codec, header.level);
 
         // Parse all chunk records up front (cheap: payloads are
         // borrowed-range copies), so the decode stage can go parallel.
-        let mut records = Vec::new();
+        // Each record keeps its byte offset so decode-stage failures can
+        // point back into the container.
+        let mut records: Vec<(u64, ChunkRecord)> = Vec::new();
         let mut cursor = &data[HEADER_LEN..];
+        let mut offset = HEADER_LEN as u64;
         let mut claimed: u64 = 0;
         while claimed < header.total_len {
-            let (record, consumed) = ChunkRecord::read(cursor, width)?;
+            let (record, consumed) =
+                ChunkRecord::read_bounded(cursor, width, header.chunk_elements)
+                    .map_err(|e| e.at(offset))?;
             if record.elements == 0 {
-                return Err(IsobarError::Corrupt("empty chunk record"));
+                return Err(IsobarError::Corrupt("empty chunk record").at(offset));
             }
             cursor = &cursor[consumed..];
-            claimed += record.elements as u64 * width as u64;
-            records.push(record);
+            claimed = claimed.saturating_add(record.elements as u64 * width as u64);
+            records.push((offset, record));
+            offset += consumed as u64;
         }
         if claimed != header.total_len {
             return Err(IsobarError::Corrupt("reassembled length mismatch"));
@@ -463,7 +487,7 @@ impl IsobarCompressor {
                 out.extend_from_slice(&chunk);
             }
         } else {
-            for record in &records {
+            for (rec_offset, record) in &records {
                 decode_chunk_record(
                     record,
                     width,
@@ -472,7 +496,8 @@ impl IsobarCompressor {
                     &mut out,
                     scratch,
                     recorder,
-                )?;
+                )
+                .map_err(|e| e.at(*rec_offset))?;
             }
         }
         if out.len() != header.total_len as usize {
@@ -486,8 +511,9 @@ impl IsobarCompressor {
 }
 
 /// Decode chunk records with a scoped thread pool; results keep order.
+/// Each record carries its container byte offset for error reporting.
 fn decode_records_parallel(
-    records: &[ChunkRecord],
+    records: &[(u64, ChunkRecord)],
     width: usize,
     codec: &dyn Codec,
     linearization: Linearization,
@@ -517,9 +543,10 @@ fn decode_records_parallel(
                     if i >= records.len() {
                         break;
                     }
+                    let (rec_offset, record) = &records[i];
                     let mut chunk = Vec::new();
                     let result = decode_chunk_record(
-                        &records[i],
+                        record,
                         width,
                         codec,
                         linearization,
@@ -527,7 +554,8 @@ fn decode_records_parallel(
                         &mut scratch,
                         &mut local,
                     )
-                    .map(|()| chunk);
+                    .map(|()| chunk)
+                    .map_err(|e| e.at(*rec_offset));
                     *slots[i].lock().expect("slot poisoned") = Some(result);
                 }
                 merged.lock().expect("recorder poisoned").absorb(&local);

@@ -23,7 +23,7 @@
 //! it up front.
 
 use crate::analyzer::{Analyzer, ColumnSelection};
-use crate::container::{level_from_u8, level_to_u8, ChunkRecord};
+use crate::container::{level_from_u8, level_to_u8, ChunkHeader, ChunkRecord};
 use crate::error::IsobarError;
 use crate::pipeline::{IsobarOptions, PipelineScratch};
 use isobar_codecs::deflate::Adler32;
@@ -167,7 +167,11 @@ impl<W: Write> IsobarWriter<W> {
 
     fn write_header(&mut self) -> io::Result<()> {
         debug_assert!(!self.header_written);
-        let codec_id = self.codec.as_ref().expect("decided").id();
+        let codec_id = self
+            .codec
+            .as_ref()
+            .ok_or_else(|| io_err(IsobarError::Corrupt("stream codec undecided")))?
+            .id();
         self.sink.write_all(&STREAM_MAGIC)?;
         self.sink.write_all(&[
             STREAM_VERSION,
@@ -187,7 +191,11 @@ impl<W: Write> IsobarWriter<W> {
         if !self.header_written {
             self.write_header()?;
         }
-        let codec = self.codec.as_ref().expect("decided").as_ref();
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or_else(|| io_err(IsobarError::Corrupt("stream codec undecided")))?
+            .as_ref();
         let record = crate::pipeline::build_chunk_record(
             &chunk,
             self.width,
@@ -280,6 +288,9 @@ pub struct IsobarReader<R: Read> {
     pending_pos: usize,
     checksum: Adler32,
     produced: u64,
+    /// Compressed bytes consumed from the source so far — the byte
+    /// offset attached to decode errors.
+    consumed: u64,
     done: bool,
     /// Working memory reused across chunk decodes.
     scratch: PipelineScratch,
@@ -317,6 +328,7 @@ impl<R: Read> IsobarReader<R> {
             pending_pos: 0,
             checksum: Adler32::new(),
             produced: 0,
+            consumed: STREAM_HEADER_LEN as u64,
             done: false,
             scratch: PipelineScratch::new(),
             recorder,
@@ -342,24 +354,50 @@ impl<R: Read> IsobarReader<R> {
     }
 
     fn refill(&mut self) -> Result<(), IsobarError> {
+        // Any refill failure is a rejection of corrupt wire input: tag
+        // it with the byte offset of the frame that failed and count it.
+        let frame_offset = self.consumed;
+        self.refill_inner().map_err(|e| {
+            self.recorder.incr(Counter::StreamCorruptRejected);
+            e.at(frame_offset)
+        })
+    }
+
+    fn refill_inner(&mut self) -> Result<(), IsobarError> {
         debug_assert_eq!(self.pending_pos, self.pending.len());
         let mut marker = [0u8; 1];
         read_exact(&mut self.source, &mut marker)?;
+        self.consumed += 1;
         match marker[0] {
             MARK_CHUNK => {
                 // Chunk records carry their own lengths; read the fixed
-                // part, then the payloads.
+                // part and validate it fully *before* allocating for or
+                // reading the payloads — the two length fields are
+                // untrusted and must not drive an allocation the stream
+                // cannot back with real bytes.
                 let mut fixed = [0u8; crate::container::CHUNK_HEADER_LEN];
                 read_exact(&mut self.source, &mut fixed)?;
-                let comp_len =
-                    u64::from_le_bytes(fixed[13..21].try_into().expect("8 bytes")) as usize;
-                let incomp_len =
-                    u64::from_le_bytes(fixed[21..29].try_into().expect("8 bytes")) as usize;
-                let mut record_bytes = Vec::with_capacity(fixed.len() + comp_len + incomp_len);
+                self.consumed += fixed.len() as u64;
+                let header = ChunkHeader::validate(&fixed, self.width, u32::MAX)?;
+                let payload_len = (header.comp_len as u64)
+                    .checked_add(header.incomp_len as u64)
+                    .ok_or(IsobarError::Corrupt("chunk length overflow"))?;
+                // Pre-size only up to a modest bound; a lying comp_len
+                // then costs allocation proportional to the bytes the
+                // source actually delivers, not the claimed length.
+                let prealloc = (payload_len as usize).min(1 << 20);
+                let mut record_bytes =
+                    Vec::with_capacity(crate::container::CHUNK_HEADER_LEN + prealloc);
                 record_bytes.extend_from_slice(&fixed);
-                let mut payload = vec![0u8; comp_len + incomp_len];
-                read_exact(&mut self.source, &mut payload)?;
-                record_bytes.extend_from_slice(&payload);
+                (&mut self.source)
+                    .take(payload_len)
+                    .read_to_end(&mut record_bytes)
+                    .map_err(|_| IsobarError::Truncated)?;
+                let got = (record_bytes.len() - fixed.len()) as u64;
+                self.consumed += got;
+                if got != payload_len {
+                    return Err(IsobarError::Truncated);
+                }
                 let (record, _) = ChunkRecord::read(&record_bytes, self.width)?;
                 // Decode into the fully-consumed pending buffer so its
                 // capacity (and the scratch) carry across chunks.
@@ -386,6 +424,7 @@ impl<R: Read> IsobarReader<R> {
             MARK_END => {
                 let mut trailer = [0u8; 12];
                 read_exact(&mut self.source, &mut trailer)?;
+                self.consumed += trailer.len() as u64;
                 let total = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
                 let adler = u32::from_le_bytes(trailer[8..].try_into().expect("4 bytes"));
                 if total != self.produced {

@@ -10,6 +10,11 @@ pub const TRAILER_MAGIC: [u8; 4] = *b"ISSX";
 pub const VERSION: u8 = 1;
 /// Trailer size: index offset (8) + entry count (4) + magic (4).
 pub const TRAILER_LEN: usize = 16;
+/// Smallest possible serialized [`IndexEntry`]: name length prefix (2),
+/// empty name, step (4), width (1), offset (8), container_len (8),
+/// raw_len (8). Used to bound a claimed entry count against the index
+/// region's actual size before allocating for it.
+pub const MIN_ENTRY_LEN: usize = 2 + 4 + 1 + 8 + 8 + 8;
 
 /// One index entry: where to find one variable of one time step.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -56,7 +56,7 @@ mod reader;
 mod writer;
 
 pub use error::StoreError;
-pub use format::{IndexEntry, MAGIC, TRAILER_MAGIC, VERSION};
+pub use format::{IndexEntry, MAGIC, MIN_ENTRY_LEN, TRAILER_LEN, TRAILER_MAGIC, VERSION};
 pub use pipelined::PipelinedStoreWriter;
 pub use reader::StoreReader;
 pub use writer::StoreWriter;

@@ -1,8 +1,9 @@
 //! Random-access store reader.
 
 use crate::error::StoreError;
-use crate::format::{IndexEntry, MAGIC, TRAILER_LEN, TRAILER_MAGIC, VERSION};
-use isobar::IsobarCompressor;
+use crate::format::{IndexEntry, MAGIC, MIN_ENTRY_LEN, TRAILER_LEN, TRAILER_MAGIC, VERSION};
+use isobar::telemetry::Counter;
+use isobar::{IsobarCompressor, Recorder};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
@@ -16,10 +17,18 @@ pub struct StoreReader {
 
 impl StoreReader {
     /// Open a store and load its index.
+    ///
+    /// Every untrusted field is validated before it drives an
+    /// allocation or a seek: the trailer must fit inside the file, the
+    /// claimed entry count must fit inside the index region (each
+    /// serialized entry is at least [`MIN_ENTRY_LEN`] bytes), and every
+    /// entry's `[offset, offset + container_len)` range must lie inside
+    /// the data region.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let mut file = File::open(path)?;
         let file_len = file.seek(SeekFrom::End(0))?;
-        if file_len < (MAGIC.len() + 1 + TRAILER_LEN) as u64 {
+        let head_len = (MAGIC.len() + 1) as u64;
+        if file_len < head_len + TRAILER_LEN as u64 {
             return Err(StoreError::Corrupt("file too short for a store"));
         }
 
@@ -41,11 +50,19 @@ impl StoreReader {
         }
         let index_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
         let entry_count = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
-        if index_offset >= file_len {
-            return Err(StoreError::Corrupt("index offset past end of file"));
+        // The index sits between the header and the trailer; an offset
+        // inside either is corrupt (and `> file_len - TRAILER_LEN`
+        // would underflow the length subtraction below).
+        if index_offset < head_len || index_offset > file_len - TRAILER_LEN as u64 {
+            return Err(StoreError::Corrupt("index offset outside data region"));
         }
 
         let index_len = file_len - TRAILER_LEN as u64 - index_offset;
+        // Bound the claimed entry count by what the index region could
+        // possibly hold before allocating for it.
+        if entry_count as u64 * MIN_ENTRY_LEN as u64 > index_len {
+            return Err(StoreError::Corrupt("entry count exceeds index size"));
+        }
         let mut index_bytes = vec![0u8; index_len as usize];
         file.seek(SeekFrom::Start(index_offset))?;
         file.read_exact(&mut index_bytes)?;
@@ -54,6 +71,13 @@ impl StoreReader {
         let mut cursor = &index_bytes[..];
         for _ in 0..entry_count {
             let (entry, used) = IndexEntry::read(cursor)?;
+            let end = entry
+                .offset
+                .checked_add(entry.container_len)
+                .ok_or(StoreError::Corrupt("entry range overflow"))?;
+            if entry.offset < head_len || end > index_offset {
+                return Err(StoreError::Corrupt("entry range outside data region"));
+            }
             cursor = &cursor[used..];
             index.push(entry);
         }
@@ -65,6 +89,19 @@ impl StoreReader {
             file: Mutex::new(file),
             index,
         })
+    }
+
+    /// [`StoreReader::open`], bumping [`Counter::StoreCorruptRejected`]
+    /// in `recorder` when the store is structurally invalid.
+    pub fn open_recorded(
+        path: impl AsRef<Path>,
+        recorder: &mut Recorder,
+    ) -> Result<Self, StoreError> {
+        let result = Self::open(path);
+        if matches!(result, Err(StoreError::Corrupt(_))) {
+            recorder.incr(Counter::StoreCorruptRejected);
+        }
+        result
     }
 
     /// All index entries, in write order.
@@ -102,11 +139,18 @@ impl StoreReader {
     }
 
     /// Read and decompress one variable.
+    ///
+    /// The entry's byte range was validated against the file length at
+    /// [`StoreReader::open`], so the container allocation here is
+    /// bounded by real on-disk bytes.
     pub fn get(&self, step: u32, name: &str) -> Result<Vec<u8>, StoreError> {
         let entry = self.entry(step, name)?.clone();
         let mut container = vec![0u8; entry.container_len as usize];
         {
-            let mut file = self.file.lock().expect("reader poisoned");
+            let mut file = self
+                .file
+                .lock()
+                .map_err(|_| StoreError::Corrupt("reader file lock poisoned"))?;
             file.seek(SeekFrom::Start(entry.offset))?;
             file.read_exact(&mut container)?;
         }
@@ -115,6 +159,21 @@ impl StoreReader {
             return Err(StoreError::Corrupt("variable length mismatch"));
         }
         Ok(data)
+    }
+
+    /// [`StoreReader::get`], bumping [`Counter::StoreCorruptRejected`]
+    /// in `recorder` when the stored variable fails to decode.
+    pub fn get_recorded(
+        &self,
+        step: u32,
+        name: &str,
+        recorder: &mut Recorder,
+    ) -> Result<Vec<u8>, StoreError> {
+        let result = self.get(step, name);
+        if matches!(result, Err(StoreError::Corrupt(_) | StoreError::Isobar(_))) {
+            recorder.incr(Counter::StoreCorruptRejected);
+        }
+        result
     }
 
     /// Total raw and stored bytes across all entries: the store-level

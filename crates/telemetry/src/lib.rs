@@ -116,11 +116,17 @@ pub enum Counter {
     StoreRawBytes,
     /// Store index + trailer bytes written at close.
     StoreIndexBytes,
+    /// Batch containers rejected as corrupt during decode.
+    ContainerCorruptRejected,
+    /// Streams rejected as corrupt by the streaming reader.
+    StreamCorruptRejected,
+    /// Stores rejected as corrupt while opening or reading.
+    StoreCorruptRejected,
 }
 
 impl Counter {
     /// Number of counters (array size).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// Every counter, in stable JSON order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -148,6 +154,9 @@ impl Counter {
         Counter::StoreContainerBytes,
         Counter::StoreRawBytes,
         Counter::StoreIndexBytes,
+        Counter::ContainerCorruptRejected,
+        Counter::StreamCorruptRejected,
+        Counter::StoreCorruptRejected,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -177,6 +186,9 @@ impl Counter {
             Counter::StoreContainerBytes => "store_container_bytes",
             Counter::StoreRawBytes => "store_raw_bytes",
             Counter::StoreIndexBytes => "store_index_bytes",
+            Counter::ContainerCorruptRejected => "container_corrupt_rejected",
+            Counter::StreamCorruptRejected => "stream_corrupt_rejected",
+            Counter::StoreCorruptRejected => "store_corrupt_rejected",
         }
     }
 }
