@@ -1,0 +1,357 @@
+//! Benchmark result tooling: regression gating and trace validation.
+//!
+//! ```text
+//! bench diff OLD.json NEW.json [--max-regress PCT]
+//! bench trace-check TRACE.json
+//! ```
+//!
+//! `diff` compares the `results_mbps` sections of two
+//! `bench_pipeline` JSON files and exits nonzero when any shared
+//! result regressed by more than the threshold (default 5%). It is the
+//! CI gate that keeps the pipeline's measured throughput from drifting
+//! down unnoticed.
+//!
+//! `trace-check` validates a Chrome trace-event JSON file produced by
+//! `--trace`: a top-level array whose begin/end events are balanced and
+//! properly nested per thread, with monotonically non-decreasing
+//! timestamps per thread. It is the CI smoke test for the span
+//! pipeline.
+
+use isobar::telemetry::json::{self, JsonValue};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("diff") => diff(&args[1..]),
+        Some("trace-check") => trace_check(&args[1..]),
+        _ => Err(
+            "usage: bench diff OLD NEW [--max-regress PCT] | bench trace-check FILE".to_string(),
+        ),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse a `--max-regress` value: `5`, `5%`, and `5.0` all mean 5%.
+fn parse_percent(text: &str) -> Result<f64, String> {
+    let trimmed = text.strip_suffix('%').unwrap_or(text);
+    let pct: f64 = trimmed.parse().map_err(|e| format!("--max-regress: {e}"))?;
+    if !(0.0..=100.0).contains(&pct) {
+        return Err(format!("--max-regress must be in 0..=100, got {pct}"));
+    }
+    Ok(pct)
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The `results_mbps` object of a bench file, as `(name, mbps)` pairs.
+fn results_mbps(doc: &JsonValue, path: &str) -> Result<Vec<(String, f64)>, String> {
+    let JsonValue::Object(members) = doc
+        .get("results_mbps")
+        .ok_or(format!("{path}: no results_mbps section"))?
+    else {
+        return Err(format!("{path}: results_mbps is not an object"));
+    };
+    members
+        .iter()
+        .map(|(name, value)| {
+            value
+                .as_f64()
+                .map(|mbps| (name.clone(), mbps))
+                .ok_or(format!("{path}: results_mbps.{name} is not a number"))
+        })
+        .collect()
+}
+
+fn diff(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut max_regress_pct = 5.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                max_regress_pct =
+                    parse_percent(it.next().ok_or("--max-regress requires a value")?)?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path]: [&String; 2] = paths
+        .try_into()
+        .map_err(|_| "diff requires exactly OLD and NEW paths".to_string())?;
+
+    let old = results_mbps(&load(old_path)?, old_path)?;
+    let new = results_mbps(&load(new_path)?, new_path)?;
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, old_mbps) in &old {
+        let Some((_, new_mbps)) = new.iter().find(|(n, _)| n == name) else {
+            eprintln!("{name:<28} only in {old_path}, skipped");
+            continue;
+        };
+        compared += 1;
+        let delta_pct = (new_mbps / old_mbps - 1.0) * 100.0;
+        let verdict = if delta_pct < -max_regress_pct {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<28} {old_mbps:>9.1} -> {new_mbps:>9.1} MB/s  {delta_pct:>+7.1}%  {verdict}"
+        );
+    }
+    for (name, _) in &new {
+        if !old.iter().any(|(n, _)| n == name) {
+            eprintln!("{name:<28} only in {new_path}, skipped");
+        }
+    }
+    if compared == 0 {
+        return Err("no shared results to compare".to_string());
+    }
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} of {compared} results regressed beyond {max_regress_pct}%"
+        ));
+    }
+    println!("all {compared} shared results within {max_regress_pct}% of {old_path}");
+    Ok(())
+}
+
+/// One begin/end/instant event, reduced to what validation needs.
+struct ChromeEvent {
+    name: String,
+    phase: char,
+    ts: f64,
+    tid: u64,
+}
+
+fn chrome_events(doc: &JsonValue, path: &str) -> Result<Vec<ChromeEvent>, String> {
+    let items = doc
+        .as_array()
+        .ok_or(format!("{path}: top level is not an array"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let field = |key: &str| {
+                item.get(key)
+                    .ok_or(format!("{path}: event {i} has no \"{key}\""))
+            };
+            let phase = match field("ph")?.as_str() {
+                Some(p) if p.len() == 1 => p.chars().next().expect("one char"),
+                _ => return Err(format!("{path}: event {i} has a malformed \"ph\"")),
+            };
+            Ok(ChromeEvent {
+                name: field("name")?
+                    .as_str()
+                    .ok_or(format!("{path}: event {i} \"name\" is not a string"))?
+                    .to_string(),
+                phase,
+                ts: field("ts")?
+                    .as_f64()
+                    .ok_or(format!("{path}: event {i} \"ts\" is not a number"))?,
+                tid: field("tid")?
+                    .as_u64()
+                    .ok_or(format!("{path}: event {i} \"tid\" is not an integer"))?,
+            })
+        })
+        .collect()
+}
+
+fn trace_check(args: &[String]) -> Result<(), String> {
+    let [path]: [&String; 1] = args
+        .iter()
+        .collect::<Vec<_>>()
+        .try_into()
+        .map_err(|_| "trace-check requires exactly one FILE".to_string())?;
+    let events = chrome_events(&load(path)?, path)?;
+
+    // Per-thread: timestamps non-decreasing, B/E balanced and nested
+    // (every E closes the innermost open B of the same name).
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        if let Some(prev) = last_ts.insert(event.tid, event.ts) {
+            if event.ts < prev {
+                return Err(format!(
+                    "{path}: event {i} ({}) goes back in time on tid {} ({} < {prev})",
+                    event.name, event.tid, event.ts
+                ));
+            }
+        }
+        let stack = stacks.entry(event.tid).or_default();
+        match event.phase {
+            'B' => stack.push(event.name.clone()),
+            'E' => match stack.pop() {
+                Some(open) if open == event.name => spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "{path}: event {i} ends \"{}\" but \"{open}\" is open on tid {}",
+                        event.name, event.tid
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "{path}: event {i} ends \"{}\" with nothing open on tid {}",
+                        event.name, event.tid
+                    ))
+                }
+            },
+            'i' => instants += 1,
+            other => return Err(format!("{path}: event {i} has unknown phase '{other}'")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("{path}: \"{open}\" never ends on tid {tid}"));
+        }
+    }
+    println!(
+        "{path}: valid Chrome trace ({spans} spans, {instants} instants, {} threads)",
+        stacks.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_forms_parse() {
+        assert_eq!(parse_percent("5").unwrap(), 5.0);
+        assert_eq!(parse_percent("5%").unwrap(), 5.0);
+        assert_eq!(parse_percent("2.5").unwrap(), 2.5);
+        assert!(parse_percent("-1").is_err());
+        assert!(parse_percent("abc").is_err());
+    }
+
+    fn bench_doc(entries: &[(&str, f64)]) -> JsonValue {
+        JsonValue::Object(vec![(
+            "results_mbps".to_string(),
+            JsonValue::Object(
+                entries
+                    .iter()
+                    .map(|(n, v)| (n.to_string(), JsonValue::Number(*v)))
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn results_extraction_reads_both_number_shapes() {
+        let doc = json::parse(r#"{"results_mbps": {"a": 10, "b": 10.5}}"#).unwrap();
+        let results = results_mbps(&doc, "x").unwrap();
+        assert_eq!(results, vec![("a".into(), 10.0), ("b".into(), 10.5)]);
+        assert!(results_mbps(&bench_doc(&[]), "x").unwrap().is_empty());
+        assert!(results_mbps(&json::parse("{}").unwrap(), "x").is_err());
+    }
+
+    #[test]
+    fn balanced_trace_validates() {
+        let doc = json::parse(
+            r#"[
+                {"name": "outer", "cat": "isobar", "ph": "B", "ts": 1, "pid": 1, "tid": 1},
+                {"name": "inner", "cat": "isobar", "ph": "B", "ts": 2, "pid": 1, "tid": 1},
+                {"name": "mark", "cat": "isobar", "ph": "i", "ts": 3, "pid": 1, "tid": 1, "s": "t"},
+                {"name": "inner", "cat": "isobar", "ph": "E", "ts": 4, "pid": 1, "tid": 1},
+                {"name": "outer", "cat": "isobar", "ph": "E", "ts": 5, "pid": 1, "tid": 1}
+            ]"#,
+        )
+        .unwrap();
+        let events = chrome_events(&doc, "x").unwrap();
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn unbalanced_or_disordered_traces_are_rejected() {
+        // chrome_events accepts the shape; trace_check logic rejects.
+        // Exercise through the stack walk by writing temp files.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("isobar-bench-trace-{}.json", std::process::id()));
+        let cases = [
+            // E without B.
+            r#"[{"name": "a", "ph": "E", "ts": 1, "pid": 1, "tid": 1}]"#,
+            // B never closed.
+            r#"[{"name": "a", "ph": "B", "ts": 1, "pid": 1, "tid": 1}]"#,
+            // Mismatched nesting.
+            r#"[
+                {"name": "a", "ph": "B", "ts": 1, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "B", "ts": 2, "pid": 1, "tid": 1},
+                {"name": "a", "ph": "E", "ts": 3, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "E", "ts": 4, "pid": 1, "tid": 1}
+            ]"#,
+            // Time goes backwards within a thread.
+            r#"[
+                {"name": "a", "ph": "B", "ts": 5, "pid": 1, "tid": 1},
+                {"name": "a", "ph": "E", "ts": 1, "pid": 1, "tid": 1}
+            ]"#,
+        ];
+        for case in cases {
+            std::fs::write(&path, case).unwrap();
+            assert!(
+                trace_check(&[path.display().to_string()]).is_err(),
+                "accepted: {case}"
+            );
+        }
+        // Interleaved threads are fine: stacks are per-tid.
+        std::fs::write(
+            &path,
+            r#"[
+                {"name": "a", "ph": "B", "ts": 1, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": 2},
+                {"name": "a", "ph": "E", "ts": 2, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "E", "ts": 2, "pid": 1, "tid": 2}
+            ]"#,
+        )
+        .unwrap();
+        trace_check(&[path.display().to_string()]).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn diff_gates_on_threshold() {
+        let dir = std::env::temp_dir();
+        let old = dir.join(format!("isobar-bench-old-{}.json", std::process::id()));
+        let new = dir.join(format!("isobar-bench-new-{}.json", std::process::id()));
+        std::fs::write(&old, r#"{"results_mbps": {"a": 100.0, "b": 50.0}}"#).unwrap();
+
+        // b dropped 4%: inside the default 5% budget.
+        std::fs::write(&new, r#"{"results_mbps": {"a": 100.0, "b": 48.0}}"#).unwrap();
+        let paths = [old.display().to_string(), new.display().to_string()];
+        diff(&paths).unwrap();
+
+        // b dropped 10%: beyond 5%, but allowed at 15%.
+        std::fs::write(&new, r#"{"results_mbps": {"a": 100.0, "b": 45.0}}"#).unwrap();
+        assert!(diff(&paths).is_err());
+        let relaxed = [
+            paths[0].clone(),
+            paths[1].clone(),
+            "--max-regress".to_string(),
+            "15%".to_string(),
+        ];
+        diff(&relaxed).unwrap();
+
+        // Disjoint result sets cannot be gated.
+        std::fs::write(&new, r#"{"results_mbps": {"c": 45.0}}"#).unwrap();
+        assert!(diff(&paths).is_err());
+
+        for p in [&old, &new] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

@@ -9,13 +9,15 @@
 //! Usage:
 //!
 //! ```text
-//! bench_pipeline [--label NAME] [--out FILE]
+//! bench_pipeline [--label NAME] [--out FILE] [--trace FILE]
 //!                [--baseline-label NAME --baseline-mbps X ...]
 //! ```
 //!
 //! `--baseline-mbps` takes `key=value` pairs (repeatable) naming a
 //! prior run's results; each is embedded in the output together with
-//! the speedup of this run over it.
+//! the speedup of this run over it. `--trace` writes a Chrome
+//! trace-event timeline of one serial round trip (the same run that
+//! feeds the stage breakdown), loadable in Perfetto.
 
 use isobar::telemetry::{Stage, ENABLED};
 use isobar::{CodecId, IsobarCompressor, IsobarOptions, Linearization, Preference, Recorder};
@@ -66,6 +68,7 @@ fn options(level: CompressionLevel, parallel: bool) -> IsobarOptions {
 fn main() {
     let mut label = String::from("current");
     let mut out_path = String::from("BENCH_pipeline.json");
+    let mut trace_path: Option<String> = None;
     let mut baseline_label = String::new();
     let mut baseline: Vec<(String, f64)> = Vec::new();
 
@@ -74,6 +77,7 @@ fn main() {
         match arg.as_str() {
             "--label" => label = args.next().expect("--label NAME"),
             "--out" => out_path = args.next().expect("--out FILE"),
+            "--trace" => trace_path = Some(args.next().expect("--trace FILE")),
             "--baseline-label" => baseline_label = args.next().expect("--baseline-label NAME"),
             "--baseline-mbps" => {
                 let pair = args.next().expect("--baseline-mbps key=value");
@@ -150,8 +154,16 @@ fn main() {
     );
 
     // One instrumented round trip (serial default, outside the timed
-    // loops) yielding the telemetry per-stage wall-time breakdown.
-    let stage_breakdown = if ENABLED {
+    // loops) yielding the telemetry per-stage wall-time breakdown and,
+    // with `--trace`, the span timeline of the same run.
+    let stage_breakdown = if ENABLED || trace_path.is_some() {
+        if trace_path.is_some() {
+            if !isobar::trace::ENABLED {
+                eprintln!("note: this binary was built without tracing; the trace will be empty");
+            }
+            isobar::trace::reset();
+            isobar::trace::set_active(true);
+        }
         let mut recorder = Recorder::new();
         let mut scratch = isobar::PipelineScratch::new();
         isobar
@@ -160,6 +172,12 @@ fn main() {
         isobar
             .decompress_recorded(&packed, &mut scratch, &mut recorder)
             .expect("own container");
+        if let Some(path) = &trace_path {
+            isobar::trace::set_active(false);
+            let trace = isobar::trace::drain();
+            std::fs::write(path, trace.to_chrome_json()).expect("write trace JSON");
+            eprintln!("trace: {} events -> {path}", trace.event_count());
+        }
         let snap = recorder.snapshot();
         let lines: Vec<String> = Stage::ALL
             .iter()
@@ -175,7 +193,8 @@ fn main() {
                 )
             })
             .collect();
-        Some(lines)
+        // A trace-only run (telemetry compiled out) has no breakdown.
+        ENABLED.then_some(lines)
     } else {
         None
     };

@@ -23,13 +23,18 @@ compress options:
   --parallel           compress chunks on all cores
   --stream             constant-memory streaming mode (one chunk in
                        flight; output uses the streamable framing)
-  --stats[=table|json] print per-stage telemetry after the run
+  --stats[=table|json|prometheus]
+                       print per-stage telemetry after the run
                        (default format: table)
+  --trace FILE         write a Chrome trace-event JSON timeline of the
+                       run (load in Perfetto / chrome://tracing)
   --quiet              suppress the summary report
 
 decompress options:
   --stream             required for containers written with --stream
-  --stats[=table|json] print per-stage telemetry after the run";
+  --stats[=table|json|prometheus]
+                       print per-stage telemetry after the run
+  --trace FILE         write a Chrome trace-event JSON timeline";
 
 /// How `--stats` output should be rendered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +43,8 @@ pub enum StatsFormat {
     Table,
     /// The snapshot's canonical JSON form.
     Json,
+    /// Prometheus text exposition (scrapeable via a textfile collector).
+    Prometheus,
 }
 
 impl StatsFormat {
@@ -45,9 +52,12 @@ impl StatsFormat {
         match arg {
             "--stats" | "--stats=table" => Some(Ok(StatsFormat::Table)),
             "--stats=json" => Some(Ok(StatsFormat::Json)),
-            _ => arg
-                .strip_prefix("--stats=")
-                .map(|other| Err(format!("--stats must be table|json, got '{other}'"))),
+            "--stats=prometheus" => Some(Ok(StatsFormat::Prometheus)),
+            _ => arg.strip_prefix("--stats=").map(|other| {
+                Err(format!(
+                    "--stats must be table|json|prometheus, got '{other}'"
+                ))
+            }),
         }
     }
 }
@@ -71,6 +81,8 @@ pub enum Command {
         quiet: bool,
         /// Print telemetry after the run, in this format.
         stats: Option<StatsFormat>,
+        /// Write a Chrome trace-event timeline of the run here.
+        trace: Option<PathBuf>,
     },
     /// Decompress `input` into `output`.
     Decompress {
@@ -82,6 +94,8 @@ pub enum Command {
         stream: bool,
         /// Print telemetry after the run, in this format.
         stats: Option<StatsFormat>,
+        /// Write a Chrome trace-event timeline of the run here.
+        trace: Option<PathBuf>,
     },
     /// Analyze and report, without writing anything.
     Analyze {
@@ -143,14 +157,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "decompress" | "d" => {
             let mut stream = false;
             let mut stats = None;
+            let mut trace = None;
             let mut paths: Vec<PathBuf> = Vec::new();
-            for arg in it {
+            while let Some(arg) = it.next() {
                 if let Some(parsed) = StatsFormat::parse_flag(arg) {
                     stats = Some(parsed?);
                     continue;
                 }
                 match arg.as_str() {
                     "--stream" => stream = true,
+                    "--trace" => trace = Some(PathBuf::from(value(&mut it, "--trace")?)),
                     other if other.starts_with('-') => {
                         return Err(format!("unknown flag '{other}'"))
                     }
@@ -165,6 +181,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 output,
                 stream,
                 stats,
+                trace,
             })
         }
         "analyze" | "a" => parse_analyze(&mut it),
@@ -187,6 +204,7 @@ fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
     let mut quiet = false;
     let mut stream = false;
     let mut stats = None;
+    let mut trace = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
     while let Some(arg) = it.next() {
@@ -196,6 +214,7 @@ fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
         }
         match arg.as_str() {
             "--stream" => stream = true,
+            "--trace" => trace = Some(PathBuf::from(value(it, "--trace")?)),
             "--width" | "-w" => {
                 width = Some(value(it, "--width")?.parse().map_err(bad("--width"))?)
             }
@@ -272,6 +291,7 @@ fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
         stream,
         quiet,
         stats,
+        trace,
     })
 }
 
@@ -450,6 +470,7 @@ mod tests {
                 output: "b".into(),
                 stream: false,
                 stats: None,
+                trace: None,
             }
         );
         assert_eq!(
@@ -459,6 +480,7 @@ mod tests {
                 output: "b".into(),
                 stream: true,
                 stats: None,
+                trace: None,
             }
         );
         assert_eq!(
@@ -532,6 +554,24 @@ mod tests {
             "b"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn trace_flag_takes_a_path() {
+        match parse(&strings(&[
+            "compress", "--width", "8", "--trace", "t.json", "a", "b",
+        ]))
+        .unwrap()
+        {
+            Command::Compress { trace, .. } => assert_eq!(trace, Some("t.json".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&strings(&["decompress", "--trace", "t.json", "a", "b"])).unwrap() {
+            Command::Decompress { trace, .. } => assert_eq!(trace, Some("t.json".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A dangling --trace must not silently eat a path operand count.
+        assert!(parse(&strings(&["decompress", "a", "b", "--trace"])).is_err());
     }
 
     #[test]

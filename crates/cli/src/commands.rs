@@ -17,7 +17,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             stream: false,
             quiet,
             stats,
-        } => compress(&input, &output, width, options, quiet, stats),
+            trace,
+        } => traced(trace.as_deref(), || {
+            compress(&input, &output, width, options, quiet, stats)
+        }),
         Command::Compress {
             input,
             output,
@@ -26,19 +29,26 @@ pub fn run(cmd: Command) -> Result<(), String> {
             stream: true,
             quiet,
             stats,
-        } => compress_stream(&input, &output, width, options, quiet, stats),
+            trace,
+        } => traced(trace.as_deref(), || {
+            compress_stream(&input, &output, width, options, quiet, stats)
+        }),
         Command::Decompress {
             input,
             output,
             stream: false,
             stats,
-        } => decompress(&input, &output, stats),
+            trace,
+        } => traced(trace.as_deref(), || decompress(&input, &output, stats)),
         Command::Decompress {
             input,
             output,
             stream: true,
             stats,
-        } => decompress_stream(&input, &output, stats),
+            trace,
+        } => traced(trace.as_deref(), || {
+            decompress_stream(&input, &output, stats)
+        }),
         Command::Analyze {
             input,
             width,
@@ -57,9 +67,9 @@ fn write(path: &Path, bytes: &[u8]) -> Result<(), String> {
     fs::write(path, bytes).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Print a telemetry snapshot in the requested format. JSON goes to
-/// stdout (it is the machine-readable artifact); the table goes to
-/// stderr alongside the human summary.
+/// Print a telemetry snapshot in the requested format. JSON and
+/// Prometheus exposition go to stdout (they are the machine-readable
+/// artifacts); the table goes to stderr alongside the human summary.
 fn print_stats(snapshot: &TelemetrySnapshot, format: StatsFormat) {
     if !isobar::telemetry::ENABLED {
         eprintln!("note: this binary was built without telemetry; all stats are zero");
@@ -67,7 +77,40 @@ fn print_stats(snapshot: &TelemetrySnapshot, format: StatsFormat) {
     match format {
         StatsFormat::Json => println!("{}", snapshot.to_json()),
         StatsFormat::Table => eprintln!("{}", snapshot.render_table()),
+        StatsFormat::Prometheus => print!("{}", snapshot.to_prometheus()),
     }
+}
+
+/// Run `body` with tracing active, then drain every thread's span
+/// buffer and write the run's Chrome trace-event timeline to `path`.
+/// With no `--trace` flag this is a plain passthrough. The trace file
+/// is still written when `body` fails: a timeline of a failed run is
+/// exactly what a debugging session wants.
+fn traced(path: Option<&Path>, body: impl FnOnce() -> Result<(), String>) -> Result<(), String> {
+    let Some(path) = path else {
+        return body();
+    };
+    if !isobar::trace::ENABLED {
+        eprintln!("note: this binary was built without tracing; the trace will be empty");
+    }
+    isobar::trace::reset();
+    isobar::trace::set_active(true);
+    let result = body();
+    isobar::trace::set_active(false);
+    let trace = isobar::trace::drain();
+    write(path, trace.to_chrome_json().as_bytes())?;
+    if trace.dropped_count() > 0 {
+        eprintln!(
+            "trace: ring buffers overflowed; {} oldest events dropped",
+            trace.dropped_count()
+        );
+    }
+    eprintln!(
+        "trace: {} events -> {}",
+        trace.event_count(),
+        path.display()
+    );
+    result
 }
 
 fn compress(
@@ -360,6 +403,31 @@ mod tests {
         assert!(decompress(&packed, &tmp("never"), None).is_err());
 
         for p in [&input, &packed, &restored] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn traced_compress_writes_chrome_json() {
+        let input = tmp("trace-in.bin");
+        let packed = tmp("trace-out.isbr");
+        let trace_path = tmp("trace.json");
+        fs::write(&input, vec![7u8; 1600]).unwrap();
+
+        traced(Some(trace_path.as_path()), || {
+            compress(&input, &packed, 8, CompressOptions::default(), true, None)
+        })
+        .unwrap();
+
+        let json = fs::read_to_string(&trace_path).unwrap();
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        if isobar::trace::ENABLED {
+            // The compress pipeline must have left spans behind.
+            assert!(json.contains("chunk_compress"), "no spans in {json}");
+        }
+
+        for p in [&input, &packed, &trace_path] {
             let _ = fs::remove_file(p);
         }
     }

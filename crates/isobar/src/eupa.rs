@@ -13,6 +13,8 @@ use crate::partitioner::partition;
 use isobar_codecs::{codec_for, CodecId, CompressionLevel};
 use isobar_linearize::Linearization;
 use isobar_telemetry::{Counter, Recorder, Stage, StageTimer};
+use isobar_trace as trace;
+use isobar_trace::TraceTag;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -161,6 +163,7 @@ impl EupaSelector {
         recorder: &mut Recorder,
     ) -> EupaDecision {
         let stage = StageTimer::start(Stage::EupaSelect);
+        let select_span = trace::span(TraceTag::EupaSelect, trace::NO_CHUNK);
         recorder.incr(Counter::EupaRuns);
         let sample = self.sample(data, width);
         let mut samples = Vec::with_capacity(4);
@@ -187,6 +190,15 @@ impl EupaSelector {
                 } else {
                     f64::INFINITY
                 };
+                // One trace event per sampled codec × linearization,
+                // carrying the measured evidence; the `chunk` field
+                // holds the combo index (codec_idx * 2 + lin_idx).
+                trace::instant_args(
+                    TraceTag::EupaTrial,
+                    (codec_idx * 2 + lin as usize) as u32,
+                    ratio,
+                    throughput_mbps,
+                );
                 samples.push(SampleResult {
                     codec: codec_id,
                     linearization: lin,
@@ -201,6 +213,13 @@ impl EupaSelector {
             CodecId::Bzip2Like => 1,
         };
         recorder.record_eupa_selected(codec_idx, best.linearization as usize);
+        trace::instant_args(
+            TraceTag::EupaSelected,
+            (codec_idx * 2 + best.linearization as usize) as u32,
+            best.ratio,
+            best.throughput_mbps,
+        );
+        drop(select_span);
         stage.finish(recorder);
         EupaDecision {
             codec: best.codec,

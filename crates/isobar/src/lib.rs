@@ -81,3 +81,9 @@ pub use isobar_linearize::Linearization;
 /// build configuration.
 pub use isobar_telemetry as telemetry;
 pub use isobar_telemetry::{Recorder, TelemetrySnapshot};
+
+/// Re-export of the tracing crate, so downstream crates can record
+/// spans, activate tracing, and drain Chrome-trace output without a
+/// direct dependency. See [`isobar_trace`] for the recording model and
+/// the trace-off build configuration.
+pub use isobar_trace as trace;

@@ -16,6 +16,8 @@ use isobar_codecs::deflate::adler32;
 use isobar_codecs::{codec_for, Codec, CodecId, CodecScratch, CompressionLevel};
 use isobar_linearize::Linearization;
 use isobar_telemetry::{Counter, Recorder, Stage, StageTimer, TelemetrySnapshot};
+use isobar_trace as trace;
+use isobar_trace::TraceTag;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -333,10 +335,11 @@ impl IsobarCompressor {
             )?
         } else {
             let mut results = Vec::with_capacity(chunks.len());
-            for chunk in &chunks {
+            for (i, chunk) in chunks.iter().enumerate() {
                 results.push(compress_chunk(
                     chunk,
                     width,
+                    i as u32,
                     &analyzer,
                     codec.as_ref(),
                     linearization,
@@ -348,15 +351,18 @@ impl IsobarCompressor {
         };
 
         let container_timer = StageTimer::start(Stage::ContainerWrite);
+        let container_span = trace::span(TraceTag::ContainerWrite, trace::NO_CHUNK);
         let mut analysis_secs = 0.0;
         let mut solver_secs = 0.0;
         let mut decisions = Vec::with_capacity(results.len());
         let mut body = Vec::new();
-        for r in &results {
+        for (i, r) in results.iter().enumerate() {
             analysis_secs += r.analysis_secs;
             solver_secs += r.solver_secs;
             decisions.push(r.decision);
+            let merge_span = trace::span(TraceTag::ChunkMerge, i as u32);
             r.record.write(&mut body);
+            drop(merge_span);
         }
 
         let header = Header {
@@ -372,6 +378,7 @@ impl IsobarCompressor {
         let mut out = Vec::with_capacity(HEADER_LEN + body.len());
         header.write(&mut out);
         out.extend_from_slice(&body);
+        drop(container_span);
         container_timer.finish(recorder);
         recorder.add(
             Counter::ContainerMetadataBytes,
@@ -436,6 +443,7 @@ impl IsobarCompressor {
         recorder: &mut Recorder,
     ) -> Result<Vec<u8>, IsobarError> {
         let container_timer = StageTimer::start(Stage::ContainerRead);
+        let container_span = trace::span(TraceTag::ContainerRead, trace::NO_CHUNK);
         let header = Header::read(data).map_err(|e| e.at(0))?;
         let width = header.width as usize;
         let codec = codec_for(header.codec, header.level);
@@ -463,6 +471,7 @@ impl IsobarCompressor {
         if claimed != header.total_len {
             return Err(IsobarError::Corrupt("reassembled length mismatch"));
         }
+        drop(container_span);
         container_timer.finish(recorder);
         recorder.add(
             Counter::ContainerMetadataBytes,
@@ -487,10 +496,11 @@ impl IsobarCompressor {
                 out.extend_from_slice(&chunk);
             }
         } else {
-            for (rec_offset, record) in &records {
+            for (i, (rec_offset, record)) in records.iter().enumerate() {
                 decode_chunk_record(
                     record,
                     width,
+                    i as u32,
                     codec.as_ref(),
                     header.linearization,
                     &mut out,
@@ -548,6 +558,7 @@ fn decode_records_parallel(
                     let result = decode_chunk_record(
                         record,
                         width,
+                        i as u32,
                         codec,
                         linearization,
                         &mut chunk,
@@ -559,6 +570,9 @@ fn decode_records_parallel(
                     *slots[i].lock().expect("slot poisoned") = Some(result);
                 }
                 merged.lock().expect("recorder poisoned").absorb(&local);
+                // The scope unblocks when this closure returns — before
+                // TLS destructors — so hand the trace ring over now.
+                trace::flush_thread();
             });
         }
     });
@@ -585,9 +599,11 @@ struct ChunkResult {
 /// Encode one chunk: analyze, then partition+solve or pass through
 /// (Algorithm 1). Shared by the batch pipeline and the streaming
 /// writer.
+#[allow(clippy::too_many_arguments)] // internal helper; the chunk index rides along for tracing
 pub(crate) fn build_chunk_record(
     chunk: &[u8],
     width: usize,
+    chunk_index: u32,
     analyzer: &Analyzer,
     codec: &dyn Codec,
     linearization: Linearization,
@@ -595,12 +611,15 @@ pub(crate) fn build_chunk_record(
     recorder: &mut Recorder,
 ) -> Result<ChunkRecord, IsobarError> {
     let timer = StageTimer::start(Stage::Analyze);
+    let analyze_span = trace::span(TraceTag::Analyze, chunk_index);
     let selection = analyzer.analyze_recorded(chunk, width, recorder)?;
+    drop(analyze_span);
     timer.finish(recorder);
     let timer = StageTimer::start(Stage::SolverCompress);
     let record = build_chunk_record_with(
         chunk,
         width,
+        chunk_index,
         &selection,
         codec,
         linearization,
@@ -623,9 +642,11 @@ pub(crate) fn build_chunk_record(
 /// the solver output and the verbatim stream are freshly allocated; the
 /// partition buffer feeding the solver and all solver-internal state
 /// come from `scratch` and are reused across chunks.
+#[allow(clippy::too_many_arguments)] // internal helper; the chunk index rides along for tracing
 pub(crate) fn build_chunk_record_with(
     chunk: &[u8],
     width: usize,
+    chunk_index: u32,
     selection: &ColumnSelection,
     codec: &dyn Codec,
     linearization: Linearization,
@@ -640,6 +661,7 @@ pub(crate) fn build_chunk_record_with(
         let cap_before = scratch.compressible.capacity();
         let mut incompressible = Vec::new();
         let timer = StageTimer::start(Stage::Partition);
+        let partition_span = trace::span(TraceTag::Partition, chunk_index);
         partition_into(
             chunk,
             width,
@@ -648,6 +670,7 @@ pub(crate) fn build_chunk_record_with(
             &mut scratch.compressible,
             &mut incompressible,
         );
+        drop(partition_span);
         timer.finish(recorder);
         recorder.incr(
             if cap_before > 0 && scratch.compressible.capacity() == cap_before {
@@ -662,7 +685,9 @@ pub(crate) fn build_chunk_record_with(
         );
         recorder.add(Counter::PartitionVerbatimBytes, incompressible.len() as u64);
         let mut compressed = Vec::with_capacity(scratch.compressible.len() / 2 + 64);
+        let solver_span = trace::span(TraceTag::SolverCompress, chunk_index);
         codec.compress_into(&scratch.compressible, &mut compressed, &mut scratch.codec);
+        drop(solver_span);
         recorder.incr(Counter::ChunksPartitioned);
         Ok(ChunkRecord {
             mode: ChunkMode::Partitioned,
@@ -675,7 +700,9 @@ pub(crate) fn build_chunk_record_with(
         // Undetermined: Algorithm 1 lines 2–3 — whole chunk through
         // the solver.
         let mut compressed = Vec::with_capacity(chunk.len() / 2 + 64);
+        let solver_span = trace::span(TraceTag::SolverCompress, chunk_index);
         codec.compress_into(chunk, &mut compressed, &mut scratch.codec);
+        drop(solver_span);
         recorder.incr(Counter::ChunksPassthrough);
         Ok(ChunkRecord {
             mode: ChunkMode::Passthrough,
@@ -687,17 +714,22 @@ pub(crate) fn build_chunk_record_with(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal helper; the chunk index rides along for tracing
 fn compress_chunk(
     chunk: &[u8],
     width: usize,
+    chunk_index: u32,
     analyzer: &Analyzer,
     codec: &dyn Codec,
     linearization: Linearization,
     scratch: &mut PipelineScratch,
     recorder: &mut Recorder,
 ) -> Result<ChunkResult, IsobarError> {
+    let _chunk_span = trace::span(TraceTag::ChunkCompress, chunk_index);
     let t_analysis = Instant::now();
+    let analyze_span = trace::span(TraceTag::Analyze, chunk_index);
     let selection = analyzer.analyze_recorded(chunk, width, recorder)?;
+    drop(analyze_span);
     let analysis = t_analysis.elapsed();
     recorder.record_stage(Stage::Analyze, analysis.as_nanos() as u64);
     let analysis_secs = analysis.as_secs_f64();
@@ -706,6 +738,7 @@ fn compress_chunk(
     let record = build_chunk_record_with(
         chunk,
         width,
+        chunk_index,
         &selection,
         codec,
         linearization,
@@ -775,6 +808,7 @@ fn compress_chunks_parallel(
                     let result = compress_chunk(
                         chunks[i],
                         width,
+                        i as u32,
                         analyzer,
                         codec,
                         linearization,
@@ -784,6 +818,9 @@ fn compress_chunks_parallel(
                     *slots[i].lock().expect("slot poisoned") = Some(result);
                 }
                 merged.lock().expect("recorder poisoned").absorb(&local);
+                // The scope unblocks when this closure returns — before
+                // TLS destructors — so hand the trace ring over now.
+                trace::flush_thread();
             });
         }
     });
@@ -799,24 +836,29 @@ fn compress_chunks_parallel(
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)] // internal helper; the chunk index rides along for tracing
 pub(crate) fn decode_chunk_record(
     record: &ChunkRecord,
     width: usize,
+    chunk_index: u32,
     codec: &dyn Codec,
     linearization: Linearization,
     out: &mut Vec<u8>,
     scratch: &mut PipelineScratch,
     recorder: &mut Recorder,
 ) -> Result<(), IsobarError> {
+    let _chunk_span = trace::span(TraceTag::ChunkDecode, chunk_index);
     let expected = record.elements as usize * width;
     match record.mode {
         ChunkMode::Passthrough => {
             let timer = StageTimer::start(Stage::SolverDecompress);
+            let solver_span = trace::span(TraceTag::SolverDecompress, chunk_index);
             codec.decompress_into(
                 &record.compressed,
                 &mut scratch.compressible,
                 &mut scratch.codec,
             )?;
+            drop(solver_span);
             timer.finish(recorder);
             if scratch.compressible.len() != expected {
                 return Err(IsobarError::Corrupt("passthrough chunk length mismatch"));
@@ -826,11 +868,13 @@ pub(crate) fn decode_chunk_record(
         ChunkMode::Partitioned => {
             let selection = record.selection(width)?;
             let timer = StageTimer::start(Stage::SolverDecompress);
+            let solver_span = trace::span(TraceTag::SolverDecompress, chunk_index);
             codec.decompress_into(
                 &record.compressed,
                 &mut scratch.compressible,
                 &mut scratch.codec,
             )?;
+            drop(solver_span);
             timer.finish(recorder);
             if scratch.compressible.len() + record.incompressible.len() != expected {
                 return Err(IsobarError::Corrupt("partitioned chunk length mismatch"));
@@ -840,6 +884,7 @@ pub(crate) fn decode_chunk_record(
             let start = out.len();
             out.resize(start + expected, 0);
             let timer = StageTimer::start(Stage::Reassemble);
+            let reassemble_span = trace::span(TraceTag::Reassemble, chunk_index);
             reassemble_into(
                 &scratch.compressible,
                 &record.incompressible,
@@ -848,6 +893,7 @@ pub(crate) fn decode_chunk_record(
                 linearization,
                 &mut out[start..],
             );
+            drop(reassemble_span);
             timer.finish(recorder);
         }
     }

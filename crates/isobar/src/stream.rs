@@ -30,6 +30,8 @@ use isobar_codecs::deflate::Adler32;
 use isobar_codecs::{codec_for, Codec, CodecId};
 use isobar_linearize::Linearization;
 use isobar_telemetry::{Counter, Recorder, TelemetrySnapshot};
+use isobar_trace as trace;
+use isobar_trace::TraceTag;
 use std::io::{self, Read, Write};
 
 /// Stream container magic: "ISBS" (S for streaming).
@@ -94,6 +96,8 @@ pub struct IsobarWriter<W: Write> {
     scratch: PipelineScratch,
     /// Telemetry accumulated across the stream's lifetime.
     recorder: Recorder,
+    /// Chunks flushed so far — the chunk index attached to trace spans.
+    chunks_written: u32,
 }
 
 impl<W: Write> IsobarWriter<W> {
@@ -121,6 +125,7 @@ impl<W: Write> IsobarWriter<W> {
             finished: false,
             scratch: PipelineScratch::new(),
             recorder: Recorder::new(),
+            chunks_written: 0,
             options,
         })
     }
@@ -187,6 +192,9 @@ impl<W: Write> IsobarWriter<W> {
     }
 
     fn flush_chunk(&mut self, chunk: Vec<u8>) -> io::Result<()> {
+        let chunk_index = self.chunks_written;
+        self.chunks_written = self.chunks_written.wrapping_add(1);
+        let _span = trace::span(TraceTag::StreamChunkWrite, chunk_index);
         self.decide_if_needed(&chunk).map_err(io_err)?;
         if !self.header_written {
             self.write_header()?;
@@ -199,6 +207,7 @@ impl<W: Write> IsobarWriter<W> {
         let record = crate::pipeline::build_chunk_record(
             &chunk,
             self.width,
+            chunk_index,
             &self.analyzer,
             codec,
             self.linearization,
@@ -296,6 +305,8 @@ pub struct IsobarReader<R: Read> {
     scratch: PipelineScratch,
     /// Telemetry accumulated across the stream's lifetime.
     recorder: Recorder,
+    /// Chunk frames decoded so far — the chunk index on trace spans.
+    chunks_read: u32,
 }
 
 impl<R: Read> IsobarReader<R> {
@@ -332,6 +343,7 @@ impl<R: Read> IsobarReader<R> {
             done: false,
             scratch: PipelineScratch::new(),
             recorder,
+            chunks_read: 0,
         })
     }
 
@@ -370,6 +382,9 @@ impl<R: Read> IsobarReader<R> {
         self.consumed += 1;
         match marker[0] {
             MARK_CHUNK => {
+                let chunk_index = self.chunks_read;
+                self.chunks_read = self.chunks_read.wrapping_add(1);
+                let _span = trace::span(TraceTag::StreamChunkRead, chunk_index);
                 // Chunk records carry their own lengths; read the fixed
                 // part and validate it fully *before* allocating for or
                 // reading the payloads — the two length fields are
@@ -405,6 +420,7 @@ impl<R: Read> IsobarReader<R> {
                 crate::pipeline::decode_chunk_record(
                     &record,
                     self.width,
+                    chunk_index,
                     self.codec.as_ref(),
                     self.linearization,
                     &mut self.pending,

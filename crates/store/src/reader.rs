@@ -144,6 +144,7 @@ impl StoreReader {
     /// [`StoreReader::open`], so the container allocation here is
     /// bounded by real on-disk bytes.
     pub fn get(&self, step: u32, name: &str) -> Result<Vec<u8>, StoreError> {
+        let _span = isobar::trace::span(isobar::trace::TraceTag::StoreGet, isobar::trace::NO_CHUNK);
         let entry = self.entry(step, name)?.clone();
         let mut container = vec![0u8; entry.container_len as usize];
         {

@@ -65,6 +65,7 @@ impl StoreWriter {
                 name: name.to_string(),
             });
         }
+        let _span = isobar::trace::span(isobar::trace::TraceTag::StorePut, isobar::trace::NO_CHUNK);
         let container = self.compressor.compress_recorded(
             data,
             width,

@@ -59,6 +59,16 @@ impl JsonValue {
         }
     }
 
+    /// The value as a float (any JSON number qualifies; exact u64s
+    /// beyond f64's 53-bit mantissa round).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            JsonValue::Unsigned(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -327,5 +337,13 @@ mod tests {
         assert_eq!(v.get("f"), Some(&JsonValue::Number(-150.0)));
         assert_eq!(v.get("t"), Some(&JsonValue::Bool(true)));
         assert_eq!(v.get("f").and_then(JsonValue::as_u64), None);
+    }
+
+    #[test]
+    fn as_f64_accepts_both_number_shapes() {
+        let v = parse(r#"{"f": 2.5, "u": 40, "s": "nope"}"#).unwrap();
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(v.get("u").and_then(JsonValue::as_f64), Some(40.0));
+        assert_eq!(v.get("s").and_then(JsonValue::as_f64), None);
     }
 }

@@ -65,6 +65,10 @@ impl StageStats {
     }
 
     /// Fold another stage's stats into this one. Commutative.
+    ///
+    /// Count and total saturate rather than wrap: merging snapshots
+    /// from long-running workers must never overflow in release builds
+    /// (where `+` wraps silently).
     pub fn merge(&mut self, other: &StageStats) {
         if other.count == 0 {
             return;
@@ -73,8 +77,8 @@ impl StageStats {
             *self = *other;
             return;
         }
-        self.count += other.count;
-        self.total_nanos += other.total_nanos;
+        self.count = self.count.saturating_add(other.count);
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
         self.min_nanos = self.min_nanos.min(other.min_nanos);
         self.max_nanos = self.max_nanos.max(other.max_nanos);
     }
@@ -139,32 +143,36 @@ impl TelemetrySnapshot {
 
     /// Fold another snapshot into this one. Commutative and
     /// associative, so per-thread snapshots merge in any order.
+    ///
+    /// All additions saturate: merging many long-running worker
+    /// snapshots pins at `u64::MAX` instead of wrapping, which in a
+    /// release build would silently reset a counter to near zero.
     pub fn merge(&mut self, other: &TelemetrySnapshot) {
         for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
         for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
             mine.merge(theirs);
         }
         for (mine, theirs) in self.tau_margin.iter_mut().zip(&other.tau_margin) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
         for (mine, theirs) in self.eupa_selected.iter_mut().zip(&other.eupa_selected) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
         for (mine, theirs) in self
             .eupa_trial_count
             .iter_mut()
             .zip(&other.eupa_trial_count)
         {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
         for (mine, theirs) in self
             .eupa_trial_nanos
             .iter_mut()
             .zip(&other.eupa_trial_nanos)
         {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
     }
 
@@ -356,6 +364,108 @@ impl TelemetrySnapshot {
         }
         out
     }
+
+    /// Render in the Prometheus text exposition format (version 0.0.4,
+    /// what `promtool` and node-exporter text collectors accept).
+    ///
+    /// Every counter becomes its own `isobar_<name>_total` counter
+    /// family; every stage becomes an
+    /// `isobar_stage_<name>_duration_seconds` summary (`_count`,
+    /// `_sum`, and `quantile="0"`/`"1"` samples carrying the observed
+    /// min/max); the τ-margin histogram becomes a native Prometheus
+    /// histogram with cumulative `le` buckets; EUPA totals are
+    /// `combo`-labeled counter families. Output is byte-stable for a
+    /// given snapshot (enum declaration order, fixed float precision),
+    /// so it can be golden-tested.
+    pub fn to_prometheus(&self) -> String {
+        let secs = |nanos: u64| format!("{:.9}", nanos as f64 / 1e9);
+        let mut out = String::with_capacity(8192);
+
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            let name = counter.name();
+            out.push_str(&format!(
+                "# HELP isobar_{name}_total ISOBAR pipeline counter {name}.\n\
+                 # TYPE isobar_{name}_total counter\n\
+                 isobar_{name}_total {}\n",
+                self.counters[i]
+            ));
+        }
+
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            let s = &self.stages[i];
+            let name = stage.name();
+            let family = format!("isobar_stage_{name}_duration_seconds");
+            out.push_str(&format!(
+                "# HELP {family} Wall time of {name} pipeline spans.\n\
+                 # TYPE {family} summary\n\
+                 {family}{{quantile=\"0\"}} {}\n\
+                 {family}{{quantile=\"1\"}} {}\n\
+                 {family}_sum {}\n\
+                 {family}_count {}\n",
+                secs(s.min_nanos),
+                secs(s.max_nanos),
+                secs(s.total_nanos),
+                s.count
+            ));
+        }
+
+        out.push_str(
+            "# HELP isobar_tau_margin Distribution of analyzer tau margins \
+             (distance of each byte-column frequency from the tau threshold).\n\
+             # TYPE isobar_tau_margin histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, &count) in self.tau_margin.iter().enumerate() {
+            cumulative = cumulative.saturating_add(count);
+            if i + 1 < HISTOGRAM_BUCKETS {
+                out.push_str(&format!(
+                    "isobar_tau_margin_bucket{{le=\"{:.2}\"}} {cumulative}\n",
+                    (i + 1) as f64 * 0.25
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "isobar_tau_margin_bucket{{le=\"+Inf\"}} {cumulative}\n\
+             isobar_tau_margin_sum 0\n\
+             isobar_tau_margin_count {cumulative}\n"
+        ));
+
+        let eupa_family =
+            |out: &mut String, family: &str, help: &str, values: &[u64], seconds: bool| {
+                out.push_str(&format!(
+                    "# HELP {family} {help}\n# TYPE {family} counter\n"
+                ));
+                for (name, &value) in EUPA_COMBOS.iter().zip(values) {
+                    if seconds {
+                        out.push_str(&format!("{family}{{combo=\"{name}\"}} {}\n", secs(value)));
+                    } else {
+                        out.push_str(&format!("{family}{{combo=\"{name}\"}} {value}\n"));
+                    }
+                }
+            };
+        eupa_family(
+            &mut out,
+            "isobar_eupa_selected_total",
+            "Times EUPA selected each codec x linearization combination.",
+            &self.eupa_selected,
+            false,
+        );
+        eupa_family(
+            &mut out,
+            "isobar_eupa_trials_total",
+            "EUPA trial compressions run per combination.",
+            &self.eupa_trial_count,
+            false,
+        );
+        eupa_family(
+            &mut out,
+            "isobar_eupa_trial_seconds_total",
+            "Wall time spent trial-compressing each combination.",
+            &self.eupa_trial_nanos,
+            true,
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +560,81 @@ mod tests {
         assert_eq!(ab.stages[1].count, 2);
         assert_eq!(ab.stages[1].min_nanos, 50);
         assert_eq!(ab.stages[1].max_nanos, 100);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        // Regression: release builds wrap on `+`, so a near-full
+        // counter merged with another would silently reset to ~0.
+        let mut a = TelemetrySnapshot::default();
+        a.counters[0] = u64::MAX - 1;
+        a.tau_margin[0] = u64::MAX;
+        a.eupa_selected[0] = u64::MAX;
+        a.eupa_trial_count[0] = u64::MAX;
+        a.eupa_trial_nanos[0] = u64::MAX;
+        a.stages[0] = StageStats {
+            count: u64::MAX,
+            total_nanos: u64::MAX,
+            min_nanos: 1,
+            max_nanos: 9,
+        };
+        let mut b = TelemetrySnapshot::default();
+        b.counters[0] = 5;
+        b.tau_margin[0] = 5;
+        b.eupa_selected[0] = 5;
+        b.eupa_trial_count[0] = 5;
+        b.eupa_trial_nanos[0] = 5;
+        b.stages[0] = StageStats {
+            count: 3,
+            total_nanos: 3,
+            min_nanos: 2,
+            max_nanos: 4,
+        };
+
+        a.merge(&b);
+        assert_eq!(a.counters[0], u64::MAX);
+        assert_eq!(a.tau_margin[0], u64::MAX);
+        assert_eq!(a.eupa_selected[0], u64::MAX);
+        assert_eq!(a.eupa_trial_count[0], u64::MAX);
+        assert_eq!(a.eupa_trial_nanos[0], u64::MAX);
+        assert_eq!(a.stages[0].count, u64::MAX);
+        assert_eq!(a.stages[0].total_nanos, u64::MAX);
+        assert_eq!(a.stages[0].min_nanos, 1);
+        assert_eq!(a.stages[0].max_nanos, 9);
+    }
+
+    #[test]
+    fn prometheus_families_are_complete_and_well_formed() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters[0] = 42;
+        snap.stages[0].record(1_500);
+        snap.tau_margin[1] = 3;
+        snap.eupa_selected = [1, 0, 0, 0];
+        let text = snap.to_prometheus();
+
+        // Every counter and stage surfaces as its own family with both
+        // header lines; the histogram's buckets are cumulative.
+        for counter in Counter::ALL {
+            let family = format!("isobar_{}_total", counter.name());
+            assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+            assert!(text.contains(&format!("# TYPE {family} counter\n")));
+            assert!(text.contains(&format!("\n{family} ")));
+        }
+        for stage in Stage::ALL {
+            let family = format!("isobar_stage_{}_duration_seconds", stage.name());
+            assert!(text.contains(&format!("# TYPE {family} summary\n")));
+            assert!(text.contains(&format!("{family}_count ")));
+            assert!(text.contains(&format!("{family}_sum ")));
+        }
+        assert!(text.contains("# TYPE isobar_tau_margin histogram"));
+        assert!(text.contains("isobar_tau_margin_bucket{le=\"0.25\"} 0"));
+        assert!(text.contains("isobar_tau_margin_bucket{le=\"0.50\"} 3"));
+        assert!(text.contains("isobar_tau_margin_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("isobar_eupa_selected_total{combo=\"zlib_row\"} 1"));
+        // Exposition format: every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.rsplitn(2, ' ').count(), 2, "bad sample line: {line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Golden test for the Prometheus text exposition: the rendered output
+//! of a fixed snapshot is pinned byte-for-byte. If this fails because
+//! you intentionally changed the exposition (new counter, renamed
+//! family), regenerate the golden with
+//! `BLESS=1 cargo test -p isobar-telemetry --test prometheus_golden`
+//! and review the diff like any other format change.
+
+use isobar_telemetry::{StageStats, TelemetrySnapshot};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+
+fn fixture() -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::default();
+    for (i, slot) in snap.counters.iter_mut().enumerate() {
+        *slot = (i as u64).wrapping_mul(31) % 97;
+    }
+    for (i, stage) in snap.stages.iter_mut().enumerate() {
+        *stage = StageStats {
+            count: i as u64 + 1,
+            total_nanos: (i as u64 + 1) * 1_234_567,
+            min_nanos: 1_000 + i as u64,
+            max_nanos: 900_000 + i as u64,
+        };
+    }
+    for (i, slot) in snap.tau_margin.iter_mut().enumerate() {
+        *slot = (i as u64 * i as u64) % 13;
+    }
+    snap.eupa_selected = [3, 0, 1, 0];
+    snap.eupa_trial_count = [8, 8, 8, 8];
+    snap.eupa_trial_nanos = [1_000_000, 2_500_000, 40_000_000, 312_500];
+    snap
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let rendered = fixture().to_prometheus();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from tests/golden/prometheus.txt; \
+         re-bless with BLESS=1 if the change is intentional"
+    );
+}
