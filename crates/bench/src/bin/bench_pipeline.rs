@@ -153,6 +153,22 @@ fn main() {
         }),
     );
 
+    // Checksum-verification cost: the same container decoded with the
+    // `verify` knob cleared. The pair quantifies what the default-on
+    // integrity checking costs, and the regression gate holds both
+    // paths — a change that slows verification itself shows up here
+    // even if plain decode throughput is unchanged.
+    let no_verify = IsobarCompressor::new(IsobarOptions {
+        verify: false,
+        ..options(CompressionLevel::Default, false)
+    });
+    record(
+        "decompress_verify_off",
+        throughput_mbps(bytes, || {
+            no_verify.decompress(&packed).expect("own container");
+        }),
+    );
+
     // One instrumented round trip (serial default, outside the timed
     // loops) yielding the telemetry per-stage wall-time breakdown and,
     // with `--trace`, the span timeline of the same run.

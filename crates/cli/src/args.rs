@@ -10,6 +10,10 @@ usage:
   isobar decompress IN OUT                       restore the original bytes
   isobar analyze    --width N IN                 byte-column report only
   isobar info       IN                           describe a container
+  isobar fsck       IN                           verify integrity without
+                                                 decompressing (exit 3 on damage)
+  isobar salvage    IN OUT                       recover every intact chunk or
+                                                 record from a damaged file
 
 compress options:
   --width N            element width in bytes (1..=64, required)
@@ -32,9 +36,17 @@ compress options:
 
 decompress options:
   --stream             required for containers written with --stream
+  --skip-corrupt       zero-fill damaged chunks instead of failing;
+                       damage shows up under --stats
+  --no-verify          skip embedded checksum verification (decode
+                       speed over damage detection)
   --stats[=table|json|prometheus]
                        print per-stage telemetry after the run
-  --trace FILE         write a Chrome trace-event JSON timeline";
+  --trace FILE         write a Chrome trace-event JSON timeline
+
+fsck and salvage work on batch containers, streamed containers, and
+checkpoint stores alike (dispatched on the file's magic). fsck exits 0
+for a clean or legacy file and 3 when it finds damage.";
 
 /// How `--stats` output should be rendered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +104,11 @@ pub enum Command {
         output: PathBuf,
         /// The container uses the streaming framing.
         stream: bool,
+        /// Zero-fill damaged chunks instead of failing the run.
+        skip_corrupt: bool,
+        /// Verify embedded checksums while decoding (on by default;
+        /// `--no-verify` clears it).
+        verify: bool,
         /// Print telemetry after the run, in this format.
         stats: Option<StatsFormat>,
         /// Write a Chrome trace-event timeline of the run here.
@@ -112,6 +129,20 @@ pub enum Command {
     Info {
         /// Container file.
         input: PathBuf,
+    },
+    /// Walk a container, stream, or store and verify every embedded
+    /// checksum without decompressing payloads.
+    Fsck {
+        /// File to check (dispatched on its magic).
+        input: PathBuf,
+    },
+    /// Recover every intact chunk or record from a damaged file into
+    /// a fresh, fully valid one.
+    Salvage {
+        /// Damaged source file (dispatched on its magic).
+        input: PathBuf,
+        /// Destination for the salvaged file.
+        output: PathBuf,
     },
 }
 
@@ -156,6 +187,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "compress" | "c" => parse_compress(&mut it),
         "decompress" | "d" => {
             let mut stream = false;
+            let mut skip_corrupt = false;
+            let mut verify = true;
             let mut stats = None;
             let mut trace = None;
             let mut paths: Vec<PathBuf> = Vec::new();
@@ -166,12 +199,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
                 match arg.as_str() {
                     "--stream" => stream = true,
+                    "--skip-corrupt" => skip_corrupt = true,
+                    "--no-verify" => verify = false,
                     "--trace" => trace = Some(PathBuf::from(value(&mut it, "--trace")?)),
                     other if other.starts_with('-') => {
                         return Err(format!("unknown flag '{other}'"))
                     }
                     other => paths.push(PathBuf::from(other)),
                 }
+            }
+            if skip_corrupt && !verify {
+                return Err("--skip-corrupt needs checksums to find intact chunks; \
+                     it cannot be combined with --no-verify"
+                    .to_string());
             }
             let [input, output]: [PathBuf; 2] = paths
                 .try_into()
@@ -180,6 +220,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 input,
                 output,
                 stream,
+                skip_corrupt,
+                verify,
                 stats,
                 trace,
             })
@@ -189,6 +231,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let input = one_path(&mut it)?;
             ensure_done(&mut it)?;
             Ok(Command::Info { input })
+        }
+        "fsck" => {
+            let input = one_path(&mut it)?;
+            ensure_done(&mut it)?;
+            Ok(Command::Fsck { input })
+        }
+        "salvage" => {
+            let input = one_path(&mut it)?;
+            let output = one_path(&mut it).map_err(|_| "salvage requires IN and OUT paths")?;
+            ensure_done(&mut it)?;
+            Ok(Command::Salvage { input, output })
         }
         "--help" | "-h" | "help" => Err("".to_string()),
         other => Err(format!("unknown subcommand '{other}'")),
@@ -469,6 +522,8 @@ mod tests {
                 input: "a".into(),
                 output: "b".into(),
                 stream: false,
+                skip_corrupt: false,
+                verify: true,
                 stats: None,
                 trace: None,
             }
@@ -479,6 +534,8 @@ mod tests {
                 input: "a".into(),
                 output: "b".into(),
                 stream: true,
+                skip_corrupt: false,
+                verify: true,
                 stats: None,
                 trace: None,
             }
@@ -496,6 +553,47 @@ mod tests {
             parse(&strings(&["info", "x"])).unwrap(),
             Command::Info { input: "x".into() }
         );
+        assert_eq!(
+            parse(&strings(&["fsck", "x"])).unwrap(),
+            Command::Fsck { input: "x".into() }
+        );
+        assert_eq!(
+            parse(&strings(&["salvage", "x", "y"])).unwrap(),
+            Command::Salvage {
+                input: "x".into(),
+                output: "y".into(),
+            }
+        );
+        assert!(parse(&strings(&["salvage", "x"])).is_err());
+        assert!(parse(&strings(&["fsck", "x", "y"])).is_err());
+    }
+
+    #[test]
+    fn durability_flags_parse_for_decompress() {
+        match parse(&strings(&["decompress", "--skip-corrupt", "a", "b"])).unwrap() {
+            Command::Decompress {
+                skip_corrupt,
+                verify,
+                ..
+            } => {
+                assert!(skip_corrupt);
+                assert!(verify, "verification stays on by default");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&strings(&["decompress", "--no-verify", "a", "b"])).unwrap() {
+            Command::Decompress { verify, .. } => assert!(!verify),
+            other => panic!("unexpected {other:?}"),
+        }
+        // --skip-corrupt relies on checksums to find intact chunks.
+        assert!(parse(&strings(&[
+            "decompress",
+            "--skip-corrupt",
+            "--no-verify",
+            "a",
+            "b"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -2,12 +2,18 @@
 
 use crate::args::{Command, CompressOptions, StatsFormat};
 use isobar::container::Header;
+use isobar::salvage::{ChunkHealth, FsckReport};
 use isobar::{Analyzer, IsobarCompressor, IsobarOptions, Recorder, TelemetrySnapshot};
+use isobar_store::{EntryHealth, StoreFsckReport};
 use std::fs;
 use std::path::Path;
 
-/// Run a parsed command.
-pub fn run(cmd: Command) -> Result<(), String> {
+/// Exit code `fsck` returns when it finds damage (0 = clean or
+/// legacy-unverifiable, distinct from 2 = processing error).
+pub const EXIT_DAMAGE: u8 = 3;
+
+/// Run a parsed command; returns the process exit code.
+pub fn run(cmd: Command) -> Result<u8, String> {
     match cmd {
         Command::Compress {
             input,
@@ -20,7 +26,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             trace,
         } => traced(trace.as_deref(), || {
             compress(&input, &output, width, options, quiet, stats)
-        }),
+        })
+        .map(|()| 0),
         Command::Compress {
             input,
             output,
@@ -32,30 +39,61 @@ pub fn run(cmd: Command) -> Result<(), String> {
             trace,
         } => traced(trace.as_deref(), || {
             compress_stream(&input, &output, width, options, quiet, stats)
-        }),
+        })
+        .map(|()| 0),
         Command::Decompress {
             input,
             output,
             stream: false,
+            skip_corrupt,
+            verify,
             stats,
             trace,
-        } => traced(trace.as_deref(), || decompress(&input, &output, stats)),
+        } => traced(trace.as_deref(), || {
+            decompress(&input, &output, skip_corrupt, verify, stats)
+        })
+        .map(|()| 0),
         Command::Decompress {
             input,
             output,
             stream: true,
+            skip_corrupt,
+            verify,
             stats,
             trace,
         } => traced(trace.as_deref(), || {
-            decompress_stream(&input, &output, stats)
-        }),
+            decompress_stream(&input, &output, skip_corrupt, verify, stats)
+        })
+        .map(|()| 0),
         Command::Analyze {
             input,
             width,
             tau,
             bits,
-        } => analyze(&input, width, tau, bits),
-        Command::Info { input } => info(&input),
+        } => analyze(&input, width, tau, bits).map(|()| 0),
+        Command::Info { input } => info(&input).map(|()| 0),
+        Command::Fsck { input } => fsck(&input),
+        Command::Salvage { input, output } => salvage(&input, &output).map(|()| 0),
+    }
+}
+
+/// The three on-disk artifact kinds, told apart by their magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileKind {
+    /// Batch container (`ISBR`).
+    Container,
+    /// Streamed framing (`ISBS`).
+    Stream,
+    /// Checkpoint store (`ISST`).
+    Store,
+}
+
+fn file_kind(data: &[u8]) -> Option<FileKind> {
+    match data.get(..4)? {
+        b"ISBR" => Some(FileKind::Container),
+        b"ISBS" => Some(FileKind::Stream),
+        b"ISST" => Some(FileKind::Store),
+        _ => None,
     }
 }
 
@@ -151,13 +189,39 @@ fn compress(
     Ok(())
 }
 
-fn decompress(input: &Path, output: &Path, stats: Option<StatsFormat>) -> Result<(), String> {
+fn decompress(
+    input: &Path,
+    output: &Path,
+    skip_corrupt: bool,
+    verify: bool,
+    stats: Option<StatsFormat>,
+) -> Result<(), String> {
     let packed = read(input)?;
     let mut recorder = Recorder::new();
-    let mut scratch = isobar::PipelineScratch::new();
-    let restored = IsobarCompressor::default()
+    let restored = if skip_corrupt {
+        let (restored, report) =
+            isobar::salvage::salvage_decompress_recorded(&packed, &mut recorder)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+        if !report.is_complete() {
+            eprintln!(
+                "{}: {} chunks recovered, {} lost; {} bytes zero-filled across {} damaged regions",
+                input.display(),
+                report.chunks_recovered,
+                report.chunks_lost,
+                report.bytes_lost,
+                report.damage_regions,
+            );
+        }
+        restored
+    } else {
+        let mut scratch = isobar::PipelineScratch::new();
+        IsobarCompressor::new(IsobarOptions {
+            verify,
+            ..Default::default()
+        })
         .decompress_recorded(&packed, &mut scratch, &mut recorder)
-        .map_err(|e| format!("{}: {e}", input.display()))?;
+        .map_err(|e| format!("{}: {e}", input.display()))?
+    };
     write(output, &restored)?;
     if let Some(format) = stats {
         print_stats(&recorder.snapshot(), format);
@@ -221,15 +285,43 @@ fn compress_stream(
 }
 
 /// Constant-memory decompression of the streamed framing.
+///
+/// `--skip-corrupt` switches to the whole-file salvage walker: resync
+/// needs to look arbitrarily far ahead for the next checksum anchor,
+/// which the constant-memory reader cannot do.
 fn decompress_stream(
     input: &Path,
     output: &Path,
+    skip_corrupt: bool,
+    verify: bool,
     stats: Option<StatsFormat>,
 ) -> Result<(), String> {
     use std::io::{BufReader, BufWriter, Read, Write};
+    if skip_corrupt {
+        let packed = read(input)?;
+        let mut recorder = Recorder::new();
+        let (restored, report) = isobar::salvage::salvage_stream_recorded(&packed, &mut recorder)
+            .map_err(|e| format!("{}: {e}", input.display()))?;
+        if !report.is_complete() {
+            eprintln!(
+                "{}: {} frames recovered, {} lost across {} damaged regions \
+                 (streams carry no chunk geometry, so lost frames are absent \
+                 from the output rather than zero-filled)",
+                input.display(),
+                report.chunks_recovered,
+                report.chunks_lost,
+                report.damage_regions,
+            );
+        }
+        write(output, &restored)?;
+        if let Some(format) = stats {
+            print_stats(&recorder.snapshot(), format);
+        }
+        return Ok(());
+    }
     let src = fs::File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
     let dst = fs::File::create(output).map_err(|e| format!("{}: {e}", output.display()))?;
-    let mut reader = isobar::IsobarReader::new(BufReader::new(src))
+    let mut reader = isobar::IsobarReader::with_verify(BufReader::new(src), verify)
         .map_err(|e| format!("{}: {e}", input.display()))?;
     let mut writer = BufWriter::new(dst);
     let mut buf = vec![0u8; 1 << 20];
@@ -303,8 +395,28 @@ fn analyze(input: &Path, width: usize, tau: f64, bits: bool) -> Result<(), Strin
 
 fn info(input: &Path) -> Result<(), String> {
     let packed = read(input)?;
+    match file_kind(&packed) {
+        Some(FileKind::Container) | None => {} // fall through to Header::read
+        Some(FileKind::Stream) => {
+            println!("{}: ISOBAR stream v{}", input.display(), packed[4]);
+            println!("  element width:   {} bytes", packed[5]);
+            println!("  file size:       {} bytes", packed.len());
+            println!("  (streams carry no total length; run `isobar fsck` to walk the frames)");
+            return Ok(());
+        }
+        Some(FileKind::Store) => {
+            println!(
+                "{}: ISOBAR checkpoint store v{}",
+                input.display(),
+                packed[4]
+            );
+            println!("  file size:       {} bytes", packed.len());
+            println!("  (run `isobar fsck` to walk and verify the index)");
+            return Ok(());
+        }
+    }
     let header = Header::read(&packed).map_err(|e| e.to_string())?;
-    println!("{}: ISOBAR container v1", input.display());
+    println!("{}: ISOBAR container v{}", input.display(), header.version);
     println!("  element width:   {} bytes", header.width);
     println!("  solver:          {}", header.codec.name());
     println!("  linearization:   {}", header.linearization);
@@ -317,6 +429,175 @@ fn info(input: &Path) -> Result<(), String> {
     );
     println!("  checksum:        {:#010x} (Adler-32)", header.checksum);
     Ok(())
+}
+
+/// Walk and verify a container, stream, or store without decoding
+/// payloads. Returns the process exit code: 0 for a clean (or legacy,
+/// unverifiable) file, [`EXIT_DAMAGE`] when damage was found.
+fn fsck(input: &Path) -> Result<u8, String> {
+    let data = read(input)?;
+    match file_kind(&data) {
+        Some(FileKind::Container) => {
+            let report = isobar::salvage::fsck_container(&data)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+            print_fsck_report(input, "container", &report);
+            Ok(if report.is_clean() { 0 } else { EXIT_DAMAGE })
+        }
+        Some(FileKind::Stream) => {
+            let report = isobar::salvage::fsck_stream(&data)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+            print_fsck_report(input, "stream", &report);
+            Ok(if report.is_clean() { 0 } else { EXIT_DAMAGE })
+        }
+        Some(FileKind::Store) => {
+            let report =
+                isobar_store::fsck_store(input).map_err(|e| format!("{}: {e}", input.display()))?;
+            print_store_fsck_report(input, &report);
+            Ok(if report.is_clean() { 0 } else { EXIT_DAMAGE })
+        }
+        None => Err(format!(
+            "{}: not an ISOBAR container, stream, or store (unrecognized magic)",
+            input.display()
+        )),
+    }
+}
+
+fn print_fsck_report(input: &Path, kind: &str, report: &FsckReport) {
+    println!(
+        "{}: ISOBAR {kind} v{}{}",
+        input.display(),
+        report.version,
+        if report.legacy {
+            " (legacy: records carry no checksums)"
+        } else {
+            ""
+        }
+    );
+    for chunk in &report.chunks {
+        println!(
+            "  chunk @ {:>10}  {:>9} elements  {}",
+            chunk.offset,
+            chunk.elements,
+            match chunk.health {
+                ChunkHealth::Verified => "verified",
+                ChunkHealth::LegacyUnverifiable => "legacy, unverifiable",
+            }
+        );
+    }
+    for gap in &report.damage {
+        println!(
+            "  damage @ {:>9}  {} bytes unaccounted for",
+            gap.offset, gap.len
+        );
+    }
+    if report.missing_chunks > 0 {
+        println!("  {} expected chunks missing", report.missing_chunks);
+    }
+    println!(
+        "{}: {}",
+        input.display(),
+        if report.is_clean() {
+            "clean"
+        } else {
+            "DAMAGED"
+        }
+    );
+}
+
+fn print_store_fsck_report(input: &Path, report: &StoreFsckReport) {
+    println!(
+        "{}: ISOBAR checkpoint store v{}{}",
+        input.display(),
+        report.version,
+        if report.legacy {
+            " (legacy: entries carry no checksums)"
+        } else {
+            ""
+        }
+    );
+    if report.index_damaged {
+        println!("  index DAMAGED (salvage can rebuild it from a record walk)");
+    }
+    for entry in &report.entries {
+        println!(
+            "  step {:>6} {:<24} @ {:>10}  {}",
+            entry.step,
+            entry.name,
+            entry.offset,
+            match entry.health {
+                EntryHealth::Verified => "verified",
+                EntryHealth::LegacyUnverifiable => "legacy, unverifiable",
+                EntryHealth::Damaged => "DAMAGED",
+            }
+        );
+    }
+    println!(
+        "{}: {}",
+        input.display(),
+        if report.is_clean() {
+            "clean"
+        } else {
+            "DAMAGED"
+        }
+    );
+}
+
+/// Recover every intact chunk, frame, or record from a damaged file
+/// into a fresh, fully valid output.
+fn salvage(input: &Path, output: &Path) -> Result<(), String> {
+    let data = read(input)?;
+    match file_kind(&data) {
+        Some(FileKind::Container) => {
+            let (packed, report) = isobar::salvage::salvage_container(&data)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+            write(output, &packed)?;
+            eprintln!(
+                "{} -> {}: {} chunks recovered, {} lost ({} bytes zero-filled)",
+                input.display(),
+                output.display(),
+                report.chunks_recovered,
+                report.chunks_lost,
+                report.bytes_lost,
+            );
+            Ok(())
+        }
+        Some(FileKind::Stream) => {
+            let mut recorder = Recorder::new();
+            let (restored, report) = isobar::salvage::salvage_stream_recorded(&data, &mut recorder)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+            write(output, &restored)?;
+            eprintln!(
+                "{} -> {}: {} frames recovered, {} lost; output is the recovered \
+                 raw data (streams cannot be re-framed without the lost frames)",
+                input.display(),
+                output.display(),
+                report.chunks_recovered,
+                report.chunks_lost,
+            );
+            Ok(())
+        }
+        Some(FileKind::Store) => {
+            let report = isobar_store::salvage_store(input, output)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+            eprintln!(
+                "{} -> {}: {} entries recovered, {} lost{}",
+                input.display(),
+                output.display(),
+                report.entries_recovered,
+                report.entries_lost,
+                if report.index_rebuilt {
+                    " (index rebuilt from a record walk)"
+                } else {
+                    ""
+                },
+            );
+            Ok(())
+        }
+        None => Err(format!(
+            "{}: not an ISOBAR container, stream, or store (unrecognized magic)",
+            input.display()
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -353,7 +634,7 @@ mod tests {
             None,
         )
         .unwrap();
-        decompress(&packed, &restored, None).unwrap();
+        decompress(&packed, &restored, false, true, None).unwrap();
         assert_eq!(fs::read(&restored).unwrap(), ds.bytes);
 
         for p in [&input, &packed, &restored] {
@@ -396,11 +677,11 @@ mod tests {
             None,
         )
         .unwrap();
-        decompress_stream(&packed, &restored, None).unwrap();
+        decompress_stream(&packed, &restored, false, true, None).unwrap();
         assert_eq!(fs::read(&restored).unwrap(), ds.bytes);
 
         // The batch decompressor must not accept the stream framing.
-        assert!(decompress(&packed, &tmp("never"), None).is_err());
+        assert!(decompress(&packed, &tmp("never"), false, true, None).is_err());
 
         for p in [&input, &packed, &restored] {
             let _ = fs::remove_file(p);
@@ -435,14 +716,136 @@ mod tests {
     #[test]
     fn missing_files_produce_errors_not_panics() {
         assert!(read(Path::new("/no/such/isobar/file")).is_err());
-        assert!(decompress(Path::new("/no/such/file"), Path::new("/tmp/x"), None).is_err());
+        assert!(decompress(
+            Path::new("/no/such/file"),
+            Path::new("/tmp/x"),
+            false,
+            true,
+            None
+        )
+        .is_err());
     }
 
     #[test]
     fn decompress_rejects_non_containers() {
         let input = tmp("garbage.bin");
         fs::write(&input, b"this is not a container").unwrap();
-        assert!(decompress(&input, &tmp("never-written"), None).is_err());
+        assert!(decompress(&input, &tmp("never-written"), false, true, None).is_err());
         let _ = fs::remove_file(&input);
+    }
+
+    /// Build a 3-chunk container from deterministic bytes, returning
+    /// (original data, packed container path, original input path).
+    fn three_chunk_container(tag: &str) -> (Vec<u8>, std::path::PathBuf, std::path::PathBuf) {
+        let input = tmp(&format!("{tag}-in.bin"));
+        let packed = tmp(&format!("{tag}-out.isbr"));
+        let ds = isobar_datasets::catalog::spec("gts_phi_l")
+            .unwrap()
+            .generate(30_000, 1);
+        fs::write(&input, &ds.bytes).unwrap();
+        compress(
+            &input,
+            &packed,
+            8,
+            CompressOptions {
+                chunk_elements: 10_000,
+                ..Default::default()
+            },
+            true,
+            None,
+        )
+        .unwrap();
+        (ds.bytes, packed, input)
+    }
+
+    #[test]
+    fn fsck_exit_codes_distinguish_clean_from_damaged() {
+        let (_, packed, input) = three_chunk_container("fsck");
+        assert_eq!(fsck(&packed).unwrap(), 0, "pristine container is clean");
+
+        // Flip a byte deep inside the last chunk's payload: structure
+        // survives, the checksum does not.
+        let mut bytes = fs::read(&packed).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        fs::write(&packed, &bytes).unwrap();
+        assert_eq!(fsck(&packed).unwrap(), EXIT_DAMAGE);
+
+        // A non-ISOBAR file is a usage error, not damage.
+        fs::write(&packed, b"plain text, no magic here").unwrap();
+        assert!(fsck(&packed).is_err());
+
+        for p in [&input, &packed] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_intact_chunks_bit_exact() {
+        let (original, packed, input) = three_chunk_container("salvage");
+        let mut bytes = fs::read(&packed).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff; // damage the final chunk only
+        fs::write(&packed, &bytes).unwrap();
+
+        let salvaged = tmp("salvage-out.isbr");
+        let restored = tmp("salvage-restored.bin");
+        salvage(&packed, &salvaged).unwrap();
+        // The salvaged container is fully valid: strict decompression
+        // must accept it.
+        decompress(&salvaged, &restored, false, true, None).unwrap();
+        let restored_bytes = fs::read(&restored).unwrap();
+        assert_eq!(restored_bytes.len(), original.len());
+        // Chunks 0 and 1 (10k elements x 8 bytes each) come back
+        // bit-exact; the damaged third chunk is zero-filled.
+        assert_eq!(restored_bytes[..160_000], original[..160_000]);
+        assert!(restored_bytes[160_000..].iter().all(|&b| b == 0));
+
+        for p in [&input, &packed, &salvaged, &restored] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn skip_corrupt_decompress_succeeds_on_damaged_container() {
+        let (original, packed, input) = three_chunk_container("skip");
+        let mut bytes = fs::read(&packed).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        fs::write(&packed, &bytes).unwrap();
+
+        let restored = tmp("skip-restored.bin");
+        // Strict mode refuses; --skip-corrupt recovers what it can.
+        assert!(decompress(&packed, &restored, false, true, None).is_err());
+        decompress(&packed, &restored, true, true, None).unwrap();
+        let restored_bytes = fs::read(&restored).unwrap();
+        assert_eq!(restored_bytes.len(), original.len());
+        assert_eq!(restored_bytes[..160_000], original[..160_000]);
+
+        for p in [&input, &packed, &restored] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn fsck_and_salvage_handle_stores() {
+        let store_path = tmp("fsck-store.isst");
+        let salvaged = tmp("fsck-store-salvaged.isst");
+        let ds = isobar_datasets::catalog::spec("gts_phi_l")
+            .unwrap()
+            .generate(10_000, 1);
+        let mut writer =
+            isobar_store::StoreWriter::create(&store_path, IsobarOptions::default()).unwrap();
+        writer.put(1, "density", &ds.bytes, 8).unwrap();
+        writer.put(2, "density", &ds.bytes, 8).unwrap();
+        writer.close().unwrap();
+
+        assert_eq!(fsck(&store_path).unwrap(), 0);
+        salvage(&store_path, &salvaged).unwrap();
+        assert_eq!(fsck(&salvaged).unwrap(), 0);
+
+        for p in [&store_path, &salvaged] {
+            let _ = fs::remove_file(p);
+        }
     }
 }

@@ -4,12 +4,15 @@
 //! isobar compress   --width 8 [--prefer speed|ratio] [--codec zlib|bzlib2]
 //!                   [--linearize row|column] [--tau 1.42] [--chunk 375000]
 //!                   [--level fast|default|best] [--parallel] IN OUT
-//! isobar decompress IN OUT
+//! isobar decompress [--skip-corrupt] [--no-verify] IN OUT
 //! isobar analyze    --width 8 IN
 //! isobar info       IN
+//! isobar fsck       IN
+//! isobar salvage    IN OUT
 //! ```
 //!
-//! Exit codes: 0 success, 1 usage error, 2 processing error.
+//! Exit codes: 0 success, 1 usage error, 2 processing error,
+//! 3 `fsck` found damage.
 
 use std::process::ExitCode;
 
@@ -20,7 +23,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => ExitCode::from(code),
             Err(err) => {
                 eprintln!("isobar: {err}");
                 ExitCode::from(2)

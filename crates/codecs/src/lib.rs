@@ -48,5 +48,6 @@ pub mod pfor;
 pub mod rle;
 pub mod shuffle;
 pub mod suffix;
+pub mod xxhash;
 
 pub use codec::{codec_for, Codec, CodecError, CodecId, CodecScratch, CompressionLevel};

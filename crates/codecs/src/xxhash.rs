@@ -1,0 +1,295 @@
+//! From-scratch XXH64 checksum.
+//!
+//! ISOBAR containers, stream frames, and store entries carry a 64-bit
+//! integrity checksum so decoders can distinguish "bitstream damaged in
+//! transit/at rest" from "decoder bug" and so salvage mode can use intact
+//! checksums as resync anchors. XXH64 is chosen because it is
+//! hardware-friendly (wide multiplies + rotates, no tables), runs at
+//! memory speed on one core, and has well-known published test vectors —
+//! which the tests below pin so this implementation stays honest.
+//!
+//! Both a one-shot function ([`xxh64`]) and a streaming hasher
+//! ([`Xxh64`]) are provided; the streaming form is what the store writer
+//! uses while records pass through on their way to disk.
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read_u64(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(data[at..at + 4].try_into().unwrap())
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME64_3);
+    h ^= h >> 32;
+    h
+}
+
+/// Finalize the tail (< 32 bytes) of a message into the running hash.
+fn finalize(mut h: u64, tail: &[u8]) -> u64 {
+    let mut i = 0;
+    while i + 8 <= tail.len() {
+        h ^= round(0, read_u64(tail, i));
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
+        i += 8;
+    }
+    if i + 4 <= tail.len() {
+        h ^= u64::from(read_u32(tail, i)).wrapping_mul(PRIME64_1);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
+        i += 4;
+    }
+    while i < tail.len() {
+        h ^= u64::from(tail[i]).wrapping_mul(PRIME64_5);
+        h = h.rotate_left(11).wrapping_mul(PRIME64_1);
+        i += 1;
+    }
+    avalanche(h)
+}
+
+/// One-shot XXH64 of `data` with the given `seed`.
+///
+/// ```
+/// use isobar_codecs::xxhash::xxh64;
+/// assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+/// ```
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut h;
+    if data.len() >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+        let mut i = 0;
+        while i + 32 <= data.len() {
+            v1 = round(v1, read_u64(data, i));
+            v2 = round(v2, read_u64(data, i + 8));
+            v3 = round(v3, read_u64(data, i + 16));
+            v4 = round(v4, read_u64(data, i + 24));
+            i += 32;
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+        h = h.wrapping_add(len);
+        finalize(h, &data[i..])
+    } else {
+        h = seed.wrapping_add(PRIME64_5).wrapping_add(len);
+        finalize(h, data)
+    }
+}
+
+/// Streaming XXH64 hasher.
+///
+/// Feed bytes with [`Xxh64::update`] in any split and read the digest with
+/// [`Xxh64::digest`]; the result is identical to [`xxh64`] over the
+/// concatenation.
+#[derive(Clone)]
+pub struct Xxh64 {
+    v: [u64; 4],
+    buf: [u8; 32],
+    buf_len: usize,
+    total: u64,
+    seed: u64,
+}
+
+impl Xxh64 {
+    /// Create a hasher with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Xxh64 {
+            v: [
+                seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2),
+                seed.wrapping_add(PRIME64_2),
+                seed,
+                seed.wrapping_sub(PRIME64_1),
+            ],
+            buf: [0; 32],
+            buf_len: 0,
+            total: 0,
+            seed,
+        }
+    }
+
+    /// Absorb `data` into the running hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let want = 32 - self.buf_len;
+            let take = want.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 32 {
+                let buf = self.buf;
+                self.consume_stripe(&buf);
+                self.buf_len = 0;
+            } else {
+                // Input exhausted without completing a stripe; the tail
+                // copy below must not clobber the partial buffer.
+                return;
+            }
+        }
+        let mut i = 0;
+        while i + 32 <= data.len() {
+            // Copy to a fixed stripe to keep the borrow checker away from
+            // `self` while consuming.
+            let mut stripe = [0u8; 32];
+            stripe.copy_from_slice(&data[i..i + 32]);
+            self.consume_stripe(&stripe);
+            i += 32;
+        }
+        let rest = &data[i..];
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    fn consume_stripe(&mut self, stripe: &[u8; 32]) {
+        self.v[0] = round(self.v[0], read_u64(stripe, 0));
+        self.v[1] = round(self.v[1], read_u64(stripe, 8));
+        self.v[2] = round(self.v[2], read_u64(stripe, 16));
+        self.v[3] = round(self.v[3], read_u64(stripe, 24));
+    }
+
+    /// Finish and return the 64-bit digest. The hasher may keep absorbing
+    /// afterwards; `digest` does not mutate state.
+    pub fn digest(&self) -> u64 {
+        let mut h = if self.total >= 32 {
+            let [v1, v2, v3, v4] = self.v;
+            let mut h = v1
+                .rotate_left(1)
+                .wrapping_add(v2.rotate_left(7))
+                .wrapping_add(v3.rotate_left(12))
+                .wrapping_add(v4.rotate_left(18));
+            h = merge_round(h, v1);
+            h = merge_round(h, v2);
+            h = merge_round(h, v3);
+            h = merge_round(h, v4);
+            h
+        } else {
+            self.seed.wrapping_add(PRIME64_5)
+        };
+        h = h.wrapping_add(self.total);
+        finalize(h, &self.buf[..self.buf_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Known-answer vectors from the reference xxHash implementation
+    // (Cyan4973/xxHash, XSUM_XXH64 of standard test strings).
+    #[test]
+    fn known_answers_seed_zero() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(xxh64(b"message digest", 0), 0x066E_D728_FCEE_B3BE);
+        assert_eq!(
+            xxh64(b"abcdefghijklmnopqrstuvwxyz", 0),
+            0xCFE1_F278_FA89_835C
+        );
+        assert_eq!(
+            xxh64(
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                0
+            ),
+            0xAAA4_6907_D304_7814
+        );
+        assert_eq!(
+            xxh64(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                0
+            ),
+            0xE04A_477F_19EE_145D
+        );
+    }
+
+    #[test]
+    fn known_answers_nonzero_seed() {
+        assert_eq!(xxh64(b"", 1), 0xD5AF_BA13_36A3_BE4B);
+        assert_eq!(xxh64(b"abc", 1), 0xBEA9_CA81_9932_8908);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_all_splits() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 31 % 251) as u8).collect();
+        let want = xxh64(&data, 0x15_0BAD);
+        for split in 0..=data.len() {
+            let mut h = Xxh64::new(0x15_0BAD);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.digest(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_byte_at_a_time() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut h = Xxh64::new(7);
+        for &b in &data {
+            h.update(&[b]);
+        }
+        assert_eq!(h.digest(), xxh64(&data, 7));
+    }
+
+    #[test]
+    fn digest_is_idempotent_and_resumable() {
+        let mut h = Xxh64::new(0);
+        h.update(b"hello ");
+        let mid = h.digest();
+        assert_eq!(mid, h.digest());
+        h.update(b"world");
+        assert_eq!(h.digest(), xxh64(b"hello world", 0));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let data = vec![0u8; 4096];
+        let base = xxh64(&data, 0);
+        for byte in [0usize, 1, 31, 32, 4095] {
+            let mut flipped = data.clone();
+            flipped[byte] ^= 1;
+            assert_ne!(xxh64(&flipped, 0), base, "flip at byte {byte}");
+        }
+    }
+}

@@ -1,0 +1,645 @@
+//! Crash-injection harness for the store's commit protocol.
+//!
+//! The store writer claims ("old or new, never torn"): a reader
+//! opening the store path after a crash at *any* point during a
+//! rewrite sees either the previously committed store or the fully
+//! committed new one — never a hybrid, never a partial. That claim
+//! cannot be proven on a real filesystem, which crashes on nobody's
+//! schedule; this module proves it on a simulated one.
+//!
+//! # Fault model
+//!
+//! [`FaultFs`] implements the writer's [`StoreFs`] interface over an
+//! in-memory disk that distinguishes, per file, *written* bytes from
+//! *durable* (fsynced) bytes, and per directory, *live* name bindings
+//! from *committed* (dir-fsynced) ones — because on a real kernel,
+//! data you did not fsync and renames you did not fsync may or may not
+//! survive a crash, independently.
+//!
+//! # Sweep strategy
+//!
+//! The writer's operation stream is deterministic, so the sweep
+//! records it once from a real [`StoreWriter`] run and then *replays*
+//! it against a snapshot of the committed disk, once per operation
+//! boundary, killing the replay exactly there. A killed `write` may
+//! leave a torn prefix of seeded length — the bytes the kernel
+//! happened to flush. At sampled kill points the sweep additionally
+//! runs the real writer with an armed budget and asserts its
+//! post-crash disk equals the replayed one, so the cheap replays are
+//! anchored to real writer behavior.
+//!
+//! After each kill, the harness materializes **every** combination of
+//! {unsynced data survived, lost} × {unsynced renames survived, lost}
+//! to a real temporary file and opens it with the verifying
+//! [`StoreReader`]. Each view must byte-match the old store or the new
+//! store, and decode accordingly.
+
+use crate::rng::Rng;
+use isobar::IsobarOptions;
+use isobar_store::{StoreFile, StoreFs, StoreReader, StoreWriter};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// One recorded filesystem operation, with enough payload to replay
+/// it bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// File creation (a directory mutation).
+    Create(PathBuf),
+    /// A `write_all` on the file created `id`-th.
+    Write {
+        /// Arena index of the target file.
+        id: usize,
+        /// The exact bytes written.
+        data: Vec<u8>,
+    },
+    /// An fdatasync on the file created `id`-th.
+    SyncData {
+        /// Arena index of the target file.
+        id: usize,
+    },
+    /// An atomic rename (a directory mutation).
+    Rename(PathBuf, PathBuf),
+    /// A file removal (a directory mutation).
+    Remove(PathBuf),
+    /// A directory fsync, committing pending directory mutations.
+    SyncDir,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FileData {
+    /// Everything written so far (durable prefix + unsynced tail).
+    content: Vec<u8>,
+    /// Length of the durable (fsynced) prefix.
+    synced: usize,
+}
+
+/// One simulated disk: a single-directory namespace with per-file
+/// durability and crash-at-operation-N fault injection.
+#[derive(Debug, Clone, Default)]
+struct DiskState {
+    /// Every file object ever created; bindings refer in here, so a
+    /// rename moves a binding without touching content, and an
+    /// uncommitted unlink cannot destroy bytes an older binding may
+    /// still resurrect after a crash.
+    arena: Vec<FileData>,
+    /// Current name bindings, as running code observes them.
+    live: BTreeMap<PathBuf, usize>,
+    /// Bindings as of the last directory fsync — what a crash
+    /// guarantees.
+    committed: BTreeMap<PathBuf, usize>,
+    /// After a crash every operation fails and mutates nothing.
+    dead: bool,
+    /// Operations remaining before the injected crash (`None`: never).
+    remaining: Option<u64>,
+    /// Seeds the torn-prefix length when the dying op is a write.
+    torn_seed: u64,
+    /// Operations observed, for dry-run enumeration and replay.
+    record: Vec<Op>,
+}
+
+impl DiskState {
+    /// Gate an operation: count down the kill budget and report
+    /// whether the op may proceed. `Err` means the crash happened (or
+    /// already had); the op must have no effect beyond what the caller
+    /// was explicitly told to tear.
+    fn enter(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::other("disk is dead after injected crash"));
+        }
+        if let Some(rem) = self.remaining.as_mut() {
+            if *rem == 0 {
+                self.dead = true;
+                return Err(io::Error::other("injected crash"));
+            }
+            *rem -= 1;
+        }
+        Ok(())
+    }
+
+    /// Apply one recorded operation, unconditionally (replay path).
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Create(path) => {
+                let id = self.arena.len();
+                self.arena.push(FileData::default());
+                self.live.insert(path.clone(), id);
+            }
+            Op::Write { id, data } => self.arena[*id].content.extend_from_slice(data),
+            Op::SyncData { id } => {
+                let file = &mut self.arena[*id];
+                file.synced = file.content.len();
+            }
+            Op::Rename(from, to) => {
+                let id = self.live.remove(from).expect("replayed rename source");
+                self.live.insert(to.clone(), id);
+            }
+            Op::Remove(path) => {
+                self.live.remove(path);
+            }
+            Op::SyncDir => self.committed = self.live.clone(),
+        }
+    }
+
+    /// Apply the crash-time partial effect of the dying operation: a
+    /// write may leave a torn, never-synced prefix; everything else
+    /// dies without a trace.
+    fn apply_torn(&mut self, op: &Op, torn_seed: u64) {
+        if let Op::Write { id, data } = op {
+            if !data.is_empty() {
+                let torn = (torn_seed % (data.len() as u64 + 1)) as usize;
+                self.arena[*id].content.extend_from_slice(&data[..torn]);
+            }
+        }
+        self.dead = true;
+    }
+}
+
+/// The fault-injecting filesystem handed to [`StoreWriter`].
+#[derive(Debug, Clone)]
+pub struct FaultFs {
+    state: Arc<Mutex<DiskState>>,
+}
+
+/// An open file on a [`FaultFs`].
+#[derive(Debug)]
+pub struct FaultFile {
+    state: Arc<Mutex<DiskState>>,
+    id: usize,
+}
+
+impl FaultFs {
+    /// A fresh, empty disk with no fault armed.
+    pub fn new() -> Self {
+        FaultFs {
+            state: Arc::new(Mutex::new(DiskState::default())),
+        }
+    }
+
+    /// An independent copy of this disk's current state, with the
+    /// operation record cleared and no fault armed.
+    pub fn fork(&self) -> Self {
+        let mut st = self.state.lock().unwrap().clone();
+        st.record.clear();
+        st.remaining = None;
+        st.dead = false;
+        FaultFs {
+            state: Arc::new(Mutex::new(st)),
+        }
+    }
+
+    /// Arm the disk to crash on the `kill_at`-th operation (0-based).
+    /// If that operation is a write, a torn prefix of seeded length
+    /// may land before the crash.
+    pub fn arm(&self, kill_at: u64, torn_seed: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.remaining = Some(kill_at);
+        st.torn_seed = torn_seed;
+    }
+
+    /// Operations recorded so far, in order, with payloads.
+    pub fn recorded_ops(&self) -> Vec<Op> {
+        self.state.lock().unwrap().record.clone()
+    }
+
+    /// Whether the armed crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().dead
+    }
+
+    /// The durable bytes currently committed under `path`, if any —
+    /// the fully-synced view, ignoring anything volatile.
+    pub fn committed_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        let st = self.state.lock().unwrap();
+        let id = *st.committed.get(path)?;
+        let file = &st.arena[id];
+        Some(file.content[..file.synced].to_vec())
+    }
+
+    /// Every post-crash state the simulated disk admits for `path`:
+    /// the cross product of {unsynced file data lost, survived} and
+    /// {unsynced directory mutations lost, survived}. Deduplicated.
+    pub fn crash_views(&self, path: &Path) -> Vec<Option<Vec<u8>>> {
+        let st = self.state.lock().unwrap();
+        let mut views = Vec::new();
+        for bindings in [&st.committed, &st.live] {
+            for full_content in [false, true] {
+                let view = bindings.get(path).map(|&id| {
+                    let file = &st.arena[id];
+                    let len = if full_content {
+                        file.content.len()
+                    } else {
+                        file.synced
+                    };
+                    file.content[..len].to_vec()
+                });
+                if !views.contains(&view) {
+                    views.push(view);
+                }
+            }
+        }
+        views
+    }
+
+    /// Fork `base` and replay `ops[..kill_at]` against it, then apply
+    /// the torn partial effect of `ops[kill_at]` — the disk exactly as
+    /// an armed real run killed at that boundary leaves it.
+    pub fn replay_killed(base: &FaultFs, ops: &[Op], kill_at: usize, torn_seed: u64) -> FaultFs {
+        let fs = base.fork();
+        {
+            let mut st = fs.state.lock().unwrap();
+            for op in &ops[..kill_at] {
+                st.apply(op);
+            }
+            st.apply_torn(&ops[kill_at], torn_seed);
+        }
+        fs
+    }
+}
+
+impl Default for FaultFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        match st.enter() {
+            Ok(()) => {
+                let op = Op::Write {
+                    id: self.id,
+                    data: buf.to_vec(),
+                };
+                st.apply(&op);
+                st.record.push(op);
+                Ok(())
+            }
+            Err(e) => {
+                // The kernel may have flushed part of this write
+                // before the crash: leave a torn, never-synced prefix.
+                if st.dead && !buf.is_empty() {
+                    let torn = (st.torn_seed % (buf.len() as u64 + 1)) as usize;
+                    let id = self.id;
+                    st.arena[id].content.extend_from_slice(&buf[..torn]);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.enter()?;
+        let op = Op::SyncData { id: self.id };
+        st.apply(&op);
+        st.record.push(op);
+        Ok(())
+    }
+}
+
+impl StoreFs for FaultFs {
+    type File = FaultFile;
+
+    fn create(&self, path: &Path) -> io::Result<FaultFile> {
+        let mut st = self.state.lock().unwrap();
+        st.enter()?;
+        let id = st.arena.len();
+        let op = Op::Create(path.to_path_buf());
+        st.apply(&op);
+        st.record.push(op);
+        Ok(FaultFile {
+            state: Arc::clone(&self.state),
+            id,
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.enter()?;
+        if !st.live.contains_key(from) {
+            return Err(io::Error::from(io::ErrorKind::NotFound));
+        }
+        let op = Op::Rename(from.to_path_buf(), to.to_path_buf());
+        st.apply(&op);
+        st.record.push(op);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.enter()?;
+        if !st.live.contains_key(path) {
+            return Err(io::Error::from(io::ErrorKind::NotFound));
+        }
+        let op = Op::Remove(path.to_path_buf());
+        st.apply(&op);
+        st.record.push(op);
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.enter()?;
+        st.apply(&Op::SyncDir);
+        st.record.push(Op::SyncDir);
+        Ok(())
+    }
+}
+
+/// Outcome of one full crash sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSweepOutcome {
+    /// Operation boundaries the writer was killed at — one injected
+    /// crash (plus all its disk views) per point.
+    pub kill_points: u64,
+    /// Post-crash disk views opened and checked across all kill
+    /// points.
+    pub views_checked: u64,
+    /// Views in which the reader saw the pre-rewrite store.
+    pub saw_old: u64,
+    /// Views in which the reader saw the fully committed new store.
+    pub saw_new: u64,
+    /// Kill points where the real armed writer was run and its disk
+    /// compared against the replay.
+    pub real_runs: u64,
+}
+
+/// Number of variables each store revision writes. Sized so a sweep
+/// exercises well over 200 kill points (6 filesystem operations per
+/// record, plus the head and the commit tail).
+pub const CRASH_SWEEP_ENTRIES: u32 = 35;
+
+/// Every this-many kill points, the sweep runs the real armed writer
+/// and asserts its post-crash disk equals the replayed one.
+const REAL_RUN_STRIDE: usize = 37;
+
+fn payload(rng: &mut Rng, len: usize) -> Vec<u8> {
+    // Half structured (compressible), half noise, so containers carry
+    // both compressed and incompressible regions through the crash.
+    let mut data = vec![0u8; len];
+    for (i, byte) in data.iter_mut().enumerate().take(len / 2) {
+        *byte = (i / 7) as u8;
+    }
+    let tail_start = len / 2;
+    rng.fill(&mut data[tail_start..]);
+    data
+}
+
+/// Write one store revision: `CRASH_SWEEP_ENTRIES` variables whose
+/// contents are derived from `revision` (so old and new stores differ
+/// in every record).
+fn write_revision(fs: &FaultFs, path: &Path, revision: u64, seed: u64) -> Result<(), String> {
+    let mut rng = Rng::new(seed ^ revision.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut writer = StoreWriter::create_in(fs.clone(), path, IsobarOptions::default())
+        .map_err(|e| format!("create: {e}"))?;
+    for step in 0..CRASH_SWEEP_ENTRIES {
+        let data = payload(&mut rng, 1024);
+        writer
+            .put(step, "density", &data, 8)
+            .map_err(|e| format!("put step {step}: {e}"))?;
+    }
+    writer.close().map_err(|e| format!("close: {e}"))?;
+    Ok(())
+}
+
+/// Check one materialized crash view: it must byte-match the old or
+/// the new store, and the verifying reader must open and decode it.
+fn check_view(
+    view: &[u8],
+    old_bytes: &[u8],
+    new_bytes: &[u8],
+    scratch_path: &Path,
+    kill_at: usize,
+    view_index: usize,
+) -> Result<bool, String> {
+    let is_old = view == old_bytes;
+    let is_new = view == new_bytes;
+    if !is_old && !is_new {
+        return Err(format!(
+            "kill point {kill_at} view {view_index}: store bytes match neither the \
+             old nor the new revision (len {}, old {}, new {})",
+            view.len(),
+            old_bytes.len(),
+            new_bytes.len()
+        ));
+    }
+    std::fs::write(scratch_path, view)
+        .map_err(|e| format!("kill point {kill_at}: scratch write: {e}"))?;
+    let reader = StoreReader::open(scratch_path).map_err(|e| {
+        format!("kill point {kill_at} view {view_index}: verifying open failed: {e}")
+    })?;
+    if reader.entries().len() != CRASH_SWEEP_ENTRIES as usize {
+        return Err(format!(
+            "kill point {kill_at} view {view_index}: {} entries, expected {}",
+            reader.entries().len(),
+            CRASH_SWEEP_ENTRIES
+        ));
+    }
+    reader
+        .get(0, "density")
+        .map_err(|e| format!("kill point {kill_at} view {view_index}: decode failed: {e}"))?;
+    Ok(is_new)
+}
+
+/// Kill the store writer at every operation boundary of a full
+/// rewrite and prove that every admissible post-crash disk state
+/// still reads as exactly the old or the new store.
+///
+/// Deterministic in `seed`. Returns the sweep outcome or the first
+/// violation, formatted with enough detail to replay.
+pub fn crash_sweep(seed: u64) -> Result<CrashSweepOutcome, String> {
+    let path = Path::new("store.isst");
+
+    // Baseline: revision 0 committed cleanly through the real writer.
+    let base = FaultFs::new();
+    write_revision(&base, path, 0, seed)?;
+    let old_bytes = base
+        .committed_bytes(path)
+        .ok_or("baseline commit left nothing at the store path")?;
+    let base = base.fork(); // clear the baseline's op record
+
+    // Record the rewrite's full operation stream once, and snapshot
+    // the new store's bytes.
+    let recorder = base.fork();
+    write_revision(&recorder, path, 1, seed)?;
+    let ops = recorder.recorded_ops();
+    let new_bytes = recorder
+        .committed_bytes(path)
+        .ok_or("recording commit left nothing at the store path")?;
+    if new_bytes == old_bytes {
+        return Err("revisions are identical; the sweep would prove nothing".into());
+    }
+
+    let scratch = std::env::temp_dir().join(format!(
+        "isobar-crash-sweep-{}-{seed:016x}.isst",
+        std::process::id()
+    ));
+    let mut outcome = CrashSweepOutcome {
+        kill_points: 0,
+        views_checked: 0,
+        saw_old: 0,
+        saw_new: 0,
+        real_runs: 0,
+    };
+    let mut torn_rng = Rng::new(seed ^ 0xC4A5_11F1_A57E_D000);
+
+    for kill_at in 0..ops.len() {
+        let torn_seed = torn_rng.next_u64();
+        let fs = FaultFs::replay_killed(&base, &ops, kill_at, torn_seed);
+
+        // Anchor the replay to reality: at sampled points (and at both
+        // ends), run the real writer with an armed budget and demand
+        // the identical post-crash disk.
+        if kill_at % REAL_RUN_STRIDE == 0 || kill_at == ops.len() - 1 {
+            let real = base.fork();
+            real.arm(kill_at as u64, torn_seed);
+            if write_revision(&real, path, 1, seed).is_ok() {
+                return Err(format!(
+                    "kill point {kill_at}: writer survived an armed crash ({} ops total)",
+                    ops.len()
+                ));
+            }
+            if !real.crashed() {
+                return Err(format!(
+                    "kill point {kill_at}: writer failed before the armed crash fired"
+                ));
+            }
+            if real.crash_views(path) != fs.crash_views(path) {
+                return Err(format!(
+                    "kill point {kill_at}: replayed disk diverges from the real armed run"
+                ));
+            }
+            outcome.real_runs += 1;
+        }
+
+        outcome.kill_points += 1;
+        for (view_index, view) in fs.crash_views(path).into_iter().enumerate() {
+            let view = view.ok_or_else(|| {
+                format!(
+                    "kill point {kill_at} view {view_index}: the store path vanished — \
+                     a crashed rewrite destroyed the committed store"
+                )
+            })?;
+            let is_new = check_view(&view, &old_bytes, &new_bytes, &scratch, kill_at, view_index)?;
+            outcome.views_checked += 1;
+            if is_new {
+                outcome.saw_new += 1;
+            } else {
+                outcome.saw_old += 1;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&scratch);
+
+    // A sweep that never reached the commit point, or whose kills all
+    // landed after it, would vacuously pass — demand both outcomes.
+    if outcome.saw_old == 0 || outcome.saw_new == 0 {
+        return Err(format!(
+            "degenerate sweep: {} old views, {} new views — kills missed the commit point",
+            outcome.saw_old, outcome.saw_new
+        ));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_fs_separates_durable_from_volatile() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        let mut f = fs.create(p).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.sync_data().unwrap();
+        f.write_all(b"def").unwrap();
+        // Name never dir-synced: committed view has no file at all.
+        let views = fs.crash_views(p);
+        assert!(views.contains(&None), "uncommitted creation can vanish");
+        assert!(views.contains(&Some(b"abc".to_vec())), "synced data only");
+        assert!(views.contains(&Some(b"abcdef".to_vec())), "volatile tail");
+        fs.sync_dir(Path::new(".")).unwrap();
+        assert_eq!(fs.committed_bytes(p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn armed_write_tears_at_seeded_length() {
+        let fs = FaultFs::new();
+        let p = Path::new("f");
+        let mut f = fs.create(p).unwrap();
+        fs.sync_dir(Path::new(".")).unwrap();
+        fs.arm(0, 2); // next op dies; torn prefix = 2 % (len+1)
+        assert!(f.write_all(b"abcd").is_err());
+        assert!(fs.crashed());
+        let views = fs.crash_views(p);
+        assert!(views.contains(&Some(b"ab".to_vec())), "torn prefix kept");
+        // After death, everything fails and nothing changes.
+        assert!(f.write_all(b"x").is_err());
+        assert!(fs.remove_file(p).is_err());
+    }
+
+    #[test]
+    fn rename_is_volatile_until_dir_sync() {
+        let fs = FaultFs::new();
+        let a = Path::new("a");
+        let b = Path::new("b");
+        let mut f = fs.create(a).unwrap();
+        f.write_all(b"xy").unwrap();
+        f.sync_data().unwrap();
+        fs.sync_dir(Path::new(".")).unwrap();
+        fs.rename(a, b).unwrap();
+        // Crash now: b exists only in the live namespace.
+        let at_b = fs.crash_views(b);
+        assert!(at_b.contains(&None), "unsynced rename can be lost");
+        assert!(at_b.contains(&Some(b"xy".to_vec())));
+        let at_a = fs.crash_views(a);
+        assert!(at_a.contains(&Some(b"xy".to_vec())), "old name can persist");
+        fs.sync_dir(Path::new(".")).unwrap();
+        assert_eq!(fs.committed_bytes(b).unwrap(), b"xy");
+        assert!(fs.committed_bytes(a).is_none());
+    }
+
+    #[test]
+    fn replay_matches_armed_run() {
+        // The sweep's core soundness assumption, in miniature: a
+        // replayed kill must leave the identical disk to a real armed
+        // writer run killed at the same boundary.
+        let path = Path::new("store.isst");
+        let base = FaultFs::new();
+        write_revision(&base, path, 0, 5).unwrap();
+        let base = base.fork();
+        let recorder = base.fork();
+        write_revision(&recorder, path, 1, 5).unwrap();
+        let ops = recorder.recorded_ops();
+        for kill_at in [0usize, 3, 17, ops.len() / 2, ops.len() - 1] {
+            let replay = FaultFs::replay_killed(&base, &ops, kill_at, 0xABCD);
+            let real = base.fork();
+            real.arm(kill_at as u64, 0xABCD);
+            assert!(write_revision(&real, path, 1, 5).is_err());
+            assert_eq!(
+                real.crash_views(path),
+                replay.crash_views(path),
+                "kill point {kill_at}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_kill_point_yields_old_store() {
+        let path = Path::new("store.isst");
+        let fs = FaultFs::new();
+        write_revision(&fs, path, 0, 1).unwrap();
+        let old = fs.committed_bytes(path).unwrap();
+        let armed = fs.fork();
+        armed.arm(10, 0);
+        assert!(write_revision(&armed, path, 1, 1).is_err());
+        for view in armed.crash_views(path) {
+            assert_eq!(view.unwrap(), old, "kill point 10 is long before commit");
+        }
+    }
+}

@@ -22,12 +22,17 @@
 //!   small multiple of the input size.
 //! * [`layers`] — one [`layers::Layer`] per decode surface, each with
 //!   its own pool of valid artifacts and pass/fail rules.
+//! * [`crash`] — crash-injection for the store's commit protocol: an
+//!   in-memory filesystem that kills the writer at every operation
+//!   boundary (with torn in-flight writes) and proves a reader always
+//!   sees the old store or the new one, never a hybrid.
 //!
 //! The `isobar-fuzz-harness` binary runs every layer (default 10 000
 //! iterations each) and exits non-zero on the first violation; the
 //! `fuzz_smoke` integration test runs a reduced count in `cargo test`.
 
 pub mod alloc_track;
+pub mod crash;
 pub mod layers;
 pub mod mutate;
 pub mod rng;

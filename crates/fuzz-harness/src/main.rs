@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list]
+//! isobar-fuzz-harness --crash-sweep [--seed HEX]
 //! ```
 //!
 //! Exits 0 when every layer completes its iterations with zero panics
 //! and zero allocation-bound violations; exits 1 with a reproducible
-//! one-line report otherwise.
+//! one-line report otherwise. `--crash-sweep` instead runs the store
+//! commit-protocol crash-injection sweep (see the `crash` module).
 
-use isobar_fuzz_harness::{all_layers, alloc_track::PeakAlloc, DEFAULT_SEED};
+use isobar_fuzz_harness::{all_layers, alloc_track::PeakAlloc, crash, DEFAULT_SEED};
 
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc;
@@ -18,6 +20,7 @@ fn main() {
     let mut seed: u64 = DEFAULT_SEED;
     let mut selected: Vec<String> = Vec::new();
     let mut list = false;
+    let mut crash_sweep = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -38,10 +41,27 @@ fn main() {
                 selected.push(expect_value(&args, &mut i, "--layer"));
             }
             "--list" => list = true,
+            "--crash-sweep" => crash_sweep = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
+    }
+
+    if crash_sweep {
+        match crash::crash_sweep(seed) {
+            Ok(o) => {
+                println!(
+                    "crash-sweep    {} kill points, {} views checked: {} old, {} new — commit protocol holds",
+                    o.kill_points, o.views_checked, o.saw_old, o.saw_new
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("FAIL crash-sweep (seed {seed:#018x}): {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let layers = all_layers();
@@ -93,6 +113,8 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list]");
+    eprintln!(
+        "usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--crash-sweep]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -6,24 +6,61 @@
 //! Everything is little-endian and self-describing so decompression
 //! needs no out-of-band information; a whole-stream Adler-32 of the
 //! original data guards reassembly.
+//!
+//! Version 2 additionally embeds an XXH64 checksum in every chunk
+//! header, covering the other fixed fields and both payloads. Decoders
+//! verify it before touching the payloads (behind the pipeline's
+//! default-on `verify` knob) and salvage mode uses intact checksums as
+//! resync anchors. Version-1 containers — which carry no per-chunk
+//! checksum — are still read.
 
 use crate::analyzer::ColumnSelection;
 use crate::error::IsobarError;
+use isobar_codecs::xxhash::Xxh64;
 use isobar_codecs::{CodecId, CompressionLevel};
 use isobar_linearize::Linearization;
 
 /// Container magic: "ISBR".
 pub const MAGIC: [u8; 4] = *b"ISBR";
-/// Container format version.
-pub const VERSION: u8 = 1;
-/// Fixed header size in bytes.
+/// Container format version written by this build.
+pub const VERSION: u8 = 2;
+/// The checksum-less format version this build still reads.
+pub const LEGACY_VERSION: u8 = 1;
+/// Fixed header size in bytes (same layout in both versions).
 pub const HEADER_LEN: usize = 28;
-/// Fixed per-chunk metadata size in bytes.
-pub const CHUNK_HEADER_LEN: usize = 29;
+/// Fixed per-chunk metadata size in bytes (version 2: the version-1
+/// fields plus a 64-bit chunk checksum).
+pub const CHUNK_HEADER_LEN: usize = 37;
+/// Version-1 per-chunk metadata size (no checksum field).
+pub const CHUNK_HEADER_V1_LEN: usize = 29;
+/// Seed for every XXH64 checksum in the ISOBAR formats.
+pub const CHECKSUM_SEED: u64 = 0;
+
+/// Per-chunk metadata size for a given container version.
+pub fn chunk_header_len(version: u8) -> usize {
+    if version >= 2 {
+        CHUNK_HEADER_LEN
+    } else {
+        CHUNK_HEADER_V1_LEN
+    }
+}
+
+/// The v2 chunk checksum: XXH64 over the non-checksum header fields
+/// (the first [`CHUNK_HEADER_V1_LEN`] bytes) followed by both payloads.
+pub(crate) fn chunk_checksum(head: &[u8], compressed: &[u8], incompressible: &[u8]) -> u64 {
+    let mut hasher = Xxh64::new(CHECKSUM_SEED);
+    hasher.update(head);
+    hasher.update(compressed);
+    hasher.update(incompressible);
+    hasher.digest()
+}
 
 /// File header fields.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Header {
+    /// Format version ([`VERSION`] for containers written by this
+    /// build; [`LEGACY_VERSION`] for checksum-less containers).
+    pub version: u8,
     /// Element width ω in bytes.
     pub width: u8,
     /// EUPA-chosen solver.
@@ -46,7 +83,7 @@ impl Header {
     /// Serialize into the output buffer.
     pub fn write(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(self.version);
         out.push(self.width);
         out.push(self.codec as u8);
         out.push(level_to_u8(self.level));
@@ -66,7 +103,8 @@ impl Header {
         if data[..4] != MAGIC {
             return Err(IsobarError::Corrupt("bad magic"));
         }
-        if data[4] != VERSION {
+        let version = data[4];
+        if version != VERSION && version != LEGACY_VERSION {
             return Err(IsobarError::Corrupt("unsupported version"));
         }
         let width = data[5];
@@ -85,6 +123,7 @@ impl Header {
         let total_len = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
         let checksum = u32::from_le_bytes(data[24..28].try_into().expect("4 bytes"));
         Ok(Header {
+            version,
             width,
             codec,
             level,
@@ -107,6 +146,12 @@ pub enum ChunkMode {
     /// Improvable chunk: compressible columns solved, incompressible
     /// stored (Algorithm 1, lines 5–7).
     Partitioned = 1,
+    /// Raw chunk bytes stored unprocessed (version 2 only): the
+    /// pipeline's graceful-degradation fallback when the solver
+    /// panicked on this chunk. `compressed` holds the original
+    /// `elements × width` bytes; the mask is 0 and there is no
+    /// incompressible stream.
+    Verbatim = 2,
 }
 
 /// Per-chunk record: metadata + payloads.
@@ -126,8 +171,30 @@ pub struct ChunkRecord {
 }
 
 impl ChunkRecord {
-    /// Serialize into the output buffer.
+    /// Serialize into the output buffer in the current ([`VERSION`])
+    /// format, computing and embedding the chunk checksum.
     pub fn write(&self, out: &mut Vec<u8>) {
+        let head_start = out.len();
+        out.push(self.mode as u8);
+        out.extend_from_slice(&self.elements.to_le_bytes());
+        out.extend_from_slice(&self.mask.to_le_bytes());
+        out.extend_from_slice(&(self.compressed.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.incompressible.len() as u64).to_le_bytes());
+        let checksum = chunk_checksum(
+            &out[head_start..head_start + CHUNK_HEADER_V1_LEN],
+            &self.compressed,
+            &self.incompressible,
+        );
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.extend_from_slice(&self.compressed);
+        out.extend_from_slice(&self.incompressible);
+    }
+
+    /// Serialize in the [`LEGACY_VERSION`] (checksum-less) layout.
+    /// Only meaningful for back-compat fixtures; [`ChunkMode::Verbatim`]
+    /// does not exist in version 1.
+    pub fn write_legacy(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.mode != ChunkMode::Verbatim, "verbatim is v2-only");
         out.push(self.mode as u8);
         out.extend_from_slice(&self.elements.to_le_bytes());
         out.extend_from_slice(&self.mask.to_le_bytes());
@@ -137,40 +204,66 @@ impl ChunkRecord {
         out.extend_from_slice(&self.incompressible);
     }
 
-    /// Parse one record from the front of `data`; returns the record
-    /// and the number of bytes consumed.
+    /// Parse one current-version record from the front of `data`,
+    /// verifying its checksum; returns the record and the number of
+    /// bytes consumed.
     ///
     /// Equivalent to [`ChunkRecord::read_bounded`] with no element
     /// ceiling; callers that know the header's `chunk_elements` should
     /// prefer the bounded form.
     pub fn read(data: &[u8], width: usize) -> Result<(ChunkRecord, usize), IsobarError> {
-        Self::read_bounded(data, width, u32::MAX)
+        Self::read_bounded(data, width, u32::MAX, VERSION, true, 0)
     }
 
     /// Parse one record from the front of `data`, rejecting records
     /// that claim more than `max_elements` elements (a valid container
     /// never exceeds the header's `chunk_elements`); returns the record
     /// and the number of bytes consumed.
+    ///
+    /// `version` selects the chunk-header layout. When `verify` is set
+    /// and the layout carries a checksum, the payload is verified
+    /// before the record is returned; a mismatch reports
+    /// [`IsobarError::ChecksumMismatch`] located at `base_offset` (the
+    /// record's absolute offset in the container or stream).
     pub fn read_bounded(
         data: &[u8],
         width: usize,
         max_elements: u32,
+        version: u8,
+        verify: bool,
+        base_offset: u64,
     ) -> Result<(ChunkRecord, usize), IsobarError> {
-        let header = ChunkHeader::validate(data, width, max_elements)?;
-        let total = CHUNK_HEADER_LEN
+        let header = ChunkHeader::validate(data, width, max_elements, version)?;
+        let header_len = chunk_header_len(version);
+        let total = header_len
             .checked_add(header.comp_len)
             .and_then(|t| t.checked_add(header.incomp_len))
             .ok_or(IsobarError::Corrupt("chunk length overflow"))?;
         if data.len() < total {
             return Err(IsobarError::Truncated);
         }
+        let compressed = &data[header_len..header_len + header.comp_len];
+        let incompressible = &data[header_len + header.comp_len..total];
+        if verify {
+            if let Some(expected) = header.checksum {
+                let actual =
+                    chunk_checksum(&data[..CHUNK_HEADER_V1_LEN], compressed, incompressible);
+                if actual != expected {
+                    return Err(IsobarError::ChecksumMismatch {
+                        offset: base_offset,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
         Ok((
             ChunkRecord {
                 mode: header.mode,
                 elements: header.elements,
                 mask: header.mask,
-                compressed: data[CHUNK_HEADER_LEN..CHUNK_HEADER_LEN + header.comp_len].to_vec(),
-                incompressible: data[CHUNK_HEADER_LEN + header.comp_len..total].to_vec(),
+                compressed: compressed.to_vec(),
+                incompressible: incompressible.to_vec(),
             },
             total,
         ))
@@ -187,7 +280,7 @@ impl ChunkRecord {
 ///
 /// Produced by [`ChunkHeader::validate`], which performs every
 /// structural check *before the caller allocates anything* — the
-/// streaming reader uses it to vet the 29 fixed bytes before deciding
+/// streaming reader uses it to vet the fixed bytes before deciding
 /// how much payload to pull off the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkHeader {
@@ -201,32 +294,48 @@ pub struct ChunkHeader {
     pub comp_len: usize,
     /// Verbatim payload length I.
     pub incomp_len: usize,
+    /// Embedded chunk checksum; `None` for version-1 headers, which
+    /// carry none ("legacy, unverifiable").
+    pub checksum: Option<u64>,
 }
 
 impl ChunkHeader {
-    /// Parse and validate the fixed 29-byte chunk header at the front
-    /// of `data`, without touching (or requiring) any payload bytes.
+    /// Parse and validate the fixed chunk header (29 bytes in version
+    /// 1, 37 in version 2) at the front of `data`, without touching
+    /// (or requiring) any payload bytes.
     ///
     /// Checks, in order: header completeness, mode byte, element count
-    /// against `max_elements`, mask width, passthrough mask, and the
-    /// incompressible-length consistency equation. Allocation-free.
+    /// against `max_elements`, mask width, per-mode mask constraints,
+    /// and the per-mode payload-length consistency equations.
+    /// Allocation-free. The checksum is *read*, not verified — payload
+    /// verification belongs to whoever holds the payload bytes
+    /// ([`ChunkRecord::read_bounded`]).
     pub fn validate(
         data: &[u8],
         width: usize,
         max_elements: u32,
+        version: u8,
     ) -> Result<ChunkHeader, IsobarError> {
-        if data.len() < CHUNK_HEADER_LEN {
+        if data.len() < chunk_header_len(version) {
             return Err(IsobarError::Truncated);
         }
         let mode = match data[0] {
             0 => ChunkMode::Passthrough,
             1 => ChunkMode::Partitioned,
+            2 if version >= 2 => ChunkMode::Verbatim,
             _ => return Err(IsobarError::Corrupt("bad chunk mode")),
         };
         let elements = u32::from_le_bytes(data[1..5].try_into().expect("4 bytes"));
         let mask = u64::from_le_bytes(data[5..13].try_into().expect("8 bytes"));
         let comp_len = u64::from_le_bytes(data[13..21].try_into().expect("8 bytes")) as usize;
         let incomp_len = u64::from_le_bytes(data[21..29].try_into().expect("8 bytes")) as usize;
+        let checksum = if version >= 2 {
+            Some(u64::from_le_bytes(
+                data[29..37].try_into().expect("8 bytes"),
+            ))
+        } else {
+            None
+        };
 
         if elements > max_elements {
             return Err(IsobarError::Corrupt("chunk exceeds header chunk size"));
@@ -234,16 +343,19 @@ impl ChunkHeader {
         if mask >> width != 0 {
             return Err(IsobarError::Corrupt("column mask wider than element"));
         }
-        if mode == ChunkMode::Passthrough && mask != 0 {
+        if mode != ChunkMode::Partitioned && mask != 0 {
             return Err(IsobarError::Corrupt("passthrough chunk with column mask"));
         }
         let incompressible_cols = width - (mask & mask_low(width)).count_ones() as usize;
         let expected_incomp = match mode {
-            ChunkMode::Passthrough => 0,
+            ChunkMode::Passthrough | ChunkMode::Verbatim => 0,
             ChunkMode::Partitioned => elements as usize * incompressible_cols,
         };
         if incomp_len != expected_incomp {
             return Err(IsobarError::Corrupt("incompressible length mismatch"));
+        }
+        if mode == ChunkMode::Verbatim && comp_len != elements as usize * width {
+            return Err(IsobarError::Corrupt("verbatim chunk length mismatch"));
         }
         Ok(ChunkHeader {
             mode,
@@ -251,6 +363,7 @@ impl ChunkHeader {
             mask,
             comp_len,
             incomp_len,
+            checksum,
         })
     }
 }
@@ -289,6 +402,7 @@ mod tests {
 
     fn demo_header() -> Header {
         Header {
+            version: VERSION,
             width: 8,
             codec: CodecId::Deflate,
             level: CompressionLevel::Default,
@@ -452,11 +566,112 @@ mod tests {
         };
         let mut buf = Vec::new();
         record.write(&mut buf);
-        assert!(ChunkRecord::read_bounded(&buf, 8, 1000).is_ok());
+        assert!(ChunkRecord::read_bounded(&buf, 8, 1000, VERSION, true, 0).is_ok());
         assert_eq!(
-            ChunkRecord::read_bounded(&buf, 8, 999),
+            ChunkRecord::read_bounded(&buf, 8, 999, VERSION, true, 0),
             Err(IsobarError::Corrupt("chunk exceeds header chunk size"))
         );
+    }
+
+    #[test]
+    fn legacy_header_version_still_reads() {
+        let mut buf = Vec::new();
+        Header {
+            version: LEGACY_VERSION,
+            ..demo_header()
+        }
+        .write(&mut buf);
+        let parsed = Header::read(&buf).unwrap();
+        assert_eq!(parsed.version, LEGACY_VERSION);
+    }
+
+    #[test]
+    fn verbatim_record_round_trips() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Verbatim,
+            elements: 12,
+            mask: 0,
+            compressed: vec![0xAB; 96], // 12 elements × width 8
+            incompressible: vec![],
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        let (parsed, consumed) = ChunkRecord::read(&buf, 8).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(consumed, buf.len());
+
+        // The raw length must match elements × width exactly.
+        let mut bad = Vec::new();
+        ChunkRecord {
+            compressed: vec![0xAB; 95],
+            ..record.clone()
+        }
+        .write(&mut bad);
+        assert!(matches!(
+            ChunkHeader::validate(&bad, 8, u32::MAX, VERSION),
+            Err(IsobarError::Corrupt("verbatim chunk length mismatch"))
+        ));
+
+        // Version 1 has no verbatim mode.
+        assert!(matches!(
+            ChunkHeader::validate(&buf, 8, u32::MAX, LEGACY_VERSION),
+            Err(IsobarError::Corrupt("bad chunk mode"))
+        ));
+    }
+
+    #[test]
+    fn checksum_mismatch_reports_offset_and_values() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Passthrough,
+            elements: 10,
+            mask: 0,
+            compressed: vec![7; 40],
+            incompressible: vec![],
+        };
+        let mut buf = Vec::new();
+        record.write(&mut buf);
+        // Undamaged parses with or without verification.
+        assert!(ChunkRecord::read_bounded(&buf, 8, u32::MAX, VERSION, true, 555).is_ok());
+
+        // Flip one payload bit: only the checksum notices.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        match ChunkRecord::read_bounded(&bad, 8, u32::MAX, VERSION, true, 555) {
+            Err(IsobarError::ChecksumMismatch {
+                offset,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(offset, 555);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // verify=false skips the check and returns the damaged payload.
+        let (parsed, _) =
+            ChunkRecord::read_bounded(&bad, 8, u32::MAX, VERSION, false, 555).unwrap();
+        assert_ne!(parsed.compressed, record.compressed);
+    }
+
+    #[test]
+    fn legacy_chunk_record_reads_without_checksum() {
+        let record = ChunkRecord {
+            mode: ChunkMode::Partitioned,
+            elements: 100,
+            mask: 0b1100_0011,
+            compressed: vec![1, 2, 3],
+            incompressible: vec![9; 400],
+        };
+        let mut buf = Vec::new();
+        record.write_legacy(&mut buf);
+        assert_eq!(buf.len(), CHUNK_HEADER_V1_LEN + 3 + 400);
+        let (parsed, consumed) =
+            ChunkRecord::read_bounded(&buf, 8, u32::MAX, LEGACY_VERSION, true, 0).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(consumed, buf.len());
+        let header = ChunkHeader::validate(&buf, 8, u32::MAX, LEGACY_VERSION).unwrap();
+        assert_eq!(header.checksum, None);
     }
 
     #[test]

@@ -22,8 +22,18 @@ pub enum IsobarError {
     Truncated,
     /// The embedded solver failed to decode its stream.
     Codec(CodecError),
-    /// Whole-stream integrity check failed after reassembly.
-    ChecksumMismatch,
+    /// An embedded integrity checksum did not match the bytes it
+    /// covers — a chunk, frame, or whole-stream check. The offset
+    /// locates the damaged structure (or the checksum field itself for
+    /// whole-stream checks) in the container or stream.
+    ChecksumMismatch {
+        /// Byte offset of the structure that failed verification.
+        offset: u64,
+        /// The checksum the container claims.
+        expected: u64,
+        /// The checksum computed over the actual bytes.
+        actual: u64,
+    },
     /// An underlying error, located at a byte offset in the input.
     At {
         /// Byte offset (from the start of the container or stream) of
@@ -41,10 +51,24 @@ impl IsobarError {
     pub fn at(self, offset: u64) -> IsobarError {
         match self {
             e @ IsobarError::At { .. } => e,
+            // Checksum mismatches are born with their own (more
+            // precise) location.
+            e @ IsobarError::ChecksumMismatch { .. } => e,
             e => IsobarError::At {
                 offset,
                 source: Box::new(e),
             },
+        }
+    }
+
+    /// Whether this error (possibly behind [`IsobarError::At`]) is a
+    /// checksum mismatch — the signal telemetry counts separately from
+    /// structural corruption.
+    pub fn is_checksum_mismatch(&self) -> bool {
+        match self {
+            IsobarError::ChecksumMismatch { .. } => true,
+            IsobarError::At { source, .. } => source.is_checksum_mismatch(),
+            _ => false,
         }
     }
 }
@@ -62,7 +86,15 @@ impl fmt::Display for IsobarError {
             IsobarError::Corrupt(what) => write!(f, "corrupt ISOBAR container: {what}"),
             IsobarError::Truncated => write!(f, "truncated ISOBAR container"),
             IsobarError::Codec(e) => write!(f, "solver error: {e}"),
-            IsobarError::ChecksumMismatch => write!(f, "reassembled data failed integrity check"),
+            IsobarError::ChecksumMismatch {
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch at byte offset {offset}: \
+                 stored {expected:#018x}, computed {actual:#018x}"
+            ),
             IsobarError::At { offset, source } => {
                 write!(f, "at byte offset {offset}: {source}")
             }
@@ -106,6 +138,33 @@ mod tests {
         // Re-attaching keeps the innermost (most precise) offset.
         let e = e.at(999);
         assert!(e.to_string().contains("offset 28"));
+    }
+
+    #[test]
+    fn checksum_mismatch_keeps_its_own_offset() {
+        let e = IsobarError::ChecksumMismatch {
+            offset: 42,
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.is_checksum_mismatch());
+        // at() must not bury the precise location under a wrapper.
+        let e = e.at(999);
+        assert!(matches!(
+            e,
+            IsobarError::ChecksumMismatch { offset: 42, .. }
+        ));
+        // ...and detection sees through an At wrapper.
+        let wrapped = IsobarError::At {
+            offset: 7,
+            source: Box::new(IsobarError::ChecksumMismatch {
+                offset: 7,
+                expected: 0,
+                actual: 1,
+            }),
+        };
+        assert!(wrapped.is_checksum_mismatch());
+        assert!(!IsobarError::Truncated.is_checksum_mismatch());
     }
 
     #[test]

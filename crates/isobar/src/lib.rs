@@ -62,6 +62,7 @@ pub mod error;
 pub mod eupa;
 pub mod partitioner;
 pub mod pipeline;
+pub mod salvage;
 pub mod stream;
 
 pub use analyzer::{Analyzer, ColumnSelection, DEFAULT_TAU};
@@ -70,6 +71,7 @@ pub use eupa::{EupaDecision, EupaSelector, Preference};
 pub use pipeline::{
     ChunkDecision, CompressionReport, IsobarCompressor, IsobarOptions, PipelineScratch,
 };
+pub use salvage::{FsckReport, SalvageReport};
 pub use stream::{IsobarReader, IsobarWriter};
 
 pub use isobar_codecs::{Codec, CodecId, CompressionLevel};

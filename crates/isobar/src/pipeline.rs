@@ -8,7 +8,9 @@
 
 use crate::analyzer::{Analyzer, ColumnSelection};
 use crate::chunk::{element_chunks, DEFAULT_CHUNK_ELEMENTS};
-use crate::container::{ChunkMode, ChunkRecord, Header, CHUNK_HEADER_LEN, HEADER_LEN};
+use crate::container::{
+    chunk_header_len, ChunkMode, ChunkRecord, Header, CHUNK_HEADER_LEN, HEADER_LEN, VERSION,
+};
 use crate::error::IsobarError;
 use crate::eupa::{EupaDecision, EupaSelector, Preference};
 use crate::partitioner::{partition_into, reassemble_into};
@@ -43,6 +45,10 @@ pub struct IsobarOptions {
     /// Compress chunks on multiple threads (extension; the paper's
     /// numbers are single-core).
     pub parallel: bool,
+    /// Verify embedded checksums while decoding (default on). Turning
+    /// this off trades end-to-end integrity detection for decompress
+    /// throughput; structural validation still happens either way.
+    pub verify: bool,
 }
 
 impl Default for IsobarOptions {
@@ -56,6 +62,7 @@ impl Default for IsobarOptions {
             linearization_override: None,
             eupa: EupaSelector::default(),
             parallel: false,
+            verify: true,
         }
     }
 }
@@ -366,6 +373,7 @@ impl IsobarCompressor {
         }
 
         let header = Header {
+            version: VERSION,
             width: width as u8,
             codec: codec_id,
             level: opts.level,
@@ -430,8 +438,11 @@ impl IsobarCompressor {
         recorder: &mut Recorder,
     ) -> Result<Vec<u8>, IsobarError> {
         let result = self.decompress_inner(data, scratch, recorder);
-        if result.is_err() {
+        if let Err(e) = &result {
             recorder.incr(Counter::ContainerCorruptRejected);
+            if e.is_checksum_mismatch() {
+                recorder.incr(Counter::ChecksumMismatches);
+            }
         }
         result
     }
@@ -457,9 +468,15 @@ impl IsobarCompressor {
         let mut offset = HEADER_LEN as u64;
         let mut claimed: u64 = 0;
         while claimed < header.total_len {
-            let (record, consumed) =
-                ChunkRecord::read_bounded(cursor, width, header.chunk_elements)
-                    .map_err(|e| e.at(offset))?;
+            let (record, consumed) = ChunkRecord::read_bounded(
+                cursor,
+                width,
+                header.chunk_elements,
+                header.version,
+                self.options.verify,
+                offset,
+            )
+            .map_err(|e| e.at(offset))?;
             if record.elements == 0 {
                 return Err(IsobarError::Corrupt("empty chunk record").at(offset));
             }
@@ -475,7 +492,7 @@ impl IsobarCompressor {
         container_timer.finish(recorder);
         recorder.add(
             Counter::ContainerMetadataBytes,
-            (HEADER_LEN + records.len() * CHUNK_HEADER_LEN) as u64,
+            (HEADER_LEN + records.len() * chunk_header_len(header.version)) as u64,
         );
 
         // Cap the pre-allocation: a corrupted header must not be able
@@ -513,8 +530,17 @@ impl IsobarCompressor {
         if out.len() != header.total_len as usize {
             return Err(IsobarError::Corrupt("reassembled length mismatch"));
         }
-        if adler32(&out) != header.checksum {
-            return Err(IsobarError::ChecksumMismatch);
+        if self.options.verify {
+            let actual = adler32(&out);
+            if actual != header.checksum {
+                // The Adler-32 field sits at byte 24 of the container
+                // header (see docs/FORMAT.md).
+                return Err(IsobarError::ChecksumMismatch {
+                    offset: 24,
+                    expected: u64::from(header.checksum),
+                    actual: u64::from(actual),
+                });
+            }
         }
         Ok(out)
     }
@@ -636,6 +662,42 @@ pub(crate) fn build_chunk_record(
     Ok(record)
 }
 
+/// Run the solver behind a panic boundary. Returns `false` (with the
+/// output cleared and the scratch replaced — a panicking codec may
+/// have left its internal state torn) when the solver panicked; the
+/// caller falls back to storing the chunk verbatim instead of
+/// aborting the whole file.
+fn compress_guarded(
+    codec: &dyn Codec,
+    input: &[u8],
+    out: &mut Vec<u8>,
+    scratch: &mut CodecScratch,
+) -> bool {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let ok = catch_unwind(AssertUnwindSafe(|| {
+        codec.compress_into(input, out, scratch)
+    }))
+    .is_ok();
+    if !ok {
+        out.clear();
+        *scratch = CodecScratch::default();
+    }
+    ok
+}
+
+/// The graceful-degradation record: the chunk's raw bytes, stored
+/// unprocessed under [`ChunkMode::Verbatim`].
+fn verbatim_record(chunk: &[u8], elements: u32, recorder: &mut Recorder) -> ChunkRecord {
+    recorder.incr(Counter::ChunksVerbatimFallback);
+    ChunkRecord {
+        mode: ChunkMode::Verbatim,
+        elements,
+        mask: 0,
+        compressed: chunk.to_vec(),
+        incompressible: Vec::new(),
+    }
+}
+
 /// [`build_chunk_record`] with a precomputed analyzer selection.
 ///
 /// The record must own its payload bytes (it outlives the scratch), so
@@ -686,8 +748,16 @@ pub(crate) fn build_chunk_record_with(
         recorder.add(Counter::PartitionVerbatimBytes, incompressible.len() as u64);
         let mut compressed = Vec::with_capacity(scratch.compressible.len() / 2 + 64);
         let solver_span = trace::span(TraceTag::SolverCompress, chunk_index);
-        codec.compress_into(&scratch.compressible, &mut compressed, &mut scratch.codec);
+        let ok = compress_guarded(
+            codec,
+            &scratch.compressible,
+            &mut compressed,
+            &mut scratch.codec,
+        );
         drop(solver_span);
+        if !ok {
+            return Ok(verbatim_record(chunk, elements, recorder));
+        }
         recorder.incr(Counter::ChunksPartitioned);
         Ok(ChunkRecord {
             mode: ChunkMode::Partitioned,
@@ -701,8 +771,11 @@ pub(crate) fn build_chunk_record_with(
         // the solver.
         let mut compressed = Vec::with_capacity(chunk.len() / 2 + 64);
         let solver_span = trace::span(TraceTag::SolverCompress, chunk_index);
-        codec.compress_into(chunk, &mut compressed, &mut scratch.codec);
+        let ok = compress_guarded(codec, chunk, &mut compressed, &mut scratch.codec);
         drop(solver_span);
+        if !ok {
+            return Ok(verbatim_record(chunk, elements, recorder));
+        }
         recorder.incr(Counter::ChunksPassthrough);
         Ok(ChunkRecord {
             mode: ChunkMode::Passthrough,
@@ -864,6 +937,14 @@ pub(crate) fn decode_chunk_record(
                 return Err(IsobarError::Corrupt("passthrough chunk length mismatch"));
             }
             out.extend_from_slice(&scratch.compressible);
+        }
+        ChunkMode::Verbatim => {
+            // Raw bytes, stored when the solver panicked at compress
+            // time; length was validated against elements × width.
+            if record.compressed.len() != expected {
+                return Err(IsobarError::Corrupt("verbatim chunk length mismatch"));
+            }
+            out.extend_from_slice(&record.compressed);
         }
         ChunkMode::Partitioned => {
             let selection = record.selection(width)?;
@@ -1092,6 +1173,91 @@ mod tests {
                 .unwrap(),
             other
         );
+    }
+
+    /// A solver that dies on every chunk — the failure the pipeline's
+    /// catch_unwind fallback must absorb.
+    struct PanickyCodec;
+
+    impl Codec for PanickyCodec {
+        fn id(&self) -> CodecId {
+            CodecId::Deflate
+        }
+        fn compress(&self, _data: &[u8]) -> Vec<u8> {
+            panic!("injected solver failure")
+        }
+        fn decompress(&self, _data: &[u8]) -> Result<Vec<u8>, isobar_codecs::CodecError> {
+            panic!("injected solver failure")
+        }
+    }
+
+    #[test]
+    fn solver_panic_falls_back_to_verbatim_chunk() {
+        let data = improvable_data(10_000);
+        let analyzer = Analyzer::with_tau(crate::analyzer::DEFAULT_TAU);
+        let mut scratch = PipelineScratch::new();
+        let mut recorder = Recorder::new();
+        let record = build_chunk_record(
+            &data,
+            8,
+            0,
+            &analyzer,
+            &PanickyCodec,
+            Linearization::Row,
+            &mut scratch,
+            &mut recorder,
+        )
+        .expect("panic must degrade, not propagate");
+        assert_eq!(record.mode, ChunkMode::Verbatim);
+        assert_eq!(record.compressed, data);
+        assert!(record.incompressible.is_empty());
+        if isobar_telemetry::ENABLED {
+            assert_eq!(
+                recorder.snapshot().counter(Counter::ChunksVerbatimFallback),
+                1
+            );
+        }
+
+        // A container carrying the fallback chunk decodes back to the
+        // original bytes without consulting any solver.
+        let header = Header {
+            version: VERSION,
+            width: 8,
+            codec: CodecId::Deflate,
+            level: CompressionLevel::Default,
+            linearization: Linearization::Row,
+            preference: 0,
+            chunk_elements: (data.len() / 8) as u32,
+            total_len: data.len() as u64,
+            checksum: adler32(&data),
+        };
+        let mut packed = Vec::new();
+        header.write(&mut packed);
+        record.write(&mut packed);
+        assert_eq!(
+            IsobarCompressor::default().decompress(&packed).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn verify_off_decodes_and_skips_checksum_rejection() {
+        let data = improvable_data(20_000);
+        let isobar = compressor(Preference::Speed);
+        let packed = isobar.compress(&data, 8).unwrap();
+        let relaxed = IsobarCompressor::new(IsobarOptions {
+            verify: false,
+            ..*isobar.options()
+        });
+        // Clean container: identical output either way.
+        assert_eq!(relaxed.decompress(&packed).unwrap(), data);
+
+        // Flip one bit inside the last chunk's payload: verify-on
+        // pinpoints the damaged chunk via its checksum.
+        let mut bad = packed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(isobar.decompress(&bad).unwrap_err().is_checksum_mismatch());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! it up front.
 
 use crate::analyzer::{Analyzer, ColumnSelection};
-use crate::container::{level_from_u8, level_to_u8, ChunkHeader, ChunkRecord};
+use crate::container::{chunk_header_len, level_from_u8, level_to_u8, ChunkHeader, ChunkRecord};
 use crate::error::IsobarError;
 use crate::pipeline::{IsobarOptions, PipelineScratch};
 use isobar_codecs::deflate::Adler32;
@@ -36,8 +36,12 @@ use std::io::{self, Read, Write};
 
 /// Stream container magic: "ISBS" (S for streaming).
 pub const STREAM_MAGIC: [u8; 4] = *b"ISBS";
-/// Stream container version.
-pub const STREAM_VERSION: u8 = 1;
+/// Stream container version written by this build. Version-2 chunk
+/// frames embed the XXH64 chunk checksum (see `container.rs`);
+/// version-1 streams — which carry none — are still read.
+pub const STREAM_VERSION: u8 = 2;
+/// The checksum-less stream version this build still reads.
+pub const STREAM_LEGACY_VERSION: u8 = 1;
 
 /// Marker byte preceding each chunk record.
 const MARK_CHUNK: u8 = 1;
@@ -289,6 +293,10 @@ impl<W: Write> Write for IsobarWriter<W> {
 /// [`IsobarWriter`] and yields the original bytes through `Read`.
 pub struct IsobarReader<R: Read> {
     source: R,
+    /// Stream format version from the header (1 or 2).
+    version: u8,
+    /// Verify per-chunk checksums (version 2 frames) while decoding.
+    verify: bool,
     width: usize,
     codec: Box<dyn Codec>,
     linearization: Linearization,
@@ -310,14 +318,23 @@ pub struct IsobarReader<R: Read> {
 }
 
 impl<R: Read> IsobarReader<R> {
-    /// Parse the stream header and prepare to decode.
-    pub fn new(mut source: R) -> Result<Self, IsobarError> {
+    /// Parse the stream header and prepare to decode, verifying
+    /// embedded chunk checksums (the default).
+    pub fn new(source: R) -> Result<Self, IsobarError> {
+        Self::with_verify(source, true)
+    }
+
+    /// [`IsobarReader::new`] with an explicit checksum-verification
+    /// knob. `verify: false` trades integrity detection for decode
+    /// throughput; structural validation still happens either way.
+    pub fn with_verify(mut source: R, verify: bool) -> Result<Self, IsobarError> {
         let mut header = [0u8; STREAM_HEADER_LEN];
         read_exact(&mut source, &mut header)?;
         if header[..4] != STREAM_MAGIC {
             return Err(IsobarError::Corrupt("bad stream magic"));
         }
-        if header[4] != STREAM_VERSION {
+        let version = header[4];
+        if version != STREAM_VERSION && version != STREAM_LEGACY_VERSION {
             return Err(IsobarError::Corrupt("unsupported stream version"));
         }
         let width = header[5] as usize;
@@ -332,6 +349,8 @@ impl<R: Read> IsobarReader<R> {
         recorder.add(Counter::StreamMetadataBytes, STREAM_HEADER_LEN as u64);
         Ok(IsobarReader {
             source,
+            version,
+            verify,
             width,
             codec: codec_for(codec_id, level),
             linearization,
@@ -371,6 +390,9 @@ impl<R: Read> IsobarReader<R> {
         let frame_offset = self.consumed;
         self.refill_inner().map_err(|e| {
             self.recorder.incr(Counter::StreamCorruptRejected);
+            if e.is_checksum_mismatch() {
+                self.recorder.incr(Counter::ChecksumMismatches);
+            }
             e.at(frame_offset)
         })
     }
@@ -390,10 +412,13 @@ impl<R: Read> IsobarReader<R> {
                 // reading the payloads — the two length fields are
                 // untrusted and must not drive an allocation the stream
                 // cannot back with real bytes.
+                let header_len = chunk_header_len(self.version);
                 let mut fixed = [0u8; crate::container::CHUNK_HEADER_LEN];
-                read_exact(&mut self.source, &mut fixed)?;
+                let fixed = &mut fixed[..header_len];
+                read_exact(&mut self.source, fixed)?;
+                let record_offset = self.consumed;
                 self.consumed += fixed.len() as u64;
-                let header = ChunkHeader::validate(&fixed, self.width, u32::MAX)?;
+                let header = ChunkHeader::validate(fixed, self.width, u32::MAX, self.version)?;
                 let payload_len = (header.comp_len as u64)
                     .checked_add(header.incomp_len as u64)
                     .ok_or(IsobarError::Corrupt("chunk length overflow"))?;
@@ -401,9 +426,8 @@ impl<R: Read> IsobarReader<R> {
                 // then costs allocation proportional to the bytes the
                 // source actually delivers, not the claimed length.
                 let prealloc = (payload_len as usize).min(1 << 20);
-                let mut record_bytes =
-                    Vec::with_capacity(crate::container::CHUNK_HEADER_LEN + prealloc);
-                record_bytes.extend_from_slice(&fixed);
+                let mut record_bytes = Vec::with_capacity(header_len + prealloc);
+                record_bytes.extend_from_slice(fixed);
                 (&mut self.source)
                     .take(payload_len)
                     .read_to_end(&mut record_bytes)
@@ -413,7 +437,14 @@ impl<R: Read> IsobarReader<R> {
                 if got != payload_len {
                     return Err(IsobarError::Truncated);
                 }
-                let (record, _) = ChunkRecord::read(&record_bytes, self.width)?;
+                let (record, _) = ChunkRecord::read_bounded(
+                    &record_bytes,
+                    self.width,
+                    u32::MAX,
+                    self.version,
+                    self.verify,
+                    record_offset,
+                )?;
                 // Decode into the fully-consumed pending buffer so its
                 // capacity (and the scratch) carry across chunks.
                 self.pending.clear();
@@ -428,10 +459,8 @@ impl<R: Read> IsobarReader<R> {
                     &mut self.recorder,
                 )?;
                 self.recorder.incr(Counter::StreamChunksRead);
-                self.recorder.add(
-                    Counter::StreamMetadataBytes,
-                    1 + crate::container::CHUNK_HEADER_LEN as u64,
-                );
+                self.recorder
+                    .add(Counter::StreamMetadataBytes, 1 + header_len as u64);
                 self.checksum.update(&self.pending);
                 self.produced += self.pending.len() as u64;
                 self.pending_pos = 0;
@@ -446,8 +475,14 @@ impl<R: Read> IsobarReader<R> {
                 if total != self.produced {
                     return Err(IsobarError::Corrupt("stream length mismatch"));
                 }
-                if adler != self.checksum.finish() {
-                    return Err(IsobarError::ChecksumMismatch);
+                let actual = self.checksum.finish();
+                if self.verify && adler != actual {
+                    // The Adler-32 lives in the last 4 trailer bytes.
+                    return Err(IsobarError::ChecksumMismatch {
+                        offset: self.consumed - 4,
+                        expected: u64::from(adler),
+                        actual: u64::from(actual),
+                    });
                 }
                 self.recorder
                     .add(Counter::StreamMetadataBytes, STREAM_TRAILER_LEN as u64);

@@ -28,12 +28,13 @@ const OFF_CHUNK_ELEMENTS: usize = 12;
 const OFF_TOTAL_LEN: usize = 16;
 const OFF_CHECKSUM: usize = 24;
 
-/// Chunk record layout, relative to the record's start.
+/// Chunk record layout (version 2), relative to the record's start.
 const CHUNK_OFF_MODE: usize = 0;
 const CHUNK_OFF_ELEMENTS: usize = 1;
 const CHUNK_OFF_MASK: usize = 5;
 const CHUNK_OFF_COMP_LEN: usize = 13;
-const CHUNK_HEADER_LEN: usize = 29;
+const CHUNK_OFF_CHECKSUM: usize = 29;
+const CHUNK_HEADER_LEN: usize = 37;
 
 fn options() -> IsobarOptions {
     IsobarOptions {
@@ -109,6 +110,32 @@ fn decompress_counted(container: &[u8]) -> (IsobarError, u64) {
             .snapshot()
             .counter(Counter::ContainerCorruptRejected),
     )
+}
+
+/// Like [`decompress_counted`], but returns the checksum-mismatch
+/// counter instead of the general rejection counter.
+fn decompress_checksum_counted(container: &[u8]) -> (IsobarError, u64) {
+    let mut recorder = Recorder::new();
+    let err = IsobarCompressor::default()
+        .decompress_recorded(container, &mut PipelineScratch::new(), &mut recorder)
+        .expect_err("corrupt specimen must be rejected");
+    (
+        err,
+        recorder.snapshot().counter(Counter::ChecksumMismatches),
+    )
+}
+
+/// Decompress with integrity verification disabled — the path that
+/// must fall through to the structural checks a checksum would
+/// otherwise mask.
+fn decompress_unverified(container: &[u8]) -> IsobarError {
+    let opts = IsobarOptions {
+        verify: false,
+        ..Default::default()
+    };
+    IsobarCompressor::new(opts)
+        .decompress_recorded(container, &mut PipelineScratch::new(), &mut Recorder::new())
+        .expect_err("corrupt specimen must be rejected")
 }
 
 /// Strip `At` wrappers to reach the underlying defect.
@@ -312,11 +339,18 @@ fn chunk_truncated_payload() {
 fn chunk_empty_record_rejected() {
     // A Passthrough record with elements == 0 passes structural
     // validation (0 × anything incompressible bytes) but would make the
-    // reassembly loop spin forever; the pipeline rejects it by name.
+    // reassembly loop spin forever. With verification on, the chunk
+    // checksum catches the tampered header first; with it off, the
+    // pipeline must still reject the record by name.
     let (mut c, _) = passthrough_container();
     let at = HEADER_LEN + CHUNK_OFF_ELEMENTS;
     c[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
-    assert_corrupt(&c, "empty chunk record");
+    let (err, _) = decompress_counted(&c);
+    assert!(err.is_checksum_mismatch());
+    match unwrap_at(decompress_unverified(&c)) {
+        IsobarError::Corrupt(what) => assert_eq!(what, "empty chunk record"),
+        other => panic!("expected Corrupt(\"empty chunk record\"), got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -324,27 +358,99 @@ fn chunk_empty_record_rejected() {
 // ---------------------------------------------------------------------
 
 #[test]
-fn corrupt_verbatim_payload_fails_checksum() {
-    // Flipping a byte in the *incompressible* (verbatim) region decodes
-    // cleanly chunk-by-chunk; only the whole-stream Adler-32 catches it.
+fn corrupt_verbatim_payload_fails_chunk_checksum() {
+    // Flipping a byte in the first chunk's *incompressible* (verbatim)
+    // region decodes cleanly structurally; the per-chunk xxhash64
+    // pinpoints the damaged chunk by its record offset.
     let (mut c, _) = partitioned_container();
     let at = HEADER_LEN + CHUNK_OFF_COMP_LEN;
     let comp_len = u64::from_le_bytes(c[at..at + 8].try_into().unwrap()) as usize;
     let first_incomp = HEADER_LEN + CHUNK_HEADER_LEN + comp_len;
     c[first_incomp] ^= 0xFF;
-    let (err, rejected) = decompress_counted(&c);
-    assert!(matches!(err, IsobarError::ChecksumMismatch));
+    let (err, mismatches) = decompress_checksum_counted(&c);
+    match err {
+        IsobarError::ChecksumMismatch {
+            offset,
+            expected,
+            actual,
+        } => {
+            assert_eq!(offset, HEADER_LEN as u64, "first record's offset");
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
     if ENABLED {
-        assert_eq!(rejected, 1);
+        assert_eq!(mismatches, 1, "mismatch must bump its own counter");
     }
 }
 
 #[test]
-fn corrupt_checksum_field_is_detected() {
+fn corrupt_compressed_payload_fails_chunk_checksum() {
+    // Same contract for the solver (compressed) payload region.
+    let (mut c, _) = partitioned_container();
+    c[HEADER_LEN + CHUNK_HEADER_LEN] ^= 0x01;
+    let (err, mismatches) = decompress_checksum_counted(&c);
+    match err {
+        IsobarError::ChecksumMismatch { offset, .. } => {
+            assert_eq!(offset, HEADER_LEN as u64);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    if ENABLED {
+        assert_eq!(mismatches, 1);
+    }
+}
+
+#[test]
+fn corrupt_chunk_checksum_field_is_detected() {
+    // Damage to the checksum *field itself* is indistinguishable from
+    // payload damage and must be reported the same way.
+    let (mut c, _) = partitioned_container();
+    c[HEADER_LEN + CHUNK_OFF_CHECKSUM] ^= 0xFF;
+    let (err, _) = decompress_checksum_counted(&c);
+    assert!(matches!(
+        err,
+        IsobarError::ChecksumMismatch { offset: 28, .. }
+    ));
+}
+
+#[test]
+fn corrupt_container_checksum_field_is_detected() {
+    // The whole-stream Adler-32 in the container header still guards
+    // reassembly end-to-end; its mismatch points at the field itself.
     let (mut c, _) = partitioned_container();
     c[OFF_CHECKSUM] ^= 0xFF;
     let (err, _) = decompress_counted(&c);
-    assert!(matches!(err, IsobarError::ChecksumMismatch));
+    assert!(matches!(
+        err,
+        IsobarError::ChecksumMismatch {
+            offset: 24, // OFF_CHECKSUM
+            ..
+        }
+    ));
+}
+
+#[test]
+fn verify_off_skips_payload_checksums() {
+    // With verification disabled, a chunk whose payload bytes are
+    // damaged but still structurally decodable is *not* rejected by
+    // checksum — the knob exists so salvage and benchmarks can opt out.
+    let (mut c, _) = partitioned_container();
+    let at = HEADER_LEN + CHUNK_OFF_COMP_LEN;
+    let comp_len = u64::from_le_bytes(c[at..at + 8].try_into().unwrap()) as usize;
+    let first_incomp = HEADER_LEN + CHUNK_HEADER_LEN + comp_len;
+    c[first_incomp] ^= 0xFF;
+    let opts = IsobarOptions {
+        verify: false,
+        ..Default::default()
+    };
+    // Verbatim-region damage decodes without error once checksums are
+    // off (the bytes are copied through, silently wrong) — exactly why
+    // `verify` defaults to on.
+    let out = IsobarCompressor::new(opts)
+        .decompress(&c)
+        .expect("verify-off must not reject on checksum");
+    assert!(!out.is_empty());
 }
 
 #[test]
@@ -460,7 +566,30 @@ fn stream_trailer_checksum_mismatch() {
     let last = s.len() - 1; // high byte of the trailer Adler-32
     s[last] ^= 0xFF;
     let (err, rejected) = stream_error(&s);
-    assert!(matches!(unwrap_at(err), IsobarError::ChecksumMismatch));
+    assert!(matches!(
+        unwrap_at(err),
+        IsobarError::ChecksumMismatch { .. }
+    ));
+    if ENABLED {
+        assert_eq!(rejected, 1);
+    }
+}
+
+#[test]
+fn stream_frame_payload_flip_fails_chunk_checksum() {
+    // A bit flip inside the first frame's payload trips that frame's
+    // chunk checksum; the error carries the record's stream offset
+    // (header + 1 marker byte).
+    let (mut s, _) = stream_bytes();
+    let at = STREAM_HEADER_LEN + 1 + CHUNK_HEADER_LEN; // first payload byte
+    s[at] ^= 0x01;
+    let (err, rejected) = stream_error(&s);
+    match unwrap_at(err) {
+        IsobarError::ChecksumMismatch { offset, .. } => {
+            assert_eq!(offset, (STREAM_HEADER_LEN + 1) as u64);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
     if ENABLED {
         assert_eq!(rejected, 1);
     }

@@ -189,6 +189,9 @@ proptest! {
                     prop_assert!(c.mask != 0);
                     prop_assert!(c.incompressible_len > 0 || c.htc_pct == 0.0);
                 }
+                // The solver-panic fallback: never produced by a
+                // healthy pipeline run.
+                ChunkMode::Verbatim => prop_assert!(false, "unexpected verbatim chunk"),
             }
         }
     }

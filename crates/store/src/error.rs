@@ -21,6 +21,16 @@ pub enum StoreError {
     },
     /// The embedded ISOBAR container failed to decode.
     Isobar(IsobarError),
+    /// An embedded integrity checksum did not match the bytes it
+    /// covers — a stored container or the index region.
+    ChecksumMismatch {
+        /// File offset of the structure that failed verification.
+        offset: u64,
+        /// The checksum the store claims.
+        expected: u64,
+        /// The checksum computed over the actual bytes.
+        actual: u64,
+    },
     /// A variable name exceeds the 64 KiB format limit.
     NameTooLong(usize),
     /// The same `(step, variable)` was written twice.
@@ -32,6 +42,14 @@ pub enum StoreError {
     },
 }
 
+impl StoreError {
+    /// Whether this error is an integrity-checksum mismatch — damage
+    /// detection, as opposed to structural corruption or I/O failure.
+    pub fn is_checksum_mismatch(&self) -> bool {
+        matches!(self, StoreError::ChecksumMismatch { .. })
+    }
+}
+
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -41,6 +59,15 @@ impl fmt::Display for StoreError {
                 write!(f, "no variable '{name}' at step {step}")
             }
             StoreError::Isobar(e) => write!(f, "store payload error: {e}"),
+            StoreError::ChecksumMismatch {
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "store checksum mismatch at byte offset {offset}: \
+                 stored {expected:#018x}, computed {actual:#018x}"
+            ),
             StoreError::NameTooLong(len) => {
                 write!(
                     f,
@@ -91,6 +118,18 @@ mod tests {
         assert!(StoreError::NameTooLong(70_000)
             .to_string()
             .contains("70000"));
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detectable_and_descriptive() {
+        let e = StoreError::ChecksumMismatch {
+            offset: 42,
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.is_checksum_mismatch());
+        assert!(e.to_string().contains("offset 42"));
+        assert!(!StoreError::Corrupt("x").is_checksum_mismatch());
     }
 
     #[test]

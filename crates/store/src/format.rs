@@ -1,20 +1,55 @@
 //! On-disk layout constants and the index entry record.
+//!
+//! Version history:
+//!
+//! - v1: 16-byte trailer, index entries without checksums.
+//! - v2 (current): every index entry carries the XXH64 of its
+//!   container bytes, and the trailer carries the XXH64 of the encoded
+//!   index region. Version-1 stores are still read; their entries
+//!   surface `checksum == 0` and are exempt from verification
+//!   ("legacy, unverifiable").
 
 use crate::error::StoreError;
+use isobar_codecs::xxhash::xxh64;
 
 /// Store file magic: "ISST".
 pub const MAGIC: [u8; 4] = *b"ISST";
 /// Trailer magic: "ISSX".
 pub const TRAILER_MAGIC: [u8; 4] = *b"ISSX";
-/// Store format version.
-pub const VERSION: u8 = 1;
-/// Trailer size: index offset (8) + entry count (4) + magic (4).
-pub const TRAILER_LEN: usize = 16;
-/// Smallest possible serialized [`IndexEntry`]: name length prefix (2),
-/// empty name, step (4), width (1), offset (8), container_len (8),
-/// raw_len (8). Used to bound a claimed entry count against the index
-/// region's actual size before allocating for it.
+/// Store format version written by this build.
+pub const VERSION: u8 = 2;
+/// The checksum-less store version this build still reads.
+pub const LEGACY_VERSION: u8 = 1;
+/// Seed for every XXH64 checksum in the store format.
+pub const CHECKSUM_SEED: u64 = 0;
+/// Version-2 trailer size: index offset (8) + entry count (4) +
+/// index XXH64 (8) + magic (4).
+pub const TRAILER_LEN: usize = 24;
+/// Version-1 trailer size: index offset (8) + entry count (4) +
+/// magic (4).
+pub const TRAILER_V1_LEN: usize = 16;
+/// Smallest possible serialized version-1 [`IndexEntry`]: name length
+/// prefix (2), empty name, step (4), width (1), offset (8),
+/// container_len (8), raw_len (8). A valid lower bound for both
+/// versions (version 2 adds 8 checksum bytes), used to bound a claimed
+/// entry count against the index region's actual size before
+/// allocating for it.
 pub const MIN_ENTRY_LEN: usize = 2 + 4 + 1 + 8 + 8 + 8;
+
+/// Trailer size for a given store version.
+pub fn trailer_len(version: u8) -> usize {
+    if version >= 2 {
+        TRAILER_LEN
+    } else {
+        TRAILER_V1_LEN
+    }
+}
+
+/// XXH64 over a container's bytes — the per-entry integrity checksum
+/// embedded in version-2 indexes.
+pub fn entry_checksum(container: &[u8]) -> u64 {
+    xxh64(container, CHECKSUM_SEED)
+}
 
 /// One index entry: where to find one variable of one time step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,11 +66,25 @@ pub struct IndexEntry {
     pub container_len: u64,
     /// Uncompressed variable size in bytes.
     pub raw_len: u64,
+    /// XXH64 of the container bytes (version 2). Zero when the entry
+    /// was read from a version-1 index, which carries no checksums.
+    pub checksum: u64,
 }
 
 impl IndexEntry {
-    /// Serialize into `out`.
+    /// Serialize into `out` in the current ([`VERSION`]) layout.
     pub fn write(&self, out: &mut Vec<u8>) {
+        self.write_common(out);
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+    }
+
+    /// Serialize in the [`LEGACY_VERSION`] (checksum-less) layout.
+    /// Only meaningful for back-compat fixtures.
+    pub fn write_legacy(&self, out: &mut Vec<u8>) {
+        self.write_common(out);
+    }
+
+    fn write_common(&self, out: &mut Vec<u8>) {
         let name = self.name.as_bytes();
         out.extend_from_slice(&(name.len() as u16).to_le_bytes());
         out.extend_from_slice(name);
@@ -46,14 +95,21 @@ impl IndexEntry {
         out.extend_from_slice(&self.raw_len.to_le_bytes());
     }
 
-    /// Parse one entry from the front of `data`; returns the entry and
-    /// bytes consumed.
+    /// Parse one current-version entry from the front of `data`;
+    /// returns the entry and bytes consumed.
     pub fn read(data: &[u8]) -> Result<(IndexEntry, usize), StoreError> {
+        Self::read_versioned(data, VERSION)
+    }
+
+    /// Parse one entry in the layout of `version`. Version-1 entries
+    /// carry no checksum; the field comes back 0.
+    pub fn read_versioned(data: &[u8], version: u8) -> Result<(IndexEntry, usize), StoreError> {
         if data.len() < 2 {
             return Err(StoreError::Corrupt("index entry truncated"));
         }
         let name_len = u16::from_le_bytes(data[..2].try_into().expect("2 bytes")) as usize;
-        let fixed_after_name = 4 + 1 + 8 + 8 + 8;
+        let checksum_len = if version >= 2 { 8 } else { 0 };
+        let fixed_after_name = 4 + 1 + 8 + 8 + 8 + checksum_len;
         let total = 2 + name_len + fixed_after_name;
         if data.len() < total {
             return Err(StoreError::Corrupt("index entry truncated"));
@@ -62,6 +118,11 @@ impl IndexEntry {
             .map_err(|_| StoreError::Corrupt("index entry name is not UTF-8"))?
             .to_string();
         let rest = &data[2 + name_len..];
+        let checksum = if version >= 2 {
+            u64::from_le_bytes(rest[29..37].try_into().expect("8 bytes"))
+        } else {
+            0
+        };
         Ok((
             IndexEntry {
                 name,
@@ -70,6 +131,7 @@ impl IndexEntry {
                 offset: u64::from_le_bytes(rest[5..13].try_into().expect("8 bytes")),
                 container_len: u64::from_le_bytes(rest[13..21].try_into().expect("8 bytes")),
                 raw_len: u64::from_le_bytes(rest[21..29].try_into().expect("8 bytes")),
+                checksum,
             },
             total,
         ))
@@ -97,6 +159,7 @@ mod tests {
             offset: 123_456_789,
             container_len: 42_000,
             raw_len: 64_000,
+            checksum: 0xDEAD_BEEF_CAFE_F00D,
         }
     }
 
@@ -108,6 +171,22 @@ mod tests {
         let (entry, consumed) = IndexEntry::read(&buf).unwrap();
         assert_eq!(entry, demo());
         assert_eq!(consumed, buf.len() - 3);
+    }
+
+    #[test]
+    fn legacy_entry_round_trips_without_checksum() {
+        let mut buf = Vec::new();
+        demo().write_legacy(&mut buf);
+        let (entry, consumed) = IndexEntry::read_versioned(&buf, LEGACY_VERSION).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(entry.checksum, 0, "v1 entries surface checksum 0");
+        assert_eq!(
+            entry,
+            IndexEntry {
+                checksum: 0,
+                ..demo()
+            }
+        );
     }
 
     #[test]
@@ -124,7 +203,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&2u16.to_le_bytes());
         buf.extend_from_slice(&[0xFF, 0xFE]);
-        buf.extend_from_slice(&[0u8; 29]);
+        buf.extend_from_slice(&[0u8; 37]);
         assert!(matches!(
             IndexEntry::read(&buf),
             Err(StoreError::Corrupt(_))
@@ -145,5 +224,12 @@ mod tests {
         let mut buf = Vec::new();
         entry.write(&mut buf);
         assert_eq!(IndexEntry::read(&buf).unwrap().0, entry);
+    }
+
+    #[test]
+    fn entry_checksum_is_xxh64_of_container_bytes() {
+        let container = b"ISBR-shaped bytes";
+        assert_eq!(entry_checksum(container), xxh64(container, CHECKSUM_SEED));
+        assert_ne!(entry_checksum(container), entry_checksum(b"other bytes"));
     }
 }

@@ -11,22 +11,34 @@
 //! authors work in:
 //!
 //! * [`StoreWriter`] — append variables step by step; each variable is
-//!   compressed through the full ISOBAR pipeline as it is written.
+//!   compressed through the full ISOBAR pipeline as it is written, and
+//!   committed crash-consistently (shadow file + fsync + atomic
+//!   rename; see the [`writer`](StoreWriter) docs).
 //! * [`StoreReader`] — random access by `(step, variable)` without
-//!   touching unrelated data, via an index at the end of the file.
+//!   touching unrelated data, via a checksummed index at the end of
+//!   the file. Integrity verification is on by default.
+//! * [`fsck_store`] / [`salvage_store`] — damage reporting and
+//!   best-effort recovery of intact records from a damaged store.
 //!
 //! # File format (all little-endian)
 //!
 //! ```text
-//! magic "ISST" | version u8
+//! magic "ISST" | version u8            (2 current, 1 legacy)
 //! repeated records:
 //!   name_len u16 | name bytes | step u32 | width u8 |
 //!   container_len u64 | ISOBAR container
 //! index (written at close):
-//!   per entry: name_len u16 | name | step u32 | offset u64 |
-//!              container_len u64 | raw_len u64
-//! trailer: index_offset u64 | entry_count u32 | magic "ISSX"
+//!   per entry: name_len u16 | name | step u32 | width u8 |
+//!              offset u64 | container_len u64 | raw_len u64 |
+//!              container_xxh64 u64            (v2 only)
+//! trailer: index_offset u64 | entry_count u32 |
+//!          index_xxh64 u64 |                  (v2 only)
+//!          magic "ISSX"
 //! ```
+//!
+//! Version-1 stores (no checksums, 16-byte trailer) are still read;
+//! their entries surface `checksum == 0` and are reported by fsck as
+//! "legacy, unverifiable".
 //!
 //! # Example
 //!
@@ -53,10 +65,19 @@ mod error;
 mod format;
 mod pipelined;
 mod reader;
+mod salvage;
+mod vfs;
 mod writer;
 
 pub use error::StoreError;
-pub use format::{IndexEntry, MAGIC, MIN_ENTRY_LEN, TRAILER_LEN, TRAILER_MAGIC, VERSION};
+pub use format::{
+    entry_checksum, trailer_len, IndexEntry, CHECKSUM_SEED, LEGACY_VERSION, MAGIC, MIN_ENTRY_LEN,
+    TRAILER_LEN, TRAILER_MAGIC, TRAILER_V1_LEN, VERSION,
+};
 pub use pipelined::PipelinedStoreWriter;
 pub use reader::StoreReader;
-pub use writer::StoreWriter;
+pub use salvage::{
+    fsck_store, salvage_store, EntryHealth, EntryStatus, StoreFsckReport, StoreSalvageReport,
+};
+pub use vfs::{RealFile, RealFs, StoreFile, StoreFs};
+pub use writer::{wip_path, StoreWriter};

@@ -1,21 +1,34 @@
 //! Random-access store reader.
 
 use crate::error::StoreError;
-use crate::format::{IndexEntry, MAGIC, MIN_ENTRY_LEN, TRAILER_LEN, TRAILER_MAGIC, VERSION};
+use crate::format::{
+    entry_checksum, trailer_len, IndexEntry, CHECKSUM_SEED, LEGACY_VERSION, MAGIC, MIN_ENTRY_LEN,
+    TRAILER_MAGIC, VERSION,
+};
 use isobar::telemetry::Counter;
-use isobar::{IsobarCompressor, Recorder};
+use isobar::{IsobarCompressor, IsobarOptions, Recorder};
+use isobar_codecs::xxhash::xxh64;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::Mutex;
 
 /// Reads a closed checkpoint store with per-variable random access.
+#[derive(Debug)]
 pub struct StoreReader {
     file: Mutex<File>,
     index: Vec<IndexEntry>,
+    version: u8,
+    verify: bool,
 }
 
 impl StoreReader {
+    /// Open a store and load its index, with integrity verification on
+    /// (the default — see [`StoreReader::open_with_verify`]).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with_verify(path, true)
+    }
+
     /// Open a store and load its index.
     ///
     /// Every untrusted field is validated before it drives an
@@ -24,11 +37,21 @@ impl StoreReader {
     /// serialized entry is at least [`MIN_ENTRY_LEN`] bytes), and every
     /// entry's `[offset, offset + container_len)` range must lie inside
     /// the data region.
-    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+    ///
+    /// With `verify` on (the default via [`StoreReader::open`]), a
+    /// version-2 index additionally has its XXH64 checked against the
+    /// trailer before any entry is parsed, and every
+    /// [`StoreReader::get`] checks the fetched container's XXH64
+    /// against its index entry. Mismatches surface as
+    /// [`StoreError::ChecksumMismatch`]. Version-1 stores carry no
+    /// checksums and are read structurally either way.
+    pub fn open_with_verify(path: impl AsRef<Path>, verify: bool) -> Result<Self, StoreError> {
         let mut file = File::open(path)?;
         let file_len = file.seek(SeekFrom::End(0))?;
         let head_len = (MAGIC.len() + 1) as u64;
-        if file_len < head_len + TRAILER_LEN as u64 {
+        // Every version needs at least a head and the smaller (v1)
+        // trailer; the version-specific bound is rechecked below.
+        if file_len < head_len + crate::format::TRAILER_V1_LEN as u64 {
             return Err(StoreError::Corrupt("file too short for a store"));
         }
 
@@ -38,26 +61,31 @@ impl StoreReader {
         if head[..4] != MAGIC {
             return Err(StoreError::Corrupt("bad store magic"));
         }
-        if head[4] != VERSION {
+        let version = head[4];
+        if version != VERSION && version != LEGACY_VERSION {
             return Err(StoreError::Corrupt("unsupported store version"));
         }
+        let trailer_size = trailer_len(version);
+        if file_len < head_len + trailer_size as u64 {
+            return Err(StoreError::Corrupt("file too short for a store"));
+        }
 
-        let mut trailer = [0u8; TRAILER_LEN];
-        file.seek(SeekFrom::Start(file_len - TRAILER_LEN as u64))?;
+        let mut trailer = vec![0u8; trailer_size];
+        file.seek(SeekFrom::Start(file_len - trailer_size as u64))?;
         file.read_exact(&mut trailer)?;
-        if trailer[12..] != TRAILER_MAGIC {
+        if trailer[trailer_size - 4..] != TRAILER_MAGIC {
             return Err(StoreError::Corrupt("missing trailer (store not closed?)"));
         }
         let index_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
         let entry_count = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
         // The index sits between the header and the trailer; an offset
-        // inside either is corrupt (and `> file_len - TRAILER_LEN`
+        // inside either is corrupt (and `> file_len - trailer_size`
         // would underflow the length subtraction below).
-        if index_offset < head_len || index_offset > file_len - TRAILER_LEN as u64 {
+        if index_offset < head_len || index_offset > file_len - trailer_size as u64 {
             return Err(StoreError::Corrupt("index offset outside data region"));
         }
 
-        let index_len = file_len - TRAILER_LEN as u64 - index_offset;
+        let index_len = file_len - trailer_size as u64 - index_offset;
         // Bound the claimed entry count by what the index region could
         // possibly hold before allocating for it.
         if entry_count as u64 * MIN_ENTRY_LEN as u64 > index_len {
@@ -67,10 +95,22 @@ impl StoreReader {
         file.seek(SeekFrom::Start(index_offset))?;
         file.read_exact(&mut index_bytes)?;
 
+        if version >= 2 && verify {
+            let stored = u64::from_le_bytes(trailer[12..20].try_into().expect("8 bytes"));
+            let actual = xxh64(&index_bytes, CHECKSUM_SEED);
+            if stored != actual {
+                return Err(StoreError::ChecksumMismatch {
+                    offset: index_offset,
+                    expected: stored,
+                    actual,
+                });
+            }
+        }
+
         let mut index = Vec::with_capacity(entry_count as usize);
         let mut cursor = &index_bytes[..];
         for _ in 0..entry_count {
-            let (entry, used) = IndexEntry::read(cursor)?;
+            let (entry, used) = IndexEntry::read_versioned(cursor, version)?;
             let end = entry
                 .offset
                 .checked_add(entry.container_len)
@@ -88,20 +128,34 @@ impl StoreReader {
         Ok(StoreReader {
             file: Mutex::new(file),
             index,
+            version,
+            verify,
         })
     }
 
     /// [`StoreReader::open`], bumping [`Counter::StoreCorruptRejected`]
-    /// in `recorder` when the store is structurally invalid.
+    /// in `recorder` when the store is structurally invalid, plus
+    /// [`Counter::ChecksumMismatches`] when the damage was caught by an
+    /// integrity checksum.
     pub fn open_recorded(
         path: impl AsRef<Path>,
         recorder: &mut Recorder,
     ) -> Result<Self, StoreError> {
         let result = Self::open(path);
-        if matches!(result, Err(StoreError::Corrupt(_))) {
-            recorder.incr(Counter::StoreCorruptRejected);
+        match &result {
+            Err(StoreError::Corrupt(_)) => recorder.incr(Counter::StoreCorruptRejected),
+            Err(StoreError::ChecksumMismatch { .. }) => {
+                recorder.incr(Counter::StoreCorruptRejected);
+                recorder.incr(Counter::ChecksumMismatches);
+            }
+            _ => {}
         }
         result
+    }
+
+    /// Store format version of the underlying file (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// All index entries, in write order.
@@ -138,24 +192,45 @@ impl StoreReader {
             })
     }
 
+    /// Read one variable's raw container bytes without decompressing.
+    /// Fsck and salvage use this to inspect records directly.
+    pub fn get_container(&self, entry: &IndexEntry) -> Result<Vec<u8>, StoreError> {
+        let mut container = vec![0u8; entry.container_len as usize];
+        let mut file = self
+            .file
+            .lock()
+            .map_err(|_| StoreError::Corrupt("reader file lock poisoned"))?;
+        file.seek(SeekFrom::Start(entry.offset))?;
+        file.read_exact(&mut container)?;
+        Ok(container)
+    }
+
     /// Read and decompress one variable.
     ///
     /// The entry's byte range was validated against the file length at
-    /// [`StoreReader::open`], so the container allocation here is
-    /// bounded by real on-disk bytes.
+    /// open, so the container allocation here is bounded by real
+    /// on-disk bytes. In a version-2 store opened with verification
+    /// (the default), the container's XXH64 is checked against the
+    /// index entry before decode.
     pub fn get(&self, step: u32, name: &str) -> Result<Vec<u8>, StoreError> {
         let _span = isobar::trace::span(isobar::trace::TraceTag::StoreGet, isobar::trace::NO_CHUNK);
         let entry = self.entry(step, name)?.clone();
-        let mut container = vec![0u8; entry.container_len as usize];
-        {
-            let mut file = self
-                .file
-                .lock()
-                .map_err(|_| StoreError::Corrupt("reader file lock poisoned"))?;
-            file.seek(SeekFrom::Start(entry.offset))?;
-            file.read_exact(&mut container)?;
+        let container = self.get_container(&entry)?;
+        if self.version >= 2 && self.verify {
+            let actual = entry_checksum(&container);
+            if actual != entry.checksum {
+                return Err(StoreError::ChecksumMismatch {
+                    offset: entry.offset,
+                    expected: entry.checksum,
+                    actual,
+                });
+            }
         }
-        let data = IsobarCompressor::default().decompress(&container)?;
+        let options = IsobarOptions {
+            verify: self.verify,
+            ..Default::default()
+        };
+        let data = IsobarCompressor::new(options).decompress(&container)?;
         if data.len() as u64 != entry.raw_len {
             return Err(StoreError::Corrupt("variable length mismatch"));
         }
@@ -163,7 +238,9 @@ impl StoreReader {
     }
 
     /// [`StoreReader::get`], bumping [`Counter::StoreCorruptRejected`]
-    /// in `recorder` when the stored variable fails to decode.
+    /// in `recorder` when the stored variable fails to decode, plus
+    /// [`Counter::ChecksumMismatches`] when the damage was caught by an
+    /// integrity checksum.
     pub fn get_recorded(
         &self,
         step: u32,
@@ -171,8 +248,18 @@ impl StoreReader {
         recorder: &mut Recorder,
     ) -> Result<Vec<u8>, StoreError> {
         let result = self.get(step, name);
-        if matches!(result, Err(StoreError::Corrupt(_) | StoreError::Isobar(_))) {
-            recorder.incr(Counter::StoreCorruptRejected);
+        match &result {
+            Err(StoreError::Corrupt(_) | StoreError::Isobar(_)) => {
+                recorder.incr(Counter::StoreCorruptRejected);
+                if matches!(&result, Err(StoreError::Isobar(e)) if e.is_checksum_mismatch()) {
+                    recorder.incr(Counter::ChecksumMismatches);
+                }
+            }
+            Err(StoreError::ChecksumMismatch { .. }) => {
+                recorder.incr(Counter::StoreCorruptRejected);
+                recorder.incr(Counter::ChecksumMismatches);
+            }
+            _ => {}
         }
         result
     }

@@ -1,0 +1,534 @@
+//! Store-level fsck and salvage.
+//!
+//! A store has two independent failure surfaces: the data region
+//! (individual containers) and the index region. Fsck reports both;
+//! salvage recovers every intact record it can find, rebuilding the
+//! index from a forward record walk when the original one is unusable.
+//!
+//! # Resync rules for a lost index
+//!
+//! Each record embeds an ISOBAR container, whose `"ISBR"` magic acts
+//! as an anchor. For a magic at file position `m`, the record header
+//! ends exactly at `m`, so its start is `m - 15 - name_len`; the walk
+//! tries every `name_len` whose length prefix at that start agrees,
+//! then demands a UTF-8 name, a plausible element width, and a
+//! container length that fits in the file. Accepted candidates are
+//! confirmed by a strict (verifying) decompress — a false anchor has
+//! to forge the container checksums to survive, so misidentified
+//! records do not reach the salvaged output.
+
+use crate::error::StoreError;
+use crate::format::{entry_checksum, IndexEntry, LEGACY_VERSION, MAGIC};
+use crate::reader::StoreReader;
+use crate::writer::StoreWriter;
+use isobar::{IsobarCompressor, IsobarOptions};
+use std::path::Path;
+
+/// Verification outcome for one store entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryHealth {
+    /// The entry's bytes match an embedded checksum (the version-2
+    /// index checksum, or the container's own chunk checksums).
+    Verified,
+    /// Structurally sound, but neither the store index nor the
+    /// container carries checksums — a pre-checksum legacy record.
+    LegacyUnverifiable,
+    /// The entry's bytes contradict a checksum or fail structural
+    /// validation.
+    Damaged,
+}
+
+/// Fsck status of one store entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryStatus {
+    /// Simulation time step.
+    pub step: u32,
+    /// Variable name.
+    pub name: String,
+    /// File offset of the entry's container.
+    pub offset: u64,
+    /// Verification outcome.
+    pub health: EntryHealth,
+}
+
+/// What [`fsck_store`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreFsckReport {
+    /// Store format version (1 or 2).
+    pub version: u8,
+    /// Whether the index region itself is damaged or unreadable. When
+    /// true, `entries` may be empty even though data records exist.
+    pub index_damaged: bool,
+    /// Per-entry status, in index order.
+    pub entries: Vec<EntryStatus>,
+    /// Whether any part of the store predates embedded checksums.
+    pub legacy: bool,
+}
+
+impl StoreFsckReport {
+    /// True when the index is intact and no entry is damaged. Legacy
+    /// (unverifiable) entries do not make a store unclean — they are
+    /// structurally sound, merely unprovable.
+    pub fn is_clean(&self) -> bool {
+        !self.index_damaged
+            && self
+                .entries
+                .iter()
+                .all(|e| e.health != EntryHealth::Damaged)
+    }
+
+    /// Number of entries that failed verification.
+    pub fn damaged_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.health == EntryHealth::Damaged)
+            .count()
+    }
+}
+
+/// What [`salvage_store`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSalvageReport {
+    /// Records copied intact into the output store.
+    pub entries_recovered: usize,
+    /// Records that could not be recovered.
+    pub entries_lost: usize,
+    /// Whether the index was rebuilt from a forward record walk
+    /// because the original was unusable.
+    pub index_rebuilt: bool,
+}
+
+impl StoreSalvageReport {
+    /// True when nothing was lost.
+    pub fn is_complete(&self) -> bool {
+        self.entries_lost == 0
+    }
+}
+
+/// Health of one container according to the strongest available
+/// evidence: the version-2 index checksum when the store carries one,
+/// otherwise the container's own embedded checksums via
+/// [`isobar::salvage::fsck_container`].
+fn container_health(version: u8, entry: &IndexEntry, container: &[u8]) -> EntryHealth {
+    if version >= 2 {
+        return if entry_checksum(container) == entry.checksum {
+            EntryHealth::Verified
+        } else {
+            EntryHealth::Damaged
+        };
+    }
+    match isobar::salvage::fsck_container(container) {
+        Ok(report) if report.is_clean() => {
+            if report.legacy {
+                EntryHealth::LegacyUnverifiable
+            } else {
+                EntryHealth::Verified
+            }
+        }
+        _ => EntryHealth::Damaged,
+    }
+}
+
+/// Walk a store and verify every entry without decompressing payloads.
+///
+/// Never fails on damage — damage is the report's content. Errors are
+/// reserved for I/O failures and files that are not stores at all.
+pub fn fsck_store(path: impl AsRef<Path>) -> Result<StoreFsckReport, StoreError> {
+    let path = path.as_ref();
+    // A file without the store magic is a usage error, not damage.
+    let head = {
+        let mut head = [0u8; 5];
+        use std::io::Read;
+        let mut f = std::fs::File::open(path)?;
+        let n = f.read(&mut head)?;
+        if n < 5 || head[..4] != MAGIC {
+            return Err(StoreError::Corrupt("not a store file (bad magic)"));
+        }
+        head
+    };
+    let version = head[4];
+
+    let reader = match StoreReader::open(path) {
+        Ok(reader) => reader,
+        Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+        // Index checksum mismatch or structural damage: retry without
+        // verification to enumerate what we still can.
+        Err(_) => match StoreReader::open_with_verify(path, false) {
+            Ok(reader) => {
+                return fsck_entries(version, true, &reader);
+            }
+            Err(_) => {
+                return Ok(StoreFsckReport {
+                    version,
+                    index_damaged: true,
+                    entries: Vec::new(),
+                    legacy: version == LEGACY_VERSION,
+                })
+            }
+        },
+    };
+    fsck_entries(version, false, &reader)
+}
+
+fn fsck_entries(
+    version: u8,
+    index_damaged: bool,
+    reader: &StoreReader,
+) -> Result<StoreFsckReport, StoreError> {
+    let mut entries = Vec::with_capacity(reader.entries().len());
+    let mut legacy = version == LEGACY_VERSION;
+    for entry in reader.entries() {
+        let health = match reader.get_container(entry) {
+            Ok(container) => container_health(version, entry, &container),
+            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(_) => EntryHealth::Damaged,
+        };
+        legacy |= health == EntryHealth::LegacyUnverifiable;
+        entries.push(EntryStatus {
+            step: entry.step,
+            name: entry.name.clone(),
+            offset: entry.offset,
+            health,
+        });
+    }
+    Ok(StoreFsckReport {
+        version,
+        index_damaged,
+        entries,
+        legacy,
+    })
+}
+
+/// Copy every recoverable record of the store at `input` into a fresh
+/// store at `output`.
+///
+/// With a usable index, intact containers are copied byte-for-byte (no
+/// decompress/recompress round trip). With an unusable index, records
+/// are rediscovered by the forward walk described in the module docs;
+/// each candidate must survive a strict verifying decompress before it
+/// is admitted. The output is always a complete, current-version store
+/// — opening it verifies clean.
+pub fn salvage_store(
+    input: impl AsRef<Path>,
+    output: impl AsRef<Path>,
+) -> Result<StoreSalvageReport, StoreError> {
+    let input = input.as_ref();
+    let report = fsck_store(input)?;
+    let mut writer = StoreWriter::create(output.as_ref(), IsobarOptions::default())?;
+    let mut recovered = 0usize;
+    let mut lost = 0usize;
+
+    if !report.index_damaged {
+        let reader = StoreReader::open_with_verify(input, false)?;
+        for entry in reader.entries() {
+            let container = match reader.get_container(entry) {
+                Ok(c) => c,
+                Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                Err(_) => {
+                    lost += 1;
+                    continue;
+                }
+            };
+            if container_health(report.version, entry, &container) == EntryHealth::Damaged {
+                lost += 1;
+                continue;
+            }
+            writer.put_container(
+                entry.step,
+                &entry.name,
+                entry.width,
+                &container,
+                entry.raw_len,
+            )?;
+            recovered += 1;
+        }
+        writer.close()?;
+        return Ok(StoreSalvageReport {
+            entries_recovered: recovered,
+            entries_lost: lost,
+            index_rebuilt: false,
+        });
+    }
+
+    // Index unusable: rediscover records by forward walk.
+    let data = std::fs::read(input)?;
+    let verifier = IsobarCompressor::new(IsobarOptions {
+        verify: true,
+        ..Default::default()
+    });
+    let head_len = MAGIC.len() + 1;
+    let mut pos = head_len;
+    while pos + isobar::container::MAGIC.len() <= data.len() {
+        let Some(found) = find_magic(&data[pos..]) else {
+            break;
+        };
+        let m = pos + found;
+        match record_at(&data, head_len, m) {
+            Some(record) => {
+                let container = &data[m..m + record.container_len];
+                match verifier.decompress(container) {
+                    Ok(raw) => {
+                        match writer.put_container(
+                            record.step,
+                            record.name,
+                            record.width,
+                            container,
+                            raw.len() as u64,
+                        ) {
+                            Ok(()) => recovered += 1,
+                            // A duplicate here means a false anchor
+                            // reproduced an already-salvaged record;
+                            // drop it rather than fail the salvage.
+                            Err(StoreError::Duplicate { .. }) => {}
+                            Err(e) => return Err(e),
+                        }
+                        pos = m + record.container_len;
+                    }
+                    Err(_) => {
+                        lost += 1;
+                        pos = m + isobar::container::MAGIC.len();
+                    }
+                }
+            }
+            None => {
+                pos = m + isobar::container::MAGIC.len();
+            }
+        }
+    }
+    writer.close()?;
+    Ok(StoreSalvageReport {
+        entries_recovered: recovered,
+        entries_lost: lost,
+        index_rebuilt: true,
+    })
+}
+
+fn find_magic(data: &[u8]) -> Option<usize> {
+    data.windows(isobar::container::MAGIC.len())
+        .position(|w| w == isobar::container::MAGIC)
+}
+
+struct WalkRecord<'a> {
+    step: u32,
+    name: &'a str,
+    width: u8,
+    container_len: usize,
+}
+
+/// Try to interpret the container magic at `m` as the payload of a
+/// store record, reconstructing the record header that precedes it.
+fn record_at(data: &[u8], head_len: usize, m: usize) -> Option<WalkRecord<'_>> {
+    // Fixed header tail between the name and the container:
+    // step u32 | width u8 | container_len u64.
+    const TAIL: usize = 4 + 1 + 8;
+    let max_name = m.checked_sub(head_len + 2 + TAIL)?;
+    for name_len in 0..=max_name.min(u16::MAX as usize) {
+        let start = m - TAIL - name_len - 2;
+        let claimed = u16::from_le_bytes(data[start..start + 2].try_into().ok()?) as usize;
+        if claimed != name_len {
+            continue;
+        }
+        let name = match std::str::from_utf8(&data[start + 2..start + 2 + name_len]) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        let tail = &data[start + 2 + name_len..m];
+        let step = u32::from_le_bytes(tail[..4].try_into().ok()?);
+        let width = tail[4];
+        let container_len = u64::from_le_bytes(tail[5..13].try_into().ok()?);
+        if width == 0 || width > 64 {
+            continue;
+        }
+        if container_len == 0 || (m as u64).checked_add(container_len)? > data.len() as u64 {
+            continue;
+        }
+        return Some(WalkRecord {
+            step,
+            name,
+            width,
+            container_len: container_len as usize,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{CHECKSUM_SEED, TRAILER_LEN};
+    use isobar_codecs::xxhash::xxh64;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "isobar-store-salvage-{}-{name}",
+            std::process::id()
+        ))
+    }
+
+    fn payload(len: usize, phase: u64) -> Vec<u8> {
+        (0..len)
+            .map(|i| (((i as u64).wrapping_mul(2654435761) >> (phase % 13)) & 0xFF) as u8)
+            .collect()
+    }
+
+    fn write_demo_store(path: &PathBuf) -> (Vec<u8>, Vec<u8>) {
+        let a = payload(16 * 1024, 1);
+        let b = payload(16 * 1024, 7);
+        let mut writer = StoreWriter::create(path, IsobarOptions::default()).unwrap();
+        writer.put(0, "density", &a, 8).unwrap();
+        writer.put(0, "potential", &b, 8).unwrap();
+        writer.close().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn clean_store_fscks_clean() {
+        let path = tmp("clean.isst");
+        write_demo_store(&path);
+        let report = fsck_store(&path).unwrap();
+        assert!(report.is_clean());
+        assert!(!report.legacy);
+        assert_eq!(report.version, crate::format::VERSION);
+        assert_eq!(report.entries.len(), 2);
+        assert!(report
+            .entries
+            .iter()
+            .all(|e| e.health == EntryHealth::Verified));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn container_damage_is_reported_and_salvaged_around() {
+        let path = tmp("damaged.isst");
+        let out = tmp("damaged-salvaged.isst");
+        let (_, b) = write_demo_store(&path);
+
+        // Flip one byte in the middle of the first entry's container.
+        let reader = StoreReader::open(&path).unwrap();
+        let victim = reader.entries()[0].clone();
+        let survivor = reader.entries()[1].clone();
+        drop(reader);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let hit = (victim.offset + victim.container_len / 2) as usize;
+        bytes[hit] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let report = fsck_store(&path).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.damaged_entries(), 1);
+        assert_eq!(report.entries[0].health, EntryHealth::Damaged);
+        assert_eq!(report.entries[1].health, EntryHealth::Verified);
+
+        // The verifying reader refuses the damaged entry…
+        let reader = StoreReader::open(&path).unwrap();
+        let err = reader.get(victim.step, &victim.name).unwrap_err();
+        assert!(err.is_checksum_mismatch(), "got {err}");
+        // …but still serves the intact one.
+        assert_eq!(reader.get(survivor.step, &survivor.name).unwrap(), b);
+        drop(reader);
+
+        let salvage = salvage_store(&path, &out).unwrap();
+        assert_eq!(salvage.entries_recovered, 1);
+        assert_eq!(salvage.entries_lost, 1);
+        assert!(!salvage.index_rebuilt);
+
+        let restored = StoreReader::open(&out).unwrap();
+        assert_eq!(restored.get(survivor.step, &survivor.name).unwrap(), b);
+        assert!(fsck_store(&out).unwrap().is_clean());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn index_damage_triggers_record_walk_rebuild() {
+        let path = tmp("badindex.isst");
+        let out = tmp("badindex-salvaged.isst");
+        let (a, b) = write_demo_store(&path);
+
+        // Flip a byte inside the index region (between the last
+        // container and the trailer).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let trailer_at = bytes.len() - TRAILER_LEN;
+        let index_offset =
+            u64::from_le_bytes(bytes[trailer_at..trailer_at + 8].try_into().unwrap()) as usize;
+        bytes[index_offset + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Default (verifying) open refuses the store outright.
+        let err = StoreReader::open(&path).unwrap_err();
+        assert!(err.is_checksum_mismatch(), "got {err}");
+
+        let report = fsck_store(&path).unwrap();
+        assert!(!report.is_clean());
+
+        let salvage = salvage_store(&path, &out).unwrap();
+        assert!(salvage.index_rebuilt);
+        assert_eq!(salvage.entries_recovered, 2);
+        assert!(salvage.is_complete());
+
+        let restored = StoreReader::open(&out).unwrap();
+        assert_eq!(restored.get(0, "density").unwrap(), a);
+        assert_eq!(restored.get(0, "potential").unwrap(), b);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn index_checksum_damage_is_a_checksum_mismatch_at_index_offset() {
+        let path = tmp("trailersum.isst");
+        write_demo_store(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let trailer_at = bytes.len() - TRAILER_LEN;
+        let index_offset =
+            u64::from_le_bytes(bytes[trailer_at..trailer_at + 8].try_into().unwrap());
+        // Corrupt the stored index checksum itself.
+        bytes[trailer_at + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match StoreReader::open(&path).unwrap_err() {
+            StoreError::ChecksumMismatch { offset, .. } => assert_eq!(offset, index_offset),
+            other => panic!("expected checksum mismatch, got {other}"),
+        }
+        // Verification off trusts structure and still opens.
+        assert!(StoreReader::open_with_verify(&path, false).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_walk_ignores_false_anchors() {
+        // A container whose *payload* happens to contain the bytes
+        // "ISBR" must not yield a phantom record: the reconstructed
+        // header will not parse into a record whose container passes a
+        // verifying decompress.
+        let path = tmp("falseanchor.isst");
+        let out = tmp("falseanchor-salvaged.isst");
+        let mut data = payload(16 * 1024, 3);
+        data[4096..4100].copy_from_slice(b"ISBR");
+        data[8192..8196].copy_from_slice(b"ISBR");
+        let mut writer = StoreWriter::create(&path, IsobarOptions::default()).unwrap();
+        writer.put(3, "tricky", &data, 1).unwrap();
+        writer.close().unwrap();
+
+        // Break the index so salvage must walk records.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let trailer_at = bytes.len() - TRAILER_LEN;
+        let index_offset =
+            u64::from_le_bytes(bytes[trailer_at..trailer_at + 8].try_into().unwrap()) as usize;
+        bytes[index_offset] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let salvage = salvage_store(&path, &out).unwrap();
+        assert!(salvage.index_rebuilt);
+        assert_eq!(salvage.entries_recovered, 1);
+        let restored = StoreReader::open(&out).unwrap();
+        assert_eq!(restored.get(3, "tricky").unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn entry_checksum_matches_format_helper() {
+        let container = b"arbitrary container stand-in";
+        assert_eq!(entry_checksum(container), xxh64(container, CHECKSUM_SEED));
+    }
+}

@@ -1,23 +1,57 @@
-//! Appending store writer.
+//! Appending store writer with a crash-consistent commit protocol.
+//!
+//! # Commit protocol
+//!
+//! A store is written to a shadow file — `<path>.wip`, the intent
+//! journal — and only takes the final name at the very end:
+//!
+//! 1. records append to `<path>.wip` as variables arrive;
+//! 2. `close` fsyncs the data region, so every record the index will
+//!    reference is durable before the index exists;
+//! 3. the checksummed index and trailer are appended and fsynced;
+//! 4. `<path>.wip` is atomically renamed to `<path>`;
+//! 5. the parent directory is fsynced, making the rename durable.
+//!
+//! A crash before step 4 leaves at most a `.wip` file, which no reader
+//! opens; a crash after it leaves a complete, verified store. The
+//! rename is the commit point — a reader at `<path>` sees the old
+//! store or the new store, never a torn one. The crash-injection
+//! harness in `isobar-fuzz-harness` proves this by killing the writer
+//! at every operation boundary (including torn in-flight writes) and
+//! opening what survives.
+//!
+//! A [`StoreWriter`] dropped before [`StoreWriter::close`] removes its
+//! `.wip` file: an abandoned write must not leave droppings that a
+//! later commit could trip over.
 
 use crate::error::StoreError;
-use crate::format::{IndexEntry, MAGIC, TRAILER_MAGIC, VERSION};
+use crate::format::{entry_checksum, IndexEntry, CHECKSUM_SEED, MAGIC, TRAILER_MAGIC, VERSION};
+use crate::vfs::{RealFs, StoreFile, StoreFs};
 use isobar::telemetry::Counter;
 use isobar::{IsobarCompressor, IsobarOptions, PipelineScratch, Recorder, TelemetrySnapshot};
+use isobar_codecs::xxhash::xxh64;
 use std::collections::HashSet;
-use std::fs::File;
-use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::ffi::OsString;
+use std::path::{Path, PathBuf};
 
 /// Writes a checkpoint store file, compressing each variable through
 /// the ISOBAR pipeline as it arrives.
 ///
 /// Records are appended in arrival order; the index and trailer are
-/// written by [`StoreWriter::close`]. A store that was not closed is
-/// detectable (no trailer) and rejected by the reader — half-written
+/// written by [`StoreWriter::close`], which also commits the file to
+/// its final name (see the module docs for the full protocol). A store
+/// that was never closed is invisible to readers — half-written
 /// checkpoints must not be restorable by accident.
-pub struct StoreWriter {
-    sink: BufWriter<File>,
+///
+/// The filesystem is pluggable ([`StoreFs`]) so the crash harness can
+/// substitute a fault-injecting one; production code uses the
+/// [`RealFs`] default and never sees the parameter.
+pub struct StoreWriter<F: StoreFs = RealFs> {
+    fs: F,
+    file: Option<F::File>,
+    final_path: PathBuf,
+    wip_path: PathBuf,
+    committed: bool,
     compressor: IsobarCompressor,
     /// Pipeline working memory, warm across every `put` call.
     scratch: PipelineScratch,
@@ -28,14 +62,38 @@ pub struct StoreWriter {
     recorder: Recorder,
 }
 
-impl StoreWriter {
-    /// Create (truncate) a store at `path`.
+/// The shadow-file name records are journaled into before commit.
+pub fn wip_path(path: &Path) -> PathBuf {
+    let mut name = OsString::from(path.as_os_str());
+    name.push(".wip");
+    PathBuf::from(name)
+}
+
+impl StoreWriter<RealFs> {
+    /// Create a store that will commit to `path` on close.
     pub fn create(path: impl AsRef<Path>, options: IsobarOptions) -> Result<Self, StoreError> {
-        let mut sink = BufWriter::new(File::create(path)?);
-        sink.write_all(&MAGIC)?;
-        sink.write_all(&[VERSION])?;
+        Self::create_in(RealFs, path, options)
+    }
+}
+
+impl<F: StoreFs> StoreWriter<F> {
+    /// [`StoreWriter::create`] on an explicit filesystem.
+    pub fn create_in(
+        fs: F,
+        path: impl AsRef<Path>,
+        options: IsobarOptions,
+    ) -> Result<Self, StoreError> {
+        let final_path = path.as_ref().to_path_buf();
+        let wip = wip_path(&final_path);
+        let mut file = fs.create(&wip)?;
+        file.write_all(&MAGIC)?;
+        file.write_all(&[VERSION])?;
         Ok(StoreWriter {
-            sink,
+            fs,
+            file: Some(file),
+            final_path,
+            wip_path: wip,
+            committed: false,
             compressor: IsobarCompressor::new(options),
             scratch: PipelineScratch::new(),
             index: Vec::new(),
@@ -76,29 +134,63 @@ impl StoreWriter {
         self.recorder.add(Counter::StoreRawBytes, data.len() as u64);
         self.recorder
             .add(Counter::StoreContainerBytes, container.len() as u64);
+        self.append_record(step, name, width as u8, &container, data.len() as u64)?;
+        Ok(self.index.last().expect("just pushed"))
+    }
 
+    /// Append an already-compressed container as one record. The
+    /// salvage path uses this to copy intact records between stores
+    /// without a decompress/recompress round trip.
+    pub(crate) fn put_container(
+        &mut self,
+        step: u32,
+        name: &str,
+        width: u8,
+        container: &[u8],
+        raw_len: u64,
+    ) -> Result<(), StoreError> {
+        if name.len() > u16::MAX as usize {
+            return Err(StoreError::NameTooLong(name.len()));
+        }
+        if !self.seen.insert((step, name.to_string())) {
+            return Err(StoreError::Duplicate {
+                step,
+                name: name.to_string(),
+            });
+        }
+        self.append_record(step, name, width, container, raw_len)
+    }
+
+    fn append_record(
+        &mut self,
+        step: u32,
+        name: &str,
+        width: u8,
+        container: &[u8],
+        raw_len: u64,
+    ) -> Result<(), StoreError> {
+        let file = self.file.as_mut().expect("file open until close");
         let name_bytes = name.as_bytes();
-        self.sink
-            .write_all(&(name_bytes.len() as u16).to_le_bytes())?;
-        self.sink.write_all(name_bytes)?;
-        self.sink.write_all(&step.to_le_bytes())?;
-        self.sink.write_all(&[width as u8])?;
-        self.sink
-            .write_all(&(container.len() as u64).to_le_bytes())?;
+        file.write_all(&(name_bytes.len() as u16).to_le_bytes())?;
+        file.write_all(name_bytes)?;
+        file.write_all(&step.to_le_bytes())?;
+        file.write_all(&[width])?;
+        file.write_all(&(container.len() as u64).to_le_bytes())?;
         let record_header = 2 + name_bytes.len() as u64 + 4 + 1 + 8;
         let container_offset = self.offset + record_header;
-        self.sink.write_all(&container)?;
+        file.write_all(container)?;
         self.offset = container_offset + container.len() as u64;
 
         self.index.push(IndexEntry {
             name: name.to_string(),
             step,
-            width: width as u8,
+            width,
             offset: container_offset,
             container_len: container.len() as u64,
-            raw_len: data.len() as u64,
+            raw_len,
+            checksum: entry_checksum(container),
         });
-        Ok(self.index.last().expect("just pushed"))
+        Ok(())
     }
 
     /// Entries written so far (in arrival order).
@@ -113,7 +205,8 @@ impl StoreWriter {
         self.recorder.snapshot()
     }
 
-    /// Write the index and trailer, flush, and close the file.
+    /// Write the checksummed index and trailer, fsync, and commit the
+    /// store to its final name (see the module docs).
     pub fn close(self) -> Result<(), StoreError> {
         self.close_with_telemetry().map(|_| ())
     }
@@ -126,16 +219,42 @@ impl StoreWriter {
         for entry in &self.index {
             entry.write(&mut encoded);
         }
-        self.sink.write_all(&encoded)?;
-        self.sink.write_all(&index_offset.to_le_bytes())?;
-        self.sink
-            .write_all(&(self.index.len() as u32).to_le_bytes())?;
-        self.sink.write_all(&TRAILER_MAGIC)?;
-        self.sink.flush()?;
+        {
+            let file = self.file.as_mut().expect("file open until close");
+            // Journal boundary: every record the index is about to
+            // reference must be durable before the index describes it.
+            file.sync_data()?;
+            file.write_all(&encoded)?;
+            file.write_all(&index_offset.to_le_bytes())?;
+            file.write_all(&(self.index.len() as u32).to_le_bytes())?;
+            file.write_all(&xxh64(&encoded, CHECKSUM_SEED).to_le_bytes())?;
+            file.write_all(&TRAILER_MAGIC)?;
+            file.sync_data()?;
+        }
+        // Commit point: close the handle, take the final name, and
+        // make the rename durable.
+        self.file = None;
+        self.fs.rename(&self.wip_path, &self.final_path)?;
+        let parent = self.final_path.parent().unwrap_or(Path::new("."));
+        self.fs.sync_dir(parent)?;
+        self.committed = true;
         self.recorder.add(
             Counter::StoreIndexBytes,
             encoded.len() as u64 + crate::format::TRAILER_LEN as u64,
         );
         Ok(self.recorder.snapshot())
+    }
+}
+
+impl<F: StoreFs> Drop for StoreWriter<F> {
+    fn drop(&mut self) {
+        if !self.committed {
+            // Close the handle before unlinking, then sweep the
+            // journal: an abandoned writer must not leave a partial
+            // `.wip` behind. Failures are swallowed — drop runs on
+            // error paths where the file may never have existed.
+            self.file = None;
+            let _ = self.fs.remove_file(&self.wip_path);
+        }
     }
 }

@@ -51,8 +51,7 @@ fn open_corrupt(name: &str, bytes: &[u8]) -> (StoreError, u64) {
     std::fs::write(&path, bytes).expect("write specimen");
     let mut recorder = Recorder::new();
     let err = StoreReader::open_recorded(&path, &mut recorder)
-        .err()
-        .expect("corrupt specimen must be rejected");
+        .expect_err("corrupt specimen must be rejected");
     let _ = std::fs::remove_file(&path);
     (
         err,
@@ -152,8 +151,40 @@ fn store_entry_range_outside_data_region() {
     let offset_at = index_offset + 2 + name_len as usize + 4 + 1;
     let mut bad = s.clone();
     bad[offset_at..offset_at + 8].copy_from_slice(&(s.len() as u64).to_le_bytes());
+    // The tamper rewrites index bytes, so the index checksum catches it
+    // first under the default verifying open…
     let (err, _) = open_corrupt("entry-range", &bad);
-    assert!(matches!(err, StoreError::Corrupt(_)));
+    assert!(err.is_checksum_mismatch(), "got {err:?}");
+    // …and the structural range check still catches it when
+    // verification is off.
+    let path = tmp("entry-range-noverify");
+    std::fs::write(&path, &bad).expect("write specimen");
+    let err = StoreReader::open_with_verify(&path, false)
+        .expect_err("range check is structural, not checksum-dependent");
+    assert!(
+        matches!(err, StoreError::Corrupt("entry range outside data region")),
+        "got {err:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn store_index_bit_flip_fails_index_checksum() {
+    // One flipped bit anywhere in the index region must be caught by
+    // the trailer's index checksum before any entry drives a seek.
+    let s = valid_store();
+    let trailer_at = s.len() - TRAILER_LEN;
+    let index_offset = u64::from_le_bytes(s[trailer_at..trailer_at + 8].try_into().unwrap());
+    let mut bad = s.clone();
+    bad[index_offset as usize + 7] ^= 0x04;
+    let (err, rejected) = open_corrupt("index-bit-flip", &bad);
+    match err {
+        StoreError::ChecksumMismatch { offset, .. } => assert_eq!(offset, index_offset),
+        other => panic!("expected index checksum mismatch, got {other:?}"),
+    }
+    if ENABLED {
+        assert_eq!(rejected, 1, "rejection must bump the telemetry counter");
+    }
 }
 
 #[test]
@@ -178,13 +209,21 @@ fn store_corrupt_variable_payload_counts_rejection() {
     let err = reader
         .get_recorded(0, "u", &mut recorder)
         .expect_err("damaged payload must be rejected");
-    assert!(matches!(err, StoreError::Isobar(_)));
+    // The per-entry container checksum catches the damage before the
+    // decoder ever parses the container.
+    assert!(err.is_checksum_mismatch(), "got {err:?}");
     if ENABLED {
-        assert_eq!(
-            recorder.snapshot().counter(Counter::StoreCorruptRejected),
-            1
-        );
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter(Counter::StoreCorruptRejected), 1);
+        assert_eq!(snapshot.counter(Counter::ChecksumMismatches), 1);
     }
+    // With verification off the damage falls through to the embedded
+    // container decoder, which rejects it structurally.
+    let reader = StoreReader::open_with_verify(&path, false).expect("index is intact");
+    let err = reader
+        .get(0, "u")
+        .expect_err("decoder still rejects the stomped magic");
+    assert!(matches!(err, StoreError::Isobar(_)), "got {err:?}");
     let _ = std::fs::remove_file(&path);
 }
 

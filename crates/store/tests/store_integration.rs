@@ -120,13 +120,42 @@ fn unclosed_store_is_rejected() {
     {
         let mut writer = StoreWriter::create(&path, options()).unwrap();
         writer.put(0, "x", &[1u8; 800], 8).unwrap();
-        // Dropped without close(): no trailer on disk... but BufWriter
-        // flushes on drop, so bytes exist. The reader must still refuse.
+        // Dropped without close(): the commit rename never ran, so
+        // nothing exists at the final path and the reader refuses.
     }
-    assert!(matches!(
-        StoreReader::open(&path),
-        Err(StoreError::Corrupt(_)) | Err(StoreError::Io(_))
-    ));
+    assert!(matches!(StoreReader::open(&path), Err(StoreError::Io(_))));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dropped_writer_leaves_no_partial_file() {
+    // Regression: an abandoned StoreWriter used to leave its partial
+    // file on disk, where a later reader (or a backup sweep) could
+    // mistake it for a checkpoint. Drop must remove the `.wip` journal
+    // and must never have created the final path at all.
+    let path = tmp("abandoned");
+    let wip = isobar_store::wip_path(&path);
+    {
+        let mut writer = StoreWriter::create(&path, options()).unwrap();
+        writer.put(0, "x", &[1u8; 800], 8).unwrap();
+        assert!(wip.exists(), "records journal to the .wip shadow file");
+        assert!(!path.exists(), "final path must not exist before commit");
+    }
+    assert!(!wip.exists(), "drop must remove the uncommitted journal");
+    assert!(!path.exists(), "drop must not promote a partial store");
+}
+
+#[test]
+fn close_commits_atomically_and_cleans_journal() {
+    let path = tmp("committed");
+    let wip = isobar_store::wip_path(&path);
+    let mut writer = StoreWriter::create(&path, options()).unwrap();
+    writer.put(0, "x", &[7u8; 800], 8).unwrap();
+    writer.close().unwrap();
+    assert!(path.exists(), "close must publish the final path");
+    assert!(!wip.exists(), "close must consume the .wip journal");
+    let reader = StoreReader::open(&path).unwrap();
+    assert_eq!(reader.get(0, "x").unwrap(), vec![7u8; 800]);
     let _ = std::fs::remove_file(&path);
 }
 

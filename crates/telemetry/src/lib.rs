@@ -122,11 +122,19 @@ pub enum Counter {
     StreamCorruptRejected,
     /// Stores rejected as corrupt while opening or reading.
     StoreCorruptRejected,
+    /// Checksum verification failures across all formats (container
+    /// chunks, stream frames, store entries/index).
+    ChecksumMismatches,
+    /// Chunks stored verbatim because the solver panicked mid-compress
+    /// (the pipeline's graceful-degradation fallback).
+    ChunksVerbatimFallback,
+    /// Damaged chunks/frames/entries skipped by salvage-mode decode.
+    ChunksSkippedCorrupt,
 }
 
 impl Counter {
     /// Number of counters (array size).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in stable JSON order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -157,6 +165,9 @@ impl Counter {
         Counter::ContainerCorruptRejected,
         Counter::StreamCorruptRejected,
         Counter::StoreCorruptRejected,
+        Counter::ChecksumMismatches,
+        Counter::ChunksVerbatimFallback,
+        Counter::ChunksSkippedCorrupt,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -189,6 +200,9 @@ impl Counter {
             Counter::ContainerCorruptRejected => "container_corrupt_rejected",
             Counter::StreamCorruptRejected => "stream_corrupt_rejected",
             Counter::StoreCorruptRejected => "store_corrupt_rejected",
+            Counter::ChecksumMismatches => "checksum_mismatches",
+            Counter::ChunksVerbatimFallback => "chunks_verbatim_fallback",
+            Counter::ChunksSkippedCorrupt => "chunks_skipped_corrupt",
         }
     }
 }
