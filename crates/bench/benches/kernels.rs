@@ -1,0 +1,151 @@
+//! Criterion microbenches for the runtime-dispatched SIMD kernels:
+//! each hot-loop kernel measured under every tier this machine can run
+//! (`scalar` always, plus the detected SSE2/AVX2 tier), so a `bench`
+//! run shows the per-kernel speedup behind the pipeline numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use isobar_simd::transpose::StreamLayout;
+use isobar_simd::{adler, hist, memcmp, testable_tiers, transpose, xxh64};
+
+/// Same shape as the pipeline bench corpus: 375 000 × 8-byte elements.
+const ELEMS: usize = 375_000;
+const WIDTH: usize = 8;
+
+fn test_data() -> Vec<u8> {
+    let mut state = 0x15_0BA2u64 | 1;
+    (0..ELEMS * WIDTH)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+fn bench_hist(c: &mut Criterion) {
+    let data = test_data();
+    let mut group = c.benchmark_group("kernel_hist");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for tier in testable_tiers() {
+        let mut out = Vec::new();
+        group.bench_function(&format!("histogram/{}", tier.name()), |b| {
+            b.iter(|| hist::byte_column_histograms(tier, &data, WIDTH, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let data = test_data();
+    // Table-V-ish split: half the columns compressible, half noise.
+    let c_cols: Vec<usize> = (0..WIDTH / 2).collect();
+    let i_cols: Vec<usize> = (WIDTH / 2..WIDTH).collect();
+    let mut c_stream = vec![0u8; ELEMS * c_cols.len()];
+    let mut i_stream = vec![0u8; ELEMS * i_cols.len()];
+
+    let mut group = c.benchmark_group("kernel_partition");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for tier in testable_tiers() {
+        group.bench_function(&format!("gather/{}", tier.name()), |b| {
+            b.iter(|| {
+                transpose::partition2(
+                    tier,
+                    &data,
+                    WIDTH,
+                    &c_cols,
+                    StreamLayout::ColumnMajor,
+                    &mut c_stream,
+                    &i_cols,
+                    &mut i_stream,
+                )
+            })
+        });
+        let mut out = vec![0u8; data.len()];
+        group.bench_function(&format!("scatter/{}", tier.name()), |b| {
+            b.iter(|| {
+                transpose::reassemble2(
+                    tier,
+                    &c_stream,
+                    &c_cols,
+                    StreamLayout::ColumnMajor,
+                    &i_stream,
+                    &i_cols,
+                    WIDTH,
+                    &mut out,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let data = test_data();
+    let mut out = vec![0u8; data.len()];
+    let mut group = c.benchmark_group("kernel_shuffle");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for tier in testable_tiers() {
+        group.bench_function(&format!("shuffle/{}", tier.name()), |b| {
+            b.iter(|| transpose::shuffle_into(tier, &data, WIDTH, &mut out))
+        });
+        group.bench_function(&format!("unshuffle/{}", tier.name()), |b| {
+            b.iter(|| transpose::unshuffle_into(tier, &data, WIDTH, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_xxh64(c: &mut Criterion) {
+    let data = test_data();
+    let mut group = c.benchmark_group("kernel_xxh64");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for tier in testable_tiers() {
+        group.bench_function(&format!("stripes/{}", tier.name()), |b| {
+            b.iter(|| {
+                let mut v = [1u64, 2, 3, 4];
+                xxh64::consume_stripes(tier, &mut v, &data);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memcmp(c: &mut Criterion) {
+    // LZ77 longest-match shape: long equal run, then a divergence.
+    let a = vec![0x42u8; 4096];
+    let mut b = a.clone();
+    b[4000] ^= 0xFF;
+    let mut group = c.benchmark_group("kernel_memcmp");
+    group.throughput(Throughput::Bytes(4000));
+    for tier in testable_tiers() {
+        group.bench_function(&format!("common_prefix/{}", tier.name()), |b2| {
+            b2.iter(|| memcmp::common_prefix(tier, &a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adler(c: &mut Criterion) {
+    let data = test_data();
+    let mut group = c.benchmark_group("kernel_adler32");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for tier in testable_tiers() {
+        group.bench_function(&format!("fold/{}", tier.name()), |b| {
+            b.iter(|| adler::fold(tier, 1, 0, &data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hist,
+    bench_partition,
+    bench_shuffle,
+    bench_xxh64,
+    bench_memcmp,
+    bench_adler
+);
+criterion_main!(benches);

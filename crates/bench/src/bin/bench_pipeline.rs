@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! bench_pipeline [--label NAME] [--out FILE] [--trace FILE]
+//!                [--kernels scalar|auto]
 //!                [--baseline-label NAME --baseline-mbps X ...]
 //! ```
 //!
@@ -42,14 +43,14 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Median throughput of `f` over [`ITERS`] runs, in MB/s of `bytes`.
+/// Median throughput of `f` over [`ITERS`] runs, in MB/s of `bytes`
+/// (same sub-resolution clamp as every other harness number).
 fn throughput_mbps(bytes: usize, mut f: impl FnMut()) -> f64 {
     let mut samples = Vec::with_capacity(ITERS);
     for _ in 0..ITERS {
         let start = Instant::now();
         f();
-        let secs = start.elapsed().as_secs_f64().max(1e-9);
-        samples.push(bytes as f64 / 1e6 / secs);
+        samples.push(isobar_bench::mbps(bytes, start.elapsed().as_secs_f64()));
     }
     median(&mut samples)
 }
@@ -78,6 +79,12 @@ fn main() {
             "--label" => label = args.next().expect("--label NAME"),
             "--out" => out_path = args.next().expect("--out FILE"),
             "--trace" => trace_path = Some(args.next().expect("--trace FILE")),
+            "--kernels" => {
+                let raw = args.next().expect("--kernels scalar|auto");
+                let selection =
+                    isobar::KernelSelection::parse(&raw).expect("--kernels takes scalar or auto");
+                isobar::set_kernels(selection);
+            }
             "--baseline-label" => baseline_label = args.next().expect("--baseline-label NAME"),
             "--baseline-mbps" => {
                 let pair = args.next().expect("--baseline-mbps key=value");
@@ -88,13 +95,14 @@ fn main() {
         }
     }
 
+    let kernel_tier = isobar::active_kernel_tier();
     let ds = catalog::spec("gts_chkp_zion")
         .expect("catalog entry")
         .generate(CHUNKS * CHUNK_ELEMENTS, 7);
     let bytes = ds.bytes.len();
     let width = ds.width();
     eprintln!(
-        "workload: gts_chkp_zion, {} elements x {width} bytes = {:.1} MB, {CHUNKS} chunks",
+        "workload: gts_chkp_zion, {} elements x {width} bytes = {:.1} MB, {CHUNKS} chunks, kernels {kernel_tier}",
         CHUNKS * CHUNK_ELEMENTS,
         bytes as f64 / 1e6
     );
@@ -219,6 +227,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"kernel_tier\": \"{kernel_tier}\",");
     let _ = writeln!(json, "  \"dataset\": \"gts_chkp_zion\",");
     let _ = writeln!(json, "  \"chunk_elements\": {CHUNK_ELEMENTS},");
     let _ = writeln!(json, "  \"chunks\": {CHUNKS},");

@@ -50,12 +50,13 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 /// Throughput in MB/s (paper convention: 10^6 bytes).
 ///
-/// The elapsed time is clamped to a nanosecond floor: a zero-duration
-/// measurement reports a large-but-finite number instead of
-/// `f64::INFINITY`, which would poison averages, speedup ratios, and
-/// JSON output downstream.
+/// Same clamp as `isobar::throughput_mbps`: the elapsed time has a
+/// one-microsecond floor, so a sub-resolution measurement reports a
+/// large-but-sane number instead of `f64::INFINITY` or absurd MB/s,
+/// which would poison averages, speedup ratios, and JSON output
+/// downstream.
 pub fn mbps(bytes: usize, secs: f64) -> f64 {
-    bytes as f64 / 1e6 / secs.max(1e-9)
+    isobar::throughput_mbps(bytes, secs)
 }
 
 /// One standalone-codec measurement.

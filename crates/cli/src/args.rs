@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
-use isobar::{CodecId, CompressionLevel, Linearization, Preference};
+use isobar::{CodecId, CompressionLevel, KernelSelection, Linearization, Preference};
 use std::path::PathBuf;
 
 /// Usage text printed on parse errors and `--help`.
@@ -25,6 +25,10 @@ compress options:
   --tau F              analyzer tolerance factor (default: 1.42)
   --chunk N            chunk size in elements (default: 375000)
   --parallel           compress chunks on all cores
+  --kernels=scalar|auto
+                       pin the SIMD kernel dispatch (default: auto —
+                       the best tier the CPU supports; also settable
+                       via the ISOBAR_KERNELS environment variable)
   --stream             constant-memory streaming mode (one chunk in
                        flight; output uses the streamable framing)
   --stats[=table|json|prometheus]
@@ -40,6 +44,8 @@ decompress options:
                        damage shows up under --stats
   --no-verify          skip embedded checksum verification (decode
                        speed over damage detection)
+  --kernels=scalar|auto
+                       pin the SIMD kernel dispatch (default: auto)
   --stats[=table|json|prometheus]
                        print per-stage telemetry after the run
   --trace FILE         write a Chrome trace-event JSON timeline
@@ -74,6 +80,14 @@ impl StatsFormat {
     }
 }
 
+/// Parse a `--kernels=scalar|auto` flag, if `arg` is one.
+fn parse_kernels_flag(arg: &str) -> Option<Result<KernelSelection, String>> {
+    arg.strip_prefix("--kernels=").map(|value| {
+        KernelSelection::parse(value)
+            .ok_or_else(|| format!("--kernels must be scalar|auto, got '{value}'"))
+    })
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -95,6 +109,8 @@ pub enum Command {
         stats: Option<StatsFormat>,
         /// Write a Chrome trace-event timeline of the run here.
         trace: Option<PathBuf>,
+        /// Pin the SIMD kernel dispatch (`--kernels=`), if given.
+        kernels: Option<KernelSelection>,
     },
     /// Decompress `input` into `output`.
     Decompress {
@@ -113,6 +129,8 @@ pub enum Command {
         stats: Option<StatsFormat>,
         /// Write a Chrome trace-event timeline of the run here.
         trace: Option<PathBuf>,
+        /// Pin the SIMD kernel dispatch (`--kernels=`), if given.
+        kernels: Option<KernelSelection>,
     },
     /// Analyze and report, without writing anything.
     Analyze {
@@ -191,10 +209,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut verify = true;
             let mut stats = None;
             let mut trace = None;
+            let mut kernels = None;
             let mut paths: Vec<PathBuf> = Vec::new();
             while let Some(arg) = it.next() {
                 if let Some(parsed) = StatsFormat::parse_flag(arg) {
                     stats = Some(parsed?);
+                    continue;
+                }
+                if let Some(parsed) = parse_kernels_flag(arg) {
+                    kernels = Some(parsed?);
                     continue;
                 }
                 match arg.as_str() {
@@ -224,6 +247,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 verify,
                 stats,
                 trace,
+                kernels,
             })
         }
         "analyze" | "a" => parse_analyze(&mut it),
@@ -258,11 +282,16 @@ fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
     let mut stream = false;
     let mut stats = None;
     let mut trace = None;
+    let mut kernels = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
     while let Some(arg) = it.next() {
         if let Some(parsed) = StatsFormat::parse_flag(arg) {
             stats = Some(parsed?);
+            continue;
+        }
+        if let Some(parsed) = parse_kernels_flag(arg) {
+            kernels = Some(parsed?);
             continue;
         }
         match arg.as_str() {
@@ -345,6 +374,7 @@ fn parse_compress(it: &mut ArgIter<'_>) -> Result<Command, String> {
         quiet,
         stats,
         trace,
+        kernels,
     })
 }
 
@@ -526,6 +556,7 @@ mod tests {
                 verify: true,
                 stats: None,
                 trace: None,
+                kernels: None,
             }
         );
         assert_eq!(
@@ -538,6 +569,7 @@ mod tests {
                 verify: true,
                 stats: None,
                 trace: None,
+                kernels: None,
             }
         );
         assert_eq!(
@@ -648,6 +680,42 @@ mod tests {
             "--width",
             "8",
             "--stats=xml",
+            "a",
+            "b"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn kernels_flag_variants_parse() {
+        match parse(&strings(&[
+            "compress",
+            "--width",
+            "8",
+            "--kernels=scalar",
+            "a",
+            "b",
+        ]))
+        .unwrap()
+        {
+            Command::Compress { kernels, .. } => {
+                assert_eq!(kernels, Some(KernelSelection::Scalar))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&strings(&["decompress", "--kernels=auto", "a", "b"])).unwrap() {
+            Command::Decompress { kernels, .. } => assert_eq!(kernels, Some(KernelSelection::Auto)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&strings(&["decompress", "a", "b"])).unwrap() {
+            Command::Decompress { kernels, .. } => assert_eq!(kernels, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&strings(&[
+            "compress",
+            "--width",
+            "8",
+            "--kernels=sse9",
             "a",
             "b"
         ]))

@@ -24,7 +24,9 @@ pub fn run(cmd: Command) -> Result<u8, String> {
             quiet,
             stats,
             trace,
+            kernels,
         } => traced(trace.as_deref(), || {
+            apply_kernels(kernels);
             compress(&input, &output, width, options, quiet, stats)
         })
         .map(|()| 0),
@@ -37,7 +39,9 @@ pub fn run(cmd: Command) -> Result<u8, String> {
             quiet,
             stats,
             trace,
+            kernels,
         } => traced(trace.as_deref(), || {
+            apply_kernels(kernels);
             compress_stream(&input, &output, width, options, quiet, stats)
         })
         .map(|()| 0),
@@ -49,7 +53,9 @@ pub fn run(cmd: Command) -> Result<u8, String> {
             verify,
             stats,
             trace,
+            kernels,
         } => traced(trace.as_deref(), || {
+            apply_kernels(kernels);
             decompress(&input, &output, skip_corrupt, verify, stats)
         })
         .map(|()| 0),
@@ -61,7 +67,9 @@ pub fn run(cmd: Command) -> Result<u8, String> {
             verify,
             stats,
             trace,
+            kernels,
         } => traced(trace.as_deref(), || {
+            apply_kernels(kernels);
             decompress_stream(&input, &output, skip_corrupt, verify, stats)
         })
         .map(|()| 0),
@@ -74,6 +82,15 @@ pub fn run(cmd: Command) -> Result<u8, String> {
         Command::Info { input } => info(&input).map(|()| 0),
         Command::Fsck { input } => fsck(&input),
         Command::Salvage { input, output } => salvage(&input, &output).map(|()| 0),
+    }
+}
+
+/// Pin the process-wide SIMD kernel dispatch before any pipeline is
+/// constructed. `None` keeps the default resolution (the
+/// `ISOBAR_KERNELS` environment variable, then CPU detection).
+fn apply_kernels(kernels: Option<isobar::KernelSelection>) {
+    if let Some(selection) = kernels {
+        isobar::set_kernels(selection);
     }
 }
 
@@ -179,11 +196,12 @@ fn compress(
             report.throughput_mbps(),
         );
         eprintln!(
-            "solver {} + {} linearization; {:.1}% of bytes classified noise; improvable: {}",
+            "solver {} + {} linearization; {:.1}% of bytes classified noise; improvable: {}; kernels: {}",
             report.codec.name(),
             report.linearization,
             report.htc_pct(),
             report.improvable(),
+            isobar::active_kernel_tier(),
         );
     }
     Ok(())
@@ -354,7 +372,7 @@ fn analyze(input: &Path, width: usize, tau: f64, bits: bool) -> Result<(), Strin
     );
     println!(
         "analysis: {:.1} MB/s; tolerance factor τ = {tau}",
-        data.len() as f64 / 1e6 / elapsed.as_secs_f64().max(1e-9)
+        isobar::throughput_mbps(data.len(), elapsed.as_secs_f64())
     );
     for (col, &compressible) in selection.bits().iter().enumerate() {
         println!(

@@ -6,7 +6,9 @@
 //! but unlike ISOBAR it still pays the solver for the noise columns and
 //! gains nothing on them. It is implemented here as a baseline for the
 //! ablation benches (`ablation_shuffle`), quantifying what the
-//! analyzer/partitioner adds over blind shuffling.
+//! analyzer/partitioner adds over blind shuffling. The transpose itself
+//! runs on the runtime-dispatched `isobar-simd` kernels (unpack-tree
+//! SIMD for widths ≤ 8, cache-blocked scalar otherwise).
 
 use crate::codec::{Codec, CodecError};
 
@@ -18,26 +20,16 @@ use crate::codec::{Codec, CodecError};
 /// Panics if `data.len()` is not a multiple of `width`.
 pub fn shuffle(data: &[u8], width: usize) -> Vec<u8> {
     assert!(width > 0 && data.len().is_multiple_of(width));
-    let n = data.len() / width;
     let mut out = vec![0u8; data.len()];
-    for (i, element) in data.chunks_exact(width).enumerate() {
-        for (c, &b) in element.iter().enumerate() {
-            out[c * n + i] = b;
-        }
-    }
+    isobar_simd::transpose::shuffle_into(isobar_simd::active_tier(), data, width, &mut out);
     out
 }
 
 /// Inverse of [`shuffle`].
 pub fn unshuffle(data: &[u8], width: usize) -> Vec<u8> {
     assert!(width > 0 && data.len().is_multiple_of(width));
-    let n = data.len() / width;
     let mut out = vec![0u8; data.len()];
-    for c in 0..width {
-        for i in 0..n {
-            out[i * width + c] = data[c * n + i];
-        }
-    }
+    isobar_simd::transpose::unshuffle_into(isobar_simd::active_tier(), data, width, &mut out);
     out
 }
 

@@ -10,7 +10,10 @@
 //!
 //! Both a one-shot function ([`xxh64`]) and a streaming hasher
 //! ([`Xxh64`]) are provided; the streaming form is what the store writer
-//! uses while records pass through on their way to disk.
+//! uses while records pass through on their way to disk. Whole 32-byte
+//! stripes are consumed in bulk by the `isobar-simd` 4-lane stripe
+//! kernel (resolved once per hasher); only tails and finalization live
+//! here.
 
 const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
 const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
@@ -89,18 +92,14 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
     let len = data.len() as u64;
     let mut h;
     if data.len() >= 32 {
-        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
-        let mut v2 = seed.wrapping_add(PRIME64_2);
-        let mut v3 = seed;
-        let mut v4 = seed.wrapping_sub(PRIME64_1);
-        let mut i = 0;
-        while i + 32 <= data.len() {
-            v1 = round(v1, read_u64(data, i));
-            v2 = round(v2, read_u64(data, i + 8));
-            v3 = round(v3, read_u64(data, i + 16));
-            v4 = round(v4, read_u64(data, i + 24));
-            i += 32;
-        }
+        let mut v = [
+            seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2),
+            seed.wrapping_add(PRIME64_2),
+            seed,
+            seed.wrapping_sub(PRIME64_1),
+        ];
+        let i = isobar_simd::xxh64::consume_stripes(isobar_simd::active_tier(), &mut v, data);
+        let [v1, v2, v3, v4] = v;
         h = v1
             .rotate_left(1)
             .wrapping_add(v2.rotate_left(7))
@@ -130,6 +129,8 @@ pub struct Xxh64 {
     buf_len: usize,
     total: u64,
     seed: u64,
+    /// Kernel tier, resolved once at construction.
+    tier: isobar_simd::KernelTier,
 }
 
 impl Xxh64 {
@@ -146,6 +147,7 @@ impl Xxh64 {
             buf_len: 0,
             total: 0,
             seed,
+            tier: isobar_simd::active_tier(),
         }
     }
 
@@ -160,7 +162,7 @@ impl Xxh64 {
             data = &data[take..];
             if self.buf_len == 32 {
                 let buf = self.buf;
-                self.consume_stripe(&buf);
+                isobar_simd::xxh64::consume_stripes(self.tier, &mut self.v, &buf);
                 self.buf_len = 0;
             } else {
                 // Input exhausted without completing a stripe; the tail
@@ -168,25 +170,11 @@ impl Xxh64 {
                 return;
             }
         }
-        let mut i = 0;
-        while i + 32 <= data.len() {
-            // Copy to a fixed stripe to keep the borrow checker away from
-            // `self` while consuming.
-            let mut stripe = [0u8; 32];
-            stripe.copy_from_slice(&data[i..i + 32]);
-            self.consume_stripe(&stripe);
-            i += 32;
-        }
-        let rest = &data[i..];
+        // Bulk path: all whole stripes straight from the input slice.
+        let consumed = isobar_simd::xxh64::consume_stripes(self.tier, &mut self.v, data);
+        let rest = &data[consumed..];
         self.buf[..rest.len()].copy_from_slice(rest);
         self.buf_len = rest.len();
-    }
-
-    fn consume_stripe(&mut self, stripe: &[u8; 32]) {
-        self.v[0] = round(self.v[0], read_u64(stripe, 0));
-        self.v[1] = round(self.v[1], read_u64(stripe, 8));
-        self.v[2] = round(self.v[2], read_u64(stripe, 16));
-        self.v[3] = round(self.v[3], read_u64(stripe, 24));
     }
 
     /// Finish and return the 64-bit digest. The hasher may keep absorbing

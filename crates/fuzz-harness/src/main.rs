@@ -1,7 +1,7 @@
 //! Fuzz driver: run every decode layer under fault injection.
 //!
 //! ```text
-//! isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list]
+//! isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--kernels scalar|auto]
 //! isobar-fuzz-harness --crash-sweep [--seed HEX]
 //! ```
 //!
@@ -40,6 +40,12 @@ fn main() {
             "--layer" => {
                 selected.push(expect_value(&args, &mut i, "--layer"));
             }
+            "--kernels" => {
+                let raw = expect_value(&args, &mut i, "--kernels");
+                let selection = isobar::KernelSelection::parse(&raw)
+                    .unwrap_or_else(|| usage("--kernels takes scalar or auto"));
+                isobar::set_kernels(selection);
+            }
             "--list" => list = true,
             "--crash-sweep" => crash_sweep = true,
             "--help" | "-h" => usage(""),
@@ -76,6 +82,8 @@ fn main() {
             usage(&format!("unknown layer {name} (try --list)"));
         }
     }
+
+    println!("kernels: {}", isobar::active_kernel_tier());
 
     let mut failed = false;
     for layer in &layers {
@@ -114,7 +122,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--crash-sweep]"
+        "usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--crash-sweep] [--kernels scalar|auto]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

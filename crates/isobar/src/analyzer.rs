@@ -95,11 +95,16 @@ impl ColumnSelection {
 #[derive(Debug, Clone, Copy)]
 pub struct Analyzer {
     tau: f64,
+    /// Histogram kernel tier, resolved once at construction.
+    tier: isobar_simd::KernelTier,
 }
 
 impl Default for Analyzer {
     fn default() -> Self {
-        Analyzer { tau: DEFAULT_TAU }
+        Analyzer {
+            tau: DEFAULT_TAU,
+            tier: isobar_simd::active_tier(),
+        }
     }
 }
 
@@ -111,7 +116,10 @@ impl Analyzer {
     /// a constant column exceeds, so everything reads incompressible.
     pub fn with_tau(tau: f64) -> Self {
         assert!(tau > 0.0 && tau <= 256.0, "tau must be in (0, 256]");
-        Analyzer { tau }
+        Analyzer {
+            tau,
+            tier: isobar_simd::active_tier(),
+        }
     }
 
     /// The configured tolerance factor.
@@ -147,15 +155,9 @@ impl Analyzer {
     /// ```
     pub fn analyze(&self, data: &[u8], width: usize) -> Result<ColumnSelection, IsobarError> {
         let (hists, tolerance) = self.fill_histograms(data, width)?;
-        let (even_bank, odd_bank) = hists.split_at(width);
-        let bits = even_bank
+        let bits = hists
             .iter()
-            .zip(odd_bank)
-            .map(|(even, odd)| {
-                even.iter()
-                    .zip(odd)
-                    .any(|(&e, &o)| (e + o) as f64 > tolerance)
-            })
+            .map(|hist| hist.iter().any(|&count| count as f64 > tolerance))
             .collect();
         Ok(ColumnSelection::new(bits))
     }
@@ -183,17 +185,11 @@ impl Analyzer {
             return self.analyze(data, width);
         }
         let (hists, tolerance) = self.fill_histograms(data, width)?;
-        let (even_bank, odd_bank) = hists.split_at(width);
         let mut bits = Vec::with_capacity(width);
-        for (even, odd) in even_bank.iter().zip(odd_bank) {
+        for hist in &hists {
             // `max > tolerance` ⇔ `any bin > tolerance`: same verdict
             // as analyze(), but the peak also yields the margin.
-            let peak = even
-                .iter()
-                .zip(odd)
-                .map(|(&e, &o)| e + o)
-                .max()
-                .unwrap_or(0);
+            let peak = hist.iter().copied().max().unwrap_or(0);
             let compressible = peak as f64 > tolerance;
             if tolerance > 0.0 {
                 recorder.record_tau_margin(peak as f64 / tolerance);
@@ -210,8 +206,12 @@ impl Analyzer {
         Ok(ColumnSelection::new(bits))
     }
 
-    /// The shared histogram pass: one 256-bin histogram pair per
-    /// column, plus the tolerance `τ·N/256` they are judged against.
+    /// The shared histogram pass: one 256-bin histogram per column,
+    /// plus the tolerance `τ·N/256` they are judged against. Counting
+    /// runs on the dispatched `isobar-simd` kernel (block-transposed
+    /// multi-bank accumulation on SIMD tiers, dual-bank scalar
+    /// otherwise); counts are exact either way, so classification is
+    /// bit-identical across tiers.
     fn fill_histograms(
         &self,
         data: &[u8],
@@ -228,24 +228,8 @@ impl Analyzer {
         }
         let n = data.len() / width;
         let tolerance = self.tau * n as f64 / 256.0;
-
-        // One pass over the data filling two interleaved histogram banks
-        // per column. Low-entropy columns (the interesting ones) hit the
-        // same counter on consecutive elements; splitting even and odd
-        // elements across banks halves that store-to-load dependency
-        // chain, which is what bounds this loop.
-        let mut hists = vec![[0u32; 256]; width * 2];
-        let (even_bank, odd_bank) = hists.split_at_mut(width);
-        let mut pairs = data.chunks_exact(width * 2);
-        for pair in pairs.by_ref() {
-            for c in 0..width {
-                even_bank[c][pair[c] as usize] += 1;
-                odd_bank[c][pair[width + c] as usize] += 1;
-            }
-        }
-        for (hist, &b) in even_bank.iter_mut().zip(pairs.remainder()) {
-            hist[b as usize] += 1;
-        }
+        let mut hists = Vec::new();
+        isobar_simd::hist::byte_column_histograms(self.tier, data, width, &mut hists);
         Ok((hists, tolerance))
     }
 

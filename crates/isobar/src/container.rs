@@ -171,6 +171,12 @@ pub struct ChunkRecord {
 }
 
 impl ChunkRecord {
+    /// Exact serialized size of [`ChunkRecord::write`]'s output, so
+    /// callers can reserve the full container up front.
+    pub fn encoded_len(&self) -> usize {
+        CHUNK_HEADER_LEN + self.compressed.len() + self.incompressible.len()
+    }
+
     /// Serialize into the output buffer in the current ([`VERSION`])
     /// format, computing and embedding the chunk checksum.
     pub fn write(&self, out: &mut Vec<u8>) {

@@ -185,11 +185,7 @@ impl EupaSelector {
                 } else {
                     sample.len() as f64 / out_len as f64
                 };
-                let throughput_mbps = if elapsed > 0.0 {
-                    sample.len() as f64 / 1e6 / elapsed
-                } else {
-                    f64::INFINITY
-                };
+                let throughput_mbps = crate::pipeline::throughput_mbps(sample.len(), elapsed);
                 // One trace event per sampled codec × linearization,
                 // carrying the measured evidence; the `chunk` field
                 // holds the combo index (codec_idx * 2 + lin_idx).
@@ -231,12 +227,16 @@ impl EupaSelector {
 
 fn choose(samples: &[SampleResult], preference: Preference) -> SampleResult {
     debug_assert!(!samples.is_empty());
-    let by_ratio = |a: &&SampleResult, b: &&SampleResult| {
-        a.ratio
-            .partial_cmp(&b.ratio)
-            .unwrap()
-            .then(a.throughput_mbps.partial_cmp(&b.throughput_mbps).unwrap())
-    };
+    // Exact ratio ties are common — with a single compressible column,
+    // row and column linearization emit byte-identical streams — and
+    // breaking them with throughput measured on a sub-millisecond
+    // sample made the decision (and therefore the container bytes)
+    // depend on scheduler noise: a serial and a parallel run of the
+    // same input could disagree. Ties fall through to `max_by`, which
+    // keeps the *last* tied combination in enumeration order — column
+    // linearization over row, the layout the partitioner produces
+    // natively.
+    let by_ratio = |a: &&SampleResult, b: &&SampleResult| a.ratio.partial_cmp(&b.ratio).unwrap();
     let by_speed = |a: &&SampleResult, b: &&SampleResult| {
         a.throughput_mbps
             .partial_cmp(&b.throughput_mbps)

@@ -69,13 +69,17 @@ pub use analyzer::{Analyzer, ColumnSelection, DEFAULT_TAU};
 pub use error::IsobarError;
 pub use eupa::{EupaDecision, EupaSelector, Preference};
 pub use pipeline::{
-    ChunkDecision, CompressionReport, IsobarCompressor, IsobarOptions, PipelineScratch,
+    throughput_mbps, ChunkDecision, CompressionReport, IsobarCompressor, IsobarOptions,
+    PipelineScratch,
 };
 pub use salvage::{FsckReport, SalvageReport};
 pub use stream::{IsobarReader, IsobarWriter};
 
 pub use isobar_codecs::{Codec, CodecId, CompressionLevel};
 pub use isobar_linearize::Linearization;
+pub use isobar_simd::{
+    active_tier as active_kernel_tier, set_kernels, KernelSelection, KernelTier,
+};
 
 /// Re-export of the telemetry substrate so downstream crates can name
 /// counters, stages, and snapshots without a direct dependency. See

@@ -8,7 +8,19 @@
 //! `reassemble` inverts the split exactly.
 
 use crate::analyzer::ColumnSelection;
-use isobar_linearize::{gather_columns, scatter_columns, Linearization};
+use isobar_linearize::Linearization;
+use isobar_simd::transpose::StreamLayout;
+use isobar_simd::KernelTier;
+
+/// The kernel crate's layout tag for a linearization choice: the C
+/// stream is row- or column-major per EUPA, the I stream always
+/// column-major.
+fn layout(lin: Linearization) -> StreamLayout {
+    match lin {
+        Linearization::Row => StreamLayout::RowMajor,
+        Linearization::Column => StreamLayout::ColumnMajor,
+    }
+}
 
 /// Output of partitioning one chunk.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,9 +78,8 @@ pub fn partition(
 }
 
 /// [`partition`] into caller-provided buffers (cleared and refilled) —
-/// the allocation-free path the compressor's hot loop uses. For ω ≤ 8
-/// the fused register path writes straight into the reused buffers; the
-/// rare wide-element path falls back to the allocating gather.
+/// the allocation-free path the compressor's hot loop uses, on the
+/// process-wide kernel tier.
 pub fn partition_into(
     data: &[u8],
     width: usize,
@@ -77,30 +88,23 @@ pub fn partition_into(
     compressible: &mut Vec<u8>,
     incompressible: &mut Vec<u8>,
 ) {
-    debug_assert_eq!(selection.width(), width);
-    if width <= 8 && !data.is_empty() {
-        // Blocked fast path: one pass over the source feeds both output
-        // streams, instead of two independent strided passes.
-        fused_partition8(data, width, selection, lin, compressible, incompressible);
-        return;
-    }
-    *compressible = gather_columns(data, width, &selection.compressible(), lin);
-    *incompressible = gather_columns(
+    partition_into_with(
+        isobar_simd::active_tier(),
         data,
         width,
-        &selection.incompressible(),
-        Linearization::Column,
+        selection,
+        lin,
+        compressible,
+        incompressible,
     );
 }
 
-/// Cache-blocked partition for ω ≤ 8 (the inverse of
-/// `fused_reassemble8`).
-///
-/// Elements are processed in blocks small enough that the source rows
-/// stay in L1 while each output column streams sequentially, and the
-/// inner loops are written over lockstep iterators so no per-byte index
-/// arithmetic or bounds checks survive.
-fn fused_partition8(
+/// [`partition_into`] on an explicit kernel tier — the pipeline resolves
+/// its tier once at construction and calls this directly. One fused pass
+/// over the source feeds both output streams (SIMD unpack-tree for
+/// ω ≤ 8, cache-blocked scalar otherwise).
+pub fn partition_into_with(
+    tier: KernelTier,
     data: &[u8],
     width: usize,
     selection: &ColumnSelection,
@@ -108,49 +112,24 @@ fn fused_partition8(
     compressible: &mut Vec<u8>,
     incompressible: &mut Vec<u8>,
 ) {
-    let n = data.len() / width;
+    debug_assert_eq!(selection.width(), width);
+    let n = data.len() / width.max(1);
     let comp_cols = selection.compressible();
     let incomp_cols = selection.incompressible();
-    let k = comp_cols.len();
     compressible.clear();
-    compressible.resize(n * k, 0);
+    compressible.resize(n * comp_cols.len(), 0);
     incompressible.clear();
     incompressible.resize(n * incomp_cols.len(), 0);
-
-    const BLOCK: usize = 1024;
-    let mut start = 0usize;
-    while start < n {
-        let m = (n - start).min(BLOCK);
-        let src = &data[start * width..(start + m) * width];
-        match lin {
-            // A fully-incompressible selection (k = 0) has no C stream;
-            // chunks of width 0 would panic.
-            Linearization::Row if k > 0 => {
-                let dst = &mut compressible[start * k..(start + m) * k];
-                for (row, out) in src.chunks_exact(width).zip(dst.chunks_exact_mut(k)) {
-                    for (o, &c) in out.iter_mut().zip(&comp_cols) {
-                        *o = row[c];
-                    }
-                }
-            }
-            Linearization::Row => {}
-            Linearization::Column => {
-                for (j, &c) in comp_cols.iter().enumerate() {
-                    let dst = &mut compressible[j * n + start..j * n + start + m];
-                    for (o, row) in dst.iter_mut().zip(src.chunks_exact(width)) {
-                        *o = row[c];
-                    }
-                }
-            }
-        }
-        for (j, &c) in incomp_cols.iter().enumerate() {
-            let dst = &mut incompressible[j * n + start..j * n + start + m];
-            for (o, row) in dst.iter_mut().zip(src.chunks_exact(width)) {
-                *o = row[c];
-            }
-        }
-        start += m;
-    }
+    isobar_simd::transpose::partition2(
+        tier,
+        data,
+        width,
+        &comp_cols,
+        layout(lin),
+        compressible,
+        &incomp_cols,
+        incompressible,
+    );
 }
 
 /// Inverse of [`partition`]: rebuild the original element bytes.
@@ -180,7 +159,8 @@ pub fn reassemble(
 
 /// [`reassemble`] into a caller-provided buffer (must be exactly
 /// `compressible.len() + incompressible.len()` bytes) — the allocation-
-/// free path the decompressor's hot loop uses.
+/// free path the decompressor's hot loop uses, on the process-wide
+/// kernel tier.
 pub fn reassemble_into(
     compressible: &[u8],
     incompressible: &[u8],
@@ -189,28 +169,24 @@ pub fn reassemble_into(
     lin: Linearization,
     out: &mut [u8],
 ) {
-    assert_eq!(out.len(), compressible.len() + incompressible.len());
-    if width <= 8 && !out.is_empty() {
-        // Blocked fast path: all source reads are sequential (per
-        // column, or per element for a row-linearized C) and the output
-        // block stays in L1 across the column passes.
-        fused_reassemble8(compressible, incompressible, width, selection, lin, out);
-        return;
-    }
-    scatter_columns(compressible, width, &selection.compressible(), lin, out);
-    scatter_columns(
+    reassemble_into_with(
+        isobar_simd::active_tier(),
+        compressible,
         incompressible,
         width,
-        &selection.incompressible(),
-        Linearization::Column,
+        selection,
+        lin,
         out,
     );
 }
 
-/// Cache-blocked reassembly for ω ≤ 8. Every output byte belongs to
-/// exactly one column (C and I together cover the element), so the
-/// column passes fill each block completely.
-fn fused_reassemble8(
+/// [`reassemble_into`] on an explicit kernel tier. C and I together
+/// cover every byte-column, which is what lets the SIMD kernel store
+/// whole rows (its "unlisted columns are unspecified" contract is
+/// vacuous here).
+#[allow(clippy::too_many_arguments)]
+pub fn reassemble_into_with(
+    tier: KernelTier,
     compressible: &[u8],
     incompressible: &[u8],
     width: usize,
@@ -218,47 +194,17 @@ fn fused_reassemble8(
     lin: Linearization,
     out: &mut [u8],
 ) {
-    let n = out.len() / width;
-    let comp_cols = selection.compressible();
-    let incomp_cols = selection.incompressible();
-    debug_assert_eq!(compressible.len(), n * comp_cols.len());
-    debug_assert_eq!(incompressible.len(), n * incomp_cols.len());
-    let k = comp_cols.len();
-
-    const BLOCK: usize = 1024;
-    let mut start = 0usize;
-    while start < n {
-        let m = (n - start).min(BLOCK);
-        let dst = &mut out[start * width..(start + m) * width];
-        match lin {
-            // A fully-incompressible selection (k = 0) has no C stream;
-            // chunks of width 0 would panic.
-            Linearization::Row if k > 0 => {
-                let src = &compressible[start * k..(start + m) * k];
-                for (row, element) in dst.chunks_exact_mut(width).zip(src.chunks_exact(k)) {
-                    for (&b, &c) in element.iter().zip(&comp_cols) {
-                        row[c] = b;
-                    }
-                }
-            }
-            Linearization::Row => {}
-            Linearization::Column => {
-                for (j, &c) in comp_cols.iter().enumerate() {
-                    let src = &compressible[j * n + start..j * n + start + m];
-                    for (row, &b) in dst.chunks_exact_mut(width).zip(src) {
-                        row[c] = b;
-                    }
-                }
-            }
-        }
-        for (j, &c) in incomp_cols.iter().enumerate() {
-            let src = &incompressible[j * n + start..j * n + start + m];
-            for (row, &b) in dst.chunks_exact_mut(width).zip(src) {
-                row[c] = b;
-            }
-        }
-        start += m;
-    }
+    assert_eq!(out.len(), compressible.len() + incompressible.len());
+    isobar_simd::transpose::reassemble2(
+        tier,
+        compressible,
+        &selection.compressible(),
+        layout(lin),
+        incompressible,
+        &selection.incompressible(),
+        width,
+        out,
+    );
 }
 
 #[cfg(test)]

@@ -67,6 +67,19 @@ impl Default for IsobarOptions {
     }
 }
 
+/// Throughput in MB/s (paper convention: 10⁶ bytes) with the elapsed
+/// time clamped to a one-microsecond floor.
+///
+/// Sub-resolution timings — empty inputs, coarse clocks, stages that
+/// finish in nanoseconds — would otherwise divide into absurd
+/// (`10⁹ MB/s`) or infinite figures that poison averages, speedup
+/// ratios, and JSON output downstream. One microsecond caps the
+/// reportable rate at `bytes × 10⁶ MB/s` while leaving every honestly
+/// measurable timing untouched.
+pub fn throughput_mbps(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs.max(1e-6)
+}
+
 /// Per-chunk outcome, for reporting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChunkDecision {
@@ -123,14 +136,10 @@ impl CompressionReport {
         }
     }
 
-    /// Compression throughput in MB/s over the whole call.
-    ///
-    /// The elapsed time is clamped to a nanosecond floor so degenerate
-    /// timings (empty input, coarse clocks) report a large-but-finite
-    /// number instead of `f64::INFINITY`, which poisons any average or
-    /// JSON serialization built on top of it.
+    /// Compression throughput in MB/s over the whole call (see
+    /// [`throughput_mbps`] for the degenerate-timing clamp).
     pub fn throughput_mbps(&self) -> f64 {
-        self.input_len as f64 / 1e6 / self.total_secs.max(1e-9)
+        throughput_mbps(self.input_len, self.total_secs)
     }
 
     /// Whether the analyzer identified the dataset as improvable
@@ -176,15 +185,33 @@ impl PipelineScratch {
 }
 
 /// The ISOBAR-compress preconditioner.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct IsobarCompressor {
     options: IsobarOptions,
+    /// SIMD kernel tier, resolved once here so the per-chunk hot loops
+    /// never re-dispatch. `isobar_simd::set_kernels` (the CLI's
+    /// `--kernels=` flag) affects compressors constructed afterwards.
+    tier: isobar_simd::KernelTier,
+}
+
+impl Default for IsobarCompressor {
+    fn default() -> Self {
+        IsobarCompressor::new(IsobarOptions::default())
+    }
 }
 
 impl IsobarCompressor {
     /// Create a compressor with the given options.
     pub fn new(options: IsobarOptions) -> Self {
-        IsobarCompressor { options }
+        IsobarCompressor {
+            options,
+            tier: isobar_simd::active_tier(),
+        }
+    }
+
+    /// The SIMD kernel tier this pipeline runs on.
+    pub fn kernel_tier(&self) -> isobar_simd::KernelTier {
+        self.tier
     }
 
     /// Convenience constructor: defaults with the given preference.
@@ -284,6 +311,7 @@ impl IsobarCompressor {
     ) -> Result<(Vec<u8>, CompressionReport), IsobarError> {
         let mut recorder = Recorder::new();
         let recorder = &mut recorder;
+        recorder.set_kernel_tier(self.tier.as_u8());
         let t_start = Instant::now();
         if width == 0 || width > 64 {
             return Err(IsobarError::BadWidth(width));
@@ -359,19 +387,6 @@ impl IsobarCompressor {
 
         let container_timer = StageTimer::start(Stage::ContainerWrite);
         let container_span = trace::span(TraceTag::ContainerWrite, trace::NO_CHUNK);
-        let mut analysis_secs = 0.0;
-        let mut solver_secs = 0.0;
-        let mut decisions = Vec::with_capacity(results.len());
-        let mut body = Vec::new();
-        for (i, r) in results.iter().enumerate() {
-            analysis_secs += r.analysis_secs;
-            solver_secs += r.solver_secs;
-            decisions.push(r.decision);
-            let merge_span = trace::span(TraceTag::ChunkMerge, i as u32);
-            r.record.write(&mut body);
-            drop(merge_span);
-        }
-
         let header = Header {
             version: VERSION,
             width: width as u8,
@@ -383,9 +398,22 @@ impl IsobarCompressor {
             total_len: data.len() as u64,
             checksum: adler32(data),
         };
-        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        // Records are serialized straight into the output buffer — the
+        // header is fully known up front, so no intermediate body copy.
+        let body_len: usize = results.iter().map(|r| r.record.encoded_len()).sum();
+        let mut analysis_secs = 0.0;
+        let mut solver_secs = 0.0;
+        let mut decisions = Vec::with_capacity(results.len());
+        let mut out = Vec::with_capacity(HEADER_LEN + body_len);
         header.write(&mut out);
-        out.extend_from_slice(&body);
+        for (i, r) in results.iter().enumerate() {
+            analysis_secs += r.analysis_secs;
+            solver_secs += r.solver_secs;
+            decisions.push(r.decision);
+            let merge_span = trace::span(TraceTag::ChunkMerge, i as u32);
+            r.record.write(&mut out);
+            drop(merge_span);
+        }
         drop(container_span);
         container_timer.finish(recorder);
         recorder.add(
@@ -453,6 +481,7 @@ impl IsobarCompressor {
         scratch: &mut PipelineScratch,
         recorder: &mut Recorder,
     ) -> Result<Vec<u8>, IsobarError> {
+        recorder.set_kernel_tier(self.tier.as_u8());
         let container_timer = StageTimer::start(Stage::ContainerRead);
         let container_span = trace::span(TraceTag::ContainerRead, trace::NO_CHUNK);
         let header = Header::read(data).map_err(|e| e.at(0))?;

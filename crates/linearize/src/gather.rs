@@ -58,41 +58,35 @@ pub fn gather_columns(data: &[u8], width: usize, cols: &[usize], lin: Linearizat
         return Vec::new();
     }
     let mut out = vec![0u8; n * cols.len()];
-    match lin {
-        Linearization::Row => {
-            for (element, slot) in data
-                .chunks_exact(width)
-                .zip(out.chunks_exact_mut(cols.len()))
-            {
-                for (s, &c) in slot.iter_mut().zip(cols) {
-                    *s = element[c];
-                }
-            }
-        }
-        Linearization::Column => {
-            // Cache-blocked transpose: touch each source cache line once
-            // per block instead of once per column.
-            for block_start in (0..n).step_by(TRANSPOSE_BLOCK) {
-                let block_end = (block_start + TRANSPOSE_BLOCK).min(n);
-                for (k, &c) in cols.iter().enumerate() {
-                    let dst = &mut out[k * n + block_start..k * n + block_end];
-                    for (slot, i) in dst.iter_mut().zip(block_start..block_end) {
-                        *slot = data[i * width + c];
-                    }
-                }
-            }
-        }
-    }
+    let layout = match lin {
+        Linearization::Row => isobar_simd::transpose::StreamLayout::RowMajor,
+        Linearization::Column => isobar_simd::transpose::StreamLayout::ColumnMajor,
+    };
+    // Single-stream gather: the runtime-dispatched kernel with an empty
+    // second stream (SIMD unpack-tree for widths ≤ 8, cache-blocked
+    // scalar otherwise).
+    isobar_simd::transpose::partition2(
+        isobar_simd::active_tier(),
+        data,
+        width,
+        cols,
+        layout,
+        &mut out,
+        &[],
+        &mut [],
+    );
     out
 }
 
-/// Elements per transpose block: 4096 × ω ≤ 256 KiB of source stays
-/// cache-resident while every selected column sweeps it.
+/// Elements per transpose block, mirroring the kernel crate's blocked
+/// scalar scatter.
 const TRANSPOSE_BLOCK: usize = 4096;
 
 /// Inverse of [`gather_columns`]: write the serialized bytes in `src`
 /// back into the positions of `cols` inside `out` (`n` elements of
-/// `width` bytes). Bytes of unselected columns are left untouched.
+/// `width` bytes). Bytes of unselected columns are left untouched —
+/// which is why this stays scalar: the SIMD reassemble kernel stores
+/// whole rows and would clobber them.
 ///
 /// # Panics
 ///

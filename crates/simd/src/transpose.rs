@@ -1,0 +1,670 @@
+//! Byte-matrix transpose kernels: blind shuffle, column gather/scatter,
+//! and the fused partition/reassemble paths the ISOBAR pipeline uses.
+//!
+//! All kernels view the input as an `n × width` byte matrix (n elements
+//! of `width` bytes). The SIMD paths (x86-64, widths 2..=8) transpose
+//! 16 elements per step with an unpack tree — four rounds of
+//! `punpck{l,h}` turn sixteen 8-byte rows into eight 16-byte column
+//! registers and back — so every load and store is wide and sequential.
+//! Other widths and tiers run the cache-blocked scalar code, which is
+//! also the differential-test oracle.
+
+use crate::KernelTier;
+
+/// Layout of the first (solver-facing) stream in [`partition2`] /
+/// [`reassemble2`] — the pipeline's Row/Column linearization choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamLayout {
+    /// Selected bytes interleaved element by element.
+    RowMajor,
+    /// Each selected column contiguous, column after column.
+    ColumnMajor,
+}
+
+/// Transpose `data` (n elements × `width` bytes) into `out`:
+/// `out[c*n + i] = data[i*width + c]` (Blosc-style byte shuffle).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `width` or the buffer
+/// lengths differ.
+pub fn shuffle_into(tier: KernelTier, data: &[u8], width: usize, out: &mut [u8]) {
+    assert!(width > 0 && data.len().is_multiple_of(width));
+    assert_eq!(out.len(), data.len());
+    if width <= 8 {
+        const COLS: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+        partition2(
+            tier,
+            data,
+            width,
+            &COLS[..width],
+            StreamLayout::ColumnMajor,
+            out,
+            &[],
+            &mut [],
+        );
+    } else {
+        let cols: Vec<usize> = (0..width).collect();
+        partition2(
+            tier,
+            data,
+            width,
+            &cols,
+            StreamLayout::ColumnMajor,
+            out,
+            &[],
+            &mut [],
+        );
+    }
+}
+
+/// Inverse of [`shuffle_into`]: `out[i*width + c] = data[c*n + i]`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `width` or the buffer
+/// lengths differ.
+pub fn unshuffle_into(tier: KernelTier, data: &[u8], width: usize, out: &mut [u8]) {
+    assert!(width > 0 && data.len().is_multiple_of(width));
+    assert_eq!(out.len(), data.len());
+    if width <= 8 {
+        const COLS: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+        reassemble2(
+            tier,
+            data,
+            &COLS[..width],
+            StreamLayout::ColumnMajor,
+            &[],
+            &[],
+            width,
+            out,
+        );
+    } else {
+        let cols: Vec<usize> = (0..width).collect();
+        reassemble2(
+            tier,
+            data,
+            &cols,
+            StreamLayout::ColumnMajor,
+            &[],
+            &[],
+            width,
+            out,
+        );
+    }
+}
+
+/// Fused two-stream column gather — one pass over `data` (n elements ×
+/// `width` bytes) distributing columns to two destinations.
+///
+/// Stream A (`a_cols` → `a_dst`, `a_layout`) is the solver-facing C
+/// stream; stream B (`b_cols` → `b_dst`) is always column-major (the
+/// verbatim I stream). Either column set may be empty. Column indices
+/// must be in range and each destination exactly `n * cols.len()`
+/// bytes.
+///
+/// # Panics
+///
+/// Panics on inconsistent buffer shapes.
+#[allow(clippy::too_many_arguments)] // two (cols, layout, dst) streams + shape; a params struct would obscure the symmetry with reassemble2
+pub fn partition2(
+    tier: KernelTier,
+    data: &[u8],
+    width: usize,
+    a_cols: &[usize],
+    a_layout: StreamLayout,
+    a_dst: &mut [u8],
+    b_cols: &[usize],
+    b_dst: &mut [u8],
+) {
+    assert!(width > 0 && data.len().is_multiple_of(width));
+    let n = data.len() / width;
+    assert_eq!(a_dst.len(), n * a_cols.len());
+    assert_eq!(b_dst.len(), n * b_cols.len());
+    assert!(a_cols.iter().chain(b_cols).all(|&c| c < width));
+    if n == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if matches!(tier, KernelTier::Sse2 | KernelTier::Avx2) && (2..=8).contains(&width) {
+        // SAFETY: buffer shapes asserted above; the kernel keeps every
+        // 8/16-byte access within the slack rows it computes.
+        unsafe { x86::partition2(data, width, a_cols, a_layout, a_dst, b_cols, b_dst) };
+        return;
+    }
+    let _ = tier;
+    scalar_partition2(data, width, a_cols, a_layout, a_dst, b_cols, b_dst, 0);
+}
+
+/// Inverse of [`partition2`]: rebuild rows from the two streams.
+///
+/// Bytes of columns in neither `a_cols` nor `b_cols` end up with
+/// **unspecified** contents (the SIMD path stores whole rows) — callers
+/// must list every column they care about. The pipeline always covers
+/// all of them: C ∪ I is the full element.
+///
+/// # Panics
+///
+/// Panics on inconsistent buffer shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn reassemble2(
+    tier: KernelTier,
+    a_src: &[u8],
+    a_cols: &[usize],
+    a_layout: StreamLayout,
+    b_src: &[u8],
+    b_cols: &[usize],
+    width: usize,
+    out: &mut [u8],
+) {
+    assert!(width > 0 && out.len().is_multiple_of(width));
+    let n = out.len() / width;
+    assert_eq!(a_src.len(), n * a_cols.len());
+    assert_eq!(b_src.len(), n * b_cols.len());
+    assert!(a_cols.iter().chain(b_cols).all(|&c| c < width));
+    if n == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if matches!(tier, KernelTier::Sse2 | KernelTier::Avx2) && (2..=8).contains(&width) {
+        // SAFETY: buffer shapes asserted above; slack rows bound every
+        // wide access, and the row stores may only clobber columns the
+        // contract already declares unspecified.
+        unsafe { x86::reassemble2(a_src, a_cols, a_layout, b_src, b_cols, width, out) };
+        return;
+    }
+    let _ = tier;
+    scalar_reassemble2(a_src, a_cols, a_layout, b_src, b_cols, width, out, 0);
+}
+
+/// Elements per scalar block: keeps ~BLOCK × width source bytes
+/// L1-resident while each output column streams through it.
+const BLOCK: usize = 1024;
+
+/// Scalar oracle for [`partition2`], processing rows `from..n` (the
+/// SIMD kernels reuse it for their remainder tails).
+#[allow(clippy::too_many_arguments)]
+fn scalar_partition2(
+    data: &[u8],
+    width: usize,
+    a_cols: &[usize],
+    a_layout: StreamLayout,
+    a_dst: &mut [u8],
+    b_cols: &[usize],
+    b_dst: &mut [u8],
+    from: usize,
+) {
+    let n = data.len() / width;
+    let k = a_cols.len();
+    let mut start = from;
+    while start < n {
+        let m = (n - start).min(BLOCK);
+        let src = &data[start * width..(start + m) * width];
+        match a_layout {
+            // chunks_exact_mut(0) would panic on an empty column set.
+            StreamLayout::RowMajor if k > 0 => {
+                let dst = &mut a_dst[start * k..(start + m) * k];
+                for (row, out) in src.chunks_exact(width).zip(dst.chunks_exact_mut(k)) {
+                    for (o, &c) in out.iter_mut().zip(a_cols) {
+                        *o = row[c];
+                    }
+                }
+            }
+            StreamLayout::RowMajor => {}
+            StreamLayout::ColumnMajor => {
+                for (j, &c) in a_cols.iter().enumerate() {
+                    let dst = &mut a_dst[j * n + start..j * n + start + m];
+                    for (o, row) in dst.iter_mut().zip(src.chunks_exact(width)) {
+                        *o = row[c];
+                    }
+                }
+            }
+        }
+        for (j, &c) in b_cols.iter().enumerate() {
+            let dst = &mut b_dst[j * n + start..j * n + start + m];
+            for (o, row) in dst.iter_mut().zip(src.chunks_exact(width)) {
+                *o = row[c];
+            }
+        }
+        start += m;
+    }
+}
+
+/// Scalar oracle for [`reassemble2`], processing rows `from..n`.
+#[allow(clippy::too_many_arguments)]
+fn scalar_reassemble2(
+    a_src: &[u8],
+    a_cols: &[usize],
+    a_layout: StreamLayout,
+    b_src: &[u8],
+    b_cols: &[usize],
+    width: usize,
+    out: &mut [u8],
+    from: usize,
+) {
+    let n = out.len() / width;
+    let k = a_cols.len();
+    let mut start = from;
+    while start < n {
+        let m = (n - start).min(BLOCK);
+        let dst = &mut out[start * width..(start + m) * width];
+        match a_layout {
+            StreamLayout::RowMajor if k > 0 => {
+                let src = &a_src[start * k..(start + m) * k];
+                for (row, element) in dst.chunks_exact_mut(width).zip(src.chunks_exact(k)) {
+                    for (&b, &c) in element.iter().zip(a_cols) {
+                        row[c] = b;
+                    }
+                }
+            }
+            StreamLayout::RowMajor => {}
+            StreamLayout::ColumnMajor => {
+                for (j, &c) in a_cols.iter().enumerate() {
+                    let src = &a_src[j * n + start..j * n + start + m];
+                    for (row, &b) in dst.chunks_exact_mut(width).zip(src) {
+                        row[c] = b;
+                    }
+                }
+            }
+        }
+        for (j, &c) in b_cols.iter().enumerate() {
+            let src = &b_src[j * n + start..j * n + start + m];
+            for (row, &b) in dst.chunks_exact_mut(width).zip(src) {
+                row[c] = b;
+            }
+        }
+        start += m;
+    }
+}
+
+/// Number of leading rows `r` (stride `stride`) for which an 8-byte
+/// access at `r * stride` stays inside a `len`-byte buffer.
+#[cfg(target_arch = "x86_64")]
+fn rows_with_slack(len: usize, stride: usize) -> usize {
+    if len < 8 {
+        0
+    } else {
+        (len - 8) / stride + 1
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{rows_with_slack, scalar_partition2, scalar_reassemble2, StreamLayout};
+    use std::arch::x86_64::*;
+
+    /// Transpose 16 rows of `stride` bytes (reading 8 bytes per row;
+    /// bytes past the row width land in ignored high columns) into 8
+    /// column registers of 16 bytes each.
+    ///
+    /// # Safety
+    ///
+    /// `src .. src + 15*stride + 8` must be readable.
+    #[inline(always)]
+    pub unsafe fn load16x8(src: *const u8, stride: usize) -> [__m128i; 8] {
+        let row = |r: usize| -> __m128i {
+            // SAFETY: caller guarantees 8 readable bytes at every row.
+            unsafe { _mm_loadl_epi64(src.add(r * stride) as *const __m128i) }
+        };
+        // Round 1 (bytes): t[k] = columns of rows 2k, 2k+1 interleaved.
+        let t0 = _mm_unpacklo_epi8(row(0), row(1));
+        let t1 = _mm_unpacklo_epi8(row(2), row(3));
+        let t2 = _mm_unpacklo_epi8(row(4), row(5));
+        let t3 = _mm_unpacklo_epi8(row(6), row(7));
+        let t4 = _mm_unpacklo_epi8(row(8), row(9));
+        let t5 = _mm_unpacklo_epi8(row(10), row(11));
+        let t6 = _mm_unpacklo_epi8(row(12), row(13));
+        let t7 = _mm_unpacklo_epi8(row(14), row(15));
+        // Round 2 (words): one dword = one column over four rows.
+        let u0 = _mm_unpacklo_epi16(t0, t1); // cols 0-3 × rows 0-3
+        let u1 = _mm_unpackhi_epi16(t0, t1); // cols 4-7 × rows 0-3
+        let u2 = _mm_unpacklo_epi16(t2, t3); // cols 0-3 × rows 4-7
+        let u3 = _mm_unpackhi_epi16(t2, t3); // cols 4-7 × rows 4-7
+        let u4 = _mm_unpacklo_epi16(t4, t5); // cols 0-3 × rows 8-11
+        let u5 = _mm_unpackhi_epi16(t4, t5); // cols 4-7 × rows 8-11
+        let u6 = _mm_unpacklo_epi16(t6, t7); // cols 0-3 × rows 12-15
+        let u7 = _mm_unpackhi_epi16(t6, t7); // cols 4-7 × rows 12-15
+                                             // Round 3 (dwords): one qword = one column over eight rows.
+        let v0 = _mm_unpacklo_epi32(u0, u2); // cols 0,1 × rows 0-7
+        let v1 = _mm_unpackhi_epi32(u0, u2); // cols 2,3 × rows 0-7
+        let v2 = _mm_unpacklo_epi32(u1, u3); // cols 4,5 × rows 0-7
+        let v3 = _mm_unpackhi_epi32(u1, u3); // cols 6,7 × rows 0-7
+        let v4 = _mm_unpacklo_epi32(u4, u6); // cols 0,1 × rows 8-15
+        let v5 = _mm_unpackhi_epi32(u4, u6); // cols 2,3 × rows 8-15
+        let v6 = _mm_unpacklo_epi32(u5, u7); // cols 4,5 × rows 8-15
+        let v7 = _mm_unpackhi_epi32(u5, u7); // cols 6,7 × rows 8-15
+                                             // Round 4 (qwords): full 16-row columns.
+        [
+            _mm_unpacklo_epi64(v0, v4),
+            _mm_unpackhi_epi64(v0, v4),
+            _mm_unpacklo_epi64(v1, v5),
+            _mm_unpackhi_epi64(v1, v5),
+            _mm_unpacklo_epi64(v2, v6),
+            _mm_unpackhi_epi64(v2, v6),
+            _mm_unpacklo_epi64(v3, v7),
+            _mm_unpackhi_epi64(v3, v7),
+        ]
+    }
+
+    /// Inverse of [`load16x8`]: write 16 rows of `width` bytes from 8
+    /// column registers. Rows are stored with 8-byte (width < 8) or
+    /// paired 16-byte (width == 8) stores in ascending order, so
+    /// narrower rows transiently overrun into the next row and are
+    /// fixed by the following store.
+    ///
+    /// # Safety
+    ///
+    /// `dst .. dst + 15*width + 8` must be writable (for width == 8
+    /// that bound equals the full 128-byte block plus nothing).
+    #[inline(always)]
+    pub unsafe fn store16x8(cols: &[__m128i; 8], dst: *mut u8, width: usize) {
+        // Round 1 (bytes): a/b = two columns over rows 0-7 / 8-15.
+        let a0 = _mm_unpacklo_epi8(cols[0], cols[1]);
+        let b0 = _mm_unpackhi_epi8(cols[0], cols[1]);
+        let a1 = _mm_unpacklo_epi8(cols[2], cols[3]);
+        let b1 = _mm_unpackhi_epi8(cols[2], cols[3]);
+        let a2 = _mm_unpacklo_epi8(cols[4], cols[5]);
+        let b2 = _mm_unpackhi_epi8(cols[4], cols[5]);
+        let a3 = _mm_unpacklo_epi8(cols[6], cols[7]);
+        let b3 = _mm_unpackhi_epi8(cols[6], cols[7]);
+        // Round 2 (words): one dword = cols 0-3 (or 4-7) of one row.
+        let x0 = _mm_unpacklo_epi16(a0, a1); // rows 0-3  × cols 0-3
+        let x1 = _mm_unpackhi_epi16(a0, a1); // rows 4-7  × cols 0-3
+        let x2 = _mm_unpacklo_epi16(a2, a3); // rows 0-3  × cols 4-7
+        let x3 = _mm_unpackhi_epi16(a2, a3); // rows 4-7  × cols 4-7
+        let y0 = _mm_unpacklo_epi16(b0, b1); // rows 8-11 × cols 0-3
+        let y1 = _mm_unpackhi_epi16(b0, b1); // rows 12-15 × cols 0-3
+        let y2 = _mm_unpacklo_epi16(b2, b3); // rows 8-11 × cols 4-7
+        let y3 = _mm_unpackhi_epi16(b2, b3); // rows 12-15 × cols 4-7
+                                             // Round 3 (dwords): each register = two complete 8-byte rows.
+        let pairs = [
+            _mm_unpacklo_epi32(x0, x2), // rows 0,1
+            _mm_unpackhi_epi32(x0, x2), // rows 2,3
+            _mm_unpacklo_epi32(x1, x3), // rows 4,5
+            _mm_unpackhi_epi32(x1, x3), // rows 6,7
+            _mm_unpacklo_epi32(y0, y2), // rows 8,9
+            _mm_unpackhi_epi32(y0, y2), // rows 10,11
+            _mm_unpacklo_epi32(y1, y3), // rows 12,13
+            _mm_unpackhi_epi32(y1, y3), // rows 14,15
+        ];
+        if width == 8 {
+            for (p, pair) in pairs.iter().enumerate() {
+                // SAFETY: rows are contiguous at width 8, so each pair
+                // store covers exactly rows 2p and 2p+1.
+                unsafe { _mm_storeu_si128(dst.add(p * 16) as *mut __m128i, *pair) };
+            }
+        } else {
+            for (p, pair) in pairs.iter().enumerate() {
+                // SAFETY: caller guarantees 8 writable bytes at every
+                // row start; ascending order repairs the overrun.
+                unsafe {
+                    _mm_storel_epi64(dst.add(2 * p * width) as *mut __m128i, *pair);
+                    _mm_storel_epi64(
+                        dst.add((2 * p + 1) * width) as *mut __m128i,
+                        _mm_unpackhi_epi64(*pair, *pair),
+                    );
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have asserted the [`super::partition2`] buffer-shape
+    /// contract; width must be 2..=8.
+    pub unsafe fn partition2(
+        data: &[u8],
+        width: usize,
+        a_cols: &[usize],
+        a_layout: StreamLayout,
+        a_dst: &mut [u8],
+        b_cols: &[usize],
+        b_dst: &mut [u8],
+    ) {
+        let n = data.len() / width;
+        let k = a_cols.len();
+        let mut safe = rows_with_slack(data.len(), width).min(n);
+        if a_layout == StreamLayout::RowMajor && k > 0 && k < 8 {
+            safe = safe.min(rows_with_slack(a_dst.len(), k));
+        }
+        let blocks = safe / 16;
+        for blk in 0..blocks {
+            let r0 = blk * 16;
+            // SAFETY: r0 + 15 < safe, so every row load has 8 bytes of
+            // slack; column stores of 16 bytes end at r0 + 16 <= n.
+            unsafe {
+                let cols = load16x8(data.as_ptr().add(r0 * width), width);
+                match a_layout {
+                    StreamLayout::ColumnMajor => {
+                        for (j, &c) in a_cols.iter().enumerate() {
+                            _mm_storeu_si128(
+                                a_dst.as_mut_ptr().add(j * n + r0) as *mut __m128i,
+                                cols[c],
+                            );
+                        }
+                    }
+                    StreamLayout::RowMajor => {
+                        if k > 0 {
+                            let mut sub = [_mm_setzero_si128(); 8];
+                            for (j, &c) in a_cols.iter().enumerate() {
+                                sub[j] = cols[c];
+                            }
+                            store16x8(&sub, a_dst.as_mut_ptr().add(r0 * k), k);
+                        }
+                    }
+                }
+                for (j, &c) in b_cols.iter().enumerate() {
+                    _mm_storeu_si128(b_dst.as_mut_ptr().add(j * n + r0) as *mut __m128i, cols[c]);
+                }
+            }
+        }
+        scalar_partition2(
+            data,
+            width,
+            a_cols,
+            a_layout,
+            a_dst,
+            b_cols,
+            b_dst,
+            blocks * 16,
+        );
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have asserted the [`super::reassemble2`]
+    /// buffer-shape contract; width must be 2..=8.
+    pub unsafe fn reassemble2(
+        a_src: &[u8],
+        a_cols: &[usize],
+        a_layout: StreamLayout,
+        b_src: &[u8],
+        b_cols: &[usize],
+        width: usize,
+        out: &mut [u8],
+    ) {
+        let n = out.len() / width;
+        let k = a_cols.len();
+        let mut safe = rows_with_slack(out.len(), width).min(n);
+        if a_layout == StreamLayout::RowMajor && k > 0 {
+            safe = safe.min(rows_with_slack(a_src.len(), k));
+        }
+        let blocks = safe / 16;
+        for blk in 0..blocks {
+            let r0 = blk * 16;
+            // SAFETY: r0 + 15 < safe bounds the strided loads and row
+            // stores; 16-byte column loads end at r0 + 16 <= n.
+            unsafe {
+                let mut cols = [_mm_setzero_si128(); 8];
+                match a_layout {
+                    StreamLayout::ColumnMajor => {
+                        for (j, &c) in a_cols.iter().enumerate() {
+                            cols[c] =
+                                _mm_loadu_si128(a_src.as_ptr().add(j * n + r0) as *const __m128i);
+                        }
+                    }
+                    StreamLayout::RowMajor => {
+                        if k > 0 {
+                            let rows = load16x8(a_src.as_ptr().add(r0 * k), k);
+                            for (j, &c) in a_cols.iter().enumerate() {
+                                cols[c] = rows[j];
+                            }
+                        }
+                    }
+                }
+                for (j, &c) in b_cols.iter().enumerate() {
+                    cols[c] = _mm_loadu_si128(b_src.as_ptr().add(j * n + r0) as *const __m128i);
+                }
+                store16x8(&cols, out.as_mut_ptr().add(r0 * width), width);
+            }
+        }
+        scalar_reassemble2(
+            a_src,
+            a_cols,
+            a_layout,
+            b_src,
+            b_cols,
+            width,
+            out,
+            blocks * 16,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testable_tiers;
+
+    fn pattern(len: usize) -> Vec<u8> {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn naive_shuffle(data: &[u8], width: usize) -> Vec<u8> {
+        let n = data.len() / width;
+        let mut out = vec![0u8; data.len()];
+        for i in 0..n {
+            for c in 0..width {
+                out[c * n + i] = data[i * width + c];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn shuffle_matches_naive_across_tiers_widths_lengths() {
+        for tier in testable_tiers() {
+            for width in [1usize, 2, 3, 4, 5, 7, 8, 12, 16] {
+                for n in [0usize, 1, 2, 15, 16, 17, 31, 100, 1000] {
+                    let data = pattern(n * width);
+                    let mut out = vec![0u8; data.len()];
+                    shuffle_into(tier, &data, width, &mut out);
+                    assert_eq!(out, naive_shuffle(&data, width), "{tier} w{width} n{n}");
+                    let mut back = vec![0u8; data.len()];
+                    unshuffle_into(tier, &out, width, &mut back);
+                    assert_eq!(back, data, "{tier} w{width} n{n} inverse");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition2_round_trips_both_layouts() {
+        let width = 8usize;
+        let a_cols = [0usize, 2, 5];
+        let b_cols = [1usize, 3, 4, 6, 7];
+        for tier in testable_tiers() {
+            for layout in [StreamLayout::RowMajor, StreamLayout::ColumnMajor] {
+                for n in [0usize, 1, 15, 16, 33, 500] {
+                    let data = pattern(n * width);
+                    let mut a = vec![0u8; n * a_cols.len()];
+                    let mut b = vec![0u8; n * b_cols.len()];
+                    partition2(tier, &data, width, &a_cols, layout, &mut a, &b_cols, &mut b);
+                    let mut back = vec![0u8; data.len()];
+                    reassemble2(tier, &a, &a_cols, layout, &b, &b_cols, width, &mut back);
+                    assert_eq!(back, data, "{tier} {layout:?} n{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition2_matches_scalar_reference() {
+        let width = 5usize;
+        let a_cols = [4usize, 0];
+        let b_cols = [1usize, 2, 3];
+        let n = 777usize;
+        let data = pattern(n * width);
+        let mut want_a = vec![0u8; n * a_cols.len()];
+        let mut want_b = vec![0u8; n * b_cols.len()];
+        partition2(
+            KernelTier::Scalar,
+            &data,
+            width,
+            &a_cols,
+            StreamLayout::RowMajor,
+            &mut want_a,
+            &b_cols,
+            &mut want_b,
+        );
+        for tier in testable_tiers() {
+            let mut got_a = vec![0xEE; n * a_cols.len()];
+            let mut got_b = vec![0xEE; n * b_cols.len()];
+            partition2(
+                tier,
+                &data,
+                width,
+                &a_cols,
+                StreamLayout::RowMajor,
+                &mut got_a,
+                &b_cols,
+                &mut got_b,
+            );
+            assert_eq!(got_a, want_a, "{tier} A stream");
+            assert_eq!(got_b, want_b, "{tier} B stream");
+        }
+    }
+
+    #[test]
+    fn empty_column_sets_are_fine() {
+        for tier in testable_tiers() {
+            let data = pattern(64 * 4);
+            let mut all = vec![0u8; data.len()];
+            partition2(
+                tier,
+                &data,
+                4,
+                &[],
+                StreamLayout::RowMajor,
+                &mut [],
+                &[0, 1, 2, 3],
+                &mut all,
+            );
+            let mut back = vec![0u8; data.len()];
+            reassemble2(
+                tier,
+                &[],
+                &[],
+                StreamLayout::RowMajor,
+                &all,
+                &[0, 1, 2, 3],
+                4,
+                &mut back,
+            );
+            assert_eq!(back, data, "{tier}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_shuffle_panics() {
+        let mut out = vec![0u8; 10];
+        shuffle_into(KernelTier::Scalar, &[0u8; 10], 4, &mut out);
+    }
+}

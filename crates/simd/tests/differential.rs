@@ -1,0 +1,246 @@
+//! Differential property tests: every SIMD tier available on this
+//! machine must be byte-identical to the scalar oracle on random
+//! lengths, widths, column subsets, and alignments — including the
+//! unaligned-head and remainder-tail paths the block kernels fall back
+//! through.
+
+use isobar_simd::transpose::StreamLayout;
+use isobar_simd::{adler, hist, memcmp, testable_tiers, transpose, xxh64, KernelTier};
+use proptest::prelude::*;
+
+/// (width, data) with `data.len()` a multiple of `width`. Lengths
+/// straddle the SIMD block size (4096 rows) so both the full-block and
+/// remainder-tail paths run.
+fn shaped_data() -> impl Strategy<Value = (usize, Vec<u8>)> {
+    (1usize..11, 0usize..5000, any::<u64>()).prop_map(|(width, n, seed)| {
+        let mut state = seed | 1;
+        let data = (0..n * width)
+            .map(|_| {
+                // xorshift64*: cheap deterministic bytes, richer than any::<u8>
+                // at these lengths.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+            })
+            .collect();
+        (width, data)
+    })
+}
+
+/// Split `0..width` into two disjoint column sets by mask bit.
+fn split_columns(width: usize, mask: u16) -> (Vec<usize>, Vec<usize>) {
+    let a: Vec<usize> = (0..width).filter(|c| mask & (1 << c) != 0).collect();
+    let b: Vec<usize> = (0..width).filter(|c| mask & (1 << c) == 0).collect();
+    (a, b)
+}
+
+fn layout(idx: usize) -> StreamLayout {
+    if idx == 0 {
+        StreamLayout::RowMajor
+    } else {
+        StreamLayout::ColumnMajor
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn histograms_match_scalar((width, data) in shaped_data()) {
+        let mut oracle = Vec::new();
+        hist::byte_column_histograms(KernelTier::Scalar, &data, width, &mut oracle);
+        for tier in testable_tiers() {
+            let mut got = Vec::new();
+            hist::byte_column_histograms(tier, &data, width, &mut got);
+            prop_assert_eq!(&got, &oracle, "tier {}", tier);
+        }
+    }
+
+    #[test]
+    fn partition2_matches_scalar(
+        (width, data) in shaped_data(),
+        mask in any::<u16>(),
+        lin_idx in 0usize..2,
+    ) {
+        let n = data.len() / width;
+        let (a_cols, b_cols) = split_columns(width, mask);
+        let a_layout = layout(lin_idx);
+
+        let mut a_oracle = vec![0u8; n * a_cols.len()];
+        let mut b_oracle = vec![0u8; n * b_cols.len()];
+        transpose::partition2(
+            KernelTier::Scalar, &data, width,
+            &a_cols, a_layout, &mut a_oracle, &b_cols, &mut b_oracle,
+        );
+        for tier in testable_tiers() {
+            let mut a = vec![0u8; n * a_cols.len()];
+            let mut b = vec![0u8; n * b_cols.len()];
+            transpose::partition2(
+                tier, &data, width, &a_cols, a_layout, &mut a, &b_cols, &mut b,
+            );
+            prop_assert_eq!(&a, &a_oracle, "tier {} stream A", tier);
+            prop_assert_eq!(&b, &b_oracle, "tier {} stream B", tier);
+        }
+    }
+
+    #[test]
+    fn reassemble2_round_trips_every_tier(
+        (width, data) in shaped_data(),
+        mask in any::<u16>(),
+        lin_idx in 0usize..2,
+    ) {
+        // a_cols ∪ b_cols covers every column, so the clobber contract
+        // is satisfied and the rebuilt rows must equal the input.
+        let n = data.len() / width;
+        let (a_cols, b_cols) = split_columns(width, mask);
+        let a_layout = layout(lin_idx);
+
+        let mut a = vec![0u8; n * a_cols.len()];
+        let mut b = vec![0u8; n * b_cols.len()];
+        transpose::partition2(
+            KernelTier::Scalar, &data, width,
+            &a_cols, a_layout, &mut a, &b_cols, &mut b,
+        );
+        for tier in testable_tiers() {
+            let mut out = vec![0xA5u8; data.len()];
+            transpose::reassemble2(
+                tier, &a, &a_cols, a_layout, &b, &b_cols, width, &mut out,
+            );
+            prop_assert_eq!(&out, &data, "tier {}", tier);
+        }
+    }
+
+    #[test]
+    fn shuffle_matches_scalar((width, data) in shaped_data()) {
+        let mut oracle = vec![0u8; data.len()];
+        transpose::shuffle_into(KernelTier::Scalar, &data, width, &mut oracle);
+        for tier in testable_tiers() {
+            let mut shuffled = vec![0u8; data.len()];
+            transpose::shuffle_into(tier, &data, width, &mut shuffled);
+            prop_assert_eq!(&shuffled, &oracle, "tier {} shuffle", tier);
+
+            let mut back = vec![0u8; data.len()];
+            transpose::unshuffle_into(tier, &shuffled, width, &mut back);
+            prop_assert_eq!(&back, &data, "tier {} unshuffle", tier);
+        }
+    }
+
+    #[test]
+    fn xxh64_stripes_match_scalar(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let seed_state = [1u64, 2, 3, 4];
+        let mut oracle = seed_state;
+        let consumed = xxh64::consume_stripes(KernelTier::Scalar, &mut oracle, &data);
+        prop_assert_eq!(consumed, data.len() - data.len() % 32);
+        for tier in testable_tiers() {
+            let mut v = seed_state;
+            let got = xxh64::consume_stripes(tier, &mut v, &data);
+            prop_assert_eq!(got, consumed, "tier {} consumed", tier);
+            prop_assert_eq!(v, oracle, "tier {} lanes", tier);
+        }
+    }
+
+    #[test]
+    fn adler_fold_matches_scalar(
+        data in proptest::collection::vec(any::<u8>(), 0..12_000),
+        a_seed in any::<u16>(),
+        b_seed in any::<u16>(),
+    ) {
+        let a = u32::from(a_seed) % adler::MOD;
+        let b = u32::from(b_seed) % adler::MOD;
+        let oracle = adler::fold(KernelTier::Scalar, a, b, &data);
+        for tier in testable_tiers() {
+            prop_assert_eq!(adler::fold(tier, a, b, &data), oracle, "tier {}", tier);
+        }
+    }
+
+    #[test]
+    fn common_prefix_matches_naive_at_any_alignment(
+        body in proptest::collection::vec(any::<u8>(), 0..200),
+        head_a in 0usize..40,
+        head_b in 0usize..40,
+        diverge_at in any::<u16>(),
+    ) {
+        // Two copies at independent offsets inside larger buffers, so
+        // the slices land on arbitrary alignments; optionally force a
+        // divergence point inside the shared prefix.
+        let mut buf_a = vec![0x11u8; head_a];
+        buf_a.extend_from_slice(&body);
+        let mut buf_b = vec![0x22u8; head_b];
+        buf_b.extend_from_slice(&body);
+        let a = &buf_a[head_a..];
+        let mut b_owned = buf_b[head_b..].to_vec();
+        if !b_owned.is_empty() {
+            let at = diverge_at as usize % b_owned.len();
+            if diverge_at & 0x8000 != 0 {
+                b_owned[at] ^= 0xFF;
+            }
+        }
+        let b = &b_owned[..];
+
+        let naive = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+        for tier in testable_tiers() {
+            prop_assert_eq!(
+                memcmp::common_prefix(tier, a, b), naive, "tier {}", tier
+            );
+        }
+    }
+}
+
+/// Directed edge lengths around every block and vector boundary — the
+/// exact remainder-path seams proptest may only sample.
+#[test]
+fn directed_boundary_lengths_match_scalar() {
+    let interesting: &[usize] = &[
+        0, 1, 2, 3, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 127, 4095, 4096, 4097, 8191, 8192, 8193,
+    ];
+    for &n in interesting {
+        for width in 1..=9usize {
+            let data: Vec<u8> = (0..n * width).map(|i| (i * 131 % 251) as u8).collect();
+            let mut oracle = Vec::new();
+            hist::byte_column_histograms(KernelTier::Scalar, &data, width, &mut oracle);
+            let cols: Vec<usize> = (0..width).collect();
+            let (evens, odds) = split_columns(width, 0b0101_0101_0101_0101);
+            let mut shuf_oracle = vec![0u8; data.len()];
+            transpose::shuffle_into(KernelTier::Scalar, &data, width, &mut shuf_oracle);
+            for tier in testable_tiers() {
+                let mut got = Vec::new();
+                hist::byte_column_histograms(tier, &data, width, &mut got);
+                assert_eq!(got, oracle, "hist n={n} width={width} tier={tier}");
+
+                let mut shuffled = vec![0u8; data.len()];
+                transpose::shuffle_into(tier, &data, width, &mut shuffled);
+                assert_eq!(
+                    shuffled, shuf_oracle,
+                    "shuffle n={n} width={width} tier={tier}"
+                );
+
+                let mut a = vec![0u8; n * evens.len()];
+                let mut b = vec![0u8; n * odds.len()];
+                transpose::partition2(
+                    tier,
+                    &data,
+                    width,
+                    &evens,
+                    StreamLayout::ColumnMajor,
+                    &mut a,
+                    &odds,
+                    &mut b,
+                );
+                let mut back = vec![0u8; data.len()];
+                transpose::reassemble2(
+                    tier,
+                    &a,
+                    &evens,
+                    StreamLayout::ColumnMajor,
+                    &b,
+                    &odds,
+                    width,
+                    &mut back,
+                );
+                assert_eq!(back, data, "round-trip n={n} width={width} tier={tier}");
+            }
+            let _ = cols;
+        }
+    }
+}

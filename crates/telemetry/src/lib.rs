@@ -50,7 +50,8 @@ pub mod json;
 mod snapshot;
 
 pub use snapshot::{
-    StageStats, TelemetrySnapshot, EUPA_COMBOS, HISTOGRAM_BUCKETS, SNAPSHOT_SCHEMA_VERSION,
+    kernel_tier_name, StageStats, TelemetrySnapshot, EUPA_COMBOS, HISTOGRAM_BUCKETS,
+    SNAPSHOT_SCHEMA_VERSION,
 };
 
 /// Compile-time flag: `true` when this build records telemetry.
@@ -345,6 +346,21 @@ impl Recorder {
         #[cfg(not(feature = "enabled"))]
         {
             let _ = (codec_idx, lin_idx, nanos);
+        }
+    }
+
+    /// Record the SIMD kernel tier the pipeline is running on (an
+    /// `isobar-simd` `KernelTier::as_u8` tag). Idempotent per process —
+    /// every pipeline in a process resolves the same tier.
+    #[inline]
+    pub fn set_kernel_tier(&mut self, tier: u8) {
+        #[cfg(feature = "enabled")]
+        {
+            self.snap.kernel_tier = tier;
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = tier;
         }
     }
 

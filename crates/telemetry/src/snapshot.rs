@@ -27,6 +27,18 @@ pub(crate) fn margin_bucket(margin: f64) -> usize {
     ((margin * 4.0) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
 
+/// Display name for a [`TelemetrySnapshot::kernel_tier`] tag. Mirrors
+/// `isobar-simd`'s `KernelTier::name` (this crate stays dependency-free,
+/// so the tiny mapping is duplicated; unknown tags render as `scalar`).
+pub fn kernel_tier_name(tier: u8) -> &'static str {
+    match tier {
+        1 => "sse2",
+        2 => "avx2",
+        3 => "neon",
+        _ => "scalar",
+    }
+}
+
 #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
 #[inline]
 pub(crate) fn combo_index(codec_idx: usize, lin_idx: usize) -> usize {
@@ -110,6 +122,10 @@ pub struct TelemetrySnapshot {
     pub eupa_trial_count: [u64; EUPA_COMBOS.len()],
     /// Total nanoseconds spent trial-compressing each combination.
     pub eupa_trial_nanos: [u64; EUPA_COMBOS.len()],
+    /// SIMD kernel tier the pipeline ran on (`isobar-simd`'s
+    /// `KernelTier::as_u8`: 0 = scalar or unrecorded, 1 = sse2,
+    /// 2 = avx2, 3 = neon).
+    pub kernel_tier: u8,
 }
 
 impl Default for TelemetrySnapshot {
@@ -121,6 +137,7 @@ impl Default for TelemetrySnapshot {
             eupa_selected: [0; EUPA_COMBOS.len()],
             eupa_trial_count: [0; EUPA_COMBOS.len()],
             eupa_trial_nanos: [0; EUPA_COMBOS.len()],
+            kernel_tier: 0,
         }
     }
 }
@@ -174,6 +191,9 @@ impl TelemetrySnapshot {
         {
             *mine = mine.saturating_add(*theirs);
         }
+        // Within one process every worker runs the same tier; the max
+        // keeps a recorded tier over an unrecorded (0 = scalar) one.
+        self.kernel_tier = self.kernel_tier.max(other.kernel_tier);
     }
 
     /// Serialize as pretty-printed JSON with a stable key order.
@@ -181,6 +201,13 @@ impl TelemetrySnapshot {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
         json::field_u64(&mut out, 1, "schema_version", SNAPSHOT_SCHEMA_VERSION, true);
+        json::field_u64(
+            &mut out,
+            1,
+            "kernel_tier",
+            u64::from(self.kernel_tier),
+            true,
+        );
 
         out.push_str("  \"counters\": {\n");
         for (i, counter) in Counter::ALL.iter().enumerate() {
@@ -255,6 +282,9 @@ impl TelemetrySnapshot {
         }
 
         let mut snap = TelemetrySnapshot::default();
+        if let Some(tier) = root.get("kernel_tier").and_then(JsonValue::as_u64) {
+            snap.kernel_tier = tier.min(u64::from(u8::MAX)) as u8;
+        }
         if let Some(counters) = root.get("counters") {
             for (i, counter) in Counter::ALL.iter().enumerate() {
                 if let Some(v) = counters.get(counter.name()).and_then(JsonValue::as_u64) {
@@ -304,6 +334,10 @@ impl TelemetrySnapshot {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str("telemetry\n");
+        out.push_str(&format!(
+            "  kernel tier: {}\n",
+            kernel_tier_name(self.kernel_tier)
+        ));
         out.push_str("  counters\n");
         let mut any = false;
         for (i, counter) in Counter::ALL.iter().enumerate() {
@@ -380,6 +414,13 @@ impl TelemetrySnapshot {
     pub fn to_prometheus(&self) -> String {
         let secs = |nanos: u64| format!("{:.9}", nanos as f64 / 1e9);
         let mut out = String::with_capacity(8192);
+
+        out.push_str(&format!(
+            "# HELP isobar_kernel_tier_info SIMD kernel tier the pipeline ran on.\n\
+             # TYPE isobar_kernel_tier_info gauge\n\
+             isobar_kernel_tier_info{{tier=\"{}\"}} 1\n",
+            kernel_tier_name(self.kernel_tier)
+        ));
 
         for (i, counter) in Counter::ALL.iter().enumerate() {
             let name = counter.name();
