@@ -177,6 +177,96 @@ fn main() {
         }),
     );
 
+    // Checkpoint-store put: the serial single-file writer (compress,
+    // then write, then fdatasync, one entry at a time) against the
+    // sharded writer whose per-shard codec/io pipelines overlap
+    // compression with `fdatasync`. Same bytes, same codec settings;
+    // the gap is the overlap. Each timed run builds a fresh store and
+    // includes the full create-to-commit wall time.
+    let store_scratch =
+        std::env::temp_dir().join(format!("isobar-bench-store-{}", std::process::id()));
+    let chunk_bytes = CHUNK_ELEMENTS * width;
+    let store_options = options(CompressionLevel::Fast, false);
+    record(
+        "store_put_serial",
+        throughput_mbps(bytes, || {
+            let path = store_scratch.with_extension("isst");
+            let _ = std::fs::remove_file(&path);
+            let mut writer =
+                isobar_store::StoreWriter::create(&path, store_options).expect("create store");
+            for (step, chunk) in ds.bytes.chunks(chunk_bytes).enumerate() {
+                writer
+                    .put(step as u32, "field", chunk, width)
+                    .expect("store put");
+            }
+            writer.close().expect("store close");
+            let _ = std::fs::remove_file(&path);
+        }),
+    );
+    // One codec thread per core (capped at the default shard count):
+    // extra shards on a narrow machine just evict each other's cache
+    // working sets. See docs/STORE.md for the tuning rationale.
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4) as u16;
+    eprintln!("store shards: {shards}");
+    record(
+        "store_put_sharded",
+        throughput_mbps(bytes, || {
+            let _ = std::fs::remove_dir_all(&store_scratch);
+            let writer = isobar_store::ShardedStoreWriter::create(
+                &store_scratch,
+                store_options,
+                isobar_store::ShardedOptions {
+                    shards,
+                    queue_depth: 2,
+                },
+            )
+            .expect("create sharded store");
+            for (step, chunk) in ds.bytes.chunks(chunk_bytes).enumerate() {
+                writer
+                    .put(step as u32, "field", chunk.to_vec(), width)
+                    .expect("store put");
+            }
+            writer.close().expect("store commit");
+            let _ = std::fs::remove_dir_all(&store_scratch);
+        }),
+    );
+
+    // Verified random access against a committed sharded store: every
+    // chunk read back (pread, checksum verified, decompressed) once
+    // per timed run.
+    {
+        let _ = std::fs::remove_dir_all(&store_scratch);
+        let writer = isobar_store::ShardedStoreWriter::create(
+            &store_scratch,
+            store_options,
+            isobar_store::ShardedOptions {
+                shards,
+                queue_depth: 2,
+            },
+        )
+        .expect("create sharded store");
+        for (step, chunk) in ds.bytes.chunks(chunk_bytes).enumerate() {
+            writer
+                .put(step as u32, "field", chunk.to_vec(), width)
+                .expect("store put");
+        }
+        writer.close().expect("store commit");
+        let reader = isobar_store::StoreReader::open(&store_scratch).expect("open store");
+        record(
+            "store_get_sharded",
+            throughput_mbps(bytes, || {
+                for step in 0..CHUNKS {
+                    let out = reader.get(step as u32, "field").expect("store get");
+                    assert_eq!(out.len(), chunk_bytes);
+                }
+            }),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&store_scratch);
+
     // One instrumented round trip (serial default, outside the timed
     // loops) yielding the telemetry per-stage wall-time breakdown and,
     // with `--trace`, the span timeline of the same run.

@@ -14,6 +14,15 @@ usage:
                                                  decompressing (exit 3 on damage)
   isobar salvage    IN OUT                       recover every intact chunk or
                                                  record from a damaged file
+  isobar store put  DIR IN --name V --step N --width W
+                                                 append one variable to a
+                                                 sharded checkpoint store
+  isobar store get  DIR OUT --name V --step N    read one variable back
+  isobar store ls   DIR                          list a store's contents
+  isobar store compact DIR                       drop superseded entries and
+                                                 sweep unreferenced segments
+  isobar store migrate IN DIR                    copy a v1/v2 single-file
+                                                 store into a v3 directory
 
 compress options:
   --width N            element width in bytes (1..=64, required)
@@ -50,9 +59,20 @@ decompress options:
                        print per-stage telemetry after the run
   --trace FILE         write a Chrome trace-event JSON timeline
 
+store options:
+  --name V             variable name (put/get, required)
+  --step N             time step (put/get, required)
+  --width N            element width in bytes (put, required)
+  --shards N           segment pipelines to write with (put/compact/
+                       migrate; default 4)
+  --queue-depth N      in-flight variables per shard before put blocks
+                       (put; default 2)
+  --no-verify          skip checksum verification on reads (get/ls)
+
 fsck and salvage work on batch containers, streamed containers, and
-checkpoint stores alike (dispatched on the file's magic). fsck exits 0
-for a clean or legacy file and 3 when it finds damage.";
+checkpoint stores alike (dispatched on the file's magic; a directory
+is treated as a v3 sharded store). fsck exits 0 for a clean or legacy
+file and 3 when it finds damage.";
 
 /// How `--stats` output should be rendered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +182,62 @@ pub enum Command {
         /// Destination for the salvaged file.
         output: PathBuf,
     },
+    /// Append one variable to (creating if needed) a version-3
+    /// sharded store directory.
+    StorePut {
+        /// Store directory.
+        dir: PathBuf,
+        /// Raw element-array file to compress and store.
+        input: PathBuf,
+        /// Variable name.
+        name: String,
+        /// Time step.
+        step: u32,
+        /// Element width in bytes.
+        width: usize,
+        /// Segment pipelines (shards) to write with.
+        shards: u16,
+        /// In-flight variables per shard before `put` blocks.
+        queue_depth: usize,
+    },
+    /// Read one variable out of a store (any version) into a file.
+    StoreGet {
+        /// Store path (directory or single file).
+        dir: PathBuf,
+        /// Destination for the decompressed bytes.
+        output: PathBuf,
+        /// Variable name.
+        name: String,
+        /// Time step.
+        step: u32,
+        /// Verify checksums while reading (`--no-verify` clears it).
+        verify: bool,
+    },
+    /// List a store's entries, segments, and space accounting.
+    StoreLs {
+        /// Store path (directory or single file).
+        dir: PathBuf,
+        /// Verify checksums while reading (`--no-verify` clears it).
+        verify: bool,
+    },
+    /// Rewrite a version-3 store without its superseded entries and
+    /// sweep unreferenced segment files.
+    StoreCompact {
+        /// Store directory.
+        dir: PathBuf,
+        /// Shards for the rewritten generation (default: keep 4).
+        shards: Option<u16>,
+    },
+    /// Copy a version-1/2 single-file store into a fresh version-3
+    /// directory store, container bytes verbatim.
+    StoreMigrate {
+        /// Source single-file store.
+        input: PathBuf,
+        /// Destination store directory.
+        dir: PathBuf,
+        /// Segment pipelines (shards) for the new store.
+        shards: u16,
+    },
 }
 
 /// Compression knobs gathered from flags.
@@ -267,6 +343,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             ensure_done(&mut it)?;
             Ok(Command::Salvage { input, output })
         }
+        "store" => parse_store(&mut it),
         "--help" | "-h" | "help" => Err("".to_string()),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -404,6 +481,106 @@ fn parse_analyze(it: &mut ArgIter<'_>) -> Result<Command, String> {
         tau,
         bits,
     })
+}
+
+fn parse_store(it: &mut ArgIter<'_>) -> Result<Command, String> {
+    let verb = it
+        .next()
+        .ok_or("store requires a verb: put|get|ls|compact|migrate")?;
+
+    let mut name: Option<String> = None;
+    let mut step: Option<u32> = None;
+    let mut width: Option<usize> = None;
+    let mut shards: Option<u16> = None;
+    let mut queue_depth: usize = 2;
+    let mut verify = true;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--name" => name = Some(value(it, "--name")?),
+            "--step" => step = Some(value(it, "--step")?.parse().map_err(bad("--step"))?),
+            "--width" | "-w" => {
+                width = Some(value(it, "--width")?.parse().map_err(bad("--width"))?)
+            }
+            "--shards" => shards = Some(value(it, "--shards")?.parse().map_err(bad("--shards"))?),
+            "--queue-depth" => {
+                queue_depth = value(it, "--queue-depth")?
+                    .parse()
+                    .map_err(bad("--queue-depth"))?
+            }
+            "--no-verify" => verify = false,
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if let Some(shards) = shards {
+        if shards == 0 {
+            return Err("--shards must be positive".to_string());
+        }
+    }
+
+    match verb.as_str() {
+        "put" => {
+            let [dir, input]: [PathBuf; 2] = paths
+                .try_into()
+                .map_err(|_| "store put requires DIR and IN paths".to_string())?;
+            let name = name.ok_or("store put requires --name")?;
+            let step = step.ok_or("store put requires --step")?;
+            let width = width.ok_or("store put requires --width")?;
+            if width == 0 || width > 64 {
+                return Err(format!("--width must be in 1..=64, got {width}"));
+            }
+            if queue_depth == 0 {
+                return Err("--queue-depth must be positive".to_string());
+            }
+            Ok(Command::StorePut {
+                dir,
+                input,
+                name,
+                step,
+                width,
+                shards: shards.unwrap_or(4),
+                queue_depth,
+            })
+        }
+        "get" => {
+            let [dir, output]: [PathBuf; 2] = paths
+                .try_into()
+                .map_err(|_| "store get requires DIR and OUT paths".to_string())?;
+            Ok(Command::StoreGet {
+                dir,
+                output,
+                name: name.ok_or("store get requires --name")?,
+                step: step.ok_or("store get requires --step")?,
+                verify,
+            })
+        }
+        "ls" => {
+            let [dir]: [PathBuf; 1] = paths
+                .try_into()
+                .map_err(|_| "store ls requires exactly one DIR path".to_string())?;
+            Ok(Command::StoreLs { dir, verify })
+        }
+        "compact" => {
+            let [dir]: [PathBuf; 1] = paths
+                .try_into()
+                .map_err(|_| "store compact requires exactly one DIR path".to_string())?;
+            Ok(Command::StoreCompact { dir, shards })
+        }
+        "migrate" => {
+            let [input, dir]: [PathBuf; 2] = paths
+                .try_into()
+                .map_err(|_| "store migrate requires IN and DIR paths".to_string())?;
+            Ok(Command::StoreMigrate {
+                input,
+                dir,
+                shards: shards.unwrap_or(4),
+            })
+        }
+        other => Err(format!(
+            "unknown store verb '{other}' (try put|get|ls|compact|migrate)"
+        )),
+    }
 }
 
 fn value(it: &mut ArgIter<'_>, flag: &str) -> Result<String, String> {
@@ -598,6 +775,100 @@ mod tests {
         );
         assert!(parse(&strings(&["salvage", "x"])).is_err());
         assert!(parse(&strings(&["fsck", "x", "y"])).is_err());
+    }
+
+    #[test]
+    fn store_subcommands_parse() {
+        assert_eq!(
+            parse(&strings(&[
+                "store",
+                "put",
+                "run.v3",
+                "in.bin",
+                "--name",
+                "density",
+                "--step",
+                "3",
+                "--width",
+                "8",
+                "--shards",
+                "2",
+                "--queue-depth",
+                "4",
+            ]))
+            .unwrap(),
+            Command::StorePut {
+                dir: "run.v3".into(),
+                input: "in.bin".into(),
+                name: "density".into(),
+                step: 3,
+                width: 8,
+                shards: 2,
+                queue_depth: 4,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&[
+                "store", "get", "run.v3", "out.bin", "--name", "density", "--step", "3",
+            ]))
+            .unwrap(),
+            Command::StoreGet {
+                dir: "run.v3".into(),
+                output: "out.bin".into(),
+                name: "density".into(),
+                step: 3,
+                verify: true,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&["store", "ls", "--no-verify", "run.v3"])).unwrap(),
+            Command::StoreLs {
+                dir: "run.v3".into(),
+                verify: false,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&["store", "compact", "run.v3"])).unwrap(),
+            Command::StoreCompact {
+                dir: "run.v3".into(),
+                shards: None,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&["store", "migrate", "run.isst", "run.v3"])).unwrap(),
+            Command::StoreMigrate {
+                input: "run.isst".into(),
+                dir: "run.v3".into(),
+                shards: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn store_rejects_bad_inputs() {
+        assert!(parse(&strings(&["store"])).is_err());
+        assert!(parse(&strings(&["store", "frob", "x"])).is_err());
+        // put without its required flags, or with a bad shard count.
+        assert!(parse(&strings(&[
+            "store", "put", "d", "i", "--step", "0", "--width", "8"
+        ]))
+        .is_err());
+        assert!(parse(&strings(&[
+            "store", "put", "d", "i", "--name", "v", "--width", "8"
+        ]))
+        .is_err());
+        assert!(parse(&strings(&[
+            "store", "put", "d", "i", "--name", "v", "--step", "0"
+        ]))
+        .is_err());
+        assert!(parse(&strings(&[
+            "store", "put", "d", "i", "--name", "v", "--step", "0", "--width", "8", "--shards",
+            "0",
+        ]))
+        .is_err());
+        // get needs both coordinates; ls exactly one path.
+        assert!(parse(&strings(&["store", "get", "d", "o", "--name", "v"])).is_err());
+        assert!(parse(&strings(&["store", "ls", "a", "b"])).is_err());
     }
 
     #[test]

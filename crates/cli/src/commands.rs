@@ -82,6 +82,27 @@ pub fn run(cmd: Command) -> Result<u8, String> {
         Command::Info { input } => info(&input).map(|()| 0),
         Command::Fsck { input } => fsck(&input),
         Command::Salvage { input, output } => salvage(&input, &output).map(|()| 0),
+        Command::StorePut {
+            dir,
+            input,
+            name,
+            step,
+            width,
+            shards,
+            queue_depth,
+        } => store_put(&dir, &input, &name, step, width, shards, queue_depth).map(|()| 0),
+        Command::StoreGet {
+            dir,
+            output,
+            name,
+            step,
+            verify,
+        } => store_get(&dir, &output, &name, step, verify).map(|()| 0),
+        Command::StoreLs { dir, verify } => store_ls(&dir, verify).map(|()| 0),
+        Command::StoreCompact { dir, shards } => store_compact(&dir, shards).map(|()| 0),
+        Command::StoreMigrate { input, dir, shards } => {
+            store_migrate(&input, &dir, shards).map(|()| 0)
+        }
     }
 }
 
@@ -453,6 +474,14 @@ fn info(input: &Path) -> Result<(), String> {
 /// payloads. Returns the process exit code: 0 for a clean (or legacy,
 /// unverifiable) file, [`EXIT_DAMAGE`] when damage was found.
 fn fsck(input: &Path) -> Result<u8, String> {
+    // A directory is a version-3 sharded store; there is no file
+    // magic to sniff.
+    if input.is_dir() {
+        let report =
+            isobar_store::fsck_store(input).map_err(|e| format!("{}: {e}", input.display()))?;
+        print_store_fsck_report(input, &report);
+        return Ok(if report.is_clean() { 0 } else { EXIT_DAMAGE });
+    }
     let data = read(input)?;
     match file_kind(&data) {
         Some(FileKind::Container) => {
@@ -549,6 +578,25 @@ fn print_store_fsck_report(input: &Path, report: &StoreFsckReport) {
             }
         );
     }
+    if report.superseded_entries > 0 {
+        println!(
+            "  {} superseded entr{} (reclaim with store compact)",
+            report.superseded_entries,
+            if report.superseded_entries == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+    }
+    if report.orphan_files > 0 {
+        println!(
+            "  {} unreferenced segment file{} (crashed-writer droppings; \
+             store compact sweeps them)",
+            report.orphan_files,
+            if report.orphan_files == 1 { "" } else { "s" },
+        );
+    }
     println!(
         "{}: {}",
         input.display(),
@@ -563,6 +611,23 @@ fn print_store_fsck_report(input: &Path, report: &StoreFsckReport) {
 /// Recover every intact chunk, frame, or record from a damaged file
 /// into a fresh, fully valid output.
 fn salvage(input: &Path, output: &Path) -> Result<(), String> {
+    if input.is_dir() {
+        let report = isobar_store::salvage_store(input, output)
+            .map_err(|e| format!("{}: {e}", input.display()))?;
+        eprintln!(
+            "{} -> {}: {} entries recovered, {} lost{}",
+            input.display(),
+            output.display(),
+            report.entries_recovered,
+            report.entries_lost,
+            if report.index_rebuilt {
+                " (manifest unusable; rebuilt from a segment walk)"
+            } else {
+                ""
+            },
+        );
+        return Ok(());
+    }
     let data = read(input)?;
     match file_kind(&data) {
         Some(FileKind::Container) => {
@@ -616,6 +681,199 @@ fn salvage(input: &Path, output: &Path) -> Result<(), String> {
             input.display()
         )),
     }
+}
+
+/// Compress one raw element array into a sharded store directory —
+/// one more generation appended to `dir` (created on first put).
+fn store_put(
+    dir: &Path,
+    input: &Path,
+    name: &str,
+    step: u32,
+    width: usize,
+    shards: u16,
+    queue_depth: usize,
+) -> Result<(), String> {
+    use isobar_store::{ShardedOptions, ShardedStoreWriter};
+    let data = read(input)?;
+    let writer = ShardedStoreWriter::create(
+        dir,
+        IsobarOptions::default(),
+        ShardedOptions {
+            shards,
+            queue_depth,
+        },
+    )
+    .map_err(|e| format!("{}: {e}", dir.display()))?;
+    writer
+        .put(step, name, data, width)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let report = writer
+        .close()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    eprintln!(
+        "{}: generation {} committed ({} segment{}, {} entr{} total{})",
+        dir.display(),
+        report.generation,
+        report.segments_committed,
+        if report.segments_committed == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.total_entries,
+        if report.total_entries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        if report.superseded_entries > 0 {
+            format!(", {} superseded", report.superseded_entries)
+        } else {
+            String::new()
+        },
+    );
+    Ok(())
+}
+
+/// Read one variable out of a store (any version) into a file.
+fn store_get(dir: &Path, output: &Path, name: &str, step: u32, verify: bool) -> Result<(), String> {
+    let reader = isobar_store::StoreReader::open_with_verify(dir, verify)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let data = reader
+        .get(step, name)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    write(output, &data)?;
+    eprintln!(
+        "{} -> {}: step {step} '{name}', {} bytes",
+        dir.display(),
+        output.display(),
+        data.len()
+    );
+    Ok(())
+}
+
+/// List a store's generations, segments, and entries.
+fn store_ls(dir: &Path, verify: bool) -> Result<(), String> {
+    let reader = isobar_store::StoreReader::open_with_verify(dir, verify)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    println!(
+        "{}: ISOBAR checkpoint store v{}, generation {}, {} segment{}",
+        dir.display(),
+        reader.version(),
+        reader.generation(),
+        reader.segment_count(),
+        if reader.segment_count() == 1 { "" } else { "s" },
+    );
+    let live: std::collections::HashSet<*const isobar_store::IndexEntry> = reader
+        .live_entries()
+        .into_iter()
+        .map(|e| e as *const _)
+        .collect();
+    for entry in reader.entries() {
+        println!(
+            "  step {:>6} {:<24} {:>12} raw -> {:>12} stored  {}{}",
+            entry.step,
+            entry.name,
+            entry.raw_len,
+            entry.container_len,
+            reader
+                .segment_file_name(entry)
+                .unwrap_or("<unknown segment>"),
+            if live.contains(&(entry as *const _)) {
+                ""
+            } else {
+                "  (superseded)"
+            },
+        );
+    }
+    let superseded = reader.superseded_count();
+    println!(
+        "{}: {} entr{} ({} superseded), overall ratio {:.3}",
+        dir.display(),
+        reader.entries().len(),
+        if reader.entries().len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        superseded,
+        reader.overall_ratio(),
+    );
+    Ok(())
+}
+
+/// Rewrite a version-3 store without its superseded entries.
+fn store_compact(dir: &Path, shards: Option<u16>) -> Result<(), String> {
+    let report =
+        isobar_store::compact_store(dir, shards).map_err(|e| format!("{}: {e}", dir.display()))?;
+    eprintln!(
+        "{}: {} entries kept, {} dropped; {} file{} removed, {} bytes reclaimed",
+        dir.display(),
+        report.entries_kept,
+        report.entries_dropped,
+        report.files_removed,
+        if report.files_removed == 1 { "" } else { "s" },
+        report.bytes_reclaimed,
+    );
+    Ok(())
+}
+
+/// Copy every entry of a version-1/2 single-file store into a fresh
+/// version-3 directory, container bytes verbatim (no recompression).
+fn store_migrate(input: &Path, dir: &Path, shards: u16) -> Result<(), String> {
+    use isobar_store::{ShardedOptions, ShardedStoreWriter};
+    let reader =
+        isobar_store::StoreReader::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
+    if reader.version() >= 3 {
+        return Err(format!(
+            "{}: already a version-3 store (use store compact to reshape it)",
+            input.display()
+        ));
+    }
+    let writer = ShardedStoreWriter::create(
+        dir,
+        IsobarOptions::default(),
+        ShardedOptions {
+            shards,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut migrated = 0usize;
+    for entry in reader.entries() {
+        let container = reader
+            .get_container(entry)
+            .map_err(|e| format!("{}: ({}, {}): {e}", input.display(), entry.step, entry.name))?;
+        writer
+            .put_container(
+                entry.step,
+                &entry.name,
+                entry.width,
+                container,
+                entry.raw_len,
+            )
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        migrated += 1;
+    }
+    let report = writer
+        .close()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    eprintln!(
+        "{} -> {}: {} entr{} migrated into generation {} ({} segment{})",
+        input.display(),
+        dir.display(),
+        migrated,
+        if migrated == 1 { "y" } else { "ies" },
+        report.generation,
+        report.segments_committed,
+        if report.segments_committed == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -863,6 +1121,72 @@ mod tests {
         assert_eq!(fsck(&salvaged).unwrap(), 0);
 
         for p in [&store_path, &salvaged] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn store_family_round_trips_a_sharded_directory() {
+        let dir = tmp("store-v3");
+        let input = tmp("store-v3-in.bin");
+        let newer = tmp("store-v3-newer.bin");
+        let output = tmp("store-v3-out.bin");
+        let _ = fs::remove_dir_all(&dir);
+        let ds = isobar_datasets::catalog::spec("gts_phi_l")
+            .unwrap()
+            .generate(10_000, 1);
+        fs::write(&input, &ds.bytes).unwrap();
+
+        store_put(&dir, &input, "density", 0, 8, 2, 2).unwrap();
+        store_get(&dir, &output, "density", 0, true).unwrap();
+        assert_eq!(fs::read(&output).unwrap(), ds.bytes);
+        assert_eq!(fsck(&dir).unwrap(), 0);
+        store_ls(&dir, true).unwrap();
+
+        // A second put of the same (step, name) supersedes; compaction
+        // reclaims the shadowed version and get still serves the new.
+        let ds2 = isobar_datasets::catalog::spec("gts_phi_l")
+            .unwrap()
+            .generate(10_000, 2);
+        fs::write(&newer, &ds2.bytes).unwrap();
+        store_put(&dir, &newer, "density", 0, 8, 2, 2).unwrap();
+        store_compact(&dir, None).unwrap();
+        store_get(&dir, &output, "density", 0, true).unwrap();
+        assert_eq!(fs::read(&output).unwrap(), ds2.bytes);
+        assert_eq!(fsck(&dir).unwrap(), 0);
+
+        let _ = fs::remove_dir_all(&dir);
+        for p in [&input, &newer, &output] {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn store_migrate_lifts_a_single_file_store_to_v3() {
+        let old = tmp("migrate-src.isst");
+        let dir = tmp("migrate-dst-v3");
+        let output = tmp("migrate-out.bin");
+        let _ = fs::remove_dir_all(&dir);
+        let ds = isobar_datasets::catalog::spec("gts_phi_l")
+            .unwrap()
+            .generate(10_000, 3);
+        let mut writer = isobar_store::StoreWriter::create(&old, IsobarOptions::default()).unwrap();
+        writer.put(0, "density", &ds.bytes, 8).unwrap();
+        writer.put(1, "density", &ds.bytes, 8).unwrap();
+        writer.close().unwrap();
+
+        store_migrate(&old, &dir, 2).unwrap();
+        let reader = isobar_store::StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.version(), 3);
+        assert_eq!(reader.entries().len(), 2);
+        drop(reader);
+        store_get(&dir, &output, "density", 1, true).unwrap();
+        assert_eq!(fs::read(&output).unwrap(), ds.bytes);
+        // Migrating an already-v3 store is refused.
+        assert!(store_migrate(&dir, &tmp("never-v3"), 2).is_err());
+
+        let _ = fs::remove_dir_all(&dir);
+        for p in [&old, &output] {
             let _ = fs::remove_file(p);
         }
     }

@@ -66,6 +66,12 @@ pub enum Op {
     Remove(PathBuf),
     /// A directory fsync, committing pending directory mutations.
     SyncDir,
+    /// A whole-file read (no state change, but a kill boundary: the
+    /// sharded writer reads the prior manifest before writing).
+    ReadFile(PathBuf),
+    /// Directory creation (modeled as a no-op in the flat namespace,
+    /// but recorded as a kill boundary).
+    CreateDirAll(PathBuf),
 }
 
 #[derive(Debug, Clone, Default)]
@@ -140,6 +146,7 @@ impl DiskState {
                 self.live.remove(path);
             }
             Op::SyncDir => self.committed = self.live.clone(),
+            Op::ReadFile(_) | Op::CreateDirAll(_) => {}
         }
     }
 
@@ -235,6 +242,36 @@ impl FaultFs {
                     };
                     file.content[..len].to_vec()
                 });
+                if !views.contains(&view) {
+                    views.push(view);
+                }
+            }
+        }
+        views
+    }
+
+    /// Every post-crash state of the *whole namespace*: the cross
+    /// product of {unsynced file data lost, survived} × {unsynced
+    /// directory mutations lost, survived}, as full file maps.
+    /// Deduplicated. This is the directory-store analogue of
+    /// [`FaultFs::crash_views`].
+    pub fn crash_dir_views(&self) -> Vec<BTreeMap<PathBuf, Vec<u8>>> {
+        let st = self.state.lock().unwrap();
+        let mut views = Vec::new();
+        for bindings in [&st.committed, &st.live] {
+            for full_content in [false, true] {
+                let view: BTreeMap<PathBuf, Vec<u8>> = bindings
+                    .iter()
+                    .map(|(path, &id)| {
+                        let file = &st.arena[id];
+                        let len = if full_content {
+                            file.content.len()
+                        } else {
+                            file.synced
+                        };
+                        (path.clone(), file.content[..len].to_vec())
+                    })
+                    .collect();
                 if !views.contains(&view) {
                     views.push(view);
                 }
@@ -346,6 +383,27 @@ impl StoreFs for FaultFs {
         st.enter()?;
         st.apply(&Op::SyncDir);
         st.record.push(Op::SyncDir);
+        Ok(())
+    }
+
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut st = self.state.lock().unwrap();
+        st.enter()?;
+        let op = Op::ReadFile(path.to_path_buf());
+        st.record.push(op);
+        let id = *st
+            .live
+            .get(path)
+            .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))?;
+        Ok(st.arena[id].content.clone())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.enter()?;
+        let op = Op::CreateDirAll(path.to_path_buf());
+        st.apply(&op);
+        st.record.push(op);
         Ok(())
     }
 }
@@ -540,6 +598,218 @@ pub fn crash_sweep(seed: u64) -> Result<CrashSweepOutcome, String> {
     if outcome.saw_old == 0 || outcome.saw_new == 0 {
         return Err(format!(
             "degenerate sweep: {} old views, {} new views — kills missed the commit point",
+            outcome.saw_old, outcome.saw_new
+        ));
+    }
+    Ok(outcome)
+}
+
+/// Variables per generation in the sharded sweep. Smaller than the
+/// single-file sweep's count because a v3 kill point costs a whole
+/// directory materialization and a manifest decode per view.
+pub const SHARDED_SWEEP_ENTRIES: u32 = 12;
+
+/// Write one sharded-store generation: `SHARDED_SWEEP_ENTRIES`
+/// variables whose contents derive from `revision`, so generation 1
+/// supersedes every key of generation 0 with different bytes.
+fn write_revision_sharded(
+    fs: &FaultFs,
+    dir: &Path,
+    revision: u64,
+    seed: u64,
+) -> Result<(), String> {
+    use isobar_store::{ShardedOptions, ShardedStoreWriter};
+    let mut rng = Rng::new(seed ^ revision.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let writer = ShardedStoreWriter::create_in(
+        fs.clone(),
+        dir,
+        IsobarOptions::default(),
+        ShardedOptions {
+            shards: 2,
+            queue_depth: 2,
+        },
+    )
+    .map_err(|e| format!("create: {e}"))?;
+    for step in 0..SHARDED_SWEEP_ENTRIES {
+        let data = payload(&mut rng, 1024);
+        writer
+            .put(step, "density", data, 8)
+            .map_err(|e| format!("put step {step}: {e}"))?;
+    }
+    writer.close().map_err(|e| format!("close: {e}"))?;
+    Ok(())
+}
+
+/// The live logical content of a materialized store directory:
+/// `(step, variable) → decompressed bytes`, via the verifying reader.
+fn logical_content(dir: &Path) -> Result<BTreeMap<(u32, String), Vec<u8>>, String> {
+    let reader = StoreReader::open(dir).map_err(|e| format!("verifying open failed: {e}"))?;
+    let mut map = BTreeMap::new();
+    for entry in reader.live_entries() {
+        let data = reader
+            .get(entry.step, &entry.name)
+            .map_err(|e| format!("decode ({}, {}) failed: {e}", entry.step, entry.name))?;
+        map.insert((entry.step, entry.name.clone()), data);
+    }
+    Ok(map)
+}
+
+/// Write one namespace view into `scratch` as a real directory, for
+/// the real [`StoreReader`] to open. All simulated paths live directly
+/// under the store directory, so only file names are kept.
+fn materialize_dir(view: &BTreeMap<PathBuf, Vec<u8>>, scratch: &Path) -> Result<(), String> {
+    let _ = std::fs::remove_dir_all(scratch);
+    std::fs::create_dir_all(scratch).map_err(|e| format!("scratch mkdir: {e}"))?;
+    for (path, content) in view {
+        let name = path
+            .file_name()
+            .ok_or_else(|| format!("unnameable simulated path {}", path.display()))?;
+        std::fs::write(scratch.join(name), content).map_err(|e| format!("scratch write: {e}"))?;
+    }
+    Ok(())
+}
+
+/// [`crash_sweep`] for the version-3 sharded store: kill the
+/// two-phase manifest commit at every recorded filesystem-operation
+/// boundary and prove each admissible post-crash directory still reads
+/// as exactly the old generation's content or exactly the new one's.
+///
+/// Segment writes from different shards interleave nondeterministically
+/// across threads, so (unlike the single-file sweep) views are compared
+/// by *logical content* — the `(step, variable) → bytes` map the
+/// verifying reader serves — rather than byte-for-byte, and the sampled
+/// real armed runs are checked the same way instead of being compared
+/// against the replayed disk.
+pub fn crash_sweep_sharded(seed: u64) -> Result<CrashSweepOutcome, String> {
+    let dir = Path::new("store.v3");
+    let scratch = std::env::temp_dir().join(format!(
+        "isobar-crash-sweep-v3-{}-{seed:016x}",
+        std::process::id()
+    ));
+
+    // Baseline: generation 0 committed cleanly through the real writer.
+    let base = FaultFs::new();
+    write_revision_sharded(&base, dir, 0, seed)?;
+    let committed = base
+        .crash_dir_views()
+        .into_iter()
+        .next()
+        .ok_or("baseline commit left no committed view")?;
+    materialize_dir(&committed, &scratch)?;
+    let old_content =
+        logical_content(&scratch).map_err(|e| format!("baseline generation unreadable: {e}"))?;
+    let base = base.fork(); // clear the baseline's op record
+
+    // Record generation 1's full operation stream once.
+    let recorder = base.fork();
+    write_revision_sharded(&recorder, dir, 1, seed)?;
+    let ops = recorder.recorded_ops();
+    let committed = recorder
+        .crash_dir_views()
+        .into_iter()
+        .next()
+        .ok_or("recording commit left no committed view")?;
+    materialize_dir(&committed, &scratch)?;
+    let new_content =
+        logical_content(&scratch).map_err(|e| format!("recorded generation unreadable: {e}"))?;
+    if new_content == old_content {
+        return Err("generations are identical; the sweep would prove nothing".into());
+    }
+
+    let mut outcome = CrashSweepOutcome {
+        kill_points: 0,
+        views_checked: 0,
+        saw_old: 0,
+        saw_new: 0,
+        real_runs: 0,
+    };
+    let mut torn_rng = Rng::new(seed ^ 0xC4A5_11F1_A57E_D000);
+
+    // Check every admissible post-crash view of `fs`: each must read
+    // as exactly the old or the new generation. Counting into the
+    // outcome is optional so sampled real runs don't double-count.
+    fn check_views(
+        fs: &FaultFs,
+        kill_at: usize,
+        scratch: &Path,
+        old_content: &BTreeMap<(u32, String), Vec<u8>>,
+        new_content: &BTreeMap<(u32, String), Vec<u8>>,
+        outcome: Option<&mut CrashSweepOutcome>,
+    ) -> Result<(), String> {
+        let mut old_seen = 0u64;
+        let mut new_seen = 0u64;
+        for (view_index, view) in fs.crash_dir_views().into_iter().enumerate() {
+            materialize_dir(&view, scratch)?;
+            let content = logical_content(scratch).map_err(|e| {
+                format!(
+                    "kill point {kill_at} view {view_index} ({} files): {e}",
+                    view.len()
+                )
+            })?;
+            let is_old = &content == old_content;
+            let is_new = &content == new_content;
+            if !is_old && !is_new {
+                return Err(format!(
+                    "kill point {kill_at} view {view_index}: store content matches neither \
+                     generation ({} live keys, old {}, new {})",
+                    content.len(),
+                    old_content.len(),
+                    new_content.len()
+                ));
+            }
+            if is_new {
+                new_seen += 1;
+            } else {
+                old_seen += 1;
+            }
+        }
+        if let Some(outcome) = outcome {
+            outcome.views_checked += old_seen + new_seen;
+            outcome.saw_old += old_seen;
+            outcome.saw_new += new_seen;
+        }
+        Ok(())
+    }
+
+    for kill_at in 0..ops.len() {
+        let torn_seed = torn_rng.next_u64();
+        let fs = FaultFs::replay_killed(&base, &ops, kill_at, torn_seed);
+        outcome.kill_points += 1;
+        check_views(
+            &fs,
+            kill_at,
+            &scratch,
+            &old_content,
+            &new_content,
+            Some(&mut outcome),
+        )?;
+
+        // At sampled points (and both ends), run the real writer with
+        // an armed budget. Its op interleaving is its own, so only the
+        // old-or-new invariant is asserted — not disk equality.
+        if kill_at % REAL_RUN_STRIDE == 0 || kill_at == ops.len() - 1 {
+            let real = base.fork();
+            real.arm(kill_at as u64, torn_seed);
+            if write_revision_sharded(&real, dir, 1, seed).is_ok() {
+                return Err(format!(
+                    "kill point {kill_at}: sharded writer survived an armed crash ({} ops total)",
+                    ops.len()
+                ));
+            }
+            if !real.crashed() {
+                return Err(format!(
+                    "kill point {kill_at}: sharded writer failed before the armed crash fired"
+                ));
+            }
+            check_views(&real, kill_at, &scratch, &old_content, &new_content, None)?;
+            outcome.real_runs += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if outcome.saw_old == 0 || outcome.saw_new == 0 {
+        return Err(format!(
+            "degenerate sharded sweep: {} old views, {} new views — kills missed the commit point",
             outcome.saw_old, outcome.saw_new
         ));
     }

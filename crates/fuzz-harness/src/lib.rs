@@ -22,10 +22,15 @@
 //!   small multiple of the input size.
 //! * [`layers`] — one [`layers::Layer`] per decode surface, each with
 //!   its own pool of valid artifacts and pass/fail rules.
-//! * [`crash`] — crash-injection for the store's commit protocol: an
+//! * [`crash`] — crash-injection for the store's commit protocols: an
 //!   in-memory filesystem that kills the writer at every operation
 //!   boundary (with torn in-flight writes) and proves a reader always
-//!   sees the old store or the new one, never a hybrid.
+//!   sees the old store or the new one, never a hybrid — for both the
+//!   single-file shadow commit and the version-3 two-phase manifest
+//!   commit across shards.
+//! * [`stress`] — a concurrent storm over one sharded store: N
+//!   producer threads writing while N reader threads replay verified
+//!   random reads, with every byte re-checked after the final commit.
 //!
 //! The `isobar-fuzz-harness` binary runs every layer (default 10 000
 //! iterations each) and exits non-zero on the first violation; the
@@ -36,6 +41,7 @@ pub mod crash;
 pub mod layers;
 pub mod mutate;
 pub mod rng;
+pub mod stress;
 
 pub use layers::{
     all_layers, Layer, LayerOutcome, ALLOC_SCALE, DEFAULT_SEED, FIXED_ALLOC_BUDGET,

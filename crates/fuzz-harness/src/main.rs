@@ -3,14 +3,22 @@
 //! ```text
 //! isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--kernels scalar|auto]
 //! isobar-fuzz-harness --crash-sweep [--seed HEX]
+//! isobar-fuzz-harness --crash-sweep-sharded [--seed HEX]
+//! isobar-fuzz-harness --store-stress [--seed HEX]
 //! ```
 //!
 //! Exits 0 when every layer completes its iterations with zero panics
 //! and zero allocation-bound violations; exits 1 with a reproducible
 //! one-line report otherwise. `--crash-sweep` instead runs the store
-//! commit-protocol crash-injection sweep (see the `crash` module).
+//! commit-protocol crash-injection sweep, `--crash-sweep-sharded` the
+//! version-3 two-phase manifest-commit sweep (see the `crash` module),
+//! and `--store-stress` the concurrent producer/reader storm over one
+//! sharded store under the counting allocator (see the `stress`
+//! module).
 
-use isobar_fuzz_harness::{all_layers, alloc_track::PeakAlloc, crash, DEFAULT_SEED};
+use isobar_fuzz_harness::{
+    all_layers, alloc_track, alloc_track::PeakAlloc, crash, stress, DEFAULT_SEED,
+};
 
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc;
@@ -21,6 +29,8 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut list = false;
     let mut crash_sweep = false;
+    let mut crash_sweep_sharded = false;
+    let mut store_stress = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -48,6 +58,8 @@ fn main() {
             }
             "--list" => list = true,
             "--crash-sweep" => crash_sweep = true,
+            "--crash-sweep-sharded" => crash_sweep_sharded = true,
+            "--store-stress" => store_stress = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -61,13 +73,48 @@ fn main() {
                     "crash-sweep    {} kill points, {} views checked: {} old, {} new — commit protocol holds",
                     o.kill_points, o.views_checked, o.saw_old, o.saw_new
                 );
-                return;
             }
             Err(e) => {
                 eprintln!("FAIL crash-sweep (seed {seed:#018x}): {e}");
                 std::process::exit(1);
             }
         }
+    }
+    if crash_sweep_sharded {
+        match crash::crash_sweep_sharded(seed) {
+            Ok(o) => {
+                println!(
+                    "crash-sweep-v3 {} kill points, {} views checked: {} old, {} new — two-phase manifest commit holds",
+                    o.kill_points, o.views_checked, o.saw_old, o.saw_new
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL crash-sweep-sharded (seed {seed:#018x}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if store_stress {
+        alloc_track::reset_peak();
+        match stress::store_stress(seed, 8, 16, 200) {
+            Ok(o) => {
+                println!(
+                    "store-stress   {} puts, {} concurrent gets, {} verified, {} superseded, peak alloc {} KiB — sharded store holds under contention",
+                    o.puts,
+                    o.gets,
+                    o.verified,
+                    o.superseded,
+                    alloc_track::peak() / 1024
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL store-stress (seed {seed:#018x}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if crash_sweep || crash_sweep_sharded || store_stress {
+        return;
     }
 
     let layers = all_layers();
@@ -122,7 +169,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--crash-sweep] [--kernels scalar|auto]"
+        "usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--crash-sweep] [--crash-sweep-sharded] [--store-stress] [--kernels scalar|auto]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -35,3 +35,23 @@ fn sweep_is_deterministic_in_its_seed() {
     let b = crash::crash_sweep(7).expect("seed 7 sweep again");
     assert_eq!(a, b, "same seed must replay the identical sweep");
 }
+
+#[test]
+fn sharded_commit_protocol_survives_kill_at_every_operation() {
+    let outcome = crash::crash_sweep_sharded(DEFAULT_SEED).unwrap_or_else(|e| {
+        panic!("sharded crash sweep violation (seed {DEFAULT_SEED:#018x}): {e}")
+    });
+    assert!(
+        outcome.kill_points >= 40,
+        "sharded sweep must cover the full two-phase commit, got {} kill points",
+        outcome.kill_points
+    );
+    assert!(outcome.views_checked >= outcome.kill_points);
+    assert!(
+        outcome.real_runs >= 2,
+        "both ends are anchored to real armed runs"
+    );
+    // Kills before the manifest swap leave the old generation; kills
+    // after it leave the new one — the sweep must witness both.
+    assert!(outcome.saw_old > 0 && outcome.saw_new > 0);
+}

@@ -3,11 +3,18 @@
 //! Version history:
 //!
 //! - v1: 16-byte trailer, index entries without checksums.
-//! - v2 (current): every index entry carries the XXH64 of its
-//!   container bytes, and the trailer carries the XXH64 of the encoded
-//!   index region. Version-1 stores are still read; their entries
-//!   surface `checksum == 0` and are exempt from verification
-//!   ("legacy, unverifiable").
+//! - v2: every index entry carries the XXH64 of its container bytes,
+//!   and the trailer carries the XXH64 of the encoded index region.
+//!   Version-1 stores are still read; their entries surface
+//!   `checksum == 0` and are exempt from verification ("legacy,
+//!   unverifiable").
+//! - v3 (current sharded layout): a store is a **directory** — a
+//!   `MANIFEST` file (magic `ISSM`) naming N segment files (magic
+//!   `ISSG`), each appended by an independent writer. The manifest
+//!   embeds the whole index (entries carry a segment ordinal) and is
+//!   swapped in atomically, making it the single commit point. See
+//!   [`crate::manifest`] and `docs/FORMAT.md`. Single-file v1/v2
+//!   stores are still fully readable.
 
 use crate::error::StoreError;
 use isobar_codecs::xxhash::xxh64;
@@ -16,10 +23,62 @@ use isobar_codecs::xxhash::xxh64;
 pub const MAGIC: [u8; 4] = *b"ISST";
 /// Trailer magic: "ISSX".
 pub const TRAILER_MAGIC: [u8; 4] = *b"ISSX";
-/// Store format version written by this build.
+/// Store format version written by the single-file [`crate::StoreWriter`].
 pub const VERSION: u8 = 2;
 /// The checksum-less store version this build still reads.
 pub const LEGACY_VERSION: u8 = 1;
+/// The sharded (directory) store version written by
+/// [`crate::ShardedStoreWriter`].
+pub const V3_VERSION: u8 = 3;
+/// Segment file magic: "ISSG".
+pub const SEGMENT_MAGIC: [u8; 4] = *b"ISSG";
+/// Segment trailer magic: "ISGX".
+pub const SEGMENT_TRAILER_MAGIC: [u8; 4] = *b"ISGX";
+/// Segment header size: magic (4) + version (1) + shard ordinal (2) +
+/// reserved (1).
+pub const SEGMENT_HEADER_LEN: usize = 8;
+/// Segment trailer size: data length (8) + record count (4) + trailer
+/// XXH64 (8) + magic (4).
+pub const SEGMENT_TRAILER_LEN: usize = 24;
+/// Manifest file magic: "ISSM".
+pub const MANIFEST_MAGIC: [u8; 4] = *b"ISSM";
+/// Manifest trailer magic: "ISMX".
+pub const MANIFEST_TRAILER_MAGIC: [u8; 4] = *b"ISMX";
+/// Manifest header size: magic (4) + version (1) + reserved (3).
+pub const MANIFEST_HEADER_LEN: usize = 8;
+/// Manifest trailer size: manifest XXH64 (8) + magic (4).
+pub const MANIFEST_TRAILER_LEN: usize = 12;
+/// File name of the manifest inside a version-3 store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Segment file name for one generation and shard:
+/// `g<generation:016x>-s<shard:03>.seg`. Generations never collide, so
+/// a rewrite's fresh segments coexist with the committed ones until
+/// the manifest swap.
+pub fn segment_file_name(generation: u64, shard: u16) -> String {
+    format!("g{generation:016x}-s{shard:03}.seg")
+}
+
+/// Whether `name` looks like a segment file — used by fsck to spot
+/// orphan segments no manifest references.
+pub fn is_segment_file_name(name: &str) -> bool {
+    name.starts_with('g') && name.ends_with(".seg")
+}
+
+/// Serialize the record header that precedes each embedded container:
+/// `name_len u16 | name | step u32 | width u8 | container_len u64`.
+/// Shared by the single-file writer and the segment writers so the
+/// record grammar cannot fork.
+pub fn encode_record_header(name: &str, step: u32, width: u8, container_len: u64) -> Vec<u8> {
+    let name = name.as_bytes();
+    let mut out = Vec::with_capacity(2 + name.len() + 4 + 1 + 8);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&step.to_le_bytes());
+    out.push(width);
+    out.extend_from_slice(&container_len.to_le_bytes());
+    out
+}
 /// Seed for every XXH64 checksum in the store format.
 pub const CHECKSUM_SEED: u64 = 0;
 /// Version-2 trailer size: index offset (8) + entry count (4) +

@@ -19,6 +19,13 @@
 //!   the file. Integrity verification is on by default.
 //! * [`fsck_store`] / [`salvage_store`] — damage reporting and
 //!   best-effort recovery of intact records from a damaged store.
+//! * [`ShardedStoreWriter`] — the version-3 *directory* store: N
+//!   independent segment pipelines (codec thread + I/O thread each, so
+//!   compression overlaps `fdatasync`), committed by a two-phase
+//!   manifest rename. Read back transparently by [`StoreReader`], which
+//!   serves random access via positioned reads (`pread`).
+//! * [`compact_store`] — reclaim superseded entries and sweep
+//!   unreferenced segment files from a version-3 store.
 //!
 //! # File format (all little-endian)
 //!
@@ -39,6 +46,19 @@
 //! Version-1 stores (no checksums, 16-byte trailer) are still read;
 //! their entries surface `checksum == 0` and are reported by fsck as
 //! "legacy, unverifiable".
+//!
+//! # Directory format (version 3)
+//!
+//! A version-3 store is a *directory*: a `MANIFEST` file (magic
+//! `"ISSM"`) holding the segment table and the full index, plus one or
+//! more segment files `g<generation>-s<shard>.seg` (magic `"ISSG"`)
+//! each carrying the same record grammar as above behind an 8-byte
+//! header and ahead of a checksummed 24-byte trailer. Writers append a
+//! *generation*: new segments plus a rewritten manifest, committed by
+//! the atomic rename of `MANIFEST.wip` over `MANIFEST`. Duplicate
+//! `(step, variable)` pairs are allowed across generations — the
+//! latest wins, and [`compact_store`] reclaims the shadowed versions.
+//! See `docs/FORMAT.md` for the byte-level grammar.
 //!
 //! # Example
 //!
@@ -61,23 +81,35 @@
 //! # Ok(()) }
 //! ```
 
+mod compact;
 mod error;
 mod format;
+mod manifest;
 mod pipelined;
 mod reader;
 mod salvage;
+mod sharded;
 mod vfs;
 mod writer;
 
+pub use compact::{compact_store, compact_store_background, compact_store_recorded, CompactReport};
 pub use error::StoreError;
 pub use format::{
-    entry_checksum, trailer_len, IndexEntry, CHECKSUM_SEED, LEGACY_VERSION, MAGIC, MIN_ENTRY_LEN,
-    TRAILER_LEN, TRAILER_MAGIC, TRAILER_V1_LEN, VERSION,
+    entry_checksum, is_segment_file_name, segment_file_name, trailer_len, IndexEntry,
+    CHECKSUM_SEED, LEGACY_VERSION, MAGIC, MANIFEST_FILE, MANIFEST_HEADER_LEN, MANIFEST_MAGIC,
+    MANIFEST_TRAILER_LEN, MANIFEST_TRAILER_MAGIC, MIN_ENTRY_LEN, SEGMENT_HEADER_LEN, SEGMENT_MAGIC,
+    SEGMENT_TRAILER_LEN, SEGMENT_TRAILER_MAGIC, TRAILER_LEN, TRAILER_MAGIC, TRAILER_V1_LEN,
+    V3_VERSION, VERSION,
 };
-pub use pipelined::PipelinedStoreWriter;
+pub use manifest::{
+    decode_segment_header, decode_segment_trailer, encode_segment_header, encode_segment_trailer,
+    Manifest, ManifestEntry, SegmentMeta,
+};
+pub use pipelined::{PipelinedStoreWriter, PipelinedWorkerError};
 pub use reader::StoreReader;
 pub use salvage::{
     fsck_store, salvage_store, EntryHealth, EntryStatus, StoreFsckReport, StoreSalvageReport,
 };
+pub use sharded::{ShardedCommitReport, ShardedOptions, ShardedStoreWriter};
 pub use vfs::{RealFile, RealFs, StoreFile, StoreFs};
 pub use writer::{wip_path, StoreWriter};

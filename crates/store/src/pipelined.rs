@@ -23,10 +23,65 @@ struct Job {
     width: usize,
 }
 
+/// How a pipelined worker failed, carrying everything it had done by
+/// the time it stopped.
+///
+/// When a producer job fails mid-stream (a duplicate put, a codec
+/// error), the records written before the failure are not lost: the
+/// worker attempts to commit them and hands their index back here, so
+/// a caller — or `isobar salvage` — can account for exactly what made
+/// it to disk instead of discarding the whole run.
+#[derive(Debug)]
+pub struct PipelinedWorkerError {
+    /// What stopped the worker.
+    pub error: StoreError,
+    /// Index entries written before the failure, in arrival order.
+    pub partial_index: Vec<IndexEntry>,
+    /// Whether the partial store was successfully committed to its
+    /// final name (when false, nothing reached disk durably).
+    pub committed: bool,
+}
+
+impl std::fmt::Display for PipelinedWorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pipelined store worker failed after {} committed entr{}: {}",
+            self.partial_index.len(),
+            if self.partial_index.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for PipelinedWorkerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// A [`StoreWriter`] fronted by a bounded queue and a worker thread.
+///
+/// # Example
+///
+/// ```no_run
+/// use isobar_store::PipelinedStoreWriter;
+/// use isobar::IsobarOptions;
+///
+/// # fn demo(density: Vec<u8>) -> Result<(), isobar_store::StoreError> {
+/// let writer = PipelinedStoreWriter::create("run.isst", IsobarOptions::default(), 2)?;
+/// writer.put(0, "density", density, 8)?; // returns before compression finishes
+/// let entries = writer.close()?; // drains the queue and commits
+/// assert_eq!(entries.len(), 1);
+/// # Ok(()) }
+/// ```
 pub struct PipelinedStoreWriter {
     tx: Option<SyncSender<Job>>,
-    worker: Option<JoinHandle<Result<Vec<IndexEntry>, StoreError>>>,
+    worker: Option<JoinHandle<Result<Vec<IndexEntry>, PipelinedWorkerError>>>,
 }
 
 impl PipelinedStoreWriter {
@@ -41,11 +96,28 @@ impl PipelinedStoreWriter {
         let (tx, rx) = sync_channel::<Job>(queue_depth.max(1));
         let worker = std::thread::spawn(move || {
             for job in rx {
-                writer.put(job.step, &job.name, &job.data, job.width)?;
+                if let Err(error) = writer.put(job.step, &job.name, &job.data, job.width) {
+                    // Don't discard what the worker already wrote:
+                    // commit the good records and surface their index
+                    // alongside the error.
+                    let partial_index = writer.entries().to_vec();
+                    let committed = writer.close().is_ok();
+                    return Err(PipelinedWorkerError {
+                        error,
+                        partial_index,
+                        committed,
+                    });
+                }
             }
             let entries = writer.entries().to_vec();
-            writer.close()?;
-            Ok(entries)
+            match writer.close() {
+                Ok(()) => Ok(entries),
+                Err(error) => Err(PipelinedWorkerError {
+                    error,
+                    partial_index: entries,
+                    committed: false,
+                }),
+            }
         });
         Ok(PipelinedStoreWriter {
             tx: Some(tx),
@@ -79,13 +151,27 @@ impl PipelinedStoreWriter {
     }
 
     /// Drain the queue, finalize the store, and return its index.
-    pub fn close(mut self) -> Result<Vec<IndexEntry>, StoreError> {
+    ///
+    /// On failure the partial index is discarded; use
+    /// [`PipelinedStoreWriter::close_with_partial`] to keep it.
+    pub fn close(self) -> Result<Vec<IndexEntry>, StoreError> {
+        self.close_with_partial().map_err(|e| e.error)
+    }
+
+    /// [`PipelinedStoreWriter::close`], but a failure carries the
+    /// entries written before the error (and whether they were
+    /// committed) instead of discarding them.
+    pub fn close_with_partial(mut self) -> Result<Vec<IndexEntry>, PipelinedWorkerError> {
         drop(self.tx.take()); // disconnect: the worker drains and exits
         self.worker
             .take()
             .expect("close called once")
             .join()
-            .map_err(|_| StoreError::Corrupt("store worker panicked"))?
+            .map_err(|_| PipelinedWorkerError {
+                error: StoreError::Corrupt("store worker panicked"),
+                partial_index: Vec::new(),
+                committed: false,
+            })?
     }
 }
 
@@ -156,6 +242,26 @@ mod tests {
         writer.put(0, "x", vec![0u8; 80], 8).unwrap();
         // ...and close reports it.
         assert!(matches!(writer.close(), Err(StoreError::Duplicate { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn early_error_surfaces_partial_index() {
+        let path = tmp("partial-index");
+        let writer = PipelinedStoreWriter::create(&path, options(), 4).unwrap();
+        writer.put(0, "good", vec![7u8; 800], 8).unwrap();
+        // Duplicate: the worker fails on this job, with one good
+        // record already written.
+        writer.put(0, "good", vec![7u8; 800], 8).unwrap();
+        let err = writer.close_with_partial().unwrap_err();
+        assert!(matches!(err.error, StoreError::Duplicate { .. }));
+        assert_eq!(err.partial_index.len(), 1, "good record's entry survives");
+        assert_eq!(err.partial_index[0].name, "good");
+        assert!(err.committed, "partial store commits");
+        assert!(err.to_string().contains("1 committed entry"), "{err}");
+        // The committed partial store really holds the good record.
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.get(0, "good").unwrap(), vec![7u8; 800]);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -2,23 +2,77 @@
 
 use crate::error::StoreError;
 use crate::format::{
-    entry_checksum, trailer_len, IndexEntry, CHECKSUM_SEED, LEGACY_VERSION, MAGIC, MIN_ENTRY_LEN,
-    TRAILER_MAGIC, VERSION,
+    entry_checksum, trailer_len, IndexEntry, CHECKSUM_SEED, LEGACY_VERSION, MAGIC, MANIFEST_FILE,
+    MIN_ENTRY_LEN, SEGMENT_TRAILER_LEN, TRAILER_MAGIC, V3_VERSION, VERSION,
 };
+use crate::manifest::{decode_segment_header, Manifest, SegmentMeta};
 use isobar::telemetry::Counter;
 use isobar::{IsobarCompressor, IsobarOptions, Recorder};
 use isobar_codecs::xxhash::xxh64;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
-use std::sync::Mutex;
+
+/// One open segment (or, for v1/v2, the whole store file), read by
+/// positioned I/O so concurrent [`StoreReader::get`] calls never
+/// contend on a shared cursor.
+#[derive(Debug)]
+struct SegmentHandle {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<File>,
+}
+
+impl SegmentHandle {
+    fn new(file: File) -> SegmentHandle {
+        SegmentHandle {
+            #[cfg(unix)]
+            file,
+            #[cfg(not(unix))]
+            file: std::sync::Mutex::new(file),
+        }
+    }
+
+    /// Fill `buf` from `offset` without moving any shared cursor
+    /// (`pread` on unix; a locked seek+read elsewhere).
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self
+                .file
+                .lock()
+                .map_err(|_| StoreError::Corrupt("reader file lock poisoned"))?;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)?;
+        }
+        Ok(())
+    }
+}
 
 /// Reads a closed checkpoint store with per-variable random access.
+///
+/// Opens both single-file stores (versions 1 and 2) and version-3
+/// sharded directories; the two look identical through this API. In a
+/// version-3 store the same `(step, variable)` may appear more than
+/// once — later entries supersede earlier ones, and lookups resolve
+/// last-wins.
 #[derive(Debug)]
 pub struct StoreReader {
-    file: Mutex<File>,
+    segments: Vec<SegmentHandle>,
+    /// File name per segment ordinal (the store's own file name for
+    /// v1/v2), for reporting which file holds a given entry.
+    seg_names: Vec<String>,
     index: Vec<IndexEntry>,
+    /// Segment ordinal per index entry (always 0 for v1/v2).
+    seg_of: Vec<u16>,
     version: u8,
+    generation: u64,
     verify: bool,
 }
 
@@ -29,23 +83,116 @@ impl StoreReader {
         Self::open_with_verify(path, true)
     }
 
-    /// Open a store and load its index.
+    /// Open a store and load its index. A directory opens as a
+    /// version-3 sharded store; a file as a version-1/2 single-file
+    /// store.
     ///
     /// Every untrusted field is validated before it drives an
     /// allocation or a seek: the trailer must fit inside the file, the
     /// claimed entry count must fit inside the index region (each
     /// serialized entry is at least [`MIN_ENTRY_LEN`] bytes), and every
     /// entry's `[offset, offset + container_len)` range must lie inside
-    /// the data region.
+    /// the data region (its segment's, for version 3).
     ///
-    /// With `verify` on (the default via [`StoreReader::open`]), a
-    /// version-2 index additionally has its XXH64 checked against the
-    /// trailer before any entry is parsed, and every
-    /// [`StoreReader::get`] checks the fetched container's XXH64
-    /// against its index entry. Mismatches surface as
-    /// [`StoreError::ChecksumMismatch`]. Version-1 stores carry no
-    /// checksums and are read structurally either way.
+    /// With `verify` on (the default via [`StoreReader::open`]), the
+    /// index (or manifest) additionally has its XXH64 checked before
+    /// any entry is parsed, every segment's sealed trailer must agree
+    /// with the manifest, and every [`StoreReader::get`] checks the
+    /// fetched container's XXH64 against its index entry. Mismatches
+    /// surface as [`StoreError::ChecksumMismatch`]. Version-1 stores
+    /// carry no checksums and are read structurally either way.
     pub fn open_with_verify(path: impl AsRef<Path>, verify: bool) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        if path.is_dir() {
+            Self::open_v3(path, verify)
+        } else {
+            Self::open_single_file(path, verify)
+        }
+    }
+
+    fn open_v3(dir: &Path, verify: bool) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(dir.join(MANIFEST_FILE)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::Corrupt("store directory has no manifest (store not committed?)")
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let manifest = Manifest::decode(&bytes, verify)?;
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for meta in &manifest.segments {
+            let file = File::open(dir.join(&meta.file_name))?;
+            Self::check_segment(&file, meta, verify)?;
+            segments.push(SegmentHandle::new(file));
+        }
+        let mut index = Vec::with_capacity(manifest.entries.len());
+        let mut seg_of = Vec::with_capacity(manifest.entries.len());
+        for me in manifest.entries {
+            seg_of.push(me.segment);
+            index.push(me.entry);
+        }
+        let seg_names = manifest.segments.into_iter().map(|m| m.file_name).collect();
+        Ok(StoreReader {
+            segments,
+            seg_names,
+            index,
+            seg_of,
+            version: V3_VERSION,
+            generation: manifest.generation,
+            verify,
+        })
+    }
+
+    /// Validate one segment file against its manifest row: header
+    /// magic and exact length always; the sealed trailer's checksum
+    /// and its agreement with the manifest when verifying.
+    fn check_segment(file: &File, meta: &SegmentMeta, verify: bool) -> Result<(), StoreError> {
+        let handle = SegmentHandle {
+            #[cfg(unix)]
+            file: file.try_clone()?,
+            #[cfg(not(unix))]
+            file: std::sync::Mutex::new(file.try_clone()?),
+        };
+        let file_len = file.metadata()?.len();
+        let expected = meta
+            .data_len
+            .checked_add(SEGMENT_TRAILER_LEN as u64)
+            .ok_or(StoreError::Corrupt("segment length overflow"))?;
+        if file_len != expected {
+            return Err(StoreError::Corrupt(
+                "segment length disagrees with manifest",
+            ));
+        }
+        let mut header = [0u8; crate::format::SEGMENT_HEADER_LEN];
+        handle.read_exact_at(&mut header, 0)?;
+        decode_segment_header(&header)?;
+        if verify {
+            let mut trailer = [0u8; SEGMENT_TRAILER_LEN];
+            handle.read_exact_at(&mut trailer, meta.data_len)?;
+            if trailer[20..] != crate::format::SEGMENT_TRAILER_MAGIC {
+                return Err(StoreError::Corrupt("missing segment trailer"));
+            }
+            let stored = u64::from_le_bytes(trailer[12..20].try_into().expect("8 bytes"));
+            let actual = xxh64(&trailer[..12], CHECKSUM_SEED);
+            if stored != actual {
+                return Err(StoreError::ChecksumMismatch {
+                    offset: meta.data_len + 12,
+                    expected: stored,
+                    actual,
+                });
+            }
+            let data_len = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+            let record_count = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
+            if data_len != meta.data_len || record_count != meta.record_count {
+                return Err(StoreError::Corrupt(
+                    "segment trailer disagrees with manifest",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn open_single_file(path: &Path, verify: bool) -> Result<Self, StoreError> {
         let mut file = File::open(path)?;
         let file_len = file.seek(SeekFrom::End(0))?;
         let head_len = (MAGIC.len() + 1) as u64;
@@ -125,10 +272,19 @@ impl StoreReader {
             return Err(StoreError::Corrupt("trailing bytes after index"));
         }
 
+        let seg_of = vec![0u16; index.len()];
+        let seg_names = vec![path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string()];
         Ok(StoreReader {
-            file: Mutex::new(file),
+            segments: vec![SegmentHandle::new(file)],
+            seg_names,
             index,
+            seg_of,
             version,
+            generation: 0,
             verify,
         })
     }
@@ -153,14 +309,51 @@ impl StoreReader {
         result
     }
 
-    /// Store format version of the underlying file (1 or 2).
+    /// Store format version of the underlying store (1, 2, or 3).
     pub fn version(&self) -> u8 {
         self.version
     }
 
-    /// All index entries, in write order.
+    /// Manifest generation of a version-3 store (0 for single-file
+    /// stores, which have no generations).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of segment files backing this store (1 for v1/v2).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// File name of the segment holding `entry` (the store file's own
+    /// name for v1/v2). The entry must come from this reader's index.
+    pub fn segment_file_name(&self, entry: &IndexEntry) -> Result<&str, StoreError> {
+        Ok(&self.seg_names[self.segment_of(entry)? as usize])
+    }
+
+    /// All index entries, in write order — including entries a later
+    /// put has superseded (see [`StoreReader::live_entries`]).
     pub fn entries(&self) -> &[IndexEntry] {
         &self.index
+    }
+
+    /// The winning entry per `(step, variable)`: every index entry
+    /// that no later entry supersedes, in write order.
+    pub fn live_entries(&self) -> Vec<&IndexEntry> {
+        let mut seen = std::collections::HashSet::new();
+        let mut live: Vec<&IndexEntry> = self
+            .index
+            .iter()
+            .rev()
+            .filter(|e| seen.insert((e.step, e.name.as_str())))
+            .collect();
+        live.reverse();
+        live
+    }
+
+    /// Entries shadowed by a later put of the same `(step, variable)`.
+    pub fn superseded_count(&self) -> usize {
+        self.index.len() - self.live_entries().len()
     }
 
     /// Distinct time steps present, ascending.
@@ -181,41 +374,73 @@ impl StoreReader {
             .collect()
     }
 
-    /// Locate the entry for `(step, name)`.
-    pub fn entry(&self, step: u32, name: &str) -> Result<&IndexEntry, StoreError> {
+    /// Index position of the winning entry for `(step, name)`: the
+    /// last match, so later generations supersede earlier ones.
+    fn position(&self, step: u32, name: &str) -> Result<usize, StoreError> {
         self.index
             .iter()
-            .find(|e| e.step == step && e.name == name)
+            .rposition(|e| e.step == step && e.name == name)
             .ok_or_else(|| StoreError::NotFound {
                 step,
                 name: name.to_string(),
             })
     }
 
-    /// Read one variable's raw container bytes without decompressing.
-    /// Fsck and salvage use this to inspect records directly.
-    pub fn get_container(&self, entry: &IndexEntry) -> Result<Vec<u8>, StoreError> {
+    /// Locate the (winning) entry for `(step, name)`.
+    pub fn entry(&self, step: u32, name: &str) -> Result<&IndexEntry, StoreError> {
+        Ok(&self.index[self.position(step, name)?])
+    }
+
+    /// Segment ordinal of an entry borrowed from this reader's index.
+    /// Falls back to an equality scan for entries that were cloned out.
+    fn segment_of(&self, entry: &IndexEntry) -> Result<u16, StoreError> {
+        let base = self.index.as_ptr() as usize;
+        let p = entry as *const IndexEntry as usize;
+        if p >= base {
+            let i = (p - base) / std::mem::size_of::<IndexEntry>();
+            if i < self.index.len() && std::ptr::eq(&self.index[i], entry) {
+                return Ok(self.seg_of[i]);
+            }
+        }
+        self.index
+            .iter()
+            .position(|e| e == entry)
+            .map(|i| self.seg_of[i])
+            .ok_or(StoreError::Corrupt("entry does not belong to this store"))
+    }
+
+    fn container_at(&self, position: usize) -> Result<Vec<u8>, StoreError> {
+        let entry = &self.index[position];
+        let segment = &self.segments[self.seg_of[position] as usize];
         let mut container = vec![0u8; entry.container_len as usize];
-        let mut file = self
-            .file
-            .lock()
-            .map_err(|_| StoreError::Corrupt("reader file lock poisoned"))?;
-        file.seek(SeekFrom::Start(entry.offset))?;
-        file.read_exact(&mut container)?;
+        segment.read_exact_at(&mut container, entry.offset)?;
         Ok(container)
     }
 
-    /// Read and decompress one variable.
+    /// Read one variable's raw container bytes without decompressing.
+    /// Fsck and salvage use this to inspect records directly. The
+    /// entry must come from this reader's index.
+    pub fn get_container(&self, entry: &IndexEntry) -> Result<Vec<u8>, StoreError> {
+        let segment = &self.segments[self.segment_of(entry)? as usize];
+        let mut container = vec![0u8; entry.container_len as usize];
+        segment.read_exact_at(&mut container, entry.offset)?;
+        Ok(container)
+    }
+
+    /// Read and decompress one variable (the winning entry, if the
+    /// pair was superseded).
     ///
-    /// The entry's byte range was validated against the file length at
-    /// open, so the container allocation here is bounded by real
-    /// on-disk bytes. In a version-2 store opened with verification
-    /// (the default), the container's XXH64 is checked against the
-    /// index entry before decode.
+    /// The entry's byte range was validated against its file (or
+    /// segment) length at open, so the container allocation here is
+    /// bounded by real on-disk bytes. With verification on (the
+    /// default), the container's XXH64 is checked against the index
+    /// entry before decode. Reads use positioned I/O, so concurrent
+    /// `get` calls from many threads do not serialize on a cursor.
     pub fn get(&self, step: u32, name: &str) -> Result<Vec<u8>, StoreError> {
         let _span = isobar::trace::span(isobar::trace::TraceTag::StoreGet, isobar::trace::NO_CHUNK);
-        let entry = self.entry(step, name)?.clone();
-        let container = self.get_container(&entry)?;
+        let position = self.position(step, name)?;
+        let entry = self.index[position].clone();
+        let container = self.container_at(position)?;
         if self.version >= 2 && self.verify {
             let actual = entry_checksum(&container);
             if actual != entry.checksum {
@@ -264,11 +489,12 @@ impl StoreReader {
         result
     }
 
-    /// Total raw and stored bytes across all entries: the store-level
-    /// compression ratio.
+    /// Total raw and stored bytes across all live entries: the
+    /// store-level compression ratio.
     pub fn overall_ratio(&self) -> f64 {
-        let raw: u64 = self.index.iter().map(|e| e.raw_len).sum();
-        let stored: u64 = self.index.iter().map(|e| e.container_len).sum();
+        let live = self.live_entries();
+        let raw: u64 = live.iter().map(|e| e.raw_len).sum();
+        let stored: u64 = live.iter().map(|e| e.container_len).sum();
         if stored == 0 {
             1.0
         } else {

@@ -18,10 +18,16 @@
 //! records do not reach the salvaged output.
 
 use crate::error::StoreError;
-use crate::format::{entry_checksum, IndexEntry, LEGACY_VERSION, MAGIC};
+use crate::format::{
+    entry_checksum, is_segment_file_name, IndexEntry, LEGACY_VERSION, MAGIC, MANIFEST_FILE,
+    SEGMENT_HEADER_LEN, V3_VERSION,
+};
+use crate::manifest::Manifest;
 use crate::reader::StoreReader;
+use crate::sharded::{ShardedOptions, ShardedStoreWriter};
 use crate::writer::StoreWriter;
 use isobar::{IsobarCompressor, IsobarOptions};
+use std::collections::HashSet;
 use std::path::Path;
 
 /// Verification outcome for one store entry.
@@ -54,15 +60,24 @@ pub struct EntryStatus {
 /// What [`fsck_store`] found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreFsckReport {
-    /// Store format version (1 or 2).
+    /// Store format version (1, 2, or 3).
     pub version: u8,
-    /// Whether the index region itself is damaged or unreadable. When
-    /// true, `entries` may be empty even though data records exist.
+    /// Whether the index region (or, for version 3, the manifest)
+    /// itself is damaged or unreadable. When true, `entries` may be
+    /// empty even though data records exist.
     pub index_damaged: bool,
     /// Per-entry status, in index order.
     pub entries: Vec<EntryStatus>,
     /// Whether any part of the store predates embedded checksums.
     pub legacy: bool,
+    /// Version 3 only: segment-shaped files in the store directory
+    /// (including `.wip` journals) that the manifest does not
+    /// reference — droppings of a crashed or in-flight writer.
+    /// Harmless; compaction sweeps them.
+    pub orphan_files: usize,
+    /// Version 3 only: entries shadowed by a later put of the same
+    /// `(step, variable)`. Dead weight, reclaimed by compaction.
+    pub superseded_entries: usize,
 }
 
 impl StoreFsckReport {
@@ -130,11 +145,16 @@ fn container_health(version: u8, entry: &IndexEntry, container: &[u8]) -> EntryH
 }
 
 /// Walk a store and verify every entry without decompressing payloads.
+/// A directory is checked as a version-3 sharded store, a file as a
+/// single-file store.
 ///
 /// Never fails on damage — damage is the report's content. Errors are
 /// reserved for I/O failures and files that are not stores at all.
 pub fn fsck_store(path: impl AsRef<Path>) -> Result<StoreFsckReport, StoreError> {
     let path = path.as_ref();
+    if path.is_dir() {
+        return fsck_v3(path);
+    }
     // A file without the store magic is a usage error, not damage.
     let head = {
         let mut head = [0u8; 5];
@@ -163,11 +183,73 @@ pub fn fsck_store(path: impl AsRef<Path>) -> Result<StoreFsckReport, StoreError>
                     index_damaged: true,
                     entries: Vec::new(),
                     legacy: version == LEGACY_VERSION,
+                    orphan_files: 0,
+                    superseded_entries: 0,
                 })
             }
         },
     };
     fsck_entries(version, false, &reader)
+}
+
+/// Segment-shaped files in `dir` (counting `.wip` journals) that
+/// `referenced` does not name.
+fn count_orphans(dir: &Path, referenced: &HashSet<String>) -> Result<usize, StoreError> {
+    let mut orphans = 0usize;
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stem = name.strip_suffix(".wip").unwrap_or(name);
+        if is_segment_file_name(stem) && !referenced.contains(name) {
+            orphans += 1;
+        }
+    }
+    Ok(orphans)
+}
+
+fn fsck_v3(dir: &Path) -> Result<StoreFsckReport, StoreError> {
+    // The manifest's segment table drives the orphan scan; if it
+    // cannot be decoded at all, every segment file is effectively
+    // unreferenced (and recoverable only by the salvage walk).
+    let referenced: HashSet<String> = match std::fs::read(dir.join(MANIFEST_FILE)) {
+        Ok(bytes) => Manifest::decode(&bytes, false)
+            .map(|m| m.segments.into_iter().map(|s| s.file_name).collect())
+            .unwrap_or_default(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashSet::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let orphan_files = count_orphans(dir, &referenced)?;
+
+    let finish = |index_damaged: bool, reader: Option<&StoreReader>| {
+        let mut report = match reader {
+            Some(reader) => {
+                let mut report = fsck_entries(V3_VERSION, index_damaged, reader)?;
+                report.superseded_entries = reader.superseded_count();
+                report
+            }
+            None => StoreFsckReport {
+                version: V3_VERSION,
+                index_damaged: true,
+                entries: Vec::new(),
+                legacy: false,
+                orphan_files: 0,
+                superseded_entries: 0,
+            },
+        };
+        report.orphan_files = orphan_files;
+        Ok(report)
+    };
+
+    match StoreReader::open(dir) {
+        Ok(reader) => finish(false, Some(&reader)),
+        Err(StoreError::Io(e)) => Err(StoreError::Io(e)),
+        // Manifest checksum mismatch or a segment disagreeing with it:
+        // retry structurally to enumerate what we still can.
+        Err(_) => match StoreReader::open_with_verify(dir, false) {
+            Ok(reader) => finish(true, Some(&reader)),
+            Err(_) => finish(true, None),
+        },
+    }
 }
 
 fn fsck_entries(
@@ -196,6 +278,8 @@ fn fsck_entries(
         index_damaged,
         entries,
         legacy,
+        orphan_files: 0,
+        superseded_entries: 0,
     })
 }
 
@@ -213,6 +297,9 @@ pub fn salvage_store(
     output: impl AsRef<Path>,
 ) -> Result<StoreSalvageReport, StoreError> {
     let input = input.as_ref();
+    if input.is_dir() {
+        return salvage_v3(input, output.as_ref());
+    }
     let report = fsck_store(input)?;
     let mut writer = StoreWriter::create(output.as_ref(), IsobarOptions::default())?;
     let mut recovered = 0usize;
@@ -294,6 +381,176 @@ pub fn salvage_store(
                 pos = m + isobar::container::MAGIC.len();
             }
         }
+    }
+    writer.close()?;
+    Ok(StoreSalvageReport {
+        entries_recovered: recovered,
+        entries_lost: lost,
+        index_rebuilt: true,
+    })
+}
+
+/// Salvage a version-3 directory store into a fresh single-shard
+/// version-3 store at `output`.
+///
+/// With a decodable manifest, the newest intact version of every live
+/// `(step, variable)` is copied byte-for-byte; when the newest version
+/// is damaged, older superseded versions of the same key are tried
+/// newest-first — a supersede history doubles as a recovery ladder.
+/// Without a usable manifest, every segment file (including `.wip`
+/// journals of a crashed writer) is walked with the resync rules from
+/// the module docs, and the newest surviving version of each key wins.
+fn salvage_v3(input: &Path, output: &Path) -> Result<StoreSalvageReport, StoreError> {
+    let writer = ShardedStoreWriter::create(
+        output,
+        IsobarOptions::default(),
+        ShardedOptions {
+            shards: 1,
+            ..Default::default()
+        },
+    )?;
+    let mut recovered = 0usize;
+    let mut lost = 0usize;
+
+    if let Ok(reader) = StoreReader::open_with_verify(input, false) {
+        // Group index positions by key; index order is put order, so
+        // the last position of a key is its live version.
+        let mut order: Vec<(u32, String)> = Vec::new();
+        let mut versions: std::collections::HashMap<(u32, String), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (at, entry) in reader.entries().iter().enumerate() {
+            let key = (entry.step, entry.name.clone());
+            match versions.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(at),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(vec![at]);
+                    order.push(key);
+                }
+            }
+        }
+        for key in &order {
+            let positions = &versions[key];
+            let mut copied = false;
+            for &at in positions.iter().rev() {
+                let entry = &reader.entries()[at];
+                let container = match reader.get_container(entry) {
+                    Ok(c) => c,
+                    Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                    Err(_) => continue,
+                };
+                if container_health(V3_VERSION, entry, &container) == EntryHealth::Damaged {
+                    continue;
+                }
+                writer.put_container(
+                    entry.step,
+                    &entry.name,
+                    entry.width,
+                    container,
+                    entry.raw_len,
+                )?;
+                copied = true;
+                break;
+            }
+            if copied {
+                recovered += 1;
+            } else {
+                lost += 1;
+            }
+        }
+        writer.close()?;
+        return Ok(StoreSalvageReport {
+            entries_recovered: recovered,
+            entries_lost: lost,
+            index_rebuilt: false,
+        });
+    }
+
+    // Manifest unusable: walk every segment-shaped file in generation
+    // order (file names sort by generation) and rediscover records.
+    let mut files: Vec<String> = Vec::new();
+    for dirent in std::fs::read_dir(input)? {
+        let name = dirent?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stem = name.strip_suffix(".wip").unwrap_or(name);
+        if is_segment_file_name(stem) {
+            files.push(name.to_string());
+        }
+    }
+    files.sort();
+
+    let verifier = IsobarCompressor::new(IsobarOptions {
+        verify: true,
+        ..Default::default()
+    });
+    // Newest version of each key wins: later files are later
+    // generations, and within a file the walk runs in put order.
+    struct Candidate {
+        step: u32,
+        name: String,
+        width: u8,
+        container: Vec<u8>,
+        raw_len: u64,
+    }
+    let mut order: Vec<usize> = Vec::new();
+    let mut by_key: std::collections::HashMap<(u32, String), usize> =
+        std::collections::HashMap::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for file in &files {
+        let data = std::fs::read(input.join(file))?;
+        let mut pos = SEGMENT_HEADER_LEN;
+        while pos + isobar::container::MAGIC.len() <= data.len() {
+            let Some(found) = find_magic(&data[pos..]) else {
+                break;
+            };
+            let m = pos + found;
+            match record_at(&data, SEGMENT_HEADER_LEN, m) {
+                Some(record) => {
+                    let container = &data[m..m + record.container_len];
+                    match verifier.decompress(container) {
+                        Ok(raw) => {
+                            let candidate = Candidate {
+                                step: record.step,
+                                name: record.name.to_string(),
+                                width: record.width,
+                                container: container.to_vec(),
+                                raw_len: raw.len() as u64,
+                            };
+                            let key = (candidate.step, candidate.name.clone());
+                            candidates.push(candidate);
+                            let at = candidates.len() - 1;
+                            match by_key.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(mut o) => {
+                                    *o.get_mut() = at;
+                                }
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    v.insert(at);
+                                    order.push(at);
+                                }
+                            }
+                            pos = m + record.container_len;
+                        }
+                        Err(_) => {
+                            lost += 1;
+                            pos = m + isobar::container::MAGIC.len();
+                        }
+                    }
+                }
+                None => {
+                    pos = m + isobar::container::MAGIC.len();
+                }
+            }
+        }
+    }
+    // `order` holds each key's first-appearance position; resolve to
+    // the key's newest candidate before writing.
+    for at in order {
+        let newest = {
+            let c = &candidates[at];
+            by_key[&(c.step, c.name.clone())]
+        };
+        let c = &candidates[newest];
+        writer.put_container(c.step, &c.name, c.width, c.container.clone(), c.raw_len)?;
+        recovered += 1;
     }
     writer.close()?;
     Ok(StoreSalvageReport {
@@ -530,5 +787,153 @@ mod tests {
     fn entry_checksum_matches_format_helper() {
         let container = b"arbitrary container stand-in";
         assert_eq!(entry_checksum(container), xxh64(container, CHECKSUM_SEED));
+    }
+
+    fn write_demo_v3(dir: &PathBuf, generations: u32) -> Vec<u8> {
+        let mut last = Vec::new();
+        for g in 0..generations {
+            let writer = ShardedStoreWriter::create(
+                dir,
+                IsobarOptions::default(),
+                ShardedOptions {
+                    shards: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let data = payload(16 * 1024, 1 + g as u64);
+            writer.put(0, "density", data.clone(), 8).unwrap();
+            writer
+                .put(0, "potential", payload(16 * 1024, 7 + g as u64), 8)
+                .unwrap();
+            writer.close().unwrap();
+            last = data;
+        }
+        last
+    }
+
+    #[test]
+    fn v3_store_fscks_clean_and_counts_supersedes() {
+        let dir = tmp("v3-clean");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_demo_v3(&dir, 2);
+        let report = fsck_store(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.version, V3_VERSION);
+        assert_eq!(report.entries.len(), 4, "both generations enumerated");
+        assert_eq!(report.superseded_entries, 2);
+        assert_eq!(report.orphan_files, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v3_fsck_counts_orphan_droppings() {
+        let dir = tmp("v3-orphans");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_demo_v3(&dir, 1);
+        // A crashed writer's droppings: an unreferenced sealed segment
+        // and a torn .wip journal.
+        std::fs::write(dir.join("g0000000000000007-s000.seg"), b"ISSGx").unwrap();
+        std::fs::write(dir.join("g0000000000000007-s001.seg.wip"), b"IS").unwrap();
+        let report = fsck_store(&dir).unwrap();
+        assert!(report.is_clean(), "orphans are not damage");
+        assert_eq!(report.orphan_files, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v3_salvage_falls_back_to_superseded_version_of_damaged_entry() {
+        let dir = tmp("v3-fallback");
+        let out = tmp("v3-fallback-out");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+        write_demo_v3(&dir, 2);
+
+        // Damage the *live* (generation-1) version of "density" on
+        // disk; the generation-0 version should be salvaged instead.
+        let reader = StoreReader::open_with_verify(&dir, false).unwrap();
+        let positions: Vec<usize> = reader
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.name == "density")
+            .map(|(at, _)| at)
+            .collect();
+        assert_eq!(positions.len(), 2);
+        let live = reader.entries()[*positions.last().unwrap()].clone();
+        let live_seg = reader
+            .segment_file_name(&reader.entries()[*positions.last().unwrap()])
+            .unwrap()
+            .to_string();
+        let old = reader.entries()[positions[0]].clone();
+        drop(reader);
+        let seg_path = dir.join(&live_seg);
+        let mut bytes = std::fs::read(&seg_path).unwrap();
+        bytes[(live.offset + live.container_len / 2) as usize] ^= 0x40;
+        std::fs::write(&seg_path, &bytes).unwrap();
+
+        let report = salvage_store(&dir, &out).unwrap();
+        assert!(report.is_complete(), "{report:?}");
+        assert_eq!(report.entries_recovered, 2);
+        assert!(!report.index_rebuilt);
+
+        let restored = StoreReader::open(&out).unwrap();
+        // The salvaged "density" is the generation-0 payload.
+        let reader = StoreReader::open_with_verify(&dir, false).unwrap();
+        assert_eq!(
+            restored.get(0, "density").unwrap(),
+            IsobarCompressor::new(IsobarOptions::default())
+                .decompress(
+                    &reader
+                        .get_container(&reader.entries()[positions[0]])
+                        .unwrap()
+                )
+                .unwrap(),
+            "fell back to the superseded version at offset {}",
+            old.offset
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn v3_salvage_rebuilds_from_segments_when_manifest_is_gone() {
+        let dir = tmp("v3-nomanifest");
+        let out = tmp("v3-nomanifest-out");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+        let newest_density = write_demo_v3(&dir, 2);
+        let segment_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_str()
+                    .is_some_and(is_segment_file_name)
+            })
+            .count();
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+
+        let report = fsck_store(&dir).unwrap();
+        assert!(report.index_damaged);
+        assert_eq!(
+            report.orphan_files, segment_files,
+            "all segments now unreferenced"
+        );
+
+        let salvage = salvage_store(&dir, &out).unwrap();
+        assert!(salvage.index_rebuilt);
+        assert_eq!(salvage.entries_recovered, 2, "one live version per key");
+        assert_eq!(salvage.entries_lost, 0);
+
+        let restored = StoreReader::open(&out).unwrap();
+        assert_eq!(
+            restored.get(0, "density").unwrap(),
+            newest_density,
+            "newest generation wins the walk"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&out).unwrap();
     }
 }

@@ -46,6 +46,14 @@ pub trait StoreFs: Send {
     /// Force directory metadata (creations, renames) to stable
     /// storage.
     fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Read a whole file. The sharded writer uses this to load the
+    /// committed manifest before starting a new generation.
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Create a directory (and any missing parents). Succeeds if the
+    /// directory already exists.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
 }
 
 /// The real filesystem.
@@ -104,6 +112,14 @@ impl StoreFs for RealFs {
             }
             Err(_) => Ok(()),
         }
+    }
+
+    fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
     }
 }
 

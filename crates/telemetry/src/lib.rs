@@ -131,11 +131,20 @@ pub enum Counter {
     ChunksVerbatimFallback,
     /// Damaged chunks/frames/entries skipped by salvage-mode decode.
     ChunksSkippedCorrupt,
+    /// Segment files committed by sharded-store manifest commits.
+    StoreSegmentsCommitted,
+    /// Manifest bytes written by sharded-store commits.
+    StoreManifestBytes,
+    /// Index entries superseded by a later put of the same
+    /// `(step, variable)` pair in a sharded store.
+    StoreSupersededEntries,
+    /// Sharded-store compaction passes completed.
+    StoreCompactionsRun,
 }
 
 impl Counter {
     /// Number of counters (array size).
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 34;
 
     /// Every counter, in stable JSON order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -169,6 +178,10 @@ impl Counter {
         Counter::ChecksumMismatches,
         Counter::ChunksVerbatimFallback,
         Counter::ChunksSkippedCorrupt,
+        Counter::StoreSegmentsCommitted,
+        Counter::StoreManifestBytes,
+        Counter::StoreSupersededEntries,
+        Counter::StoreCompactionsRun,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -204,6 +217,10 @@ impl Counter {
             Counter::ChecksumMismatches => "checksum_mismatches",
             Counter::ChunksVerbatimFallback => "chunks_verbatim_fallback",
             Counter::ChunksSkippedCorrupt => "chunks_skipped_corrupt",
+            Counter::StoreSegmentsCommitted => "store_segments_committed",
+            Counter::StoreManifestBytes => "store_manifest_bytes",
+            Counter::StoreSupersededEntries => "store_superseded_entries",
+            Counter::StoreCompactionsRun => "store_compactions_run",
         }
     }
 }

@@ -105,11 +105,21 @@ pub enum TraceTag {
     StorePut,
     /// Checkpoint store: one variable read and decompressed.
     StoreGet,
+    /// Sharded store: codec-thread compression of one variable (the
+    /// chunk field carries the shard ordinal).
+    StoreShardCompress,
+    /// Sharded store: I/O-thread append of one record to its segment
+    /// (the chunk field carries the shard ordinal).
+    StoreShardAppend,
+    /// Sharded store: the two-phase manifest commit at close.
+    StoreManifestCommit,
+    /// Sharded store: one compaction pass rewriting live entries.
+    StoreCompact,
 }
 
 impl TraceTag {
     /// Number of tags.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 21;
 
     /// Stable snake_case name, used as the Chrome trace event name.
     pub fn name(self) -> &'static str {
@@ -131,6 +141,10 @@ impl TraceTag {
             TraceTag::StreamChunkRead => "stream_chunk_read",
             TraceTag::StorePut => "store_put",
             TraceTag::StoreGet => "store_get",
+            TraceTag::StoreShardCompress => "store_shard_compress",
+            TraceTag::StoreShardAppend => "store_shard_append",
+            TraceTag::StoreManifestCommit => "store_manifest_commit",
+            TraceTag::StoreCompact => "store_compact",
         }
     }
 }
