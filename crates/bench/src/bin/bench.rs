@@ -1,8 +1,10 @@
-//! Benchmark result tooling: regression gating and trace validation.
+//! Benchmark result tooling: regression gating, trace validation, and
+//! the serve soak driver.
 //!
 //! ```text
 //! bench diff OLD.json NEW.json [--max-regress PCT]
 //! bench trace-check TRACE.json
+//! bench serve-soak [--clients N] [--iters N] [--payload BYTES] [--dir PATH]
 //! ```
 //!
 //! `diff` compares the `results_mbps` sections of two
@@ -16,18 +18,28 @@
 //! properly nested per thread, with monotonically non-decreasing
 //! timestamps per thread. It is the CI smoke test for the span
 //! pipeline.
+//!
+//! `serve-soak` starts an in-process `isobar serve` daemon and drives
+//! it with concurrent mixed put/get clients (see
+//! [`isobar_bench::soak`]). It exits nonzero on any client-observed
+//! error or any server-side protocol error, so CI can use a short run
+//! as a daemon smoke test.
 
 use isobar::telemetry::json::{self, JsonValue};
+use isobar_bench::soak::{run_soak, SoakConfig};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench diff OLD NEW [--max-regress PCT] \
+     | bench trace-check FILE \
+     | bench serve-soak [--clients N] [--iters N] [--payload BYTES] [--dir PATH]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("diff") => diff(&args[1..]),
         Some("trace-check") => trace_check(&args[1..]),
-        _ => Err(
-            "usage: bench diff OLD NEW [--max-regress PCT] | bench trace-check FILE".to_string(),
-        ),
+        Some("serve-soak") => serve_soak(&args[1..]),
+        _ => Err(USAGE.to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -126,6 +138,94 @@ fn diff(args: &[String]) -> Result<(), String> {
         ));
     }
     println!("all {compared} shared results within {max_regress_pct}% of {old_path}");
+    Ok(())
+}
+
+fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
+    let n: usize = text.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be positive"));
+    }
+    Ok(n)
+}
+
+fn serve_soak(args: &[String]) -> Result<(), String> {
+    let mut config = SoakConfig::default();
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--clients" => config.clients = parse_count("--clients", value("--clients")?)?,
+            "--iters" => config.iters = parse_count("--iters", value("--iters")?)?,
+            "--payload" => {
+                config.payload_bytes = parse_count("--payload", value("--payload")?)?;
+                if config.payload_bytes % 8 != 0 {
+                    return Err("--payload must be a multiple of 8 (width-8 elements)".to_string());
+                }
+            }
+            "--dir" => dir = Some(std::path::PathBuf::from(value("--dir")?)),
+            other => return Err(format!("unknown serve-soak argument '{other}'")),
+        }
+    }
+
+    // Default to a scratch store that is removed afterwards; an
+    // explicit --dir is the caller's to keep and inspect.
+    let scratch = dir.is_none();
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("isobar-serve-soak-{}", std::process::id()))
+    });
+    if scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!(
+        "serve-soak: {} clients x {} iters x {} KiB payloads -> {}",
+        config.clients,
+        config.iters,
+        config.payload_bytes / 1024,
+        dir.display()
+    );
+    let report = run_soak(&dir, &config)?;
+    if scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!("{:<22} {:>10.1} MB/s", "mixed put/get", report.mbps);
+    println!(
+        "{:<22} {:>10.2} MB",
+        "payload moved",
+        report.total_bytes as f64 / 1e6
+    );
+    println!("{:<22} {:>10.3} s", "wall time", report.wall_secs);
+    println!("{:<22} {:>10}", "puts", report.puts);
+    println!("{:<22} {:>10}", "gets (verified)", report.gets);
+    println!("{:<22} {:>10}", "busy retries", report.busy_retries);
+    println!("{:<22} {:>10.3} ms", "p50 latency", report.p50_ms);
+    println!("{:<22} {:>10.3} ms", "p99 latency", report.p99_ms);
+    println!("{:<22} {:>10}", "server commits", report.server.commits);
+    println!(
+        "{:<22} {:>10}",
+        "server protocol errs", report.server.protocol_errors
+    );
+
+    for error in &report.errors {
+        eprintln!("soak error: {error}");
+    }
+    if !report.errors.is_empty() {
+        return Err(format!("{} client-side errors", report.errors.len()));
+    }
+    if report.server.protocol_errors > 0 {
+        return Err(format!(
+            "{} server-side protocol errors",
+            report.server.protocol_errors
+        ));
+    }
+    println!("serve-soak: clean");
     Ok(())
 }
 

@@ -267,6 +267,36 @@ fn main() {
     }
     let _ = std::fs::remove_dir_all(&store_scratch);
 
+    // Daemon round-trip throughput: an in-process `isobar serve` on a
+    // loopback socket, driven by concurrent mixed put/get clients (the
+    // serve-soak harness at bench scale). Unlike the store rows this
+    // includes the wire protocol, admission control, and tenancy
+    // prefixing, so a slowdown anywhere on the network path lands in
+    // the regression gate. Median of the usual ITERS runs; a soak that
+    // reports any error is a hard failure, not a slow result.
+    {
+        let soak_config = isobar_bench::soak::SoakConfig {
+            clients: 8,
+            iters: 4,
+            payload_bytes: chunk_bytes,
+            server: isobar_server::ServeOptions {
+                shards,
+                ..Default::default()
+            },
+        };
+        let mut samples = Vec::with_capacity(ITERS);
+        for _ in 0..ITERS {
+            let _ = std::fs::remove_dir_all(&store_scratch);
+            let report =
+                isobar_bench::soak::run_soak(&store_scratch, &soak_config).expect("serve soak run");
+            assert!(report.errors.is_empty(), "soak errors: {:?}", report.errors);
+            assert_eq!(report.server.protocol_errors, 0, "soak protocol errors");
+            samples.push(report.mbps);
+            let _ = std::fs::remove_dir_all(&store_scratch);
+        }
+        record("serve_soak_mixed", median(&mut samples));
+    }
+
     // One instrumented round trip (serial default, outside the timed
     // loops) yielding the telemetry per-stage wall-time breakdown and,
     // with `--trace`, the span timeline of the same run.

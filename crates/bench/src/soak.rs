@@ -1,0 +1,256 @@
+//! Mixed-workload soak harness for `isobar serve`.
+//!
+//! FCBench's observation motivates this: throughput claims for a
+//! compression service only hold up under cross-domain concurrent
+//! client traffic. [`run_soak`] starts an in-process daemon on an
+//! ephemeral port and drives it with N client threads, each doing a
+//! put-then-get-and-verify loop under its own tenant. Latencies are
+//! collected per request; `Busy` answers are counted and retried with
+//! backoff (that is the protocol's backpressure working, not an
+//! error); any other surprise is an error that fails the soak.
+
+use isobar_server::{serve, Client, ServeOptions, ServeReport, Status};
+use std::time::{Duration, Instant};
+
+/// Knobs for one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Put/get iterations per client.
+    pub iters: usize,
+    /// Payload bytes per put (width-8 elements).
+    pub payload_bytes: usize,
+    /// Server options for the in-process daemon.
+    pub server: ServeOptions,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            clients: 32,
+            iters: 8,
+            payload_bytes: 256 * 1024,
+            server: ServeOptions::default(),
+        }
+    }
+}
+
+/// What a soak run measured.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Application payload throughput (put + get bytes over wall
+    /// time), in MB/s.
+    pub mbps: f64,
+    /// Total payload bytes moved (puts + verified gets).
+    pub total_bytes: usize,
+    /// Wall-clock seconds for the whole mixed phase.
+    pub wall_secs: f64,
+    /// Successful puts across all clients.
+    pub puts: u64,
+    /// Successful, bit-verified gets across all clients.
+    pub gets: u64,
+    /// `Busy` answers (each was retried until it succeeded).
+    pub busy_retries: u64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Protocol/data errors observed by clients (must be empty for a
+    /// passing soak).
+    pub errors: Vec<String>,
+    /// The daemon's own accounting after the graceful drain.
+    pub server: ServeReport,
+}
+
+/// Deterministic pseudo-data with enough byte-column structure that
+/// the ISOBAR pipeline exercises its real compress path (a pure
+/// counter would be degenerate, pure noise would all go verbatim).
+fn payload(client: usize, iter: usize, len: usize) -> Vec<u8> {
+    let mut state = (client as u64) << 32 | iter as u64 | 1;
+    let mut out = Vec::with_capacity(len);
+    let mut value = 0i64;
+    while out.len() < len {
+        // xorshift noise in the low bytes, a slow ramp in the high
+        // bytes — the usual "smooth signal + sensor noise" shape.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        value += (state % 1024) as i64 - 511;
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Run one client's mixed put/get loop. Returns
+/// `(latencies_nanos, puts, gets, busy_retries, errors)`.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    client_id: usize,
+    config: &SoakConfig,
+) -> (Vec<u64>, u64, u64, u64, Vec<String>) {
+    let mut latencies = Vec::with_capacity(config.iters * 2);
+    let mut puts = 0u64;
+    let mut gets = 0u64;
+    let mut busy = 0u64;
+    let mut errors = Vec::new();
+    let tenant = format!("tenant{client_id}");
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => return (latencies, puts, gets, busy, vec![format!("connect: {e}")]),
+    };
+    for iter in 0..config.iters {
+        let name = format!("var{}", iter % 4);
+        let step = iter as u32;
+        let data = payload(client_id, iter, config.payload_bytes);
+
+        // Put, retrying through Busy with backoff.
+        let mut attempt = 0u32;
+        loop {
+            let start = Instant::now();
+            match client.put(&tenant, step, &name, 8, data.clone()) {
+                Ok(resp) if resp.status == Status::Ok => {
+                    latencies.push(start.elapsed().as_nanos() as u64);
+                    puts += 1;
+                    break;
+                }
+                Ok(resp) if resp.status == Status::Busy => {
+                    busy += 1;
+                    attempt += 1;
+                    if attempt > 1000 {
+                        errors.push(format!("client {client_id}: put never admitted"));
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2 * u64::from(attempt.min(25))));
+                }
+                Ok(resp) => {
+                    errors.push(format!(
+                        "client {client_id} iter {iter}: put answered {:?}: {}",
+                        resp.status,
+                        String::from_utf8_lossy(&resp.payload)
+                    ));
+                    break;
+                }
+                Err(e) => {
+                    errors.push(format!("client {client_id} iter {iter}: put failed: {e}"));
+                    return (latencies, puts, gets, busy, errors);
+                }
+            }
+        }
+
+        // Get back and verify bit-exactness.
+        let start = Instant::now();
+        match client.get(&tenant, step, &name) {
+            Ok(resp) if resp.status == Status::Ok => {
+                latencies.push(start.elapsed().as_nanos() as u64);
+                if resp.payload != data {
+                    errors.push(format!(
+                        "client {client_id} iter {iter}: get returned {} bytes, wanted {}",
+                        resp.payload.len(),
+                        data.len()
+                    ));
+                } else {
+                    gets += 1;
+                }
+            }
+            Ok(resp) => errors.push(format!(
+                "client {client_id} iter {iter}: get answered {:?}: {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.payload)
+            )),
+            Err(e) => {
+                errors.push(format!("client {client_id} iter {iter}: get failed: {e}"));
+                return (latencies, puts, gets, busy, errors);
+            }
+        }
+    }
+    (latencies, puts, gets, busy, errors)
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[idx] as f64 / 1e6
+}
+
+/// Start a daemon over `dir`, run the mixed workload, drain, and
+/// report. The directory is created if missing and left committed (a
+/// caller that wants a scratch run should remove it afterwards).
+pub fn run_soak(dir: &std::path::Path, config: &SoakConfig) -> Result<SoakReport, String> {
+    let server = serve(dir, "127.0.0.1:0", None, config.server.clone())
+        .map_err(|e| format!("soak server failed to start: {e}"))?;
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client_id| scope.spawn(move || client_loop(addr, client_id, config)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    server.shutdown();
+    let report = server
+        .join()
+        .map_err(|e| format!("soak server failed to drain: {e}"))?;
+
+    let mut latencies = Vec::new();
+    let mut puts = 0u64;
+    let mut gets = 0u64;
+    let mut busy = 0u64;
+    let mut errors = Vec::new();
+    for (lat, p, g, b, errs) in results {
+        latencies.extend(lat);
+        puts += p;
+        gets += g;
+        busy += b;
+        errors.extend(errs);
+    }
+    latencies.sort_unstable();
+    let total_bytes = (puts + gets) as usize * config.payload_bytes;
+    Ok(SoakReport {
+        mbps: crate::mbps(total_bytes, wall_secs),
+        total_bytes,
+        wall_secs,
+        puts,
+        gets,
+        busy_retries: busy,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        errors,
+        server: report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soak_is_clean() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("isobar-soak-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = SoakConfig {
+            clients: 4,
+            iters: 2,
+            payload_bytes: 16 * 1024,
+            server: ServeOptions {
+                shards: 2,
+                ..Default::default()
+            },
+        };
+        let report = run_soak(&dir, &config).unwrap();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.puts, 8);
+        assert_eq!(report.gets, 8);
+        assert_eq!(report.server.protocol_errors, 0);
+        assert!(report.server.commits >= 1, "drain commits");
+        assert!(report.mbps > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,6 +23,10 @@ usage:
                                                  sweep unreferenced segments
   isobar store migrate IN DIR                    copy a v1/v2 single-file
                                                  store into a v3 directory
+  isobar serve      DIR [serve options]          run the checkpoint daemon in
+                                                 front of a sharded store
+                                                 (SIGINT/SIGTERM drain and
+                                                 commit cleanly)
 
 compress options:
   --width N            element width in bytes (1..=64, required)
@@ -68,6 +72,21 @@ store options:
   --queue-depth N      in-flight variables per shard before put blocks
                        (put; default 2)
   --no-verify          skip checksum verification on reads (get/ls)
+
+serve options:
+  --addr HOST:PORT     request listener address (default 127.0.0.1:7227;
+                       port 0 picks an ephemeral port)
+  --metrics HOST:PORT  also serve Prometheus text exposition on
+                       http://HOST:PORT/metrics
+  --shards N           segment pipelines per generation (default 4)
+  --queue-depth N      in-flight variables per shard (default 2)
+  --max-payload N      largest accepted put payload in bytes
+                       (default 67108864 = 64 MiB)
+  --max-inflight N     uncommitted-byte budget before puts get Busy
+                       (default 268435456 = 256 MiB)
+  --commit-every N     pending bytes that trigger a generation commit
+                       (default 67108864 = 64 MiB)
+  --max-connections N  concurrent connections before Busy (default 256)
 
 fsck and salvage work on batch containers, streamed containers, and
 checkpoint stores alike (dispatched on the file's magic; a directory
@@ -238,6 +257,27 @@ pub enum Command {
         /// Segment pipelines (shards) for the new store.
         shards: u16,
     },
+    /// Run the checkpoint daemon in front of a sharded store.
+    Serve {
+        /// Store directory (created if missing).
+        dir: PathBuf,
+        /// Request listener address.
+        addr: String,
+        /// Optional Prometheus `/metrics` listener address.
+        metrics: Option<String>,
+        /// Segment pipelines per generation.
+        shards: u16,
+        /// In-flight variables per shard.
+        queue_depth: usize,
+        /// Largest accepted put payload in bytes.
+        max_payload: u64,
+        /// Uncommitted-byte budget before puts answer Busy.
+        max_inflight: u64,
+        /// Pending bytes that trigger a generation commit.
+        commit_threshold: u64,
+        /// Concurrent connections before Busy.
+        max_connections: usize,
+    },
 }
 
 /// Compression knobs gathered from flags.
@@ -344,6 +384,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Salvage { input, output })
         }
         "store" => parse_store(&mut it),
+        "serve" => parse_serve(&mut it),
         "--help" | "-h" | "help" => Err("".to_string()),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -581,6 +622,81 @@ fn parse_store(it: &mut ArgIter<'_>) -> Result<Command, String> {
             "unknown store verb '{other}' (try put|get|ls|compact|migrate)"
         )),
     }
+}
+
+fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
+    let mut addr = "127.0.0.1:7227".to_string();
+    let mut metrics: Option<String> = None;
+    let mut shards: u16 = 4;
+    let mut queue_depth: usize = 2;
+    let mut max_payload: u64 = 64 << 20;
+    let mut max_inflight: u64 = 256 << 20;
+    let mut commit_threshold: u64 = 64 << 20;
+    let mut max_connections: usize = 256;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = value(it, "--addr")?,
+            "--metrics" => metrics = Some(value(it, "--metrics")?),
+            "--shards" => shards = value(it, "--shards")?.parse().map_err(bad("--shards"))?,
+            "--queue-depth" => {
+                queue_depth = value(it, "--queue-depth")?
+                    .parse()
+                    .map_err(bad("--queue-depth"))?
+            }
+            "--max-payload" => {
+                max_payload = value(it, "--max-payload")?
+                    .parse()
+                    .map_err(bad("--max-payload"))?
+            }
+            "--max-inflight" => {
+                max_inflight = value(it, "--max-inflight")?
+                    .parse()
+                    .map_err(bad("--max-inflight"))?
+            }
+            "--commit-every" => {
+                commit_threshold = value(it, "--commit-every")?
+                    .parse()
+                    .map_err(bad("--commit-every"))?
+            }
+            "--max-connections" => {
+                max_connections = value(it, "--max-connections")?
+                    .parse()
+                    .map_err(bad("--max-connections"))?
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if shards == 0 {
+        return Err("--shards must be positive".to_string());
+    }
+    if queue_depth == 0 {
+        return Err("--queue-depth must be positive".to_string());
+    }
+    if max_connections == 0 {
+        return Err("--max-connections must be positive".to_string());
+    }
+    if max_payload == 0 || max_payload > u32::MAX as u64 {
+        return Err(format!(
+            "--max-payload must be in 1..={}, got {max_payload}",
+            u32::MAX
+        ));
+    }
+    let [dir]: [PathBuf; 1] = paths
+        .try_into()
+        .map_err(|_| "serve requires exactly one DIR path".to_string())?;
+    Ok(Command::Serve {
+        dir,
+        addr,
+        metrics,
+        shards,
+        queue_depth,
+        max_payload,
+        max_inflight,
+        commit_threshold,
+        max_connections,
+    })
 }
 
 fn value(it: &mut ArgIter<'_>, flag: &str) -> Result<String, String> {
@@ -842,6 +958,71 @@ mod tests {
                 shards: 4,
             }
         );
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_flags() {
+        assert_eq!(
+            parse(&strings(&["serve", "run.v3"])).unwrap(),
+            Command::Serve {
+                dir: "run.v3".into(),
+                addr: "127.0.0.1:7227".into(),
+                metrics: None,
+                shards: 4,
+                queue_depth: 2,
+                max_payload: 64 << 20,
+                max_inflight: 256 << 20,
+                commit_threshold: 64 << 20,
+                max_connections: 256,
+            }
+        );
+        assert_eq!(
+            parse(&strings(&[
+                "serve",
+                "run.v3",
+                "--addr",
+                "0.0.0.0:9000",
+                "--metrics",
+                "127.0.0.1:9001",
+                "--shards",
+                "2",
+                "--queue-depth",
+                "4",
+                "--max-payload",
+                "1048576",
+                "--max-inflight",
+                "8388608",
+                "--commit-every",
+                "4194304",
+                "--max-connections",
+                "64",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                dir: "run.v3".into(),
+                addr: "0.0.0.0:9000".into(),
+                metrics: Some("127.0.0.1:9001".into()),
+                shards: 2,
+                queue_depth: 4,
+                max_payload: 1 << 20,
+                max_inflight: 8 << 20,
+                commit_threshold: 4 << 20,
+                max_connections: 64,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_inputs() {
+        assert!(parse(&strings(&["serve"])).is_err(), "DIR is required");
+        assert!(parse(&strings(&["serve", "a", "b"])).is_err());
+        assert!(parse(&strings(&["serve", "d", "--shards", "0"])).is_err());
+        assert!(parse(&strings(&["serve", "d", "--queue-depth", "0"])).is_err());
+        assert!(parse(&strings(&["serve", "d", "--max-connections", "0"])).is_err());
+        assert!(parse(&strings(&["serve", "d", "--max-payload", "0"])).is_err());
+        // Payload lengths ride in a u32 frame field.
+        assert!(parse(&strings(&["serve", "d", "--max-payload", "4294967296"])).is_err());
+        assert!(parse(&strings(&["serve", "d", "--frobnicate"])).is_err());
     }
 
     #[test]

@@ -103,7 +103,80 @@ pub fn run(cmd: Command) -> Result<u8, String> {
         Command::StoreMigrate { input, dir, shards } => {
             store_migrate(&input, &dir, shards).map(|()| 0)
         }
+        Command::Serve {
+            dir,
+            addr,
+            metrics,
+            shards,
+            queue_depth,
+            max_payload,
+            max_inflight,
+            commit_threshold,
+            max_connections,
+        } => serve(
+            &dir,
+            &addr,
+            metrics.as_deref(),
+            isobar_server::ServeOptions {
+                shards,
+                queue_depth,
+                max_payload,
+                max_inflight_bytes: max_inflight,
+                commit_threshold,
+                max_connections,
+                isobar: IsobarOptions::default(),
+            },
+        )
+        .map(|()| 0),
     }
+}
+
+/// Run the checkpoint daemon until SIGINT/SIGTERM, then drain
+/// connections and commit the store through the two-phase protocol.
+fn serve(
+    dir: &Path,
+    addr: &str,
+    metrics: Option<&str>,
+    options: isobar_server::ServeOptions,
+) -> Result<(), String> {
+    isobar_server::signals::install_shutdown_signals();
+    let server = isobar_server::serve(dir, addr, metrics, options)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    eprintln!(
+        "serving {} on {}{}",
+        dir.display(),
+        server.local_addr(),
+        match server.metrics_addr() {
+            Some(addr) => format!(" (metrics on http://{addr}/metrics)"),
+            None => String::new(),
+        },
+    );
+    // The signal handler only sets a flag (the async-signal-safe
+    // minimum); this thread turns it into the actual drain.
+    while !isobar_server::signals::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested; draining connections");
+    server.shutdown();
+    let report = server
+        .join()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    eprintln!(
+        "served {} requests ({} puts, {} gets, {} busy, {} bad frames); \
+         {} commit{}{}",
+        report.requests,
+        report.puts,
+        report.gets,
+        report.busy_rejected,
+        report.protocol_errors,
+        report.commits,
+        if report.commits == 1 { "" } else { "s" },
+        match report.generation {
+            Some(generation) => format!("; store at generation {generation}"),
+            None => String::new(),
+        },
+    );
+    Ok(())
 }
 
 /// Pin the process-wide SIMD kernel dispatch before any pipeline is

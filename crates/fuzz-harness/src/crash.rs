@@ -170,6 +170,19 @@ pub struct FaultFs {
     state: Arc<Mutex<DiskState>>,
 }
 
+/// Lock the shared disk, recovering from poison. This filesystem is
+/// deliberately handed to writers whose worker threads die mid-flight
+/// (that is the whole point of fault injection), and a thread that
+/// panics while touching the disk poisons this mutex for every later
+/// operation. Each operation mutates the [`DiskState`] under a single
+/// lock hold, so the state a poisoned guard exposes is the state some
+/// completed operation left — safe to keep simulating against.
+/// Propagating the poison instead would cascade one injected worker
+/// panic into an unwrap panic in the harness's own accounting.
+fn locked(state: &Mutex<DiskState>) -> std::sync::MutexGuard<'_, DiskState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// An open file on a [`FaultFs`].
 #[derive(Debug)]
 pub struct FaultFile {
@@ -188,7 +201,7 @@ impl FaultFs {
     /// An independent copy of this disk's current state, with the
     /// operation record cleared and no fault armed.
     pub fn fork(&self) -> Self {
-        let mut st = self.state.lock().unwrap().clone();
+        let mut st = locked(&self.state).clone();
         st.record.clear();
         st.remaining = None;
         st.dead = false;
@@ -201,25 +214,25 @@ impl FaultFs {
     /// If that operation is a write, a torn prefix of seeded length
     /// may land before the crash.
     pub fn arm(&self, kill_at: u64, torn_seed: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.remaining = Some(kill_at);
         st.torn_seed = torn_seed;
     }
 
     /// Operations recorded so far, in order, with payloads.
     pub fn recorded_ops(&self) -> Vec<Op> {
-        self.state.lock().unwrap().record.clone()
+        locked(&self.state).record.clone()
     }
 
     /// Whether the armed crash has fired.
     pub fn crashed(&self) -> bool {
-        self.state.lock().unwrap().dead
+        locked(&self.state).dead
     }
 
     /// The durable bytes currently committed under `path`, if any —
     /// the fully-synced view, ignoring anything volatile.
     pub fn committed_bytes(&self, path: &Path) -> Option<Vec<u8>> {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         let id = *st.committed.get(path)?;
         let file = &st.arena[id];
         Some(file.content[..file.synced].to_vec())
@@ -229,7 +242,7 @@ impl FaultFs {
     /// the cross product of {unsynced file data lost, survived} and
     /// {unsynced directory mutations lost, survived}. Deduplicated.
     pub fn crash_views(&self, path: &Path) -> Vec<Option<Vec<u8>>> {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         let mut views = Vec::new();
         for bindings in [&st.committed, &st.live] {
             for full_content in [false, true] {
@@ -256,7 +269,7 @@ impl FaultFs {
     /// Deduplicated. This is the directory-store analogue of
     /// [`FaultFs::crash_views`].
     pub fn crash_dir_views(&self) -> Vec<BTreeMap<PathBuf, Vec<u8>>> {
-        let st = self.state.lock().unwrap();
+        let st = locked(&self.state);
         let mut views = Vec::new();
         for bindings in [&st.committed, &st.live] {
             for full_content in [false, true] {
@@ -286,7 +299,7 @@ impl FaultFs {
     pub fn replay_killed(base: &FaultFs, ops: &[Op], kill_at: usize, torn_seed: u64) -> FaultFs {
         let fs = base.fork();
         {
-            let mut st = fs.state.lock().unwrap();
+            let mut st = locked(&fs.state);
             for op in &ops[..kill_at] {
                 st.apply(op);
             }
@@ -304,7 +317,7 @@ impl Default for FaultFs {
 
 impl StoreFile for FaultFile {
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         match st.enter() {
             Ok(()) => {
                 let op = Op::Write {
@@ -329,7 +342,7 @@ impl StoreFile for FaultFile {
     }
 
     fn sync_data(&mut self) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.enter()?;
         let op = Op::SyncData { id: self.id };
         st.apply(&op);
@@ -342,7 +355,7 @@ impl StoreFs for FaultFs {
     type File = FaultFile;
 
     fn create(&self, path: &Path) -> io::Result<FaultFile> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.enter()?;
         let id = st.arena.len();
         let op = Op::Create(path.to_path_buf());
@@ -355,7 +368,7 @@ impl StoreFs for FaultFs {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.enter()?;
         if !st.live.contains_key(from) {
             return Err(io::Error::from(io::ErrorKind::NotFound));
@@ -367,7 +380,7 @@ impl StoreFs for FaultFs {
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.enter()?;
         if !st.live.contains_key(path) {
             return Err(io::Error::from(io::ErrorKind::NotFound));
@@ -379,7 +392,7 @@ impl StoreFs for FaultFs {
     }
 
     fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.enter()?;
         st.apply(&Op::SyncDir);
         st.record.push(Op::SyncDir);
@@ -387,7 +400,7 @@ impl StoreFs for FaultFs {
     }
 
     fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.enter()?;
         let op = Op::ReadFile(path.to_path_buf());
         st.record.push(op);
@@ -399,7 +412,7 @@ impl StoreFs for FaultFs {
     }
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = locked(&self.state);
         st.enter()?;
         let op = Op::CreateDirAll(path.to_path_buf());
         st.apply(&op);
@@ -835,6 +848,36 @@ mod tests {
         assert!(views.contains(&Some(b"abcdef".to_vec())), "volatile tail");
         fs.sync_dir(Path::new(".")).unwrap();
         assert_eq!(fs.committed_bytes(p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn poisoned_disk_lock_recovers() {
+        // A worker thread dying while it holds the disk lock (exactly
+        // what fault injection provokes) must not wedge every later
+        // FaultFs operation behind a PoisonError.
+        let fs = FaultFs::new();
+        let clone = fs.clone();
+        let poisoner = std::thread::spawn(move || {
+            let _guard = clone.state.lock().unwrap();
+            panic!("die while holding the disk lock");
+        });
+        assert!(poisoner.join().is_err(), "poisoner must have panicked");
+        assert!(fs.state.lock().is_err(), "lock is actually poisoned");
+
+        // The full public surface still works on the poisoned lock.
+        let p = Path::new("f");
+        let mut f = fs.create(p).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.sync_data().unwrap();
+        fs.sync_dir(Path::new(".")).unwrap();
+        assert_eq!(fs.committed_bytes(p).unwrap(), b"abc");
+        assert!(!fs.crashed());
+        assert_eq!(fs.recorded_ops().len(), 4);
+        assert!(!fs.crash_views(p).is_empty());
+        assert!(!fs.crash_dir_views().is_empty());
+        let fork = fs.fork();
+        assert_eq!(fork.recorded_ops().len(), 0);
+        assert_eq!(fork.committed_bytes(p).unwrap(), b"abc");
     }
 
     #[test]

@@ -31,6 +31,8 @@ use isobar_codecs::pfor::{pfor_compress_bytes, pfor_decompress_bytes};
 use isobar_codecs::rle::{rle1_decode, rle1_encode};
 use isobar_codecs::{codec_for, CompressionLevel};
 use isobar_float_codecs::{Dims, Fpc, FpzipLike};
+use isobar_server::protocol::{encode_request, read_response, FrameError, Request};
+use isobar_server::{serve, Client, Opcode, ServeOptions, Status};
 use isobar_store::{StoreReader, StoreWriter};
 
 /// Fixed allocation headroom a decode call may use regardless of input
@@ -197,6 +199,7 @@ pub fn all_layers() -> Vec<Layer> {
         rle1_layer(),
         fpc_layer(),
         fpzip_layer(),
+        serve_frame_layer(),
     ]
 }
 
@@ -587,6 +590,161 @@ fn fpc_layer() -> Layer {
                 Err(_) => Ok(false),
             },
         ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network layer.
+
+/// Mutated request frames against a *live in-process daemon*: the
+/// layer starts `isobar serve` on a loopback socket once, and every
+/// iteration opens a connection, writes the (possibly corrupted)
+/// frame, half-closes the write side (so a frame whose header claims
+/// more bytes than were sent reads EOF instead of waiting out the
+/// daemon's frame timeout), and reads the daemon's answer.
+///
+/// The layer's verdict mapping:
+///
+/// * `Ok` / `NotFound` — the mutation survived decoding (accepted).
+/// * `BadRequest` / `Busy`, or the daemon closing the connection
+///   without answering — a typed rejection.
+/// * `ServerError` / `ShuttingDown`, a read timeout (the daemon
+///   hung), or a malformed *response* frame — a contract violation
+///   that fails the layer, exactly like a panic. The daemon runs in
+///   this process, so an actual panic in its connection threads also
+///   surfaces (the connection drops and, more loudly, the panic
+///   prints), and its allocations count against this layer's budget —
+///   a length-field bomb that tricked the daemon into a giant buffer
+///   would trip the allocation bound even though the allocation
+///   happens server-side.
+fn serve_frame_layer() -> Layer {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    // all_layers() may be called more than once per process (the fuzz
+    // binary and tests); each daemon needs its own store directory.
+    static INSTANCE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "isobar-fuzz-serve-{}-{}",
+        std::process::id(),
+        INSTANCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = serve(
+        &dir,
+        "127.0.0.1:0",
+        None,
+        ServeOptions {
+            shards: 1,
+            // Small bounds so lying length fields are cheap to reject
+            // and threshold commits actually happen under fuzz load.
+            max_payload: 1 << 20,
+            commit_threshold: 256 << 10,
+            ..Default::default()
+        },
+    )
+    .expect("pool serve daemon");
+    let addr = server.local_addr();
+
+    // Seed the store so get/stat/ls artifacts address live entries.
+    let seed = smooth_f64(256);
+    {
+        let mut client = Client::connect(addr).expect("pool serve client");
+        let resp = client
+            .put("fuzz", 0, "density", 8, seed.clone())
+            .expect("pool serve seed put");
+        assert_eq!(resp.status, Status::Ok, "pool seed put must succeed");
+    }
+
+    let mk = |req: Request| Artifact {
+        bytes: encode_request(&req),
+        original: req.payload,
+    };
+    let query = |opcode: Opcode, tenant: &str, name: &str| {
+        mk(Request {
+            opcode,
+            tenant: tenant.to_string(),
+            name: name.to_string(),
+            step: 0,
+            width: 0,
+            payload: Vec::new(),
+        })
+    };
+    let mut rng = Rng::new(0x5EA7_F4A3);
+    let pool = vec![
+        mk(Request {
+            opcode: Opcode::Put,
+            tenant: "fuzz".to_string(),
+            name: "density".to_string(),
+            step: 1,
+            width: 8,
+            payload: smooth_f64(128),
+        }),
+        mk(Request {
+            opcode: Opcode::Put,
+            tenant: String::new(),
+            name: "wide".to_string(),
+            step: 0,
+            width: 4,
+            payload: noise(1024, &mut rng),
+        }),
+        query(Opcode::Get, "fuzz", "density"),
+        query(Opcode::Stat, "fuzz", "density"),
+        query(Opcode::Ls, "fuzz", ""),
+    ];
+
+    Layer {
+        name: "serve-frame",
+        pool,
+        alloc_scale: ALLOC_SCALE,
+        decode: Box::new(move |_, bytes, pristine| {
+            // The closure owns the daemon; dropping the layer shuts it
+            // down and joins its threads.
+            let _daemon = &server;
+            let mut stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("harness: serve connect failed: {e}"))?;
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .map_err(|e| format!("harness: serve socket setup failed: {e}"))?;
+            let _ = stream.set_nodelay(true);
+            if std::io::Write::write_all(&mut stream, bytes).is_err() {
+                // The daemon rejected the header mid-frame and closed;
+                // the reset killing our write is a typed rejection.
+                if pristine {
+                    return Err("pristine frame write was refused".into());
+                }
+                return Ok(false);
+            }
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            match read_response(&mut stream, 2 << 20) {
+                Ok(resp) => match resp.status {
+                    Status::Ok | Status::NotFound => Ok(true),
+                    Status::BadRequest | Status::Busy => {
+                        if pristine {
+                            return Err(format!(
+                                "pristine frame answered {:?}: {}",
+                                resp.status,
+                                String::from_utf8_lossy(&resp.payload)
+                            ));
+                        }
+                        Ok(false)
+                    }
+                    Status::ServerError | Status::ShuttingDown => Err(format!(
+                        "daemon answered {:?} to a mutated frame: {}",
+                        resp.status,
+                        String::from_utf8_lossy(&resp.payload)
+                    )),
+                },
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    Err("daemon hung on a mutated frame (read timeout)".into())
+                }
+                Err(_) if pristine => Err("pristine frame got no valid response".into()),
+                // Connection closed without an answer: the daemon
+                // dropped an untrustworthy stream. Typed rejection.
+                Err(_) => Ok(false),
+            }
+        }),
     }
 }
 

@@ -1,0 +1,893 @@
+//! The `isobar serve` daemon: a blocking, thread-per-connection TCP
+//! server in front of a [`ShardedStoreWriter`]/[`StoreReader`] pair.
+//!
+//! # Architecture
+//!
+//! One accept thread hands each connection to its own handler thread
+//! (the workspace is std-only: no async runtime). All store access
+//! funnels through one mutex-guarded `StoreState`: puts go to the
+//! sharded writer *and* to an in-memory overlay so gets are
+//! read-your-writes before the next commit; gets fall back to the
+//! committed [`StoreReader`]. When the overlay crosses the commit
+//! threshold the daemon rolls a generation: the writer's two-phase
+//! manifest commit runs, the reader reopens, the overlay drains.
+//!
+//! # Backpressure
+//!
+//! Admission control is byte-denominated and happens *between* a
+//! request's header and its payload: if accepting the payload would
+//! push pending bytes past `max_inflight_bytes`, the daemon discards
+//! the payload in bounded chunks (keeping the stream frame-aligned)
+//! and answers [`Status::Busy`]. Nothing queues unboundedly — the
+//! client is told to back off, exactly like the bounded `sync_channel`
+//! discipline inside the sharded writer itself.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] flips a flag and pokes the listeners so
+//! blocked accepts return. Handler threads notice the flag at their
+//! next frame boundary — an in-flight request is always answered
+//! before its connection drains. [`Server::join`] then runs the final
+//! two-phase store commit, so SIGTERM never tears a manifest: the
+//! store on disk is the last committed generation plus one clean
+//! final one.
+
+use crate::protocol::{
+    discard_exact, parse_request_header, read_bounded, write_response, Opcode, RequestHeader,
+    Status, MAX_NAME_LEN, MAX_TENANT_LEN, REQUEST_HEADER_LEN, TENANT_SEPARATOR,
+};
+use isobar::telemetry::Counter;
+use isobar::trace::{TraceTag, NO_CHUNK};
+use isobar::{IsobarOptions, Recorder, TelemetrySnapshot};
+use isobar_store::{ShardedOptions, ShardedStoreWriter, StoreError, StoreReader, MANIFEST_FILE};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`serve`]. Defaults suit a local soak test; see
+/// `docs/SERVE.md` for guidance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Shards (codec/I/O thread pairs) per store generation.
+    pub shards: u16,
+    /// Bounded queue depth between the daemon and each shard.
+    pub queue_depth: usize,
+    /// Largest accepted `put` payload, in bytes.
+    pub max_payload: u64,
+    /// Admission limit: total uncommitted payload bytes (overlay plus
+    /// reservations) past which puts get [`Status::Busy`].
+    pub max_inflight_bytes: u64,
+    /// Overlay size that triggers a generation commit.
+    pub commit_threshold: u64,
+    /// Connections beyond this are answered [`Status::Busy`] at accept.
+    pub max_connections: usize,
+    /// Compression options for stored variables.
+    pub isobar: IsobarOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            shards: 4,
+            queue_depth: 2,
+            max_payload: 64 << 20,
+            max_inflight_bytes: 256 << 20,
+            commit_threshold: 64 << 20,
+            max_connections: 256,
+            isobar: IsobarOptions::default(),
+        }
+    }
+}
+
+/// Why the daemon could not start or finish.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(io::Error),
+    /// The store failed (open, put pipeline, or commit).
+    Store(StoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve transport error: {e}"),
+            ServeError::Store(e) => write!(f, "serve store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// What a completed serve run did, returned by [`Server::join`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests with a well-formed header that were dispatched.
+    pub requests: u64,
+    /// Successful puts.
+    pub puts: u64,
+    /// Successful gets.
+    pub gets: u64,
+    /// Requests rejected by admission control (connection or byte
+    /// budget).
+    pub busy_rejected: u64,
+    /// Malformed frames rejected with [`Status::BadRequest`].
+    pub protocol_errors: u64,
+    /// Lookups that answered [`Status::NotFound`].
+    pub not_found: u64,
+    /// Store generations committed (threshold rolls plus the final
+    /// shutdown commit).
+    pub commits: u64,
+    /// Generation number of the last commit, if any put was committed.
+    pub generation: Option<u64>,
+    /// Merged telemetry from every request and commit.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// Build the store key for a `(tenant, name)` pair. Tenants are
+/// namespaces by key prefixing; the separator byte is rejected inside
+/// either field by the protocol decoder, so tenants cannot collide.
+pub fn store_key(tenant: &str, name: &str) -> String {
+    if tenant.is_empty() {
+        name.to_string()
+    } else {
+        let mut key = String::with_capacity(tenant.len() + 1 + name.len());
+        key.push_str(tenant);
+        key.push(TENANT_SEPARATOR as char);
+        key.push_str(name);
+        key
+    }
+}
+
+/// Split a store key back into `(tenant, name)`.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find(TENANT_SEPARATOR as char) {
+        Some(i) => (&key[..i], &key[i + 1..]),
+        None => ("", key),
+    }
+}
+
+struct OverlayEntry {
+    width: u8,
+    data: Vec<u8>,
+}
+
+/// Everything store-shaped, behind one mutex. The writer is created
+/// lazily on the first put so an idle daemon commits no empty
+/// generations.
+struct StoreState {
+    writer: Option<ShardedStoreWriter>,
+    reader: Option<StoreReader>,
+    /// Read-your-writes cache of uncommitted puts, keyed by
+    /// `(step, store key)`.
+    overlay: BTreeMap<(u32, String), OverlayEntry>,
+    /// Bytes held in the overlay.
+    pending_bytes: u64,
+    /// Bytes reserved by admitted puts whose payloads are still being
+    /// read off their sockets.
+    reserved_bytes: u64,
+    /// Generation of the last commit this daemon performed.
+    last_generation: Option<u64>,
+    /// A failed commit poisons the store: every later mutation is
+    /// answered `ServerError` with this message instead of risking a
+    /// torn manifest.
+    failed: Option<String>,
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    busy: AtomicU64,
+    protocol_errors: AtomicU64,
+    not_found: AtomicU64,
+    commits: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct Shared {
+    dir: PathBuf,
+    opts: ServeOptions,
+    shutdown: AtomicBool,
+    store: Mutex<StoreState>,
+    metrics: Mutex<TelemetrySnapshot>,
+    stats: Stats,
+}
+
+impl Shared {
+    fn merge_recorder(&self, recorder: &mut Recorder) {
+        let snap = recorder.snapshot();
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&snap);
+        recorder.reset();
+    }
+
+    /// Commit the current generation: two-phase writer close, reader
+    /// reopen, overlay drain. Caller holds the store lock.
+    fn commit_locked(
+        &self,
+        state: &mut StoreState,
+        recorder: &mut Recorder,
+    ) -> Result<(), StoreError> {
+        let Some(writer) = state.writer.take() else {
+            return Ok(());
+        };
+        let _span = isobar::trace::span(TraceTag::ServeCommit, NO_CHUNK);
+        let report = match writer.close() {
+            Ok(report) => report,
+            Err(e) => {
+                state.failed = Some(e.to_string());
+                return Err(e);
+            }
+        };
+        state.last_generation = Some(report.generation);
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        recorder.incr(Counter::ServeCommits);
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&report.telemetry);
+        match StoreReader::open(&self.dir) {
+            Ok(reader) => state.reader = Some(reader),
+            Err(e) => {
+                state.failed = Some(e.to_string());
+                return Err(e);
+            }
+        }
+        state.pending_bytes = 0;
+        state.overlay.clear();
+        Ok(())
+    }
+}
+
+/// A running daemon. Dropping it shuts down and joins all threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    accept: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
+}
+
+/// A cheap clone for triggering shutdown from another thread (e.g. a
+/// signal watcher).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+}
+
+impl ServerHandle {
+    /// Stop accepting, drain in-flight requests. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        poke(self.addr);
+        if let Some(addr) = self.metrics_addr {
+            poke(addr);
+        }
+    }
+}
+
+/// Unblock a listener stuck in `accept` by connecting to it.
+fn poke(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+/// Start the daemon on `addr` (use port 0 for an ephemeral port), with
+/// an optional Prometheus `/metrics` HTTP listener on `metrics_addr`.
+pub fn serve(
+    dir: impl AsRef<Path>,
+    addr: &str,
+    metrics_addr: Option<&str>,
+    opts: ServeOptions,
+) -> Result<Server, ServeError> {
+    let dir = dir.as_ref().to_path_buf();
+    std::fs::create_dir_all(&dir)?;
+    // Open the committed view eagerly when one exists, so gets work
+    // before the first put of this run.
+    let reader = if dir.join(MANIFEST_FILE).exists() {
+        Some(StoreReader::open(&dir)?)
+    } else {
+        None
+    };
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let metrics_listener = match metrics_addr {
+        Some(addr) => Some(TcpListener::bind(addr)?),
+        None => None,
+    };
+    let metrics_local = match &metrics_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    let shared = Arc::new(Shared {
+        dir,
+        opts,
+        shutdown: AtomicBool::new(false),
+        store: Mutex::new(StoreState {
+            writer: None,
+            reader,
+            overlay: BTreeMap::new(),
+            pending_bytes: 0,
+            reserved_bytes: 0,
+            last_generation: None,
+            failed: None,
+        }),
+        metrics: Mutex::new(TelemetrySnapshot::default()),
+        stats: Stats::default(),
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&shared, listener))
+    };
+    let metrics_thread = metrics_listener.map(|listener| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || metrics_loop(&shared, listener))
+    });
+
+    Ok(Server {
+        shared,
+        addr: local_addr,
+        metrics_addr: metrics_local,
+        accept: Some(accept),
+        metrics_thread,
+    })
+}
+
+impl Server {
+    /// Address the request listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Address the `/metrics` listener is bound to, if one was asked
+    /// for.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// A cloneable handle for triggering shutdown from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+            metrics_addr: self.metrics_addr,
+        }
+    }
+
+    /// Stop accepting, drain in-flight requests. Idempotent;
+    /// [`Server::join`] afterwards completes the final commit.
+    pub fn shutdown(&self) {
+        self.handle().shutdown();
+    }
+
+    /// Wait for the drain to finish, run the final two-phase store
+    /// commit, and report what the run did. Call [`Server::shutdown`]
+    /// (or have a signal watcher call it) first — `join` on a live
+    /// server blocks until someone does.
+    pub fn join(mut self) -> Result<ServeReport, ServeError> {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(metrics) = self.metrics_thread.take() {
+            let _ = metrics.join();
+        }
+        let shared = &self.shared;
+        let mut recorder = Recorder::new();
+        let commit_result = {
+            let mut state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+            shared.commit_locked(&mut state, &mut recorder)
+        };
+        shared.merge_recorder(&mut recorder);
+        let report = ServeReport {
+            requests: shared.stats.requests.load(Ordering::Relaxed),
+            puts: shared.stats.puts.load(Ordering::Relaxed),
+            gets: shared.stats.gets.load(Ordering::Relaxed),
+            busy_rejected: shared.stats.busy.load(Ordering::Relaxed),
+            protocol_errors: shared.stats.protocol_errors.load(Ordering::Relaxed),
+            not_found: shared.stats.not_found.load(Ordering::Relaxed),
+            commits: shared.stats.commits.load(Ordering::Relaxed),
+            generation: shared
+                .store
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .last_generation,
+            telemetry: shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        };
+        commit_result?;
+        Ok(report)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server still drains and joins; the final commit is
+        // only reachable through join(), so callers that care about
+        // the committed generation must use it.
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(metrics) = self.metrics_thread.take() {
+            let _ = metrics.join();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        handlers.retain(|h| !h.is_finished());
+        if handlers.len() >= shared.opts.max_connections {
+            shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = write_response(&mut stream, Status::Busy, b"connection limit reached");
+            continue;
+        }
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        handlers.push(std::thread::spawn(move || {
+            handle_connection(&shared, stream);
+            isobar::trace::flush_thread();
+        }));
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+/// What polling for the start of the next frame produced.
+enum FirstByte {
+    Byte(u8),
+    Eof,
+    Shutdown,
+    Error,
+}
+
+/// Wait for the first byte of the next frame with a short poll
+/// timeout so the thread notices shutdown while idle. Reading only
+/// one byte here means a timeout can never strand a partial read —
+/// frame alignment is preserved across polls.
+fn poll_first_byte(stream: &mut TcpStream, shared: &Shared) -> FirstByte {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut byte = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return FirstByte::Shutdown;
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return FirstByte::Eof,
+            Ok(_) => return FirstByte::Byte(byte[0]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            Err(_) => return FirstByte::Error,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut recorder = Recorder::new();
+    loop {
+        let first = match poll_first_byte(&mut stream, shared) {
+            FirstByte::Byte(b) => b,
+            FirstByte::Eof | FirstByte::Error => break,
+            FirstByte::Shutdown => {
+                let _ = write_response(&mut stream, Status::ShuttingDown, b"daemon draining");
+                break;
+            }
+        };
+        // The frame has started: switch to a generous per-frame
+        // timeout so a stalled client cannot pin the thread forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut header_buf = [0u8; REQUEST_HEADER_LEN];
+        header_buf[0] = first;
+        if stream.read_exact(&mut header_buf[1..]).is_err() {
+            count_protocol_error(shared, &mut recorder);
+            break;
+        }
+        let header = match parse_request_header(&header_buf, shared.opts.max_payload) {
+            Ok(header) => header,
+            Err(e) => {
+                count_protocol_error(shared, &mut recorder);
+                let _ = write_response(&mut stream, Status::BadRequest, e.to_string().as_bytes());
+                // The stream may be mid-frame; alignment is gone.
+                break;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        recorder.incr(Counter::ServeRequests);
+        let keep = {
+            let _span = isobar::trace::span(TraceTag::ServeRequest, NO_CHUNK);
+            handle_request(shared, &mut stream, &header, &mut recorder)
+        };
+        shared.merge_recorder(&mut recorder);
+        if !keep {
+            break;
+        }
+    }
+    shared.merge_recorder(&mut recorder);
+}
+
+fn count_protocol_error(shared: &Shared, recorder: &mut Recorder) {
+    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    recorder.incr(Counter::ServeProtocolErrors);
+}
+
+/// Serve one request whose header has been decoded. Returns whether
+/// the connection is still frame-aligned and should be kept open.
+fn handle_request(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    header: &RequestHeader,
+    recorder: &mut Recorder,
+) -> bool {
+    // Tenant and name are small (caps enforced by the header parse).
+    let fields = crate::protocol::read_request_fields(&mut *stream, header);
+    let (tenant, name) = match fields {
+        Ok(fields) => fields,
+        Err(crate::protocol::FrameError::Proto(e)) => {
+            count_protocol_error(shared, recorder);
+            // The identifier bytes were consumed, so the stream is
+            // still frame-aligned for everything but the payload.
+            if header.payload_len > 0
+                && discard_exact(stream, u64::from(header.payload_len)).is_err()
+            {
+                return false;
+            }
+            let _ = write_response(stream, Status::BadRequest, e.to_string().as_bytes());
+            return true;
+        }
+        Err(crate::protocol::FrameError::Io(_)) => return false,
+    };
+    match header.opcode {
+        Opcode::Put => handle_put(shared, stream, header, &tenant, &name, recorder),
+        Opcode::Get => handle_get(shared, stream, header.step, &tenant, &name, recorder),
+        Opcode::Stat => handle_stat(shared, stream, header.step, &tenant, &name),
+        Opcode::Ls => handle_ls(shared, stream, &tenant),
+    }
+}
+
+/// Reject a put whose payload is still unread: drain it in bounded
+/// chunks to stay frame-aligned, then answer `status`.
+fn reject_put(stream: &mut TcpStream, payload_len: u32, status: Status, message: &str) -> bool {
+    if discard_exact(stream, u64::from(payload_len)).is_err() {
+        return false;
+    }
+    let _ = write_response(stream, status, message.as_bytes());
+    true
+}
+
+fn handle_put(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    header: &RequestHeader,
+    tenant: &str,
+    name: &str,
+    recorder: &mut Recorder,
+) -> bool {
+    let len = u64::from(header.payload_len);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return reject_put(
+            stream,
+            header.payload_len,
+            Status::ShuttingDown,
+            "daemon draining",
+        );
+    }
+    // Admission: reserve the bytes before reading them, or refuse.
+    {
+        let mut state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(msg) = &state.failed {
+            let msg = msg.clone();
+            return reject_put(stream, header.payload_len, Status::ServerError, &msg);
+        }
+        if state.pending_bytes + state.reserved_bytes + len > shared.opts.max_inflight_bytes {
+            shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+            recorder.incr(Counter::ServeBusyRejected);
+            return reject_put(
+                stream,
+                header.payload_len,
+                Status::Busy,
+                "in-flight byte budget full, retry later",
+            );
+        }
+        state.reserved_bytes += len;
+    }
+    let unreserve = |shared: &Shared| {
+        let mut state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+        state.reserved_bytes = state.reserved_bytes.saturating_sub(len);
+    };
+    let payload = match read_bounded(&mut *stream, header.payload_len as usize) {
+        Ok(payload) => payload,
+        Err(_) => {
+            unreserve(shared);
+            return false;
+        }
+    };
+    let key = store_key(tenant, name);
+    let result = {
+        let mut state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+        state.reserved_bytes = state.reserved_bytes.saturating_sub(len);
+        put_locked(shared, &mut state, header, key, payload, recorder)
+    };
+    match result {
+        Ok(()) => {
+            shared.stats.puts.fetch_add(1, Ordering::Relaxed);
+            recorder.add(Counter::ServePutBytes, len);
+            let _ = write_response(stream, Status::Ok, b"");
+            true
+        }
+        Err(e) => {
+            let _ = write_response(stream, Status::ServerError, e.to_string().as_bytes());
+            true
+        }
+    }
+}
+
+/// The store side of a put: lazy writer creation, the sharded put
+/// itself, the overlay insert, and a threshold commit. Caller holds
+/// the store lock.
+fn put_locked(
+    shared: &Shared,
+    state: &mut StoreState,
+    header: &RequestHeader,
+    key: String,
+    payload: Vec<u8>,
+    recorder: &mut Recorder,
+) -> Result<(), StoreError> {
+    if state.writer.is_none() {
+        state.writer = Some(ShardedStoreWriter::create(
+            &shared.dir,
+            shared.opts.isobar,
+            ShardedOptions {
+                shards: shared.opts.shards,
+                queue_depth: shared.opts.queue_depth,
+            },
+        )?);
+    }
+    let writer = state.writer.as_ref().expect("writer just created");
+    writer.put(
+        header.step,
+        &key,
+        payload.clone(),
+        usize::from(header.width),
+    )?;
+    let len = payload.len() as u64;
+    if let Some(old) = state.overlay.insert(
+        (header.step, key),
+        OverlayEntry {
+            width: header.width,
+            data: payload,
+        },
+    ) {
+        state.pending_bytes = state.pending_bytes.saturating_sub(old.data.len() as u64);
+    }
+    state.pending_bytes += len;
+    if state.pending_bytes >= shared.opts.commit_threshold {
+        shared.commit_locked(state, recorder)?;
+    }
+    Ok(())
+}
+
+fn handle_get(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    step: u32,
+    tenant: &str,
+    name: &str,
+    recorder: &mut Recorder,
+) -> bool {
+    let key = store_key(tenant, name);
+    let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(entry) = state.overlay.get(&(step, key.clone())) {
+        let data = entry.data.clone();
+        drop(state);
+        shared.stats.gets.fetch_add(1, Ordering::Relaxed);
+        recorder.add(Counter::ServeGetBytes, data.len() as u64);
+        let _ = write_response(stream, Status::Ok, &data);
+        return true;
+    }
+    let result = match &state.reader {
+        Some(reader) => reader.get(step, &key),
+        None => Err(StoreError::NotFound {
+            step,
+            name: key.clone(),
+        }),
+    };
+    drop(state);
+    match result {
+        Ok(data) => {
+            shared.stats.gets.fetch_add(1, Ordering::Relaxed);
+            recorder.add(Counter::ServeGetBytes, data.len() as u64);
+            let _ = write_response(stream, Status::Ok, &data);
+        }
+        Err(StoreError::NotFound { .. }) => {
+            shared.stats.not_found.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                Status::NotFound,
+                format!("no variable '{name}' at step {step}").as_bytes(),
+            );
+        }
+        Err(e) => {
+            let _ = write_response(stream, Status::ServerError, e.to_string().as_bytes());
+        }
+    }
+    true
+}
+
+fn handle_stat(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    step: u32,
+    tenant: &str,
+    name: &str,
+) -> bool {
+    let key = store_key(tenant, name);
+    let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(entry) = state.overlay.get(&(step, key.clone())) {
+        let line = format!(
+            "name={name} step={step} raw_len={} width={} committed=false\n",
+            entry.data.len(),
+            entry.width
+        );
+        drop(state);
+        let _ = write_response(stream, Status::Ok, line.as_bytes());
+        return true;
+    }
+    let line = match &state.reader {
+        Some(reader) => reader.entry(step, &key).map(|entry| {
+            format!(
+                "name={name} step={step} raw_len={} container_len={} width={} committed=true\n",
+                entry.raw_len, entry.container_len, entry.width
+            )
+        }),
+        None => Err(StoreError::NotFound {
+            step,
+            name: key.clone(),
+        }),
+    };
+    drop(state);
+    match line {
+        Ok(line) => {
+            let _ = write_response(stream, Status::Ok, line.as_bytes());
+        }
+        Err(StoreError::NotFound { .. }) => {
+            shared.stats.not_found.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                Status::NotFound,
+                format!("no variable '{name}' at step {step}").as_bytes(),
+            );
+        }
+        Err(e) => {
+            let _ = write_response(stream, Status::ServerError, e.to_string().as_bytes());
+        }
+    }
+    true
+}
+
+fn handle_ls(shared: &Shared, stream: &mut TcpStream, tenant: &str) -> bool {
+    let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+    // (step, name) -> raw_len; overlay entries shadow committed ones.
+    let mut rows: BTreeMap<(u32, String), u64> = BTreeMap::new();
+    if let Some(reader) = &state.reader {
+        for entry in reader.live_entries() {
+            let (entry_tenant, name) = split_key(&entry.name);
+            if entry_tenant == tenant {
+                rows.insert((entry.step, name.to_string()), entry.raw_len);
+            }
+        }
+    }
+    for ((step, key), entry) in &state.overlay {
+        let (entry_tenant, name) = split_key(key);
+        if entry_tenant == tenant {
+            rows.insert((*step, name.to_string()), entry.data.len() as u64);
+        }
+    }
+    drop(state);
+    let mut body = String::new();
+    for ((step, name), raw_len) in rows {
+        body.push_str(&format!("{step}\t{name}\t{raw_len}\n"));
+    }
+    let _ = write_response(stream, Status::Ok, body.as_bytes());
+    true
+}
+
+/// Minimal HTTP/1.0 responder for `GET /metrics`: renders the shared
+/// telemetry snapshot in Prometheus text exposition. Requests are
+/// bounded (4 KiB, 2 s) and handled serially — this is an
+/// observability side-channel, not a data path.
+fn metrics_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut request = [0u8; 4096];
+        let mut filled = 0;
+        // Read until the header terminator or the cap; anything longer
+        // is ignored.
+        while filled < request.len() {
+            match stream.read(&mut request[filled..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    filled += n;
+                    if request[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let line = std::str::from_utf8(&request[..filled])
+            .unwrap_or("")
+            .lines()
+            .next()
+            .unwrap_or("");
+        let path = line.split_whitespace().nth(1).unwrap_or("");
+        if line.starts_with("GET ") && path == "/metrics" {
+            let body = shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .to_prometheus();
+            let _ = write!(
+                stream,
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+        } else {
+            let _ = write!(
+                stream,
+                "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+            );
+        }
+        let _ = stream.flush();
+    }
+}
+
+const _: () = {
+    // The tenant and name caps must fit the store's u16 name-length
+    // limit once joined with the separator.
+    assert!(MAX_TENANT_LEN + 1 + MAX_NAME_LEN < u16::MAX as usize);
+};

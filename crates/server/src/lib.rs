@@ -1,0 +1,335 @@
+#![warn(missing_docs)]
+
+//! ISOBAR-as-a-service: a TCP daemon exposing the sharded checkpoint
+//! store over a length-prefixed binary protocol.
+//!
+//! The paper's deployment target is ISOBAR as a transform stage inside
+//! I/O middleware serving many concurrent producers. This crate is the
+//! Rust equivalent: [`serve`] starts a daemon that accepts
+//! `put`/`get`/`stat`/`ls` requests over TCP, compresses puts through
+//! the ISOBAR pipeline into a [`isobar_store::ShardedStoreWriter`],
+//! serves gets from an uncommitted overlay or the committed
+//! [`isobar_store::StoreReader`], isolates tenants by key prefixing,
+//! applies byte-denominated admission control (explicit
+//! [`protocol::Status::Busy`] instead of unbounded queueing), and
+//! commits the store through the two-phase manifest protocol both on
+//! a pending-byte threshold and on graceful shutdown.
+//!
+//! Protocol layout and semantics are documented in [`protocol`] and
+//! `docs/SERVE.md`; observability (Prometheus `/metrics`, trace
+//! spans) in `docs/OBSERVABILITY.md`.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod signals;
+
+pub use client::Client;
+pub use daemon::{serve, ServeError, ServeOptions, ServeReport, Server, ServerHandle};
+pub use protocol::{
+    FrameError, Opcode, ProtoError, Request, RequestHeader, Response, Status, MAX_NAME_LEN,
+    MAX_TENANT_LEN, PROTOCOL_VERSION,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, REQUEST_HEADER_LEN};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("isobar-serve-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_options() -> ServeOptions {
+        ServeOptions {
+            shards: 2,
+            queue_depth: 2,
+            max_payload: 1 << 20,
+            max_inflight_bytes: 4 << 20,
+            commit_threshold: 2 << 20,
+            ..Default::default()
+        }
+    }
+
+    fn payload(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn put_get_stat_ls_round_trip_with_tenancy() {
+        let dir = tmp("roundtrip");
+        let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+        let addr = server.local_addr();
+
+        let mut acme = Client::connect(addr).unwrap();
+        let mut umbrella = Client::connect(addr).unwrap();
+
+        let density = payload(4096, 1);
+        let resp = acme.put("acme", 3, "density", 8, density.clone()).unwrap();
+        assert_eq!(resp.status, Status::Ok, "{resp:?}");
+
+        // Uncommitted data reads back (read-your-writes overlay).
+        let resp = acme.get("acme", 3, "density").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.payload, density);
+
+        // Tenants are isolated: same name, other tenant → NotFound.
+        let resp = umbrella.get("umbrella", 3, "density").unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+
+        // stat and ls see the pending entry.
+        let resp = acme.stat("acme", 3, "density").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let text = String::from_utf8(resp.payload).unwrap();
+        assert!(text.contains("raw_len=4096"), "{text}");
+        assert!(text.contains("committed=false"), "{text}");
+
+        let resp = acme.ls("acme").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let text = String::from_utf8(resp.payload).unwrap();
+        assert_eq!(text, "3\tdensity\t4096\n");
+        let resp = umbrella.ls("umbrella").unwrap();
+        assert!(resp.payload.is_empty(), "other tenant's ls is empty");
+
+        // Unknown variable → NotFound with a diagnostic.
+        let resp = acme.get("acme", 99, "nope").unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+
+        drop(acme);
+        drop(umbrella);
+        server.shutdown();
+        let report = server.join().unwrap();
+        assert_eq!(report.puts, 1);
+        assert_eq!(report.protocol_errors, 0);
+        assert!(report.commits >= 1, "shutdown commits the store");
+
+        // The committed store is a valid v3 store holding the data
+        // under the prefixed key.
+        let reader = isobar_store::StoreReader::open(&dir).unwrap();
+        let key = daemon::store_key("acme", "density");
+        assert_eq!(reader.get(3, &key).unwrap(), density);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_data_survives_restart_and_threshold_commit_rolls() {
+        let dir = tmp("restart");
+        let opts = ServeOptions {
+            commit_threshold: 8 * 1024, // commit after ~one put
+            ..small_options()
+        };
+        {
+            let server = serve(&dir, "127.0.0.1:0", None, opts.clone()).unwrap();
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let resp = client.put("", 0, "phi", 8, payload(16 * 1024, 2)).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            // The threshold commit already ran; a get now comes from
+            // the committed reader, not the overlay.
+            let resp = client.get("", 0, "phi").unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.payload, payload(16 * 1024, 2));
+            drop(client);
+            server.shutdown();
+            let report = server.join().unwrap();
+            assert!(report.commits >= 1);
+        }
+        // A fresh daemon over the same directory serves the old data.
+        let server = serve(&dir, "127.0.0.1:0", None, opts).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let resp = client.get("", 0, "phi").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.payload, payload(16 * 1024, 2));
+        drop(client);
+        server.shutdown();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_control_answers_busy_not_queue_growth() {
+        let dir = tmp("busy");
+        let opts = ServeOptions {
+            max_inflight_bytes: 8 * 1024,
+            commit_threshold: u64::MAX, // never roll: pending bytes only grow
+            ..small_options()
+        };
+        let server = serve(&dir, "127.0.0.1:0", None, opts).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let resp = client.put("", 0, "a", 8, payload(8 * 1024, 3)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        // The budget is now full: the next put is refused outright.
+        let resp = client.put("", 0, "b", 8, payload(8 * 1024, 4)).unwrap();
+        assert_eq!(resp.status, Status::Busy);
+        // The connection survives a Busy (stream stays frame-aligned)
+        // and non-put work still proceeds.
+        let resp = client.get("", 0, "a").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        drop(client);
+        server.shutdown();
+        let report = server.join().unwrap();
+        assert_eq!(report.busy_rejected, 1);
+        assert_eq!(report.puts, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_frames_get_bad_request_and_daemon_survives() {
+        let dir = tmp("malformed");
+        let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+        let addr = server.local_addr();
+
+        // Garbage magic: typed BadRequest, then the daemon closes the
+        // connection (alignment is unrecoverable).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GARBAGE-GARBAGE-GARBAGE").unwrap();
+        let resp = protocol::read_response(&mut stream, 1 << 20).unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+
+        // A fresh connection still works afterwards.
+        let mut client = Client::connect(addr).unwrap();
+        let resp = client.put("", 0, "x", 8, payload(64, 5)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        // A request with a reserved separator in the tenant is a
+        // BadRequest but keeps the connection (fields were consumed).
+        let mut evil = Request {
+            opcode: Opcode::Get,
+            tenant: String::new(),
+            name: "x".into(),
+            step: 0,
+            width: 0,
+            payload: Vec::new(),
+        };
+        evil.tenant = "a\u{1f}b".into();
+        let frame = encode_request(&evil);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&frame).unwrap();
+        let resp = protocol::read_response(&mut stream, 1 << 20).unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        // Same connection, valid follow-up:
+        let good = encode_request(&Request {
+            opcode: Opcode::Get,
+            tenant: String::new(),
+            name: "x".into(),
+            step: 0,
+            width: 0,
+            payload: Vec::new(),
+        });
+        stream.write_all(&good).unwrap();
+        let resp = protocol::read_response(&mut stream, 1 << 20).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        drop(client);
+        drop(stream);
+        server.shutdown();
+        let report = server.join().unwrap();
+        assert_eq!(report.protocol_errors, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_from_the_header_alone() {
+        let dir = tmp("oversized");
+        let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+        // Claim a payload far over max_payload but never send it: the
+        // daemon must reject from the header without allocating or
+        // waiting for the bytes.
+        let mut header = [0u8; REQUEST_HEADER_LEN];
+        header[..4].copy_from_slice(b"ISRQ");
+        header[4] = PROTOCOL_VERSION;
+        header[5] = Opcode::Put as u8;
+        header[8..10].copy_from_slice(&1u16.to_le_bytes()); // name_len
+        header[14] = 8; // width
+        header[15..19].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(&header).unwrap();
+        let resp = protocol::read_response(&mut stream, 1 << 20).unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        let text = String::from_utf8(resp.payload).unwrap();
+        assert!(text.contains("exceeds"), "{text}");
+        drop(stream);
+        server.shutdown();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_exposition() {
+        let dir = tmp("metrics");
+        let server = serve(&dir, "127.0.0.1:0", Some("127.0.0.1:0"), small_options()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let resp = client.put("", 1, "v", 8, payload(256, 6)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let resp = client.get("", 1, "v").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        // Recorder merges land after each response is written; a
+        // third request on the same connection is a barrier that
+        // guarantees the put's and get's counters are merged.
+        let resp = client.ls("").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        let metrics_addr = server.metrics_addr().unwrap();
+        let mut http = TcpStream::connect(metrics_addr).unwrap();
+        http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        http.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("isobar_serve_requests_total"), "{body}");
+        if isobar::telemetry::ENABLED {
+            assert!(body.contains("isobar_serve_put_bytes_total 256"), "{body}");
+            assert!(body.contains("isobar_serve_get_bytes_total 256"), "{body}");
+        }
+
+        // Unknown paths get a 404, not a panic or a hang.
+        let mut http = TcpStream::connect(metrics_addr).unwrap();
+        http.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        http.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 404"), "{body}");
+
+        drop(client);
+        server.shutdown();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_drains_and_commits_cleanly() {
+        let dir = tmp("drain");
+        let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let resp = client.put("", 0, "v", 8, payload(2048, 7)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        // Shut down via the cloneable handle (the signal-watcher path).
+        let handle = server.handle();
+        handle.shutdown();
+        let report = server.join().unwrap();
+        assert_eq!(report.puts, 1);
+        assert!(report.commits >= 1);
+        // The on-disk store is clean: a reader opens it and the data
+        // round-trips.
+        let reader = isobar_store::StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.get(0, "v").unwrap(), payload(2048, 7));
+        // After shutdown a new connection is refused or immediately
+        // answered with ShuttingDown — either way, no new work.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn signal_flag_round_trip() {
+        signals::reset_for_tests();
+        assert!(!signals::shutdown_requested());
+        signals::install_shutdown_signals();
+        assert!(!signals::shutdown_requested());
+        signals::reset_for_tests();
+    }
+}

@@ -361,6 +361,13 @@ where
     /// Drain every shard, seal the segments, and run the two-phase
     /// manifest commit (see the module docs). Returns what was
     /// committed.
+    ///
+    /// A worker thread that *panicked* (rather than returning an
+    /// error) is reported as [`StoreError::Corrupt`], and the
+    /// generation is not committed — callers never see a propagated
+    /// panic or a torn manifest. The `worker_panic` integration test
+    /// injects a panicking filesystem to hold both join paths (and the
+    /// equivalent swallow-and-sweep behavior of `Drop`) to this.
     pub fn close(mut self) -> Result<ShardedCommitReport, StoreError> {
         // Disconnect the producers; each codec thread drains and hands
         // off to its I/O thread, which seals (trailer + fdatasync).

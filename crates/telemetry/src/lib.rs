@@ -140,11 +140,24 @@ pub enum Counter {
     StoreSupersededEntries,
     /// Sharded-store compaction passes completed.
     StoreCompactionsRun,
+    /// Requests decoded and dispatched by the serve daemon.
+    ServeRequests,
+    /// Payload bytes accepted by serve `put` requests.
+    ServePutBytes,
+    /// Payload bytes returned by serve `get` requests.
+    ServeGetBytes,
+    /// Requests rejected with `Busy` by serve admission control.
+    ServeBusyRejected,
+    /// Malformed request frames rejected by the serve decoder.
+    ServeProtocolErrors,
+    /// Store generations committed by the serve daemon (threshold
+    /// rolls plus the final shutdown commit).
+    ServeCommits,
 }
 
 impl Counter {
     /// Number of counters (array size).
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 40;
 
     /// Every counter, in stable JSON order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -182,6 +195,12 @@ impl Counter {
         Counter::StoreManifestBytes,
         Counter::StoreSupersededEntries,
         Counter::StoreCompactionsRun,
+        Counter::ServeRequests,
+        Counter::ServePutBytes,
+        Counter::ServeGetBytes,
+        Counter::ServeBusyRejected,
+        Counter::ServeProtocolErrors,
+        Counter::ServeCommits,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -221,6 +240,12 @@ impl Counter {
             Counter::StoreManifestBytes => "store_manifest_bytes",
             Counter::StoreSupersededEntries => "store_superseded_entries",
             Counter::StoreCompactionsRun => "store_compactions_run",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServePutBytes => "serve_put_bytes",
+            Counter::ServeGetBytes => "serve_get_bytes",
+            Counter::ServeBusyRejected => "serve_busy_rejected",
+            Counter::ServeProtocolErrors => "serve_protocol_errors",
+            Counter::ServeCommits => "serve_commits",
         }
     }
 }

@@ -115,11 +115,16 @@ pub enum TraceTag {
     StoreManifestCommit,
     /// Sharded store: one compaction pass rewriting live entries.
     StoreCompact,
+    /// Serve daemon: one request decoded, dispatched, and answered.
+    ServeRequest,
+    /// Serve daemon: one store generation committed (threshold roll
+    /// or shutdown drain).
+    ServeCommit,
 }
 
 impl TraceTag {
     /// Number of tags.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 23;
 
     /// Stable snake_case name, used as the Chrome trace event name.
     pub fn name(self) -> &'static str {
@@ -145,6 +150,8 @@ impl TraceTag {
             TraceTag::StoreShardAppend => "store_shard_append",
             TraceTag::StoreManifestCommit => "store_manifest_commit",
             TraceTag::StoreCompact => "store_compact",
+            TraceTag::ServeRequest => "serve_request",
+            TraceTag::ServeCommit => "serve_commit",
         }
     }
 }
@@ -613,6 +620,161 @@ impl Trace {
     }
 }
 
+/// Why a Chrome trace export failed [`validate_chrome_phases`].
+///
+/// Every variant carries the zero-based line number of the offending
+/// event line so a failing export can be located in the raw JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValidationError {
+    /// An event line whose `"ph"` field is missing or not one
+    /// character.
+    MalformedPhase {
+        /// Zero-based line number in the JSON text.
+        line: usize,
+    },
+    /// An event line whose `"ts"` field is missing or not a number.
+    MalformedTimestamp {
+        /// Zero-based line number in the JSON text.
+        line: usize,
+    },
+    /// A phase character this exporter never emits (only `B`, `E`,
+    /// and `i` are valid).
+    UnknownPhase {
+        /// Zero-based line number in the JSON text.
+        line: usize,
+        /// The unexpected phase character.
+        ph: char,
+    },
+    /// An `E` event with no open `B` to close.
+    UnbalancedEnd {
+        /// Zero-based line number in the JSON text.
+        line: usize,
+    },
+    /// `B` events still open when the input ended.
+    UnclosedSpans {
+        /// How many spans never saw their `E`.
+        open: usize,
+    },
+    /// A timestamp earlier than its predecessor.
+    NonMonotonicTimestamp {
+        /// Zero-based line number in the JSON text.
+        line: usize,
+        /// The offending timestamp (microseconds).
+        ts: f64,
+        /// The preceding timestamp it fell behind (microseconds).
+        prev: f64,
+    },
+}
+
+impl std::fmt::Display for TraceValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceValidationError::MalformedPhase { line } => {
+                write!(f, "line {line}: \"ph\" missing or not one character")
+            }
+            TraceValidationError::MalformedTimestamp { line } => {
+                write!(f, "line {line}: \"ts\" missing or not a number")
+            }
+            TraceValidationError::UnknownPhase { line, ph } => {
+                write!(f, "line {line}: unknown phase '{ph}' (expected B, E, or i)")
+            }
+            TraceValidationError::UnbalancedEnd { line } => {
+                write!(f, "line {line}: E event with no open span")
+            }
+            TraceValidationError::UnclosedSpans { open } => {
+                write!(f, "{open} span(s) never closed")
+            }
+            TraceValidationError::NonMonotonicTimestamp { line, ts, prev } => {
+                write!(
+                    f,
+                    "line {line}: timestamp {ts} goes back in time (prev {prev})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceValidationError {}
+
+/// Phase counts from a validated Chrome export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromePhaseSummary {
+    /// Completed `B`/`E` pairs.
+    pub spans: usize,
+    /// `i` events.
+    pub instants: usize,
+}
+
+/// Validate the phase structure of a [`Trace::to_chrome_json`] export:
+/// every event line's `ph` must be `B`, `E`, or `i`, begins and ends
+/// must balance, and timestamps must be non-decreasing.
+///
+/// This is a line-oriented check of *this crate's own* export (one
+/// event per line, single-threaded ordering across the file as the
+/// exporter emits it), deliberately dependency-free — CI smoke tests
+/// and debug assertions can call it without a JSON parser. For
+/// arbitrary Chrome trace files with interleaved threads, use
+/// `bench trace-check`, which parses properly and tracks per-tid
+/// stacks. Returns the phase counts on success and a typed
+/// [`TraceValidationError`] (never a panic) on any malformed input.
+pub fn validate_chrome_phases(json: &str) -> Result<ChromePhaseSummary, TraceValidationError> {
+    let mut summary = ChromePhaseSummary::default();
+    let mut depth = 0usize;
+    let mut last_ts = f64::NEG_INFINITY;
+    for (line_no, line) in json.lines().enumerate() {
+        if !line.contains("\"ph\"") {
+            continue;
+        }
+        let ph = match line.split("\"ph\": \"").nth(1).map(|rest| {
+            let mut chars = rest.chars();
+            (chars.next(), chars.next())
+        }) {
+            Some((Some(ph), Some('"'))) => ph,
+            _ => return Err(TraceValidationError::MalformedPhase { line: line_no }),
+        };
+        let ts: f64 = line
+            .split("\"ts\": ")
+            .nth(1)
+            .and_then(|rest| {
+                // The exporter emits a plain non-negative decimal.
+                let end = rest
+                    .find(|c: char| !c.is_ascii_digit() && c != '.')
+                    .unwrap_or(rest.len());
+                rest[..end].parse().ok()
+            })
+            .ok_or(TraceValidationError::MalformedTimestamp { line: line_no })?;
+        if ts < last_ts {
+            return Err(TraceValidationError::NonMonotonicTimestamp {
+                line: line_no,
+                ts,
+                prev: last_ts,
+            });
+        }
+        last_ts = ts;
+        match ph {
+            'B' => depth += 1,
+            'E' => {
+                if depth == 0 {
+                    return Err(TraceValidationError::UnbalancedEnd { line: line_no });
+                }
+                depth -= 1;
+                summary.spans += 1;
+            }
+            'i' => summary.instants += 1,
+            other => {
+                return Err(TraceValidationError::UnknownPhase {
+                    line: line_no,
+                    ph: other,
+                })
+            }
+        }
+    }
+    if depth > 0 {
+        return Err(TraceValidationError::UnclosedSpans { open: depth });
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,39 +905,76 @@ mod tests {
             assert_eq!(json.trim(), "[\n\n]");
             return;
         }
-        // Balanced B/E, stack-valid nesting, non-decreasing ts per tid.
-        let mut depth = 0i64;
-        let mut last_ts = -1.0f64;
-        for line in json.lines().filter(|l| l.contains("\"ph\"")) {
-            let ph = line
-                .split("\"ph\": \"")
-                .nth(1)
-                .unwrap()
-                .chars()
-                .next()
-                .unwrap();
-            let ts: f64 = line
-                .split("\"ts\": ")
-                .nth(1)
-                .unwrap()
-                .split(',')
-                .next()
-                .unwrap()
-                .parse()
-                .unwrap();
-            assert!(ts >= last_ts, "timestamps must be non-decreasing");
-            last_ts = ts;
-            match ph {
-                'B' => depth += 1,
-                'E' => {
-                    depth -= 1;
-                    assert!(depth >= 0, "E without matching B");
-                }
-                'i' => {}
-                other => panic!("unexpected ph {other}"),
-            }
-        }
-        assert_eq!(depth, 0, "unbalanced spans");
+        // Balanced B/E, stack-valid nesting, non-decreasing ts.
+        let summary = validate_chrome_phases(&json).expect("own export validates");
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.instants, 1);
+    }
+
+    #[test]
+    fn validator_reports_typed_errors_not_panics() {
+        // Each fixture is a hand-corrupted export line; the validator
+        // must answer with the matching typed error, never a panic.
+        let ok = "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1.000, \"tid\": 1},\n\
+                  {\"name\": \"a\", \"ph\": \"E\", \"ts\": 2.000, \"tid\": 1}";
+        assert_eq!(
+            validate_chrome_phases(ok),
+            Ok(ChromePhaseSummary {
+                spans: 1,
+                instants: 0
+            })
+        );
+
+        // The historical panic path: a phase the exporter never emits.
+        let bad_ph = "{\"name\": \"a\", \"ph\": \"X\", \"ts\": 1.000, \"tid\": 1}";
+        assert_eq!(
+            validate_chrome_phases(bad_ph),
+            Err(TraceValidationError::UnknownPhase { line: 0, ph: 'X' })
+        );
+
+        // Multi-character / truncated ph field.
+        let malformed = "{\"name\": \"a\", \"ph\": \"\", \"ts\": 1.000}";
+        assert_eq!(
+            validate_chrome_phases(malformed),
+            Err(TraceValidationError::MalformedPhase { line: 0 })
+        );
+
+        // ph present but ts missing.
+        let no_ts = "{\"name\": \"a\", \"ph\": \"B\"}";
+        assert_eq!(
+            validate_chrome_phases(no_ts),
+            Err(TraceValidationError::MalformedTimestamp { line: 0 })
+        );
+
+        // E with nothing open.
+        let stray_end = "{\"name\": \"a\", \"ph\": \"E\", \"ts\": 1.000}";
+        assert_eq!(
+            validate_chrome_phases(stray_end),
+            Err(TraceValidationError::UnbalancedEnd { line: 0 })
+        );
+
+        // B never closed.
+        let unclosed = "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1.000}";
+        assert_eq!(
+            validate_chrome_phases(unclosed),
+            Err(TraceValidationError::UnclosedSpans { open: 1 })
+        );
+
+        // Time runs backwards.
+        let backwards = "{\"name\": \"a\", \"ph\": \"i\", \"ts\": 5.000},\n\
+                         {\"name\": \"b\", \"ph\": \"i\", \"ts\": 1.000}";
+        assert_eq!(
+            validate_chrome_phases(backwards),
+            Err(TraceValidationError::NonMonotonicTimestamp {
+                line: 1,
+                ts: 1.0,
+                prev: 5.0
+            })
+        );
+
+        // Errors render as messages (the Display path is what CI logs).
+        let err = validate_chrome_phases(bad_ph).unwrap_err();
+        assert!(err.to_string().contains("unknown phase 'X'"));
     }
 
     #[test]
