@@ -23,15 +23,22 @@
 //! it with concurrent mixed put/get clients (see
 //! [`isobar_bench::soak`]). It exits nonzero on any client-observed
 //! error or any server-side protocol error, so CI can use a short run
-//! as a daemon smoke test.
+//! as a daemon smoke test. Unless `--no-flight` is given, the soak
+//! also runs the daemon's flight recorder (slow threshold `--slow-ms`,
+//! default 0 so every request lands in `slow.jsonl`) and asserts that
+//! every logged request attributes at least 95% of its wall time to
+//! named phases — the end-to-end check that the phase instrumentation
+//! has no blind spots.
 
 use isobar::telemetry::json::{self, JsonValue};
 use isobar_bench::soak::{run_soak, SoakConfig};
+use isobar_server::ServePhase;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench diff OLD NEW [--max-regress PCT] \
      | bench trace-check FILE \
-     | bench serve-soak [--clients N] [--iters N] [--payload BYTES] [--dir PATH]";
+     | bench serve-soak [--clients N] [--iters N] [--payload BYTES] [--dir PATH] \
+       [--slow-ms N] [--no-flight]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -152,6 +159,8 @@ fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
 fn serve_soak(args: &[String]) -> Result<(), String> {
     let mut config = SoakConfig::default();
     let mut dir: Option<std::path::PathBuf> = None;
+    let mut slow_ms = 0u64;
+    let mut flight = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -169,6 +178,12 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
                 }
             }
             "--dir" => dir = Some(std::path::PathBuf::from(value("--dir")?)),
+            "--slow-ms" => {
+                slow_ms = value("--slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?
+            }
+            "--no-flight" => flight = false,
             other => return Err(format!("unknown serve-soak argument '{other}'")),
         }
     }
@@ -182,6 +197,11 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
     if scratch {
         let _ = std::fs::remove_dir_all(&dir);
     }
+    let flight_dir = dir.join("flight");
+    if flight {
+        config.server.slow_ms = Some(slow_ms);
+        config.server.flight_recorder = Some(flight_dir.clone());
+    }
 
     println!(
         "serve-soak: {} clients x {} iters x {} KiB payloads -> {}",
@@ -191,6 +211,11 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
         dir.display()
     );
     let report = run_soak(&dir, &config)?;
+    let attribution = if flight {
+        Some(check_slow_log(&flight_dir)?)
+    } else {
+        None
+    };
     if scratch {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -213,6 +238,37 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
         "server protocol errs", report.server.protocol_errors
     );
 
+    // Phase attribution: where the daemon's request time actually
+    // went, with the store-lock convoy share called out (ROADMAP 1).
+    let total = report.server.total_request_nanos.max(1);
+    println!(
+        "{:<22} {:>10.3} s",
+        "server request time",
+        report.server.total_request_nanos as f64 / 1e9
+    );
+    for phase in ServePhase::ALL {
+        let nanos = report.server.phase_nanos[phase as usize];
+        if nanos > 0 {
+            println!(
+                "  {:<20} {:>10.3} s  {:>5.1}%",
+                phase.name(),
+                nanos as f64 / 1e9,
+                nanos as f64 / total as f64 * 100.0
+            );
+        }
+    }
+    println!(
+        "{:<22} {:>9.1}%",
+        "lock-wait share",
+        report.server.lock_wait_share() * 100.0
+    );
+    if let Some((records, min_share)) = attribution {
+        println!(
+            "{:<22} {:>10}  (min attribution {:.1}%)",
+            "slow log records", records, min_share * 100.0
+        );
+    }
+
     for error in &report.errors {
         eprintln!("soak error: {error}");
     }
@@ -227,6 +283,44 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
     }
     println!("serve-soak: clean");
     Ok(())
+}
+
+/// Parse the soak's `slow.jsonl` and require every record to attribute
+/// at least 95% of its wall time to named phases. Returns the record
+/// count and the worst attribution share.
+fn check_slow_log(flight_dir: &std::path::Path) -> Result<(usize, f64), String> {
+    let path = flight_dir.join("slow.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e} (flight recorder wrote no slow log)", path.display()))?;
+    let mut records = 0usize;
+    let mut min_share = f64::INFINITY;
+    for (i, line) in text.lines().enumerate() {
+        let doc = json::parse(line).map_err(|e| format!("slow.jsonl line {}: {e}", i + 1))?;
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or(format!("slow.jsonl line {}: no \"{key}\"", i + 1))
+        };
+        let total = field("total_nanos")?;
+        let attributed = field("attributed_nanos")?;
+        // Phase spans sit inside the request's wall clock, so the
+        // share tops out at ~1 (modulo timer granularity).
+        let share = attributed as f64 / total.max(1) as f64;
+        if share < 0.95 {
+            return Err(format!(
+                "slow.jsonl line {}: only {:.1}% of {} ns attributed to phases: {line}",
+                i + 1,
+                share * 100.0,
+                total
+            ));
+        }
+        min_share = min_share.min(share);
+        records += 1;
+    }
+    if records == 0 {
+        return Err("slow.jsonl is empty: the soak produced no slow records".to_string());
+    }
+    Ok((records, min_share))
 }
 
 /// One begin/end/instant event, reduced to what validation needs.

@@ -168,11 +168,16 @@ fn client_loop(
     (latencies, puts, gets, busy, errors)
 }
 
+/// Nearest-rank percentile (the `ceil(p·n)`-th smallest sample) in
+/// milliseconds. Unlike rounding an interpolated index, nearest rank
+/// always answers an observed sample and `p = 1.0` is exactly the
+/// maximum.
 fn percentile(sorted_nanos: &[u64], p: f64) -> f64 {
     if sorted_nanos.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    let rank = (p * sorted_nanos.len() as f64).ceil() as usize;
+    let idx = rank.clamp(1, sorted_nanos.len()) - 1;
     sorted_nanos[idx] as f64 / 1e6
 }
 
@@ -229,6 +234,21 @@ pub fn run_soak(dir: &std::path::Path, config: &SoakConfig) -> Result<SoakReport
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        // 10 samples, 1..=10 ms: the textbook nearest-rank answers.
+        let nanos: Vec<u64> = (1..=10).map(|ms| ms * 1_000_000).collect();
+        assert_eq!(percentile(&nanos, 0.50), 5.0); // ceil(0.5·10) = 5th
+        assert_eq!(percentile(&nanos, 0.90), 9.0); // ceil(0.9·10) = 9th
+        assert_eq!(percentile(&nanos, 0.99), 10.0); // ceil(9.9) = 10th
+        assert_eq!(percentile(&nanos, 1.00), 10.0); // the maximum
+        // A single sample answers itself at every percentile.
+        assert_eq!(percentile(&[2_000_000], 0.50), 2.0);
+        assert_eq!(percentile(&[2_000_000], 0.99), 2.0);
+        // Empty input answers zero, no panic.
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
 
     #[test]
     fn small_soak_is_clean() {

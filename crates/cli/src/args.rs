@@ -87,6 +87,14 @@ serve options:
   --commit-every N     pending bytes that trigger a generation commit
                        (default 67108864 = 64 MiB)
   --max-connections N  concurrent connections before Busy (default 256)
+  --slow-ms N          log requests at or past N milliseconds to
+                       slow.jsonl and count them (default: off)
+  --flight-recorder DIR
+                       keep trace rings warm and write Chrome trace
+                       dumps under DIR on SIGUSR1, panic, and slow
+                       requests; slow.jsonl lands here too
+  --debug-endpoint     also serve a /debug/stats JSON snapshot on the
+                       --metrics listener
 
 fsck and salvage work on batch containers, streamed containers, and
 checkpoint stores alike (dispatched on the file's magic; a directory
@@ -277,6 +285,12 @@ pub enum Command {
         commit_threshold: u64,
         /// Concurrent connections before Busy.
         max_connections: usize,
+        /// Slow-request threshold in milliseconds, if set.
+        slow_ms: Option<u64>,
+        /// Flight-recorder output directory, if enabled.
+        flight_recorder: Option<PathBuf>,
+        /// Serve `/debug/stats` on the metrics listener.
+        debug_endpoint: bool,
     },
 }
 
@@ -633,6 +647,9 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
     let mut max_inflight: u64 = 256 << 20;
     let mut commit_threshold: u64 = 64 << 20;
     let mut max_connections: usize = 256;
+    let mut slow_ms: Option<u64> = None;
+    let mut flight_recorder: Option<PathBuf> = None;
+    let mut debug_endpoint = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -664,6 +681,13 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
                     .parse()
                     .map_err(bad("--max-connections"))?
             }
+            "--slow-ms" => {
+                slow_ms = Some(value(it, "--slow-ms")?.parse().map_err(bad("--slow-ms"))?)
+            }
+            "--flight-recorder" => {
+                flight_recorder = Some(PathBuf::from(value(it, "--flight-recorder")?))
+            }
+            "--debug-endpoint" => debug_endpoint = true,
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             other => paths.push(PathBuf::from(other)),
         }
@@ -683,6 +707,9 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
             u32::MAX
         ));
     }
+    if debug_endpoint && metrics.is_none() {
+        return Err("--debug-endpoint requires --metrics (it shares that listener)".to_string());
+    }
     let [dir]: [PathBuf; 1] = paths
         .try_into()
         .map_err(|_| "serve requires exactly one DIR path".to_string())?;
@@ -696,6 +723,9 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
         max_inflight,
         commit_threshold,
         max_connections,
+        slow_ms,
+        flight_recorder,
+        debug_endpoint,
     })
 }
 
@@ -974,6 +1004,9 @@ mod tests {
                 max_inflight: 256 << 20,
                 commit_threshold: 64 << 20,
                 max_connections: 256,
+                slow_ms: None,
+                flight_recorder: None,
+                debug_endpoint: false,
             }
         );
         assert_eq!(
@@ -996,6 +1029,11 @@ mod tests {
                 "4194304",
                 "--max-connections",
                 "64",
+                "--slow-ms",
+                "250",
+                "--flight-recorder",
+                "flight-out",
+                "--debug-endpoint",
             ]))
             .unwrap(),
             Command::Serve {
@@ -1008,6 +1046,9 @@ mod tests {
                 max_inflight: 8 << 20,
                 commit_threshold: 4 << 20,
                 max_connections: 64,
+                slow_ms: Some(250),
+                flight_recorder: Some("flight-out".into()),
+                debug_endpoint: true,
             }
         );
     }
@@ -1023,6 +1064,9 @@ mod tests {
         // Payload lengths ride in a u32 frame field.
         assert!(parse(&strings(&["serve", "d", "--max-payload", "4294967296"])).is_err());
         assert!(parse(&strings(&["serve", "d", "--frobnicate"])).is_err());
+        assert!(parse(&strings(&["serve", "d", "--slow-ms", "abc"])).is_err());
+        // /debug/stats rides on the metrics listener; flag alone is an error.
+        assert!(parse(&strings(&["serve", "d", "--debug-endpoint"])).is_err());
     }
 
     #[test]

@@ -113,6 +113,9 @@ pub fn run(cmd: Command) -> Result<u8, String> {
             max_inflight,
             commit_threshold,
             max_connections,
+            slow_ms,
+            flight_recorder,
+            debug_endpoint,
         } => serve(
             &dir,
             &addr,
@@ -124,6 +127,9 @@ pub fn run(cmd: Command) -> Result<u8, String> {
                 max_inflight_bytes: max_inflight,
                 commit_threshold,
                 max_connections,
+                slow_ms,
+                flight_recorder,
+                debug_endpoint,
                 isobar: IsobarOptions::default(),
             },
         )
@@ -140,6 +146,10 @@ fn serve(
     options: isobar_server::ServeOptions,
 ) -> Result<(), String> {
     isobar_server::signals::install_shutdown_signals();
+    let flight_on = options.flight_recorder.is_some();
+    if flight_on {
+        isobar_server::signals::install_usr1_signal();
+    }
     let server = isobar_server::serve(dir, addr, metrics, options)
         .map_err(|e| format!("{}: {e}", dir.display()))?;
     eprintln!(
@@ -152,8 +162,16 @@ fn serve(
         },
     );
     // The signal handler only sets a flag (the async-signal-safe
-    // minimum); this thread turns it into the actual drain.
+    // minimum); this thread turns it into the actual drain (and, for
+    // SIGUSR1, the flight-recorder dump).
+    let handle = server.handle();
     while !isobar_server::signals::shutdown_requested() {
+        if flight_on && isobar_server::signals::take_usr1() {
+            match handle.dump_flight("sigusr1") {
+                Some(path) => eprintln!("flight recorder dumped to {}", path.display()),
+                None => eprintln!("flight recorder dump failed"),
+            }
+        }
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     eprintln!("shutdown requested; draining connections");
@@ -176,6 +194,17 @@ fn serve(
             None => String::new(),
         },
     );
+    if report.total_request_nanos > 0 {
+        eprintln!(
+            "request time {:.3} s total; lock-wait share {:.1}%{}",
+            report.total_request_nanos as f64 / 1e9,
+            report.lock_wait_share() * 100.0,
+            match report.slow_requests {
+                0 => String::new(),
+                n => format!("; {n} slow, {} flight dumps", report.flight_dumps),
+            },
+        );
+    }
     Ok(())
 }
 

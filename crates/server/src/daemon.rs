@@ -32,6 +32,7 @@
 //! store on disk is the last committed generation plus one clean
 //! final one.
 
+use crate::obs::{self, ObsState, RequestObs, RequestRecord, ServePhase, SlowLog};
 use crate::protocol::{
     discard_exact, parse_request_header, read_bounded, write_response, Opcode, RequestHeader,
     Status, MAX_NAME_LEN, MAX_TENANT_LEN, REQUEST_HEADER_LEN, TENANT_SEPARATOR,
@@ -46,9 +47,9 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`serve`]. Defaults suit a local soak test; see
 /// `docs/SERVE.md` for guidance.
@@ -67,6 +68,17 @@ pub struct ServeOptions {
     pub commit_threshold: u64,
     /// Connections beyond this are answered [`Status::Busy`] at accept.
     pub max_connections: usize,
+    /// Requests whose wall time reaches this many milliseconds are
+    /// counted slow, logged to `slow.jsonl` (when the flight recorder
+    /// is on), and trigger a rate-limited flight dump. `None` disables
+    /// slow accounting.
+    pub slow_ms: Option<u64>,
+    /// Directory for flight-recorder output (Chrome trace dumps and
+    /// the slow-request log). Setting this also activates trace
+    /// recording for the daemon's lifetime.
+    pub flight_recorder: Option<PathBuf>,
+    /// Serve a `/debug/stats` JSON snapshot on the metrics listener.
+    pub debug_endpoint: bool,
     /// Compression options for stored variables.
     pub isobar: IsobarOptions,
 }
@@ -80,6 +92,9 @@ impl Default for ServeOptions {
             max_inflight_bytes: 256 << 20,
             commit_threshold: 64 << 20,
             max_connections: 256,
+            slow_ms: None,
+            flight_recorder: None,
+            debug_endpoint: false,
             isobar: IsobarOptions::default(),
         }
     }
@@ -138,8 +153,34 @@ pub struct ServeReport {
     pub commits: u64,
     /// Generation number of the last commit, if any put was committed.
     pub generation: Option<u64>,
+    /// Requests past the `slow_ms` threshold.
+    pub slow_requests: u64,
+    /// Flight-recorder trace dumps written.
+    pub flight_dumps: u64,
+    /// Cumulative request wall time, nanoseconds.
+    pub total_request_nanos: u64,
+    /// Cumulative nanoseconds attributed to each phase, indexed by
+    /// [`ServePhase`]` as usize`.
+    pub phase_nanos: [u64; ServePhase::COUNT],
     /// Merged telemetry from every request and commit.
     pub telemetry: TelemetrySnapshot,
+}
+
+impl ServeReport {
+    /// Cumulative nanoseconds spent blocked on the store mutex — the
+    /// numerator of the lock-convoy share ROADMAP item 1 tracks.
+    pub fn lock_wait_nanos(&self) -> u64 {
+        self.phase_nanos[ServePhase::LockWait as usize]
+    }
+
+    /// Fraction of all request wall time spent blocked on the store
+    /// mutex (0 when nothing was served).
+    pub fn lock_wait_share(&self) -> f64 {
+        if self.total_request_nanos == 0 {
+            return 0.0;
+        }
+        self.lock_wait_nanos() as f64 / self.total_request_nanos as f64
+    }
 }
 
 /// Build the store key for a `(tenant, name)` pair. Tenants are
@@ -210,6 +251,8 @@ struct Shared {
     shutdown: AtomicBool,
     store: Mutex<StoreState>,
     metrics: Mutex<TelemetrySnapshot>,
+    obs: Mutex<ObsState>,
+    slow_log: SlowLog,
     stats: Stats,
 }
 
@@ -221,6 +264,56 @@ impl Shared {
             .unwrap_or_else(|e| e.into_inner())
             .merge(&snap);
         recorder.reset();
+    }
+
+    fn lock_obs(&self) -> MutexGuard<'_, ObsState> {
+        self.obs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fold one completed request into the observability state: per-op
+    /// and per-tenant histograms, phase totals, the recent-request
+    /// ring, slow accounting, and (rate limited) a slow-triggered
+    /// flight dump.
+    fn finish_request(&self, obs: RequestObs, total_nanos: u64, recorder: &mut Recorder) {
+        let record = RequestRecord {
+            op: obs.op,
+            tenant: obs.tenant,
+            status: obs.status,
+            total_nanos,
+            phase_nanos: obs.phase_nanos,
+        };
+        let slow_nanos = self.opts.slow_ms.map(|ms| ms.saturating_mul(1_000_000));
+        let dumps_enabled = self.opts.flight_recorder.is_some();
+        let (slow, dump_due) =
+            self.lock_obs()
+                .record_request(record.clone(), slow_nanos, dumps_enabled);
+        if slow {
+            recorder.incr(Counter::ServeSlowRequests);
+            if let Some(dir) = &self.opts.flight_recorder {
+                self.slow_log.append(dir, &record);
+            }
+        }
+        if dump_due {
+            // The dump runs on this handler thread so the offending
+            // request's own spans are in the file.
+            self.dump_flight("slow");
+        }
+    }
+
+    /// Write a flight-recorder Chrome trace dump, if a dump directory
+    /// is configured. Returns the file written.
+    fn dump_flight(&self, reason: &str) -> Option<PathBuf> {
+        let dir = self.opts.flight_recorder.as_ref()?;
+        match obs::dump_flight_trace(dir, reason) {
+            Ok(path) => {
+                self.lock_obs().flight_dumps += 1;
+                let mut recorder = Recorder::new();
+                recorder.incr(Counter::ServeFlightDumps);
+                self.merge_recorder(&mut recorder);
+                Some(path)
+            }
+            Err(_) => None,
+        }
     }
 
     /// Commit the current generation: two-phase writer close, reader
@@ -288,6 +381,13 @@ impl ServerHandle {
             poke(addr);
         }
     }
+
+    /// Dump the flight recorder now (the SIGUSR1 path). Returns the
+    /// Chrome trace file written, or `None` when no `flight_recorder`
+    /// directory is configured or the write failed.
+    pub fn dump_flight(&self, reason: &str) -> Option<PathBuf> {
+        self.shared.dump_flight(reason)
+    }
 }
 
 /// Unblock a listener stuck in `accept` by connecting to it.
@@ -322,6 +422,13 @@ pub fn serve(
         Some(l) => Some(l.local_addr()?),
         None => None,
     };
+    if let Some(flight_dir) = &opts.flight_recorder {
+        // Keep the trace rings warm for the daemon's lifetime and dump
+        // them on panic. Activation is process-global, matching the
+        // CLI's `--trace` behavior.
+        isobar::trace::set_active(true);
+        obs::install_panic_dump(flight_dir);
+    }
     let shared = Arc::new(Shared {
         dir,
         opts,
@@ -336,6 +443,8 @@ pub fn serve(
             failed: None,
         }),
         metrics: Mutex::new(TelemetrySnapshot::default()),
+        obs: Mutex::new(ObsState::default()),
+        slow_log: SlowLog::default(),
         stats: Stats::default(),
     });
 
@@ -402,6 +511,15 @@ impl Server {
             shared.commit_locked(&mut state, &mut recorder)
         };
         shared.merge_recorder(&mut recorder);
+        let (slow_requests, flight_dumps, total_request_nanos, phase_nanos) = {
+            let obs = shared.lock_obs();
+            (
+                obs.slow_requests,
+                obs.flight_dumps,
+                obs.total_request_nanos,
+                obs.phase_nanos,
+            )
+        };
         let report = ServeReport {
             requests: shared.stats.requests.load(Ordering::Relaxed),
             puts: shared.stats.puts.load(Ordering::Relaxed),
@@ -415,6 +533,10 @@ impl Server {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .last_generation,
+            slow_requests,
+            flight_dumps,
+            total_request_nanos,
+            phase_nanos,
             telemetry: shared
                 .metrics
                 .lock()
@@ -457,8 +579,13 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
         }
         shared.stats.connections.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(shared);
+        // Stamp the hand-off so the gap between accept and the handler
+        // thread starting is attributed to the first request's accept
+        // phase.
+        let accepted = Instant::now();
         handlers.push(std::thread::spawn(move || {
-            handle_connection(&shared, stream);
+            let accept_nanos = accepted.elapsed().as_nanos() as u64;
+            handle_connection(&shared, stream, accept_nanos);
             isobar::trace::flush_thread();
         }));
     }
@@ -501,9 +628,10 @@ fn poll_first_byte(stream: &mut TcpStream, shared: &Shared) -> FirstByte {
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, mut stream: TcpStream, accept_nanos: u64) {
     let _ = stream.set_nodelay(true);
     let mut recorder = Recorder::new();
+    let mut accept_pending = accept_nanos;
     loop {
         let first = match poll_first_byte(&mut stream, shared) {
             FirstByte::Byte(b) => b,
@@ -513,6 +641,12 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 break;
             }
         };
+        // The request clock starts at its first byte; client think
+        // time between frames is not request latency.
+        let request_start = Instant::now();
+        let mut obs = RequestObs::new();
+        obs.add(ServePhase::Accept, std::mem::take(&mut accept_pending));
+        let header_span = isobar::trace::span(TraceTag::ServeHeaderParse, NO_CHUNK);
         // The frame has started: switch to a generous per-frame
         // timeout so a stalled client cannot pin the thread forever.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
@@ -525,18 +659,30 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         let header = match parse_request_header(&header_buf, shared.opts.max_payload) {
             Ok(header) => header,
             Err(e) => {
+                drop(header_span);
                 count_protocol_error(shared, &mut recorder);
                 let _ = write_response(&mut stream, Status::BadRequest, e.to_string().as_bytes());
                 // The stream may be mid-frame; alignment is gone.
                 break;
             }
         };
+        drop(header_span);
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         recorder.incr(Counter::ServeRequests);
+        obs.op = obs::op_index(header.opcode);
+        // Everything since the first byte — the timeout setup syscall,
+        // the header read and decode, and dispatch bookkeeping — is
+        // header-parse time (one boundary-clock stretch).
+        obs.charge(ServePhase::HeaderParse);
         let keep = {
             let _span = isobar::trace::span(TraceTag::ServeRequest, NO_CHUNK);
-            handle_request(shared, &mut stream, &header, &mut recorder)
+            handle_request(shared, &mut stream, &header, &mut recorder, &mut obs)
         };
+        // The accept hand-off happened before the first byte arrived,
+        // so wall time includes it on top of the frame clock.
+        let total_nanos = (request_start.elapsed().as_nanos() as u64)
+            .saturating_add(obs.phase_nanos[ServePhase::Accept as usize]);
+        shared.finish_request(obs, total_nanos, &mut recorder);
         shared.merge_recorder(&mut recorder);
         if !keep {
             break;
@@ -550,6 +696,30 @@ fn count_protocol_error(shared: &Shared, recorder: &mut Recorder) {
     recorder.incr(Counter::ServeProtocolErrors);
 }
 
+/// Acquire the store mutex with the wait attributed to the request's
+/// lock-wait phase (the convoy scoreboard for ROADMAP item 1).
+fn lock_store<'a>(shared: &'a Shared, obs: &mut RequestObs) -> MutexGuard<'a, StoreState> {
+    obs.time(ServePhase::LockWait, || {
+        shared.store.lock().unwrap_or_else(|e| e.into_inner())
+    })
+}
+
+/// Release the store mutex with the handoff attributed to lock-wait:
+/// under contention an unlock wakes a waiter (a futex syscall), and
+/// that cost belongs on the same convoy scoreboard as the waits.
+fn unlock_store(state: MutexGuard<'_, StoreState>, obs: &mut RequestObs) {
+    obs.time(ServePhase::LockWait, || drop(state));
+}
+
+/// Write the response frame with the time attributed to the
+/// write-response phase, stamping the request's final status.
+fn respond(stream: &mut TcpStream, obs: &mut RequestObs, status: Status, body: &[u8]) {
+    obs.status = obs::status_name(status);
+    obs.time(ServePhase::WriteResponse, || {
+        let _ = write_response(stream, status, body);
+    });
+}
+
 /// Serve one request whose header has been decoded. Returns whether
 /// the connection is still frame-aligned and should be kept open.
 fn handle_request(
@@ -557,40 +727,58 @@ fn handle_request(
     stream: &mut TcpStream,
     header: &RequestHeader,
     recorder: &mut Recorder,
+    obs: &mut RequestObs,
 ) -> bool {
     // Tenant and name are small (caps enforced by the header parse).
-    let fields = crate::protocol::read_request_fields(&mut *stream, header);
+    let fields = obs.time(ServePhase::HeaderParse, || {
+        crate::protocol::read_request_fields(&mut *stream, header)
+    });
     let (tenant, name) = match fields {
         Ok(fields) => fields,
         Err(crate::protocol::FrameError::Proto(e)) => {
             count_protocol_error(shared, recorder);
             // The identifier bytes were consumed, so the stream is
             // still frame-aligned for everything but the payload.
-            if header.payload_len > 0
-                && discard_exact(stream, u64::from(header.payload_len)).is_err()
-            {
-                return false;
+            if header.payload_len > 0 {
+                let drained = obs.time(ServePhase::PayloadRead, || {
+                    discard_exact(stream, u64::from(header.payload_len))
+                });
+                if drained.is_err() {
+                    obs.status = obs::status_name(Status::BadRequest);
+                    return false;
+                }
             }
-            let _ = write_response(stream, Status::BadRequest, e.to_string().as_bytes());
+            respond(stream, obs, Status::BadRequest, e.to_string().as_bytes());
             return true;
         }
         Err(crate::protocol::FrameError::Io(_)) => return false,
     };
+    obs.tenant = tenant.clone();
     match header.opcode {
-        Opcode::Put => handle_put(shared, stream, header, &tenant, &name, recorder),
-        Opcode::Get => handle_get(shared, stream, header.step, &tenant, &name, recorder),
-        Opcode::Stat => handle_stat(shared, stream, header.step, &tenant, &name),
-        Opcode::Ls => handle_ls(shared, stream, &tenant),
+        Opcode::Put => handle_put(shared, stream, header, &tenant, &name, recorder, obs),
+        Opcode::Get => handle_get(shared, stream, header.step, &tenant, &name, recorder, obs),
+        Opcode::Stat => handle_stat(shared, stream, header.step, &tenant, &name, obs),
+        Opcode::Ls => handle_ls(shared, stream, &tenant, obs),
     }
 }
 
 /// Reject a put whose payload is still unread: drain it in bounded
 /// chunks to stay frame-aligned, then answer `status`.
-fn reject_put(stream: &mut TcpStream, payload_len: u32, status: Status, message: &str) -> bool {
-    if discard_exact(stream, u64::from(payload_len)).is_err() {
+fn reject_put(
+    stream: &mut TcpStream,
+    obs: &mut RequestObs,
+    payload_len: u32,
+    status: Status,
+    message: &str,
+) -> bool {
+    let drained = obs.time(ServePhase::PayloadRead, || {
+        discard_exact(stream, u64::from(payload_len))
+    });
+    if drained.is_err() {
+        obs.status = obs::status_name(status);
         return false;
     }
-    let _ = write_response(stream, status, message.as_bytes());
+    respond(stream, obs, status, message.as_bytes());
     true
 }
 
@@ -601,11 +789,13 @@ fn handle_put(
     tenant: &str,
     name: &str,
     recorder: &mut Recorder,
+    obs: &mut RequestObs,
 ) -> bool {
     let len = u64::from(header.payload_len);
     if shared.shutdown.load(Ordering::SeqCst) {
         return reject_put(
             stream,
+            obs,
             header.payload_len,
             Status::ShuttingDown,
             "daemon draining",
@@ -613,28 +803,37 @@ fn handle_put(
     }
     // Admission: reserve the bytes before reading them, or refuse.
     {
-        let mut state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(msg) = &state.failed {
-            let msg = msg.clone();
-            return reject_put(stream, header.payload_len, Status::ServerError, &msg);
+        let mut state = lock_store(shared, obs);
+        let verdict = obs.time(ServePhase::Admission, || {
+            if let Some(msg) = &state.failed {
+                return Some((Status::ServerError, msg.clone()));
+            }
+            if state.pending_bytes + state.reserved_bytes + len > shared.opts.max_inflight_bytes {
+                return Some((
+                    Status::Busy,
+                    "in-flight byte budget full, retry later".to_string(),
+                ));
+            }
+            state.reserved_bytes += len;
+            None
+        });
+        unlock_store(state, obs);
+        if let Some((status, message)) = verdict {
+            if status == Status::Busy {
+                shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+                recorder.incr(Counter::ServeBusyRejected);
+            }
+            return reject_put(stream, obs, header.payload_len, status, &message);
         }
-        if state.pending_bytes + state.reserved_bytes + len > shared.opts.max_inflight_bytes {
-            shared.stats.busy.fetch_add(1, Ordering::Relaxed);
-            recorder.incr(Counter::ServeBusyRejected);
-            return reject_put(
-                stream,
-                header.payload_len,
-                Status::Busy,
-                "in-flight byte budget full, retry later",
-            );
-        }
-        state.reserved_bytes += len;
     }
     let unreserve = |shared: &Shared| {
         let mut state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
         state.reserved_bytes = state.reserved_bytes.saturating_sub(len);
     };
-    let payload = match read_bounded(&mut *stream, header.payload_len as usize) {
+    let payload = obs.time(ServePhase::PayloadRead, || {
+        read_bounded(&mut *stream, header.payload_len as usize)
+    });
+    let payload = match payload {
         Ok(payload) => payload,
         Err(_) => {
             unreserve(shared);
@@ -642,20 +841,19 @@ fn handle_put(
         }
     };
     let key = store_key(tenant, name);
-    let result = {
-        let mut state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
-        state.reserved_bytes = state.reserved_bytes.saturating_sub(len);
-        put_locked(shared, &mut state, header, key, payload, recorder)
-    };
+    let mut state = lock_store(shared, obs);
+    state.reserved_bytes = state.reserved_bytes.saturating_sub(len);
+    let result = put_locked(shared, &mut state, header, key, payload, recorder, obs);
+    unlock_store(state, obs);
     match result {
         Ok(()) => {
             shared.stats.puts.fetch_add(1, Ordering::Relaxed);
             recorder.add(Counter::ServePutBytes, len);
-            let _ = write_response(stream, Status::Ok, b"");
+            respond(stream, obs, Status::Ok, b"");
             true
         }
         Err(e) => {
-            let _ = write_response(stream, Status::ServerError, e.to_string().as_bytes());
+            respond(stream, obs, Status::ServerError, e.to_string().as_bytes());
             true
         }
     }
@@ -671,37 +869,46 @@ fn put_locked(
     key: String,
     payload: Vec<u8>,
     recorder: &mut Recorder,
+    obs: &mut RequestObs,
 ) -> Result<(), StoreError> {
-    if state.writer.is_none() {
-        state.writer = Some(ShardedStoreWriter::create(
-            &shared.dir,
-            shared.opts.isobar,
-            ShardedOptions {
-                shards: shared.opts.shards,
-                queue_depth: shared.opts.queue_depth,
-            },
-        )?);
-    }
-    let writer = state.writer.as_ref().expect("writer just created");
-    writer.put(
-        header.step,
-        &key,
-        payload.clone(),
-        usize::from(header.width),
-    )?;
+    obs.time(ServePhase::StorePut, || -> Result<(), StoreError> {
+        if state.writer.is_none() {
+            state.writer = Some(ShardedStoreWriter::create(
+                &shared.dir,
+                shared.opts.isobar,
+                ShardedOptions {
+                    shards: shared.opts.shards,
+                    queue_depth: shared.opts.queue_depth,
+                },
+            )?);
+        }
+        let writer = state.writer.as_ref().expect("writer just created");
+        writer.put(
+            header.step,
+            &key,
+            payload.clone(),
+            usize::from(header.width),
+        )
+    })?;
     let len = payload.len() as u64;
-    if let Some(old) = state.overlay.insert(
-        (header.step, key),
-        OverlayEntry {
-            width: header.width,
-            data: payload,
-        },
-    ) {
-        state.pending_bytes = state.pending_bytes.saturating_sub(old.data.len() as u64);
-    }
-    state.pending_bytes += len;
+    obs.time(ServePhase::Overlay, || {
+        if let Some(old) = state.overlay.insert(
+            (header.step, key),
+            OverlayEntry {
+                width: header.width,
+                data: payload,
+            },
+        ) {
+            state.pending_bytes = state.pending_bytes.saturating_sub(old.data.len() as u64);
+        }
+        state.pending_bytes += len;
+    });
     if state.pending_bytes >= shared.opts.commit_threshold {
-        shared.commit_locked(state, recorder)?;
+        // commit_locked emits its own ServeCommit span; attribute the
+        // wall time without opening a duplicate.
+        obs.time_unspanned(ServePhase::Commit, || {
+            shared.commit_locked(state, recorder)
+        })?;
     }
     Ok(())
 }
@@ -713,41 +920,48 @@ fn handle_get(
     tenant: &str,
     name: &str,
     recorder: &mut Recorder,
+    obs: &mut RequestObs,
 ) -> bool {
     let key = store_key(tenant, name);
-    let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(entry) = state.overlay.get(&(step, key.clone())) {
-        let data = entry.data.clone();
-        drop(state);
+    let state = lock_store(shared, obs);
+    let overlay_hit = obs.time(ServePhase::Overlay, || {
+        state
+            .overlay
+            .get(&(step, key.clone()))
+            .map(|entry| entry.data.clone())
+    });
+    if let Some(data) = overlay_hit {
+        unlock_store(state, obs);
         shared.stats.gets.fetch_add(1, Ordering::Relaxed);
         recorder.add(Counter::ServeGetBytes, data.len() as u64);
-        let _ = write_response(stream, Status::Ok, &data);
+        respond(stream, obs, Status::Ok, &data);
         return true;
     }
-    let result = match &state.reader {
+    let result = obs.time(ServePhase::StoreGet, || match &state.reader {
         Some(reader) => reader.get(step, &key),
         None => Err(StoreError::NotFound {
             step,
             name: key.clone(),
         }),
-    };
-    drop(state);
+    });
+    unlock_store(state, obs);
     match result {
         Ok(data) => {
             shared.stats.gets.fetch_add(1, Ordering::Relaxed);
             recorder.add(Counter::ServeGetBytes, data.len() as u64);
-            let _ = write_response(stream, Status::Ok, &data);
+            respond(stream, obs, Status::Ok, &data);
         }
         Err(StoreError::NotFound { .. }) => {
             shared.stats.not_found.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(
+            respond(
                 stream,
+                obs,
                 Status::NotFound,
                 format!("no variable '{name}' at step {step}").as_bytes(),
             );
         }
         Err(e) => {
-            let _ = write_response(stream, Status::ServerError, e.to_string().as_bytes());
+            respond(stream, obs, Status::ServerError, e.to_string().as_bytes());
         }
     }
     true
@@ -759,20 +973,25 @@ fn handle_stat(
     step: u32,
     tenant: &str,
     name: &str,
+    obs: &mut RequestObs,
 ) -> bool {
     let key = store_key(tenant, name);
-    let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(entry) = state.overlay.get(&(step, key.clone())) {
-        let line = format!(
-            "name={name} step={step} raw_len={} width={} committed=false\n",
-            entry.data.len(),
-            entry.width
-        );
-        drop(state);
-        let _ = write_response(stream, Status::Ok, line.as_bytes());
+    let state = lock_store(shared, obs);
+    let overlay_line = obs.time(ServePhase::Overlay, || {
+        state.overlay.get(&(step, key.clone())).map(|entry| {
+            format!(
+                "name={name} step={step} raw_len={} width={} committed=false\n",
+                entry.data.len(),
+                entry.width
+            )
+        })
+    });
+    if let Some(line) = overlay_line {
+        unlock_store(state, obs);
+        respond(stream, obs, Status::Ok, line.as_bytes());
         return true;
     }
-    let line = match &state.reader {
+    let line = obs.time(ServePhase::StoreGet, || match &state.reader {
         Some(reader) => reader.entry(step, &key).map(|entry| {
             format!(
                 "name={name} step={step} raw_len={} container_len={} width={} committed=true\n",
@@ -783,51 +1002,55 @@ fn handle_stat(
             step,
             name: key.clone(),
         }),
-    };
-    drop(state);
+    });
+    unlock_store(state, obs);
     match line {
         Ok(line) => {
-            let _ = write_response(stream, Status::Ok, line.as_bytes());
+            respond(stream, obs, Status::Ok, line.as_bytes());
         }
         Err(StoreError::NotFound { .. }) => {
             shared.stats.not_found.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(
+            respond(
                 stream,
+                obs,
                 Status::NotFound,
                 format!("no variable '{name}' at step {step}").as_bytes(),
             );
         }
         Err(e) => {
-            let _ = write_response(stream, Status::ServerError, e.to_string().as_bytes());
+            respond(stream, obs, Status::ServerError, e.to_string().as_bytes());
         }
     }
     true
 }
 
-fn handle_ls(shared: &Shared, stream: &mut TcpStream, tenant: &str) -> bool {
-    let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+fn handle_ls(shared: &Shared, stream: &mut TcpStream, tenant: &str, obs: &mut RequestObs) -> bool {
+    let state = lock_store(shared, obs);
     // (step, name) -> raw_len; overlay entries shadow committed ones.
-    let mut rows: BTreeMap<(u32, String), u64> = BTreeMap::new();
-    if let Some(reader) = &state.reader {
-        for entry in reader.live_entries() {
-            let (entry_tenant, name) = split_key(&entry.name);
-            if entry_tenant == tenant {
-                rows.insert((entry.step, name.to_string()), entry.raw_len);
+    let rows = obs.time(ServePhase::StoreGet, || {
+        let mut rows: BTreeMap<(u32, String), u64> = BTreeMap::new();
+        if let Some(reader) = &state.reader {
+            for entry in reader.live_entries() {
+                let (entry_tenant, name) = split_key(&entry.name);
+                if entry_tenant == tenant {
+                    rows.insert((entry.step, name.to_string()), entry.raw_len);
+                }
             }
         }
-    }
-    for ((step, key), entry) in &state.overlay {
-        let (entry_tenant, name) = split_key(key);
-        if entry_tenant == tenant {
-            rows.insert((*step, name.to_string()), entry.data.len() as u64);
+        for ((step, key), entry) in &state.overlay {
+            let (entry_tenant, name) = split_key(key);
+            if entry_tenant == tenant {
+                rows.insert((*step, name.to_string()), entry.data.len() as u64);
+            }
         }
-    }
-    drop(state);
+        rows
+    });
+    unlock_store(state, obs);
     let mut body = String::new();
     for ((step, name), raw_len) in rows {
         body.push_str(&format!("{step}\t{name}\t{raw_len}\n"));
     }
-    let _ = write_response(stream, Status::Ok, body.as_bytes());
+    respond(stream, obs, Status::Ok, body.as_bytes());
     true
 }
 
@@ -865,14 +1088,23 @@ fn metrics_loop(shared: &Arc<Shared>, listener: TcpListener) {
             .unwrap_or("");
         let path = line.split_whitespace().nth(1).unwrap_or("");
         if line.starts_with("GET ") && path == "/metrics" {
-            let body = shared
+            let mut body = shared
                 .metrics
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .to_prometheus();
+            shared.lock_obs().render_prometheus(&mut body);
             let _ = write!(
                 stream,
                 "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+        } else if line.starts_with("GET ") && path == "/debug/stats" && shared.opts.debug_endpoint {
+            let body = debug_stats_json(shared);
+            let _ = write!(
+                stream,
+                "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
                 body.len(),
                 body
             );
@@ -884,6 +1116,60 @@ fn metrics_loop(shared: &Arc<Shared>, listener: TcpListener) {
         }
         let _ = stream.flush();
     }
+}
+
+/// Render the `/debug/stats` JSON snapshot: daemon-level gauges (the
+/// store lock is sampled, not held, across the obs render) spliced
+/// together with the observability state's totals, histograms, and
+/// recent-request ring.
+fn debug_stats_json(shared: &Shared) -> String {
+    let (overlay_entries, overlay_bytes, reserved_bytes, last_generation, failed) = {
+        let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+        (
+            state.overlay.len() as u64,
+            state.pending_bytes,
+            state.reserved_bytes,
+            state.last_generation,
+            state.failed.clone(),
+        )
+    };
+    let mut out = String::with_capacity(4096);
+    out.push('{');
+    out.push_str(&format!(
+        "\"connections\": {}, \"requests\": {}, \"puts\": {}, \"gets\": {}, \
+         \"busy_rejected\": {}, \"protocol_errors\": {}, \"not_found\": {}, \"commits\": {}",
+        shared.stats.connections.load(Ordering::Relaxed),
+        shared.stats.requests.load(Ordering::Relaxed),
+        shared.stats.puts.load(Ordering::Relaxed),
+        shared.stats.gets.load(Ordering::Relaxed),
+        shared.stats.busy.load(Ordering::Relaxed),
+        shared.stats.protocol_errors.load(Ordering::Relaxed),
+        shared.stats.not_found.load(Ordering::Relaxed),
+        shared.stats.commits.load(Ordering::Relaxed),
+    ));
+    out.push_str(&format!(
+        ", \"overlay_entries\": {overlay_entries}, \"overlay_bytes\": {overlay_bytes}, \
+         \"reserved_bytes\": {reserved_bytes}, \"in_flight_bytes\": {}, \
+         \"commit_backlog_bytes\": {overlay_bytes}, \"commit_threshold\": {}",
+        overlay_bytes.saturating_add(reserved_bytes),
+        shared.opts.commit_threshold,
+    ));
+    match last_generation {
+        Some(generation) => out.push_str(&format!(", \"generation\": {generation}")),
+        None => out.push_str(", \"generation\": null"),
+    }
+    match failed {
+        Some(msg) => {
+            out.push_str(", \"failed\": \"");
+            out.push_str(&obs::escape_json(&msg));
+            out.push('"');
+        }
+        None => out.push_str(", \"failed\": null"),
+    }
+    out.push_str(", ");
+    shared.lock_obs().write_debug_json(&mut out);
+    out.push('}');
+    out
 }
 
 const _: () = {

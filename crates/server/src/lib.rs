@@ -21,11 +21,13 @@
 
 pub mod client;
 pub mod daemon;
+pub mod obs;
 pub mod protocol;
 pub mod signals;
 
 pub use client::Client;
 pub use daemon::{serve, ServeError, ServeOptions, ServeReport, Server, ServerHandle};
+pub use obs::{RequestRecord, ServePhase};
 pub use protocol::{
     FrameError, Opcode, ProtoError, Request, RequestHeader, Response, Status, MAX_NAME_LEN,
     MAX_TENANT_LEN, PROTOCOL_VERSION,
@@ -283,7 +285,21 @@ mod tests {
         let mut body = String::new();
         http.read_to_string(&mut body).unwrap();
         assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        // The Prometheus text exposition Content-Type, version pinned.
+        assert!(
+            body.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{body}"
+        );
         assert!(body.contains("isobar_serve_requests_total"), "{body}");
+        // The always-on latency histograms are in the exposition.
+        assert!(
+            body.contains("isobar_serve_request_duration_seconds_bucket{op=\"put\",le=\"+Inf\"}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("isobar_serve_phase_seconds_total{phase=\"lock_wait\"}"),
+            "{body}"
+        );
         if isobar::telemetry::ENABLED {
             assert!(body.contains("isobar_serve_put_bytes_total 256"), "{body}");
             assert!(body.contains("isobar_serve_get_bytes_total 256"), "{body}");
@@ -297,6 +313,108 @@ mod tests {
         assert!(body.starts_with("HTTP/1.0 404"), "{body}");
 
         drop(client);
+        server.shutdown();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_recorder_logs_slow_requests_and_debug_stats_serves_json() {
+        let dir = tmp("flight");
+        let flight_dir = dir.join("flight");
+        let opts = ServeOptions {
+            slow_ms: Some(0), // every request is "slow": full coverage
+            flight_recorder: Some(flight_dir.clone()),
+            debug_endpoint: true,
+            ..small_options()
+        };
+        let server = serve(&dir, "127.0.0.1:0", Some("127.0.0.1:0"), opts).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let resp = client.put("acme", 1, "v", 8, payload(1024, 9)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let resp = client.get("acme", 1, "v").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        // Same-connection barrier: the put and get are fully recorded
+        // once the ls response arrives.
+        let resp = client.ls("acme").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        let metrics_addr = server.metrics_addr().unwrap();
+        let mut http = TcpStream::connect(metrics_addr).unwrap();
+        http.write_all(b"GET /debug/stats HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        http.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("Content-Type: application/json"), "{body}");
+        for key in [
+            "\"connections\"",
+            "\"in_flight_bytes\"",
+            "\"overlay_bytes\"",
+            "\"commit_threshold\"",
+            "\"lock_wait_nanos\"",
+            "\"phases\"",
+            "\"ops\"",
+            "\"tenants\"",
+            "\"recent_requests\"",
+        ] {
+            assert!(body.contains(key), "missing {key}: {body}");
+        }
+        assert!(body.contains("\"acme\""), "tenant histogram present: {body}");
+
+        drop(client);
+        // The SIGUSR1 path: dump through the handle, then check the
+        // file is a valid Chrome trace.
+        let dump = server.handle().dump_flight("test").expect("dump written");
+        let json = std::fs::read_to_string(&dump).unwrap();
+        isobar::trace::validate_chrome_phases(&json).unwrap();
+
+        server.shutdown();
+        let report = server.join().unwrap();
+        assert_eq!(report.slow_requests, 3, "{report:?}");
+        assert!(report.flight_dumps >= 1, "{report:?}");
+        assert!(report.total_request_nanos > 0);
+        // Every slow request wrote one JSONL line with its phase
+        // breakdown attributing most of the wall time.
+        let log = std::fs::read_to_string(flight_dir.join("slow.jsonl")).unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 3, "{log}");
+        for line in &lines {
+            for key in ["\"total_nanos\"", "\"attributed_nanos\"", "\"lock_wait\""] {
+                assert!(line.contains(key), "missing {key}: {line}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_ring_wraparound_keeps_chrome_dump_valid() {
+        let dir = tmp("wraparound");
+        let flight_dir = dir.join("flight");
+        let opts = ServeOptions {
+            commit_threshold: 16 * 1024, // several generation rolls
+            flight_recorder: Some(flight_dir),
+            ..small_options()
+        };
+        let server = serve(&dir, "127.0.0.1:0", None, opts).unwrap();
+        // Tiny rings created after this point: sustained load wraps
+        // them many times over, overwriting oldest events.
+        isobar::trace::set_thread_capacity(8);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for i in 0..200u32 {
+            let resp = client.put("", i, "w", 8, payload(512, i as u8)).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            let resp = client.get("", i, "w").unwrap();
+            assert_eq!(resp.status, Status::Ok);
+        }
+        isobar::trace::set_thread_capacity(isobar::trace::DEFAULT_THREAD_CAPACITY);
+        drop(client);
+        // A dump after heavy wraparound must still be a well-formed
+        // Chrome trace: every B has its E, timestamps monotonic per
+        // thread (rings hold only complete spans, so overwrite-oldest
+        // cannot strand a begin).
+        let dump = server.handle().dump_flight("wrap").expect("dump written");
+        let json = std::fs::read_to_string(&dump).unwrap();
+        isobar::trace::validate_chrome_phases(&json).unwrap();
         server.shutdown();
         server.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
@@ -329,7 +447,9 @@ mod tests {
         signals::reset_for_tests();
         assert!(!signals::shutdown_requested());
         signals::install_shutdown_signals();
+        signals::install_usr1_signal();
         assert!(!signals::shutdown_requested());
+        assert!(!signals::take_usr1());
         signals::reset_for_tests();
     }
 }

@@ -10,11 +10,16 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static TRIGGERED: AtomicBool = AtomicBool::new(false);
+static USR1: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod unix {
     extern "C" fn on_signal(_sig: i32) {
         super::TRIGGERED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" fn on_usr1(_sig: i32) {
+        super::USR1.store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     extern "C" {
@@ -23,11 +28,21 @@ mod unix {
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    #[cfg(target_os = "macos")]
+    const SIGUSR1: i32 = 30;
+    #[cfg(not(target_os = "macos"))]
+    const SIGUSR1: i32 = 10;
 
     pub fn install() {
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn install_usr1() {
+        unsafe {
+            signal(SIGUSR1, on_usr1);
         }
     }
 }
@@ -40,12 +55,26 @@ pub fn install_shutdown_signals() {
     unix::install();
 }
 
+/// Install a SIGUSR1 handler that sets the dump flag. The serve loop
+/// polls [`take_usr1`] and writes a flight-recorder dump when it
+/// fires. No-op on non-Unix platforms. Idempotent.
+pub fn install_usr1_signal() {
+    #[cfg(unix)]
+    unix::install_usr1();
+}
+
 /// Whether a shutdown signal has been received.
 pub fn shutdown_requested() -> bool {
     TRIGGERED.load(Ordering::SeqCst)
 }
 
-/// Reset the flag (tests only; real daemons exit after one shutdown).
+/// Consume a pending SIGUSR1: returns `true` at most once per signal.
+pub fn take_usr1() -> bool {
+    USR1.swap(false, Ordering::SeqCst)
+}
+
+/// Reset the flags (tests only; real daemons exit after one shutdown).
 pub fn reset_for_tests() {
     TRIGGERED.store(false, Ordering::SeqCst);
+    USR1.store(false, Ordering::SeqCst);
 }

@@ -47,8 +47,10 @@
 //! ```
 
 pub mod json;
+pub mod latency;
 mod snapshot;
 
+pub use latency::{LatencyHistogram, LATENCY_BUCKETS};
 pub use snapshot::{
     kernel_tier_name, StageStats, TelemetrySnapshot, EUPA_COMBOS, HISTOGRAM_BUCKETS,
     SNAPSHOT_SCHEMA_VERSION,
@@ -153,11 +155,18 @@ pub enum Counter {
     /// Store generations committed by the serve daemon (threshold
     /// rolls plus the final shutdown commit).
     ServeCommits,
+    /// Requests whose wall time exceeded the serve daemon's
+    /// `--slow-ms` threshold (each also lands in the slow-request
+    /// JSONL log when the flight recorder is on).
+    ServeSlowRequests,
+    /// Flight-recorder Chrome-trace dumps written by the serve daemon
+    /// (SIGUSR1, panic, or slow-request triggers).
+    ServeFlightDumps,
 }
 
 impl Counter {
     /// Number of counters (array size).
-    pub const COUNT: usize = 40;
+    pub const COUNT: usize = 42;
 
     /// Every counter, in stable JSON order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -201,6 +210,8 @@ impl Counter {
         Counter::ServeBusyRejected,
         Counter::ServeProtocolErrors,
         Counter::ServeCommits,
+        Counter::ServeSlowRequests,
+        Counter::ServeFlightDumps,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -246,6 +257,8 @@ impl Counter {
             Counter::ServeBusyRejected => "serve_busy_rejected",
             Counter::ServeProtocolErrors => "serve_protocol_errors",
             Counter::ServeCommits => "serve_commits",
+            Counter::ServeSlowRequests => "serve_slow_requests",
+            Counter::ServeFlightDumps => "serve_flight_dumps",
         }
     }
 }

@@ -120,11 +120,31 @@ pub enum TraceTag {
     /// Serve daemon: one store generation committed (threshold roll
     /// or shutdown drain).
     ServeCommit,
+    /// Serve daemon: gap between `accept(2)` returning and the handler
+    /// thread picking the connection up (attributed to the
+    /// connection's first request).
+    ServeAccept,
+    /// Serve daemon: reading and decoding one 19-byte request header.
+    ServeHeaderParse,
+    /// Serve daemon: byte-budget admission decision for one PUT.
+    ServeAdmission,
+    /// Serve daemon: reading one PUT payload off the socket.
+    ServePayloadRead,
+    /// Serve daemon: blocking on the store mutex.
+    ServeLockWait,
+    /// Serve daemon: read-your-writes overlay lookup or insert.
+    ServeOverlay,
+    /// Serve daemon: sharded-store put for one variable.
+    ServeStorePut,
+    /// Serve daemon: sharded-store (or overlay-miss) get.
+    ServeStoreGet,
+    /// Serve daemon: encoding and writing one response frame.
+    ServeWriteResponse,
 }
 
 impl TraceTag {
     /// Number of tags.
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 32;
 
     /// Stable snake_case name, used as the Chrome trace event name.
     pub fn name(self) -> &'static str {
@@ -152,6 +172,15 @@ impl TraceTag {
             TraceTag::StoreCompact => "store_compact",
             TraceTag::ServeRequest => "serve_request",
             TraceTag::ServeCommit => "serve_commit",
+            TraceTag::ServeAccept => "serve_accept",
+            TraceTag::ServeHeaderParse => "serve_header_parse",
+            TraceTag::ServeAdmission => "serve_admission",
+            TraceTag::ServePayloadRead => "serve_payload_read",
+            TraceTag::ServeLockWait => "serve_lock_wait",
+            TraceTag::ServeOverlay => "serve_overlay",
+            TraceTag::ServeStorePut => "serve_store_put",
+            TraceTag::ServeStoreGet => "serve_store_get",
+            TraceTag::ServeWriteResponse => "serve_write_response",
         }
     }
 }
@@ -707,20 +736,29 @@ pub struct ChromePhaseSummary {
 
 /// Validate the phase structure of a [`Trace::to_chrome_json`] export:
 /// every event line's `ph` must be `B`, `E`, or `i`, begins and ends
-/// must balance, and timestamps must be non-decreasing.
+/// must balance *per thread*, and each thread's timestamps must be
+/// non-decreasing.
 ///
 /// This is a line-oriented check of *this crate's own* export (one
-/// event per line, single-threaded ordering across the file as the
-/// exporter emits it), deliberately dependency-free — CI smoke tests
-/// and debug assertions can call it without a JSON parser. For
-/// arbitrary Chrome trace files with interleaved threads, use
-/// `bench trace-check`, which parses properly and tracks per-tid
-/// stacks. Returns the phase counts on success and a typed
+/// event per line as the exporter emits it), deliberately
+/// dependency-free — CI smoke tests and debug assertions can call it
+/// without a JSON parser. Events are grouped by their `"tid"` field
+/// (missing tid ⇒ thread 0): the exporter orders events within a
+/// thread but threads are emitted one after another with independent
+/// clocks, so depth and monotonicity are tracked per tid — a
+/// multi-thread serve dump validates exactly like a single-thread
+/// pipeline export. Returns the phase counts on success and a typed
 /// [`TraceValidationError`] (never a panic) on any malformed input.
 pub fn validate_chrome_phases(json: &str) -> Result<ChromePhaseSummary, TraceValidationError> {
+    struct TidState {
+        tid: u64,
+        depth: usize,
+        last_ts: f64,
+    }
     let mut summary = ChromePhaseSummary::default();
-    let mut depth = 0usize;
-    let mut last_ts = f64::NEG_INFINITY;
+    // Per-thread stacks; a Vec scan beats a HashMap for the handful of
+    // tids a real export carries.
+    let mut tids: Vec<TidState> = Vec::new();
     for (line_no, line) in json.lines().enumerate() {
         if !line.contains("\"ph\"") {
             continue;
@@ -743,21 +781,42 @@ pub fn validate_chrome_phases(json: &str) -> Result<ChromePhaseSummary, TraceVal
                 rest[..end].parse().ok()
             })
             .ok_or(TraceValidationError::MalformedTimestamp { line: line_no })?;
-        if ts < last_ts {
+        let tid: u64 = line
+            .split("\"tid\": ")
+            .nth(1)
+            .and_then(|rest| {
+                let end = rest
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                rest[..end].parse().ok()
+            })
+            .unwrap_or(0);
+        let state = match tids.iter_mut().find(|s| s.tid == tid) {
+            Some(state) => state,
+            None => {
+                tids.push(TidState {
+                    tid,
+                    depth: 0,
+                    last_ts: f64::NEG_INFINITY,
+                });
+                tids.last_mut().expect("just pushed")
+            }
+        };
+        if ts < state.last_ts {
             return Err(TraceValidationError::NonMonotonicTimestamp {
                 line: line_no,
                 ts,
-                prev: last_ts,
+                prev: state.last_ts,
             });
         }
-        last_ts = ts;
+        state.last_ts = ts;
         match ph {
-            'B' => depth += 1,
+            'B' => state.depth += 1,
             'E' => {
-                if depth == 0 {
+                if state.depth == 0 {
                     return Err(TraceValidationError::UnbalancedEnd { line: line_no });
                 }
-                depth -= 1;
+                state.depth -= 1;
                 summary.spans += 1;
             }
             'i' => summary.instants += 1,
@@ -769,8 +828,9 @@ pub fn validate_chrome_phases(json: &str) -> Result<ChromePhaseSummary, TraceVal
             }
         }
     }
-    if depth > 0 {
-        return Err(TraceValidationError::UnclosedSpans { open: depth });
+    let open: usize = tids.iter().map(|s| s.depth).sum();
+    if open > 0 {
+        return Err(TraceValidationError::UnclosedSpans { open });
     }
     Ok(summary)
 }
@@ -975,6 +1035,41 @@ mod tests {
         // Errors render as messages (the Display path is what CI logs).
         let err = validate_chrome_phases(bad_ph).unwrap_err();
         assert!(err.to_string().contains("unknown phase 'X'"));
+    }
+
+    #[test]
+    fn validator_tracks_threads_independently() {
+        // The exporter emits threads back to back, each with its own
+        // clock: thread 2 restarting behind thread 1 is well-formed,
+        // and a global monotonicity check would reject every
+        // multi-thread dump.
+        let multi = "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 10.000, \"tid\": 1},\n\
+                     {\"name\": \"a\", \"ph\": \"E\", \"ts\": 20.000, \"tid\": 1},\n\
+                     {\"name\": \"b\", \"ph\": \"B\", \"ts\": 1.000, \"tid\": 2},\n\
+                     {\"name\": \"b\", \"ph\": \"E\", \"ts\": 2.000, \"tid\": 2}";
+        assert_eq!(
+            validate_chrome_phases(multi),
+            Ok(ChromePhaseSummary {
+                spans: 2,
+                instants: 0
+            })
+        );
+
+        // A B on one thread cannot satisfy an E on another.
+        let cross = "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1.000, \"tid\": 1},\n\
+                     {\"name\": \"b\", \"ph\": \"E\", \"ts\": 2.000, \"tid\": 2}";
+        assert_eq!(
+            validate_chrome_phases(cross),
+            Err(TraceValidationError::UnbalancedEnd { line: 1 })
+        );
+
+        // Unclosed spans are summed across threads.
+        let open = "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1.000, \"tid\": 1},\n\
+                    {\"name\": \"b\", \"ph\": \"B\", \"ts\": 1.000, \"tid\": 2}";
+        assert_eq!(
+            validate_chrome_phases(open),
+            Err(TraceValidationError::UnclosedSpans { open: 2 })
+        );
     }
 
     #[test]
