@@ -5,6 +5,7 @@
 //! bench diff OLD.json NEW.json [--max-regress PCT]
 //! bench trace-check TRACE.json
 //! bench serve-soak [--clients N] [--iters N] [--payload BYTES] [--dir PATH]
+//!                  [--chaos] [--chaos-seed N]
 //! ```
 //!
 //! `diff` compares the `results_mbps` sections of two
@@ -28,7 +29,11 @@
 //! default 0 so every request lands in `slow.jsonl`) and asserts that
 //! every logged request attributes at least 95% of its wall time to
 //! named phases — the end-to-end check that the phase instrumentation
-//! has no blind spots.
+//! has no blind spots. With `--chaos` every client connection runs
+//! through a fault-injecting transport (delays, fragmentation, resets,
+//! stalls) and a retrying client; the soak then doubles as an
+//! end-to-end proof that hostile networks cannot corrupt data or hang
+//! the daemon.
 
 use isobar::telemetry::json::{self, JsonValue};
 use isobar_bench::soak::{run_soak, SoakConfig};
@@ -38,7 +43,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: bench diff OLD NEW [--max-regress PCT] \
      | bench trace-check FILE \
      | bench serve-soak [--clients N] [--iters N] [--payload BYTES] [--dir PATH] \
-       [--slow-ms N] [--no-flight]";
+       [--slow-ms N] [--no-flight] [--chaos] [--chaos-seed N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -184,6 +189,20 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--slow-ms: {e}"))?
             }
             "--no-flight" => flight = false,
+            "--chaos" => {
+                config.chaos = Some(isobar_server::ChaosConfig::standard(
+                    config.chaos.map_or(1, |c| c.seed),
+                ))
+            }
+            "--chaos-seed" => {
+                let seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?;
+                let base = config
+                    .chaos
+                    .unwrap_or_else(|| isobar_server::ChaosConfig::standard(seed));
+                config.chaos = Some(isobar_server::ChaosConfig { seed, ..base });
+            }
             other => return Err(format!("unknown serve-soak argument '{other}'")),
         }
     }
@@ -204,10 +223,15 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
     }
 
     println!(
-        "serve-soak: {} clients x {} iters x {} KiB payloads -> {}",
+        "serve-soak: {} clients x {} iters x {} KiB payloads{} -> {}",
         config.clients,
         config.iters,
         config.payload_bytes / 1024,
+        if config.chaos.is_some() {
+            " under network chaos"
+        } else {
+            ""
+        },
         dir.display()
     );
     let report = run_soak(&dir, &config)?;
@@ -230,6 +254,9 @@ fn serve_soak(args: &[String]) -> Result<(), String> {
     println!("{:<22} {:>10}", "puts", report.puts);
     println!("{:<22} {:>10}", "gets (verified)", report.gets);
     println!("{:<22} {:>10}", "busy retries", report.busy_retries);
+    if config.chaos.is_some() {
+        println!("{:<22} {:>10}", "chaos reconnects", report.reconnects);
+    }
     println!("{:<22} {:>10.3} ms", "p50 latency", report.p50_ms);
     println!("{:<22} {:>10.3} ms", "p99 latency", report.p99_ms);
     println!("{:<22} {:>10}", "server commits", report.server.commits);

@@ -283,6 +283,7 @@ fn main() {
                 shards,
                 ..Default::default()
             },
+            chaos: None,
         };
         let mut samples = Vec::with_capacity(ITERS);
         for _ in 0..ITERS {

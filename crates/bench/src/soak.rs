@@ -9,7 +9,9 @@
 //! backoff (that is the protocol's backpressure working, not an
 //! error); any other surprise is an error that fails the soak.
 
-use isobar_server::{serve, Client, ServeOptions, ServeReport, Status};
+use isobar_server::retry::{backoff_delay, RetryPolicy};
+use isobar_server::{serve, ChaosConfig, ChaosStream, Client, RetryClient, ServeOptions, ServeReport, Status};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// Knobs for one soak run.
@@ -23,6 +25,12 @@ pub struct SoakConfig {
     pub payload_bytes: usize,
     /// Server options for the in-process daemon.
     pub server: ServeOptions,
+    /// When set, every client connection is wrapped in a fault-
+    /// injecting [`ChaosStream`] (seeded per client and per reconnect
+    /// from this config's seed) and driven through a [`RetryClient`] —
+    /// the soak then proves bit-exact end-to-end delivery across a
+    /// hostile transport.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for SoakConfig {
@@ -32,7 +40,20 @@ impl Default for SoakConfig {
             iters: 8,
             payload_bytes: 256 * 1024,
             server: ServeOptions::default(),
+            chaos: None,
         }
+    }
+}
+
+/// The Busy-backoff schedule the plain soak clients use: jittered
+/// exponential so a herd of rejected clients does not reconverge on
+/// the admission gate in lockstep.
+fn soak_policy() -> RetryPolicy {
+    RetryPolicy {
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(64),
+        max_attempts: 1000,
+        deadline: Duration::from_secs(120),
     }
 }
 
@@ -52,6 +73,8 @@ pub struct SoakReport {
     pub gets: u64,
     /// `Busy` answers (each was retried until it succeeded).
     pub busy_retries: u64,
+    /// Transport-error reconnects (always zero without chaos).
+    pub reconnects: u64,
     /// Median request latency, milliseconds.
     pub p50_ms: f64,
     /// 99th-percentile request latency, milliseconds.
@@ -83,49 +106,62 @@ fn payload(client: usize, iter: usize, len: usize) -> Vec<u8> {
     out
 }
 
-/// Run one client's mixed put/get loop. Returns
-/// `(latencies_nanos, puts, gets, busy_retries, errors)`.
-fn client_loop(
-    addr: std::net::SocketAddr,
-    client_id: usize,
-    config: &SoakConfig,
-) -> (Vec<u64>, u64, u64, u64, Vec<String>) {
-    let mut latencies = Vec::with_capacity(config.iters * 2);
-    let mut puts = 0u64;
-    let mut gets = 0u64;
-    let mut busy = 0u64;
-    let mut errors = Vec::new();
+/// One client's accounting, merged into the [`SoakReport`].
+#[derive(Default)]
+struct ClientOutcome {
+    latencies: Vec<u64>,
+    puts: u64,
+    gets: u64,
+    busy: u64,
+    reconnects: u64,
+    errors: Vec<String>,
+}
+
+/// Run one client's mixed put/get loop over a plain connection.
+fn client_loop(addr: std::net::SocketAddr, client_id: usize, config: &SoakConfig) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        latencies: Vec::with_capacity(config.iters * 2),
+        ..ClientOutcome::default()
+    };
     let tenant = format!("tenant{client_id}");
+    let policy = soak_policy();
+    // Jitter state, seeded per client so schedules decorrelate.
+    let mut rng = client_id as u64 ^ 0x5042_AC1E_0000_0001;
     let mut client = match Client::connect(addr) {
         Ok(client) => client,
-        Err(e) => return (latencies, puts, gets, busy, vec![format!("connect: {e}")]),
+        Err(e) => {
+            out.errors.push(format!("connect: {e}"));
+            return out;
+        }
     };
     for iter in 0..config.iters {
         let name = format!("var{}", iter % 4);
         let step = iter as u32;
         let data = payload(client_id, iter, config.payload_bytes);
 
-        // Put, retrying through Busy with backoff.
+        // Put, retrying through Busy with jittered exponential
+        // backoff — the protocol's backpressure working, not an error.
         let mut attempt = 0u32;
         loop {
             let start = Instant::now();
             match client.put(&tenant, step, &name, 8, data.clone()) {
                 Ok(resp) if resp.status == Status::Ok => {
-                    latencies.push(start.elapsed().as_nanos() as u64);
-                    puts += 1;
+                    out.latencies.push(start.elapsed().as_nanos() as u64);
+                    out.puts += 1;
                     break;
                 }
                 Ok(resp) if resp.status == Status::Busy => {
-                    busy += 1;
+                    out.busy += 1;
                     attempt += 1;
-                    if attempt > 1000 {
-                        errors.push(format!("client {client_id}: put never admitted"));
+                    if attempt > policy.max_attempts {
+                        out.errors
+                            .push(format!("client {client_id}: put never admitted"));
                         break;
                     }
-                    std::thread::sleep(Duration::from_millis(2 * u64::from(attempt.min(25))));
+                    std::thread::sleep(backoff_delay(&policy, attempt, &mut rng));
                 }
                 Ok(resp) => {
-                    errors.push(format!(
+                    out.errors.push(format!(
                         "client {client_id} iter {iter}: put answered {:?}: {}",
                         resp.status,
                         String::from_utf8_lossy(&resp.payload)
@@ -133,8 +169,9 @@ fn client_loop(
                     break;
                 }
                 Err(e) => {
-                    errors.push(format!("client {client_id} iter {iter}: put failed: {e}"));
-                    return (latencies, puts, gets, busy, errors);
+                    out.errors
+                        .push(format!("client {client_id} iter {iter}: put failed: {e}"));
+                    return out;
                 }
             }
         }
@@ -143,29 +180,115 @@ fn client_loop(
         let start = Instant::now();
         match client.get(&tenant, step, &name) {
             Ok(resp) if resp.status == Status::Ok => {
-                latencies.push(start.elapsed().as_nanos() as u64);
+                out.latencies.push(start.elapsed().as_nanos() as u64);
                 if resp.payload != data {
-                    errors.push(format!(
+                    out.errors.push(format!(
                         "client {client_id} iter {iter}: get returned {} bytes, wanted {}",
                         resp.payload.len(),
                         data.len()
                     ));
                 } else {
-                    gets += 1;
+                    out.gets += 1;
                 }
             }
-            Ok(resp) => errors.push(format!(
+            Ok(resp) => out.errors.push(format!(
                 "client {client_id} iter {iter}: get answered {:?}: {}",
                 resp.status,
                 String::from_utf8_lossy(&resp.payload)
             )),
             Err(e) => {
-                errors.push(format!("client {client_id} iter {iter}: get failed: {e}"));
-                return (latencies, puts, gets, busy, errors);
+                out.errors
+                    .push(format!("client {client_id} iter {iter}: get failed: {e}"));
+                return out;
             }
         }
     }
-    (latencies, puts, gets, busy, errors)
+    out
+}
+
+/// Run one client's mixed put/get loop across a fault-injecting
+/// transport, through the retrying client. Every get must still be
+/// bit-exact — the chaos layer may reset, stall, and fragment, but it
+/// never corrupts, so any data mismatch is a real protocol bug.
+fn chaos_client_loop(
+    addr: std::net::SocketAddr,
+    client_id: usize,
+    config: &SoakConfig,
+    chaos: ChaosConfig,
+) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        latencies: Vec::with_capacity(config.iters * 2),
+        ..ClientOutcome::default()
+    };
+    let tenant = format!("tenant{client_id}");
+    // Every reconnect gets an unrelated fault schedule.
+    let mut conn_seq = 0u64;
+    let mut client = RetryClient::new(soak_policy(), client_id as u64, move || {
+        conn_seq += 1;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let cfg = ChaosConfig {
+            seed: chaos.seed ^ ((client_id as u64) << 32) ^ conn_seq,
+            ..chaos
+        };
+        Ok(Client::from_stream(ChaosStream::new(stream, cfg)))
+    });
+    for iter in 0..config.iters {
+        let name = format!("var{}", iter % 4);
+        let step = iter as u32;
+        let data = payload(client_id, iter, config.payload_bytes);
+
+        let start = Instant::now();
+        match client.put(&tenant, step, &name, 8, &data) {
+            Ok(resp) if resp.status == Status::Ok => {
+                out.latencies.push(start.elapsed().as_nanos() as u64);
+                out.puts += 1;
+            }
+            Ok(resp) => {
+                out.errors.push(format!(
+                    "client {client_id} iter {iter}: put answered {:?}: {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.payload)
+                ));
+                continue;
+            }
+            Err(e) => {
+                out.errors
+                    .push(format!("client {client_id} iter {iter}: put failed: {e}"));
+                break;
+            }
+        }
+
+        let start = Instant::now();
+        match client.get(&tenant, step, &name) {
+            Ok(resp) if resp.status == Status::Ok => {
+                out.latencies.push(start.elapsed().as_nanos() as u64);
+                if resp.payload != data {
+                    out.errors.push(format!(
+                        "client {client_id} iter {iter}: get returned {} bytes, wanted {}",
+                        resp.payload.len(),
+                        data.len()
+                    ));
+                } else {
+                    out.gets += 1;
+                }
+            }
+            Ok(resp) => out.errors.push(format!(
+                "client {client_id} iter {iter}: get answered {:?}: {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.payload)
+            )),
+            Err(e) => {
+                out.errors
+                    .push(format!("client {client_id} iter {iter}: get failed: {e}"));
+                break;
+            }
+        }
+    }
+    out.busy = client.stats.busy_retries;
+    out.reconnects = client.stats.reconnects;
+    out
 }
 
 /// Nearest-rank percentile (the `ceil(p·n)`-th smallest sample) in
@@ -190,9 +313,14 @@ pub fn run_soak(dir: &std::path::Path, config: &SoakConfig) -> Result<SoakReport
     let addr = server.local_addr();
 
     let start = Instant::now();
-    let results: Vec<_> = std::thread::scope(|scope| {
+    let results: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients)
-            .map(|client_id| scope.spawn(move || client_loop(addr, client_id, config)))
+            .map(|client_id| {
+                scope.spawn(move || match config.chaos {
+                    Some(chaos) => chaos_client_loop(addr, client_id, config, chaos),
+                    None => client_loop(addr, client_id, config),
+                })
+            })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
@@ -207,13 +335,15 @@ pub fn run_soak(dir: &std::path::Path, config: &SoakConfig) -> Result<SoakReport
     let mut puts = 0u64;
     let mut gets = 0u64;
     let mut busy = 0u64;
+    let mut reconnects = 0u64;
     let mut errors = Vec::new();
-    for (lat, p, g, b, errs) in results {
-        latencies.extend(lat);
-        puts += p;
-        gets += g;
-        busy += b;
-        errors.extend(errs);
+    for out in results {
+        latencies.extend(out.latencies);
+        puts += out.puts;
+        gets += out.gets;
+        busy += out.busy;
+        reconnects += out.reconnects;
+        errors.extend(out.errors);
     }
     latencies.sort_unstable();
     let total_bytes = (puts + gets) as usize * config.payload_bytes;
@@ -224,6 +354,7 @@ pub fn run_soak(dir: &std::path::Path, config: &SoakConfig) -> Result<SoakReport
         puts,
         gets,
         busy_retries: busy,
+        reconnects,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
         errors,
@@ -251,6 +382,51 @@ mod tests {
     }
 
     #[test]
+    fn busy_backoff_schedule_doubles_jitters_and_caps() {
+        // Satellite of the durability PR: the soak's Busy retry is a
+        // jittered exponential, not the old linear ramp. Directed
+        // check of the exact schedule shape the clients sleep on.
+        let policy = soak_policy();
+        let mut rng = 7u64;
+        let mut prev_raw = Duration::ZERO;
+        for attempt in 1..=12u32 {
+            let d = backoff_delay(&policy, attempt, &mut rng);
+            let raw = policy
+                .base_delay
+                .saturating_mul(1 << (attempt - 1).min(20))
+                .min(policy.max_delay);
+            assert!(d >= raw / 2 && d <= raw, "attempt {attempt}: {d:?} vs {raw:?}");
+            assert!(raw >= prev_raw, "schedule must be monotone pre-cap");
+            prev_raw = raw;
+        }
+        // By attempt 6 (2ms · 2^5 = 64ms) the cap is in charge: a
+        // stuck client polls steadily instead of sleeping forever.
+        assert_eq!(prev_raw, policy.max_delay);
+    }
+
+    #[test]
+    fn chaos_soak_survives_and_verifies_bit_exact() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("isobar-chaos-soak-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = SoakConfig {
+            clients: 4,
+            iters: 3,
+            payload_bytes: 16 * 1024,
+            server: ServeOptions {
+                shards: 2,
+                ..Default::default()
+            },
+            chaos: Some(ChaosConfig::standard(0xC4A0_5)),
+        };
+        let report = run_soak(&dir, &config).unwrap();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.puts, 12);
+        assert_eq!(report.gets, 12, "every get verified bit-exact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn small_soak_is_clean() {
         let mut dir = std::env::temp_dir();
         dir.push(format!("isobar-soak-test-{}", std::process::id()));
@@ -263,6 +439,7 @@ mod tests {
                 shards: 2,
                 ..Default::default()
             },
+            chaos: None,
         };
         let report = run_soak(&dir, &config).unwrap();
         assert!(report.errors.is_empty(), "{:?}", report.errors);

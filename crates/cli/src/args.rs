@@ -95,6 +95,13 @@ serve options:
                        requests; slow.jsonl lands here too
   --debug-endpoint     also serve a /debug/stats JSON snapshot on the
                        --metrics listener
+  --no-wal             skip the write-ahead journal: puts are acked
+                       before they are durable, and a crash between
+                       commits loses them (the pre-journal contract)
+  --idle-timeout N     drop connections idle between requests for N
+                       seconds; 0 keeps them forever (default 300)
+  --frame-deadline N   abort requests whose frame stops making
+                       progress for N seconds total (default 30)
 
 fsck and salvage work on batch containers, streamed containers, and
 checkpoint stores alike (dispatched on the file's magic; a directory
@@ -291,6 +298,14 @@ pub enum Command {
         flight_recorder: Option<PathBuf>,
         /// Serve `/debug/stats` on the metrics listener.
         debug_endpoint: bool,
+        /// Journal puts before acking them (off restores the
+        /// acked-but-lost-on-crash contract).
+        wal: bool,
+        /// Seconds a connection may idle between requests; 0 disables
+        /// the reaper.
+        idle_timeout_secs: u64,
+        /// Seconds one request frame may take end to end.
+        frame_deadline_secs: u64,
     },
 }
 
@@ -650,6 +665,9 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
     let mut slow_ms: Option<u64> = None;
     let mut flight_recorder: Option<PathBuf> = None;
     let mut debug_endpoint = false;
+    let mut wal = true;
+    let mut idle_timeout_secs: u64 = 300;
+    let mut frame_deadline_secs: u64 = 30;
     let mut paths: Vec<PathBuf> = Vec::new();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -688,6 +706,17 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
                 flight_recorder = Some(PathBuf::from(value(it, "--flight-recorder")?))
             }
             "--debug-endpoint" => debug_endpoint = true,
+            "--no-wal" => wal = false,
+            "--idle-timeout" => {
+                idle_timeout_secs = value(it, "--idle-timeout")?
+                    .parse()
+                    .map_err(bad("--idle-timeout"))?
+            }
+            "--frame-deadline" => {
+                frame_deadline_secs = value(it, "--frame-deadline")?
+                    .parse()
+                    .map_err(bad("--frame-deadline"))?
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             other => paths.push(PathBuf::from(other)),
         }
@@ -710,6 +739,9 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
     if debug_endpoint && metrics.is_none() {
         return Err("--debug-endpoint requires --metrics (it shares that listener)".to_string());
     }
+    if frame_deadline_secs == 0 {
+        return Err("--frame-deadline must be positive (it bounds slowloris clients)".to_string());
+    }
     let [dir]: [PathBuf; 1] = paths
         .try_into()
         .map_err(|_| "serve requires exactly one DIR path".to_string())?;
@@ -726,6 +758,9 @@ fn parse_serve(it: &mut ArgIter<'_>) -> Result<Command, String> {
         slow_ms,
         flight_recorder,
         debug_endpoint,
+        wal,
+        idle_timeout_secs,
+        frame_deadline_secs,
     })
 }
 
@@ -1007,6 +1042,9 @@ mod tests {
                 slow_ms: None,
                 flight_recorder: None,
                 debug_endpoint: false,
+                wal: true,
+                idle_timeout_secs: 300,
+                frame_deadline_secs: 30,
             }
         );
         assert_eq!(
@@ -1034,6 +1072,11 @@ mod tests {
                 "--flight-recorder",
                 "flight-out",
                 "--debug-endpoint",
+                "--no-wal",
+                "--idle-timeout",
+                "0",
+                "--frame-deadline",
+                "5",
             ]))
             .unwrap(),
             Command::Serve {
@@ -1049,6 +1092,9 @@ mod tests {
                 slow_ms: Some(250),
                 flight_recorder: Some("flight-out".into()),
                 debug_endpoint: true,
+                wal: false,
+                idle_timeout_secs: 0,
+                frame_deadline_secs: 5,
             }
         );
     }
@@ -1067,6 +1113,10 @@ mod tests {
         assert!(parse(&strings(&["serve", "d", "--slow-ms", "abc"])).is_err());
         // /debug/stats rides on the metrics listener; flag alone is an error.
         assert!(parse(&strings(&["serve", "d", "--debug-endpoint"])).is_err());
+        // A zero frame deadline would let one stalled client pin a
+        // worker forever.
+        assert!(parse(&strings(&["serve", "d", "--frame-deadline", "0"])).is_err());
+        assert!(parse(&strings(&["serve", "d", "--idle-timeout", "abc"])).is_err());
     }
 
     #[test]

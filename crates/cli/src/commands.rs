@@ -116,6 +116,9 @@ pub fn run(cmd: Command) -> Result<u8, String> {
             slow_ms,
             flight_recorder,
             debug_endpoint,
+            wal,
+            idle_timeout_secs,
+            frame_deadline_secs,
         } => serve(
             &dir,
             &addr,
@@ -130,6 +133,10 @@ pub fn run(cmd: Command) -> Result<u8, String> {
                 slow_ms,
                 flight_recorder,
                 debug_endpoint,
+                wal,
+                idle_timeout: (idle_timeout_secs != 0)
+                    .then(|| std::time::Duration::from_secs(idle_timeout_secs)),
+                frame_deadline: std::time::Duration::from_secs(frame_deadline_secs),
                 isobar: IsobarOptions::default(),
             },
         )
@@ -194,6 +201,13 @@ fn serve(
             None => String::new(),
         },
     );
+    if report.wal_replayed > 0 {
+        eprintln!(
+            "recovered {} journaled put{} from an earlier crash",
+            report.wal_replayed,
+            if report.wal_replayed == 1 { "" } else { "s" },
+        );
+    }
     if report.total_request_nanos > 0 {
         eprintln!(
             "request time {:.3} s total; lock-wait share {:.1}%{}",

@@ -72,6 +72,9 @@ pub enum Op {
     /// Directory creation (modeled as a no-op in the flat namespace,
     /// but recorded as a kill boundary).
     CreateDirAll(PathBuf),
+    /// A directory listing (no state change, but a kill boundary: the
+    /// serve daemon's WAL replay enumerates journal files on startup).
+    ListDir(PathBuf),
 }
 
 #[derive(Debug, Clone, Default)]
@@ -146,7 +149,7 @@ impl DiskState {
                 self.live.remove(path);
             }
             Op::SyncDir => self.committed = self.live.clone(),
-            Op::ReadFile(_) | Op::CreateDirAll(_) => {}
+            Op::ReadFile(_) | Op::CreateDirAll(_) | Op::ListDir(_) => {}
         }
     }
 
@@ -419,6 +422,19 @@ impl StoreFs for FaultFs {
         st.record.push(op);
         Ok(())
     }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut st = locked(&self.state);
+        st.enter()?;
+        let op = Op::ListDir(dir.to_path_buf());
+        st.record.push(op);
+        Ok(st
+            .live
+            .keys()
+            .filter(|path| path.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
 }
 
 /// Outcome of one full crash sweep.
@@ -446,9 +462,9 @@ pub const CRASH_SWEEP_ENTRIES: u32 = 35;
 
 /// Every this-many kill points, the sweep runs the real armed writer
 /// and asserts its post-crash disk equals the replayed one.
-const REAL_RUN_STRIDE: usize = 37;
+pub(crate) const REAL_RUN_STRIDE: usize = 37;
 
-fn payload(rng: &mut Rng, len: usize) -> Vec<u8> {
+pub(crate) fn payload(rng: &mut Rng, len: usize) -> Vec<u8> {
     // Half structured (compressible), half noise, so containers carry
     // both compressed and incompressible regions through the crash.
     let mut data = vec![0u8; len];
@@ -655,7 +671,7 @@ fn write_revision_sharded(
 
 /// The live logical content of a materialized store directory:
 /// `(step, variable) → decompressed bytes`, via the verifying reader.
-fn logical_content(dir: &Path) -> Result<BTreeMap<(u32, String), Vec<u8>>, String> {
+pub(crate) fn logical_content(dir: &Path) -> Result<BTreeMap<(u32, String), Vec<u8>>, String> {
     let reader = StoreReader::open(dir).map_err(|e| format!("verifying open failed: {e}"))?;
     let mut map = BTreeMap::new();
     for entry in reader.live_entries() {
@@ -670,7 +686,7 @@ fn logical_content(dir: &Path) -> Result<BTreeMap<(u32, String), Vec<u8>>, Strin
 /// Write one namespace view into `scratch` as a real directory, for
 /// the real [`StoreReader`] to open. All simulated paths live directly
 /// under the store directory, so only file names are kept.
-fn materialize_dir(view: &BTreeMap<PathBuf, Vec<u8>>, scratch: &Path) -> Result<(), String> {
+pub(crate) fn materialize_dir(view: &BTreeMap<PathBuf, Vec<u8>>, scratch: &Path) -> Result<(), String> {
     let _ = std::fs::remove_dir_all(scratch);
     std::fs::create_dir_all(scratch).map_err(|e| format!("scratch mkdir: {e}"))?;
     for (path, content) in view {

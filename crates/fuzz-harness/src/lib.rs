@@ -28,6 +28,10 @@
 //!   sees the old store or the new one, never a hybrid — for both the
 //!   single-file shadow commit and the version-3 two-phase manifest
 //!   commit across shards.
+//! * [`serve_crash`] — the same record-and-replay kill sweep over the
+//!   serve daemon's store engine, proving the "acked means durable"
+//!   contract: every put whose write-ahead-journal fsync returned
+//!   before the kill reads back bit-exact after startup replay.
 //! * [`stress`] — a concurrent storm over one sharded store: N
 //!   producer threads writing while N reader threads replay verified
 //!   random reads, with every byte re-checked after the final commit.
@@ -41,6 +45,7 @@ pub mod crash;
 pub mod layers;
 pub mod mutate;
 pub mod rng;
+pub mod serve_crash;
 pub mod stress;
 
 pub use layers::{

@@ -4,6 +4,7 @@
 //! isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--kernels scalar|auto]
 //! isobar-fuzz-harness --crash-sweep [--seed HEX]
 //! isobar-fuzz-harness --crash-sweep-sharded [--seed HEX]
+//! isobar-fuzz-harness --serve-crash-sweep [--seed HEX]
 //! isobar-fuzz-harness --store-stress [--seed HEX]
 //! ```
 //!
@@ -12,12 +13,14 @@
 //! one-line report otherwise. `--crash-sweep` instead runs the store
 //! commit-protocol crash-injection sweep, `--crash-sweep-sharded` the
 //! version-3 two-phase manifest-commit sweep (see the `crash` module),
-//! and `--store-stress` the concurrent producer/reader storm over one
+//! `--serve-crash-sweep` the serve daemon's acked-means-durable sweep
+//! over the write-ahead journal (see the `serve_crash` module), and
+//! `--store-stress` the concurrent producer/reader storm over one
 //! sharded store under the counting allocator (see the `stress`
 //! module).
 
 use isobar_fuzz_harness::{
-    all_layers, alloc_track, alloc_track::PeakAlloc, crash, stress, DEFAULT_SEED,
+    all_layers, alloc_track, alloc_track::PeakAlloc, crash, serve_crash, stress, DEFAULT_SEED,
 };
 
 #[global_allocator]
@@ -30,6 +33,7 @@ fn main() {
     let mut list = false;
     let mut crash_sweep = false;
     let mut crash_sweep_sharded = false;
+    let mut serve_crash_sweep = false;
     let mut store_stress = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +63,7 @@ fn main() {
             "--list" => list = true,
             "--crash-sweep" => crash_sweep = true,
             "--crash-sweep-sharded" => crash_sweep_sharded = true,
+            "--serve-crash-sweep" => serve_crash_sweep = true,
             "--store-stress" => store_stress = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -94,6 +99,20 @@ fn main() {
             }
         }
     }
+    if serve_crash_sweep {
+        match serve_crash::serve_crash_sweep(seed) {
+            Ok(o) => {
+                println!(
+                    "serve-crash    {} kill points, {} views checked, {} acked puts verified ({} journal-served, {} committed) — acked means durable",
+                    o.kill_points, o.views_checked, o.acked_verified, o.overlay_served, o.committed_served
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL serve-crash-sweep (seed {seed:#018x}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if store_stress {
         alloc_track::reset_peak();
         match stress::store_stress(seed, 8, 16, 200) {
@@ -113,7 +132,7 @@ fn main() {
             }
         }
     }
-    if crash_sweep || crash_sweep_sharded || store_stress {
+    if crash_sweep || crash_sweep_sharded || serve_crash_sweep || store_stress {
         return;
     }
 
@@ -169,7 +188,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--crash-sweep] [--crash-sweep-sharded] [--store-stress] [--kernels scalar|auto]"
+        "usage: isobar-fuzz-harness [--iters N] [--seed HEX] [--layer NAME]... [--list] [--crash-sweep] [--crash-sweep-sharded] [--serve-crash-sweep] [--store-stress] [--kernels scalar|auto]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

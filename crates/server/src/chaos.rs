@@ -1,0 +1,275 @@
+//! Network fault injection for the serve protocol: a [`ChaosStream`]
+//! wraps a live [`TcpStream`] and injects delays, short reads, short
+//! writes, stalls, and mid-frame connection resets into every I/O
+//! operation, driven by a deterministic xorshift generator.
+//!
+//! This is the network-side twin of the crash-injection filesystem:
+//! the soak harness splices it under an ordinary [`crate::Client`] to
+//! prove the daemon survives hostile transports (frame deadlines,
+//! bounded drains) and that the [`crate::RetryClient`] turns the
+//! resulting carnage back into exactly-once-observable puts.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+/// Fault probabilities (per mille, i.e. rolled against 1000 on every
+/// I/O operation) and magnitudes for one [`ChaosStream`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the per-stream deterministic RNG.
+    pub seed: u64,
+    /// Chance of sleeping before an operation.
+    pub delay_per_mille: u16,
+    /// Longest injected delay, milliseconds (uniform in `1..=max`).
+    pub delay_max_ms: u64,
+    /// Chance of truncating a read to 1 byte (the peer must cope with
+    /// arbitrarily fragmented frames).
+    pub short_read_per_mille: u16,
+    /// Chance of truncating a write to 1 byte.
+    pub short_write_per_mille: u16,
+    /// Chance of a hard connection reset (`shutdown(Both)` plus a
+    /// `ConnectionReset` error; the stream stays dead afterwards).
+    pub reset_per_mille: u16,
+    /// Chance of a long stall before an operation (a mini-slowloris).
+    pub stall_per_mille: u16,
+    /// Stall duration, milliseconds.
+    pub stall_ms: u64,
+}
+
+impl ChaosConfig {
+    /// A mix that exercises every fault without drowning the run:
+    /// frequent fragmentation, occasional delays, rare resets and
+    /// stalls.
+    pub fn standard(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            delay_per_mille: 30,
+            delay_max_ms: 3,
+            short_read_per_mille: 200,
+            short_write_per_mille: 200,
+            reset_per_mille: 4,
+            stall_per_mille: 2,
+            stall_ms: 50,
+        }
+    }
+
+    /// No faults at all (a transparent wrapper), useful as a control.
+    pub fn quiet(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            delay_per_mille: 0,
+            delay_max_ms: 0,
+            short_read_per_mille: 0,
+            short_write_per_mille: 0,
+            reset_per_mille: 0,
+            stall_per_mille: 0,
+            stall_ms: 0,
+        }
+    }
+}
+
+/// Counts of injected faults, for asserting a chaos run actually
+/// exercised something.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ChaosStats {
+    /// Injected pre-operation delays.
+    pub delays: u64,
+    /// Reads truncated to one byte.
+    pub short_reads: u64,
+    /// Writes truncated to one byte.
+    pub short_writes: u64,
+    /// Hard connection resets.
+    pub resets: u64,
+    /// Injected stalls.
+    pub stalls: u64,
+}
+
+impl ChaosStats {
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.delays + self.short_reads + self.short_writes + self.resets + self.stalls
+    }
+}
+
+/// Scramble a seed into a non-zero xorshift state (splitmix64
+/// finalizer), so adjacent seeds — client ids, usually — produce
+/// unrelated fault schedules.
+pub(crate) fn seed_state(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
+/// A [`TcpStream`] with deterministic fault injection on every read
+/// and write. Once a reset fires the stream is dead: every later
+/// operation returns `ConnectionReset`, like a real broken socket.
+pub struct ChaosStream {
+    inner: TcpStream,
+    cfg: ChaosConfig,
+    rng: u64,
+    dead: bool,
+    /// What this stream has injected so far.
+    pub stats: ChaosStats,
+}
+
+impl ChaosStream {
+    /// Wrap a connected stream.
+    pub fn new(inner: TcpStream, cfg: ChaosConfig) -> ChaosStream {
+        ChaosStream {
+            inner,
+            rng: seed_state(cfg.seed),
+            cfg,
+            dead: false,
+            stats: ChaosStats::default(),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64* — cheap, deterministic, good enough for fault
+        // scheduling.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn roll(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next() % 1000 < u64::from(per_mille)
+    }
+
+    /// Run the pre-operation fault schedule. Returns an error when the
+    /// operation must fail (reset).
+    fn pre_op(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection previously reset",
+            ));
+        }
+        if self.roll(self.cfg.reset_per_mille) {
+            self.stats.resets += 1;
+            self.dead = true;
+            let _ = self.inner.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: injected connection reset",
+            ));
+        }
+        if self.roll(self.cfg.stall_per_mille) {
+            self.stats.stalls += 1;
+            std::thread::sleep(Duration::from_millis(self.cfg.stall_ms));
+        }
+        if self.roll(self.cfg.delay_per_mille) {
+            self.stats.delays += 1;
+            let ms = 1 + self.next() % self.cfg.delay_max_ms.max(1);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Ok(())
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.pre_op()?;
+        if buf.len() > 1 && self.roll(self.cfg.short_read_per_mille) {
+            self.stats.short_reads += 1;
+            return self.inner.read(&mut buf[..1]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.pre_op()?;
+        if buf.len() > 1 && self.roll(self.cfg.short_write_per_mille) {
+            self.stats.short_writes += 1;
+            return self.inner.write(&buf[..1]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection previously reset",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn quiet_config_is_transparent() {
+        let (a, mut b) = pair();
+        let mut chaos = ChaosStream::new(a, ChaosConfig::quiet(7));
+        chaos.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(chaos.stats.total(), 0);
+    }
+
+    #[test]
+    fn short_writes_fragment_but_preserve_bytes() {
+        let (a, mut b) = pair();
+        let mut chaos = ChaosStream::new(
+            a,
+            ChaosConfig {
+                short_write_per_mille: 1000,
+                ..ChaosConfig::quiet(3)
+            },
+        );
+        chaos.write_all(b"fragmented").unwrap();
+        let mut buf = [0u8; 10];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"fragmented");
+        assert!(chaos.stats.short_writes > 0);
+    }
+
+    #[test]
+    fn reset_kills_the_stream_permanently() {
+        let (a, _b) = pair();
+        let mut chaos = ChaosStream::new(
+            a,
+            ChaosConfig {
+                reset_per_mille: 1000,
+                ..ChaosConfig::quiet(5)
+            },
+        );
+        let err = chaos.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let err = chaos.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(chaos.stats.resets, 1, "dead stream injects no more");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let (a, _b) = pair();
+            let mut chaos = ChaosStream::new(a, ChaosConfig::standard(seed));
+            let rolls: Vec<u64> = (0..64).map(|_| chaos.next() % 1000).collect();
+            rolls
+        };
+        assert_eq!(mk(42), mk(42));
+        assert_ne!(mk(42), mk(43));
+    }
+}

@@ -2,28 +2,43 @@
 //! the soak harness, and the integration tests.
 
 use crate::protocol::{encode_request, read_response, FrameError, Opcode, Request, Response};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// One connection to a running daemon.
-pub struct Client {
-    stream: TcpStream,
+/// One connection to a running daemon. Generic over the transport so
+/// the chaos harness can splice a fault-injecting stream
+/// ([`crate::ChaosStream`]) under an otherwise unchanged client.
+pub struct Client<S: Read + Write = TcpStream> {
+    stream: S,
     /// Bound on response payloads this client will buffer.
     max_payload: u64,
 }
 
-impl Client {
+impl Client<TcpStream> {
     /// Connect with a 10-second I/O timeout and a 1 GiB response cap.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-        Ok(Client {
+        Ok(Client::from_stream(stream))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wrap an already-connected transport (socket timeouts and
+    /// options are the caller's business) with a 1 GiB response cap.
+    pub fn from_stream(stream: S) -> Client<S> {
+        Client {
             stream,
             max_payload: 1 << 30,
-        })
+        }
+    }
+
+    /// The underlying transport, e.g. to inspect chaos statistics.
+    pub fn stream(&self) -> &S {
+        &self.stream
     }
 
     /// Send one request frame and read its response.

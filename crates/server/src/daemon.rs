@@ -32,6 +32,7 @@
 //! store on disk is the last committed generation plus one clean
 //! final one.
 
+use crate::core::{CoreOptions, StoreCore};
 use crate::obs::{self, ObsState, RequestObs, RequestRecord, ServePhase, SlowLog};
 use crate::protocol::{
     discard_exact, parse_request_header, read_bounded, write_response, Opcode, RequestHeader,
@@ -40,14 +41,14 @@ use crate::protocol::{
 use isobar::telemetry::Counter;
 use isobar::trace::{TraceTag, NO_CHUNK};
 use isobar::{IsobarOptions, Recorder, TelemetrySnapshot};
-use isobar_store::{ShardedOptions, ShardedStoreWriter, StoreError, StoreReader, MANIFEST_FILE};
+use isobar_store::{RealFs, StoreError};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -79,6 +80,21 @@ pub struct ServeOptions {
     pub flight_recorder: Option<PathBuf>,
     /// Serve a `/debug/stats` JSON snapshot on the metrics listener.
     pub debug_endpoint: bool,
+    /// Journal every put to a per-tenant write-ahead log and fsync it
+    /// before acking, and replay leftover journals on startup. This is
+    /// the "acked means durable" contract; turning it off restores the
+    /// pre-WAL behavior where a crash between generation commits loses
+    /// acked-but-uncommitted puts.
+    pub wal: bool,
+    /// Disconnect a connection that sits idle (no new frame started)
+    /// this long, so parked sockets cannot pin handler threads
+    /// forever. `None` waits indefinitely.
+    pub idle_timeout: Option<Duration>,
+    /// Ceiling on one frame's total read time (header, identifier
+    /// fields, and payload combined). A client that trickles bytes
+    /// slower than this — a slowloris — is disconnected rather than
+    /// allowed to hold a worker mid-frame.
+    pub frame_deadline: Duration,
     /// Compression options for stored variables.
     pub isobar: IsobarOptions,
 }
@@ -95,10 +111,21 @@ impl Default for ServeOptions {
             slow_ms: None,
             flight_recorder: None,
             debug_endpoint: false,
+            wal: true,
+            idle_timeout: Some(Duration::from_secs(300)),
+            frame_deadline: Duration::from_secs(30),
             isobar: IsobarOptions::default(),
         }
     }
 }
+
+/// Largest unread payload the daemon will drain to keep a connection
+/// frame-aligned after a malformed-field rejection. Anything larger is
+/// answered and then disconnected — burning a worker on megabytes of
+/// payload from a client that cannot even frame its identifiers is a
+/// denial-of-service grant, not a courtesy. (Busy rejections always
+/// drain: those clients are healthy and will retry on the connection.)
+pub const MAX_DRAIN_BYTES: u64 = 1 << 20;
 
 /// Why the daemon could not start or finish.
 #[derive(Debug)]
@@ -153,6 +180,9 @@ pub struct ServeReport {
     pub commits: u64,
     /// Generation number of the last commit, if any put was committed.
     pub generation: Option<u64>,
+    /// Write-ahead journal records replayed into the overlay when the
+    /// daemon started (acked puts recovered from a previous crash).
+    pub wal_replayed: u64,
     /// Requests past the `slow_ms` threshold.
     pub slow_requests: u64,
     /// Flight-recorder trace dumps written.
@@ -206,27 +236,14 @@ fn split_key(key: &str) -> (&str, &str) {
     }
 }
 
-struct OverlayEntry {
-    width: u8,
-    data: Vec<u8>,
-}
-
-/// Everything store-shaped, behind one mutex. The writer is created
-/// lazily on the first put so an idle daemon commits no empty
-/// generations.
+/// Everything store-shaped, behind one mutex. The engine itself
+/// (writer, reader, overlay, journal) lives in [`StoreCore`]; this
+/// adds the daemon-only admission and poison state.
 struct StoreState {
-    writer: Option<ShardedStoreWriter>,
-    reader: Option<StoreReader>,
-    /// Read-your-writes cache of uncommitted puts, keyed by
-    /// `(step, store key)`.
-    overlay: BTreeMap<(u32, String), OverlayEntry>,
-    /// Bytes held in the overlay.
-    pending_bytes: u64,
+    core: StoreCore<RealFs>,
     /// Bytes reserved by admitted puts whose payloads are still being
     /// read off their sockets.
     reserved_bytes: u64,
-    /// Generation of the last commit this daemon performed.
-    last_generation: Option<u64>,
     /// A failed commit poisons the store: every later mutation is
     /// answered `ServerError` with this message instead of risking a
     /// torn manifest.
@@ -246,8 +263,9 @@ struct Stats {
 }
 
 struct Shared {
-    dir: PathBuf,
     opts: ServeOptions,
+    /// Journal records replayed at startup, for [`ServeReport`].
+    wal_replayed: u64,
     shutdown: AtomicBool,
     store: Mutex<StoreState>,
     metrics: Mutex<TelemetrySnapshot>,
@@ -316,40 +334,35 @@ impl Shared {
         }
     }
 
-    /// Commit the current generation: two-phase writer close, reader
-    /// reopen, overlay drain. Caller holds the store lock.
+    /// Commit the current generation: two-phase writer close, journal
+    /// truncation, reader reopen, overlay drain. Caller holds the
+    /// store lock.
     fn commit_locked(
         &self,
         state: &mut StoreState,
         recorder: &mut Recorder,
     ) -> Result<(), StoreError> {
-        let Some(writer) = state.writer.take() else {
+        if !state.core.has_pending() {
             return Ok(());
-        };
+        }
         let _span = isobar::trace::span(TraceTag::ServeCommit, NO_CHUNK);
-        let report = match writer.close() {
-            Ok(report) => report,
+        let outcome = match state.core.commit() {
+            Ok(Some(outcome)) => outcome,
+            Ok(None) => return Ok(()),
             Err(e) => {
                 state.failed = Some(e.to_string());
                 return Err(e);
             }
         };
-        state.last_generation = Some(report.generation);
         self.stats.commits.fetch_add(1, Ordering::Relaxed);
         recorder.incr(Counter::ServeCommits);
+        if outcome.wal_truncated > 0 {
+            recorder.add(Counter::ServeWalTruncations, outcome.wal_truncated);
+        }
         self.metrics
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .merge(&report.telemetry);
-        match StoreReader::open(&self.dir) {
-            Ok(reader) => state.reader = Some(reader),
-            Err(e) => {
-                state.failed = Some(e.to_string());
-                return Err(e);
-            }
-        }
-        state.pending_bytes = 0;
-        state.overlay.clear();
+            .merge(&outcome.telemetry);
         Ok(())
     }
 }
@@ -404,13 +417,28 @@ pub fn serve(
     opts: ServeOptions,
 ) -> Result<Server, ServeError> {
     let dir = dir.as_ref().to_path_buf();
-    std::fs::create_dir_all(&dir)?;
-    // Open the committed view eagerly when one exists, so gets work
-    // before the first put of this run.
-    let reader = if dir.join(MANIFEST_FILE).exists() {
-        Some(StoreReader::open(&dir)?)
-    } else {
-        None
+    // Open the engine: committed view (eagerly, when one exists, so
+    // gets work before the first put of this run) plus write-ahead
+    // journal replay of anything a previous run acked but never
+    // committed.
+    let core = StoreCore::open_real(
+        &dir,
+        CoreOptions {
+            isobar: opts.isobar,
+            shards: opts.shards,
+            queue_depth: opts.queue_depth,
+            commit_threshold: opts.commit_threshold,
+            wal: opts.wal,
+            open_reader: true,
+        },
+    )?;
+    let wal_replayed = core.replay.records;
+    let initial_metrics = {
+        let mut recorder = Recorder::new();
+        if wal_replayed > 0 {
+            recorder.add(Counter::ServeWalReplayed, wal_replayed);
+        }
+        recorder.snapshot()
     };
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
@@ -430,19 +458,15 @@ pub fn serve(
         obs::install_panic_dump(flight_dir);
     }
     let shared = Arc::new(Shared {
-        dir,
         opts,
+        wal_replayed,
         shutdown: AtomicBool::new(false),
         store: Mutex::new(StoreState {
-            writer: None,
-            reader,
-            overlay: BTreeMap::new(),
-            pending_bytes: 0,
+            core,
             reserved_bytes: 0,
-            last_generation: None,
             failed: None,
         }),
-        metrics: Mutex::new(TelemetrySnapshot::default()),
+        metrics: Mutex::new(initial_metrics),
         obs: Mutex::new(ObsState::default()),
         slow_log: SlowLog::default(),
         stats: Stats::default(),
@@ -532,7 +556,9 @@ impl Server {
                 .store
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
+                .core
                 .last_generation,
+            wal_replayed: shared.wal_replayed,
             slow_requests,
             flight_dumps,
             total_request_nanos,
@@ -602,16 +628,46 @@ enum FirstByte {
     Error,
 }
 
+/// Set a socket read timeout, logging the failure once per process.
+/// Returns `false` when the timeout could not be set — callers must
+/// then drop the connection rather than serve it with *no* timeout,
+/// which would hand a stalled peer a thread forever.
+fn set_read_timeout_checked(stream: &TcpStream, timeout: Duration) -> bool {
+    match stream.set_read_timeout(Some(timeout)) {
+        Ok(()) => true,
+        Err(e) => {
+            static LOGGED: Once = Once::new();
+            LOGGED.call_once(|| {
+                eprintln!(
+                    "isobar-serve: set_read_timeout failed ({e}); \
+                     closing connections instead of serving without timeouts"
+                );
+            });
+            false
+        }
+    }
+}
+
 /// Wait for the first byte of the next frame with a short poll
 /// timeout so the thread notices shutdown while idle. Reading only
 /// one byte here means a timeout can never strand a partial read —
-/// frame alignment is preserved across polls.
+/// frame alignment is preserved across polls. A connection that idles
+/// past `idle_timeout` is reported as an error so the handler drops
+/// it: parked sockets must not pin worker threads indefinitely.
 fn poll_first_byte(stream: &mut TcpStream, shared: &Shared) -> FirstByte {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    if !set_read_timeout_checked(stream, Duration::from_millis(100)) {
+        return FirstByte::Error;
+    }
+    let idle_deadline = shared.opts.idle_timeout.map(|t| Instant::now() + t);
     let mut byte = [0u8; 1];
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return FirstByte::Shutdown;
+        }
+        if let Some(deadline) = idle_deadline {
+            if Instant::now() >= deadline {
+                return FirstByte::Error;
+            }
         }
         match stream.read(&mut byte) {
             Ok(0) => return FirstByte::Eof,
@@ -625,6 +681,52 @@ fn poll_first_byte(stream: &mut TcpStream, shared: &Shared) -> FirstByte {
             }
             Err(_) => return FirstByte::Error,
         }
+    }
+}
+
+/// The connection for the duration of one frame, with the per-frame
+/// read deadline enforced on every read: the socket timeout is
+/// re-armed to the remaining budget before each read, so a client
+/// trickling one byte per timeout window (a slowloris) is bounded by
+/// `frame_deadline` in total, not per read. Writes pass through.
+struct FrameStream<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+}
+
+impl Read for FrameStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "frame deadline exceeded",
+            ));
+        }
+        let remaining = (self.deadline - now).max(Duration::from_millis(1));
+        if !set_read_timeout_checked(self.stream, remaining) {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "cannot arm frame deadline",
+            ));
+        }
+        match self.stream.read(buf) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "frame deadline exceeded",
+            )),
+            other => other,
+        }
+    }
+}
+
+impl Write for FrameStream<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
     }
 }
 
@@ -647,12 +749,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, accept_nanos: u64) 
         let mut obs = RequestObs::new();
         obs.add(ServePhase::Accept, std::mem::take(&mut accept_pending));
         let header_span = isobar::trace::span(TraceTag::ServeHeaderParse, NO_CHUNK);
-        // The frame has started: switch to a generous per-frame
-        // timeout so a stalled client cannot pin the thread forever.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        // The frame has started: every read from here on runs under
+        // the per-frame deadline, so a stalled or trickling client
+        // cannot pin the thread past `frame_deadline` in total.
+        let mut frame = FrameStream {
+            stream: &mut stream,
+            deadline: request_start + shared.opts.frame_deadline,
+        };
         let mut header_buf = [0u8; REQUEST_HEADER_LEN];
         header_buf[0] = first;
-        if stream.read_exact(&mut header_buf[1..]).is_err() {
+        if frame.read_exact(&mut header_buf[1..]).is_err() {
             count_protocol_error(shared, &mut recorder);
             break;
         }
@@ -661,7 +767,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, accept_nanos: u64) 
             Err(e) => {
                 drop(header_span);
                 count_protocol_error(shared, &mut recorder);
-                let _ = write_response(&mut stream, Status::BadRequest, e.to_string().as_bytes());
+                let _ = write_response(&mut frame, Status::BadRequest, e.to_string().as_bytes());
                 // The stream may be mid-frame; alignment is gone.
                 break;
             }
@@ -676,7 +782,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, accept_nanos: u64) 
         obs.charge(ServePhase::HeaderParse);
         let keep = {
             let _span = isobar::trace::span(TraceTag::ServeRequest, NO_CHUNK);
-            handle_request(shared, &mut stream, &header, &mut recorder, &mut obs)
+            handle_request(shared, &mut frame, &header, &mut recorder, &mut obs)
         };
         // The accept hand-off happened before the first byte arrived,
         // so wall time includes it on top of the frame clock.
@@ -713,7 +819,7 @@ fn unlock_store(state: MutexGuard<'_, StoreState>, obs: &mut RequestObs) {
 
 /// Write the response frame with the time attributed to the
 /// write-response phase, stamping the request's final status.
-fn respond(stream: &mut TcpStream, obs: &mut RequestObs, status: Status, body: &[u8]) {
+fn respond(stream: &mut FrameStream<'_>, obs: &mut RequestObs, status: Status, body: &[u8]) {
     obs.status = obs::status_name(status);
     obs.time(ServePhase::WriteResponse, || {
         let _ = write_response(stream, status, body);
@@ -724,7 +830,7 @@ fn respond(stream: &mut TcpStream, obs: &mut RequestObs, status: Status, body: &
 /// the connection is still frame-aligned and should be kept open.
 fn handle_request(
     shared: &Shared,
-    stream: &mut TcpStream,
+    stream: &mut FrameStream<'_>,
     header: &RequestHeader,
     recorder: &mut Recorder,
     obs: &mut RequestObs,
@@ -739,6 +845,12 @@ fn handle_request(
             count_protocol_error(shared, recorder);
             // The identifier bytes were consumed, so the stream is
             // still frame-aligned for everything but the payload.
+            // Drain a small payload to keep the connection; a large
+            // one is answered and dropped (bounded drain).
+            if u64::from(header.payload_len) > MAX_DRAIN_BYTES {
+                respond(stream, obs, Status::BadRequest, e.to_string().as_bytes());
+                return false;
+            }
             if header.payload_len > 0 {
                 let drained = obs.time(ServePhase::PayloadRead, || {
                     discard_exact(stream, u64::from(header.payload_len))
@@ -763,9 +875,12 @@ fn handle_request(
 }
 
 /// Reject a put whose payload is still unread: drain it in bounded
-/// chunks to stay frame-aligned, then answer `status`.
+/// chunks to stay frame-aligned (under the frame deadline), then
+/// answer `status`. Unlike the malformed-field path, a Busy or
+/// ShuttingDown rejection always drains — well-behaved clients retry
+/// on the same connection.
 fn reject_put(
-    stream: &mut TcpStream,
+    stream: &mut FrameStream<'_>,
     obs: &mut RequestObs,
     payload_len: u32,
     status: Status,
@@ -784,7 +899,7 @@ fn reject_put(
 
 fn handle_put(
     shared: &Shared,
-    stream: &mut TcpStream,
+    stream: &mut FrameStream<'_>,
     header: &RequestHeader,
     tenant: &str,
     name: &str,
@@ -808,7 +923,9 @@ fn handle_put(
             if let Some(msg) = &state.failed {
                 return Some((Status::ServerError, msg.clone()));
             }
-            if state.pending_bytes + state.reserved_bytes + len > shared.opts.max_inflight_bytes {
+            if state.core.pending_bytes + state.reserved_bytes + len
+                > shared.opts.max_inflight_bytes
+            {
                 return Some((
                     Status::Busy,
                     "in-flight byte budget full, retry later".to_string(),
@@ -840,10 +957,9 @@ fn handle_put(
             return false;
         }
     };
-    let key = store_key(tenant, name);
     let mut state = lock_store(shared, obs);
     state.reserved_bytes = state.reserved_bytes.saturating_sub(len);
-    let result = put_locked(shared, &mut state, header, key, payload, recorder, obs);
+    let result = put_locked(shared, &mut state, header, tenant, name, payload, recorder, obs);
     unlock_store(state, obs);
     match result {
         Ok(()) => {
@@ -860,50 +976,42 @@ fn handle_put(
 }
 
 /// The store side of a put: lazy writer creation, the sharded put
-/// itself, the overlay insert, and a threshold commit. Caller holds
-/// the store lock.
+/// itself, the journal fsync (the ack barrier), the overlay insert,
+/// and a threshold commit. Caller holds the store lock. The journal
+/// append runs *after* the writer put so a put the daemon is about to
+/// reject with `ServerError` is never resurrected by replay.
+#[allow(clippy::too_many_arguments)]
 fn put_locked(
     shared: &Shared,
     state: &mut StoreState,
     header: &RequestHeader,
-    key: String,
+    tenant: &str,
+    name: &str,
     payload: Vec<u8>,
     recorder: &mut Recorder,
     obs: &mut RequestObs,
 ) -> Result<(), StoreError> {
-    obs.time(ServePhase::StorePut, || -> Result<(), StoreError> {
-        if state.writer.is_none() {
-            state.writer = Some(ShardedStoreWriter::create(
-                &shared.dir,
-                shared.opts.isobar,
-                ShardedOptions {
-                    shards: shared.opts.shards,
-                    queue_depth: shared.opts.queue_depth,
-                },
-            )?);
-        }
-        let writer = state.writer.as_ref().expect("writer just created");
-        writer.put(
-            header.step,
-            &key,
-            payload.clone(),
-            usize::from(header.width),
-        )
+    let key = store_key(tenant, name);
+    obs.time(ServePhase::StorePut, || {
+        state
+            .core
+            .store_put(header.step, &key, payload.clone(), usize::from(header.width))
     })?;
-    let len = payload.len() as u64;
+    let wal_bytes = obs.time(ServePhase::WalFsync, || {
+        state
+            .core
+            .wal_append(tenant, header.step, name, header.width, &payload)
+    })?;
+    if wal_bytes > 0 {
+        recorder.incr(Counter::ServeWalAppends);
+        recorder.add(Counter::ServeWalBytes, wal_bytes);
+    }
     obs.time(ServePhase::Overlay, || {
-        if let Some(old) = state.overlay.insert(
-            (header.step, key),
-            OverlayEntry {
-                width: header.width,
-                data: payload,
-            },
-        ) {
-            state.pending_bytes = state.pending_bytes.saturating_sub(old.data.len() as u64);
-        }
-        state.pending_bytes += len;
+        state
+            .core
+            .overlay_insert(header.step, key, header.width, payload);
     });
-    if state.pending_bytes >= shared.opts.commit_threshold {
+    if state.core.over_threshold() {
         // commit_locked emits its own ServeCommit span; attribute the
         // wall time without opening a duplicate.
         obs.time_unspanned(ServePhase::Commit, || {
@@ -915,7 +1023,7 @@ fn put_locked(
 
 fn handle_get(
     shared: &Shared,
-    stream: &mut TcpStream,
+    stream: &mut FrameStream<'_>,
     step: u32,
     tenant: &str,
     name: &str,
@@ -926,6 +1034,7 @@ fn handle_get(
     let state = lock_store(shared, obs);
     let overlay_hit = obs.time(ServePhase::Overlay, || {
         state
+            .core
             .overlay
             .get(&(step, key.clone()))
             .map(|entry| entry.data.clone())
@@ -937,7 +1046,7 @@ fn handle_get(
         respond(stream, obs, Status::Ok, &data);
         return true;
     }
-    let result = obs.time(ServePhase::StoreGet, || match &state.reader {
+    let result = obs.time(ServePhase::StoreGet, || match &state.core.reader {
         Some(reader) => reader.get(step, &key),
         None => Err(StoreError::NotFound {
             step,
@@ -969,7 +1078,7 @@ fn handle_get(
 
 fn handle_stat(
     shared: &Shared,
-    stream: &mut TcpStream,
+    stream: &mut FrameStream<'_>,
     step: u32,
     tenant: &str,
     name: &str,
@@ -978,7 +1087,7 @@ fn handle_stat(
     let key = store_key(tenant, name);
     let state = lock_store(shared, obs);
     let overlay_line = obs.time(ServePhase::Overlay, || {
-        state.overlay.get(&(step, key.clone())).map(|entry| {
+        state.core.overlay.get(&(step, key.clone())).map(|entry| {
             format!(
                 "name={name} step={step} raw_len={} width={} committed=false\n",
                 entry.data.len(),
@@ -991,7 +1100,7 @@ fn handle_stat(
         respond(stream, obs, Status::Ok, line.as_bytes());
         return true;
     }
-    let line = obs.time(ServePhase::StoreGet, || match &state.reader {
+    let line = obs.time(ServePhase::StoreGet, || match &state.core.reader {
         Some(reader) => reader.entry(step, &key).map(|entry| {
             format!(
                 "name={name} step={step} raw_len={} container_len={} width={} committed=true\n",
@@ -1024,12 +1133,17 @@ fn handle_stat(
     true
 }
 
-fn handle_ls(shared: &Shared, stream: &mut TcpStream, tenant: &str, obs: &mut RequestObs) -> bool {
+fn handle_ls(
+    shared: &Shared,
+    stream: &mut FrameStream<'_>,
+    tenant: &str,
+    obs: &mut RequestObs,
+) -> bool {
     let state = lock_store(shared, obs);
     // (step, name) -> raw_len; overlay entries shadow committed ones.
     let rows = obs.time(ServePhase::StoreGet, || {
         let mut rows: BTreeMap<(u32, String), u64> = BTreeMap::new();
-        if let Some(reader) = &state.reader {
+        if let Some(reader) = &state.core.reader {
             for entry in reader.live_entries() {
                 let (entry_tenant, name) = split_key(&entry.name);
                 if entry_tenant == tenant {
@@ -1037,7 +1151,7 @@ fn handle_ls(shared: &Shared, stream: &mut TcpStream, tenant: &str, obs: &mut Re
                 }
             }
         }
-        for ((step, key), entry) in &state.overlay {
+        for ((step, key), entry) in &state.core.overlay {
             let (entry_tenant, name) = split_key(key);
             if entry_tenant == tenant {
                 rows.insert((*step, name.to_string()), entry.data.len() as u64);
@@ -1064,7 +1178,12 @@ fn metrics_loop(shared: &Arc<Shared>, listener: TcpListener) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        if !set_read_timeout_checked(&stream, Duration::from_secs(2)) {
+            // No timeout means an idle scraper could pin this (serial)
+            // loop forever; dropping the connection is the safe
+            // fallback.
+            continue;
+        }
         let mut request = [0u8; 4096];
         let mut filled = 0;
         // Read until the header terminator or the cap; anything longer
@@ -1126,10 +1245,10 @@ fn debug_stats_json(shared: &Shared) -> String {
     let (overlay_entries, overlay_bytes, reserved_bytes, last_generation, failed) = {
         let state = shared.store.lock().unwrap_or_else(|e| e.into_inner());
         (
-            state.overlay.len() as u64,
-            state.pending_bytes,
+            state.core.overlay.len() as u64,
+            state.core.pending_bytes,
             state.reserved_bytes,
-            state.last_generation,
+            state.core.last_generation,
             state.failed.clone(),
         )
     };
@@ -1150,9 +1269,11 @@ fn debug_stats_json(shared: &Shared) -> String {
     out.push_str(&format!(
         ", \"overlay_entries\": {overlay_entries}, \"overlay_bytes\": {overlay_bytes}, \
          \"reserved_bytes\": {reserved_bytes}, \"in_flight_bytes\": {}, \
-         \"commit_backlog_bytes\": {overlay_bytes}, \"commit_threshold\": {}",
+         \"commit_backlog_bytes\": {overlay_bytes}, \"commit_threshold\": {}, \
+         \"wal_replayed\": {}",
         overlay_bytes.saturating_add(reserved_bytes),
         shared.opts.commit_threshold,
+        shared.wal_replayed,
     ));
     match last_generation {
         Some(generation) => out.push_str(&format!(", \"generation\": {generation}")),

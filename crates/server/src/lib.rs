@@ -19,15 +19,22 @@
 //! `docs/SERVE.md`; observability (Prometheus `/metrics`, trace
 //! spans) in `docs/OBSERVABILITY.md`.
 
+pub mod chaos;
 pub mod client;
+pub mod core;
 pub mod daemon;
 pub mod obs;
 pub mod protocol;
+pub mod retry;
 pub mod signals;
+pub mod wal;
 
+pub use chaos::{ChaosConfig, ChaosStream};
 pub use client::Client;
+pub use core::{CoreOptions, StoreCore};
 pub use daemon::{serve, ServeError, ServeOptions, ServeReport, Server, ServerHandle};
 pub use obs::{RequestRecord, ServePhase};
+pub use retry::{RetryClient, RetryPolicy};
 pub use protocol::{
     FrameError, Opcode, ProtoError, Request, RequestHeader, Response, Status, MAX_NAME_LEN,
     MAX_TENANT_LEN, PROTOCOL_VERSION,
@@ -439,6 +446,229 @@ mod tests {
         assert_eq!(reader.get(0, "v").unwrap(), payload(2048, 7));
         // After shutdown a new connection is refused or immediately
         // answered with ShuttingDown — either way, no new work.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn wal_files_in(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(wal::is_wal_file_name)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn acked_puts_survive_an_ungraceful_stop_via_wal_replay() {
+        let dir = tmp("wal-replay");
+        let data_a = payload(4096, 11);
+        let data_b = payload(2048, 12);
+        {
+            let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let resp = client.put("acme", 5, "alpha", 8, data_a.clone()).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            let resp = client.put("", 6, "beta", 8, data_b.clone()).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            // Acked puts are journaled on disk before their Ok.
+            assert!(!wal_files_in(&dir).is_empty(), "journal exists pre-crash");
+            drop(client);
+            // Drop without join(): the daemon dies without its final
+            // commit, like a crash. The un-closed writer aborts its
+            // segments; only the journal survives.
+            drop(server);
+        }
+        assert!(!wal_files_in(&dir).is_empty(), "journal survives the crash");
+
+        let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // Replayed data serves before any new put or commit.
+        let resp = client.get("acme", 5, "alpha").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.payload, data_a);
+        let resp = client.get("", 6, "beta").unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.payload, data_b);
+        drop(client);
+        server.shutdown();
+        let report = server.join().unwrap();
+        assert_eq!(report.wal_replayed, 2, "{report:?}");
+        assert!(report.commits >= 1, "replayed puts get a generation");
+        // After the commit the journal is truncated and the data is in
+        // the committed store under the prefixed keys.
+        assert!(wal_files_in(&dir).is_empty(), "journal retired");
+        let reader = isobar_store::StoreReader::open(&dir).unwrap();
+        assert_eq!(
+            reader.get(5, &daemon::store_key("acme", "alpha")).unwrap(),
+            data_a
+        );
+        assert_eq!(reader.get(6, "beta").unwrap(), data_b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_disabled_restores_the_old_contract() {
+        let dir = tmp("wal-off");
+        let opts = ServeOptions {
+            wal: false,
+            ..small_options()
+        };
+        {
+            let server = serve(&dir, "127.0.0.1:0", None, opts.clone()).unwrap();
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let resp = client.put("", 0, "v", 8, payload(1024, 13)).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            assert!(wal_files_in(&dir).is_empty(), "no journal when disabled");
+            drop(client);
+            drop(server); // crash: no final commit
+        }
+        let server = serve(&dir, "127.0.0.1:0", None, opts).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let resp = client.get("", 0, "v").unwrap();
+        assert_eq!(resp.status, Status::NotFound, "acked put lost, as before");
+        drop(client);
+        server.shutdown();
+        let report = server.join().unwrap();
+        assert_eq!(report.wal_replayed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graceful_drain_acks_a_slow_inflight_put_and_commits_cleanly() {
+        let dir = tmp("slow-drain");
+        let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+        let data = payload(64 * 1024, 14);
+        let frame = encode_request(&Request {
+            opcode: Opcode::Put,
+            tenant: String::new(),
+            name: "slow".into(),
+            step: 9,
+            width: 8,
+            payload: data.clone(),
+        });
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Send everything but the payload's second half, then let the
+        // daemon observe the shutdown while the put is mid-read.
+        let split = frame.len() - 32 * 1024;
+        stream.write_all(&frame[..split]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        server.shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stream.write_all(&frame[split..]).unwrap();
+        stream.flush().unwrap();
+        // The in-flight request is answered deterministically: the
+        // daemon finishes reading and acks (it passed admission before
+        // the drain began).
+        let resp = protocol::read_response(&mut stream, 1 << 20).unwrap();
+        assert_eq!(resp.status, Status::Ok, "{resp:?}");
+        drop(stream);
+        let report = server.join().unwrap();
+        assert_eq!(report.puts, 1);
+        assert!(report.commits >= 1);
+        // The final commit retired the journal — no torn WAL left
+        // behind — and the store holds the exact bytes.
+        assert!(wal_files_in(&dir).is_empty(), "no journal after drain");
+        let reader = isobar_store::StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.get(9, "slow").unwrap(), data);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_client_rides_through_chaos_with_bit_exact_data() {
+        let dir = tmp("chaos-retry");
+        let server = serve(&dir, "127.0.0.1:0", None, small_options()).unwrap();
+        let addr = server.local_addr();
+        let mut resets = 0u64;
+        {
+            let mut client = retry::RetryClient::new(
+                retry::RetryPolicy::default(),
+                0xC0FFEE,
+                move || {
+                    let stream = TcpStream::connect(addr)?;
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+                    stream.set_write_timeout(Some(std::time::Duration::from_secs(5)))?;
+                    resets += 1;
+                    Ok(Client::from_stream(ChaosStream::new(
+                        stream,
+                        ChaosConfig {
+                            // Aggressive: every op rolls fragmentation,
+                            // 2% resets mid-frame.
+                            short_read_per_mille: 300,
+                            short_write_per_mille: 300,
+                            reset_per_mille: 20,
+                            ..ChaosConfig::quiet(resets)
+                        },
+                    )))
+                },
+            );
+            for step in 0..16u32 {
+                let data = payload(2048, step as u8);
+                let resp = client.put("acme", step, "var", 8, &data).unwrap();
+                assert_eq!(resp.status, Status::Ok);
+                let resp = client.get("acme", step, "var").unwrap();
+                assert_eq!(resp.status, Status::Ok);
+                assert_eq!(resp.payload, data, "bit-exact at step {step}");
+            }
+            assert!(client.stats.attempts >= 32);
+        }
+        server.shutdown();
+        let report = server.join().unwrap();
+        // Every logical op succeeded exactly once from the client's
+        // view; the daemon may have seen more puts from ambiguous
+        // retries (idempotent re-puts), never fewer.
+        assert!(report.puts >= 16, "{report:?}");
+        assert!(report.gets >= 16, "{report:?}");
+        let reader = isobar_store::StoreReader::open(&dir).unwrap();
+        for step in 0..16u32 {
+            assert_eq!(
+                reader.get(step, &daemon::store_key("acme", "var")).unwrap(),
+                payload(2048, step as u8)
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slowloris_cannot_pin_a_worker_past_the_frame_deadline() {
+        let dir = tmp("slowloris");
+        let opts = ServeOptions {
+            frame_deadline: std::time::Duration::from_millis(300),
+            ..small_options()
+        };
+        let server = serve(&dir, "127.0.0.1:0", None, opts).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Start a frame, then trickle nothing: the daemon must cut the
+        // connection at the deadline instead of waiting forever.
+        stream.write_all(b"IS").unwrap();
+        stream.flush().unwrap();
+        let started = std::time::Instant::now();
+        let mut buf = [0u8; 64];
+        // EOF (or reset) must arrive promptly after the deadline.
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "connection closed, not answered");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "cut at the deadline, not the 30s legacy timeout"
+        );
+        drop(stream);
+        // The daemon is still healthy for well-behaved clients.
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let resp = client.put("", 0, "ok", 8, payload(64, 15)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        drop(client);
+        server.shutdown();
+        server.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -91,6 +91,9 @@ pub enum ServePhase {
     Overlay,
     /// Sharded-store put (writer creation + pipeline submit).
     StorePut,
+    /// Write-ahead journal append + fsync — the durability barrier a
+    /// put's `Ok` waits on.
+    WalFsync,
     /// Committed-store get / stat / ls scan.
     StoreGet,
     /// A store generation commit triggered by this request.
@@ -101,7 +104,7 @@ pub enum ServePhase {
 
 impl ServePhase {
     /// Number of phases (array size).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every phase, in stable order.
     pub const ALL: [ServePhase; ServePhase::COUNT] = [
@@ -112,6 +115,7 @@ impl ServePhase {
         ServePhase::LockWait,
         ServePhase::Overlay,
         ServePhase::StorePut,
+        ServePhase::WalFsync,
         ServePhase::StoreGet,
         ServePhase::Commit,
         ServePhase::WriteResponse,
@@ -127,6 +131,7 @@ impl ServePhase {
             ServePhase::LockWait => "lock_wait",
             ServePhase::Overlay => "overlay",
             ServePhase::StorePut => "store_put",
+            ServePhase::WalFsync => "wal_fsync",
             ServePhase::StoreGet => "store_get",
             ServePhase::Commit => "commit",
             ServePhase::WriteResponse => "write_response",
@@ -143,6 +148,7 @@ impl ServePhase {
             ServePhase::LockWait => TraceTag::ServeLockWait,
             ServePhase::Overlay => TraceTag::ServeOverlay,
             ServePhase::StorePut => TraceTag::ServeStorePut,
+            ServePhase::WalFsync => TraceTag::ServeWalFsync,
             ServePhase::StoreGet => TraceTag::ServeStoreGet,
             ServePhase::Commit => TraceTag::ServeCommit,
             ServePhase::WriteResponse => TraceTag::ServeWriteResponse,

@@ -1,0 +1,268 @@
+//! A retrying client for hostile networks: jittered exponential
+//! backoff, a total deadline budget, and reconnect-and-retry on
+//! transport errors.
+//!
+//! The serve protocol makes retries safe by construction: a put is
+//! keyed on `(tenant, step, name)` and later writes supersede earlier
+//! ones (last-wins in both the overlay and the committed store), so
+//! re-sending a put whose ack was lost mid-frame is idempotent — the
+//! worst case is writing the same bytes twice. [`RetryClient`] leans
+//! on that: an ambiguous outcome (connection died before the response
+//! arrived) is answered by reconnecting and re-putting.
+//!
+//! Busy responses back off on the *same* connection — the daemon kept
+//! it frame-aligned on purpose. The backoff schedule is shared with
+//! the soak harness and exposed as [`backoff_delay`] so its shape can
+//! be unit tested deterministically.
+
+use crate::client::Client;
+use crate::protocol::{FrameError, Response, Status};
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Shape of the retry schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// First backoff delay; doubles each attempt.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Give up after this many attempts of one operation.
+    pub max_attempts: u32,
+    /// Give up once an operation has been in flight this long in
+    /// total, counting the attempts themselves and the backoffs.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(250),
+            max_attempts: 64,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The jittered exponential backoff before retry number `attempt`
+/// (1-based): `base * 2^(attempt-1)` capped at `max_delay`, then
+/// uniformly jittered into `[half, full]` so a fleet of clients
+/// rejected together does not reconverge on the same instant. `rng`
+/// is a caller-owned xorshift state, making schedules deterministic
+/// under a fixed seed.
+pub fn backoff_delay(policy: &RetryPolicy, attempt: u32, rng: &mut u64) -> Duration {
+    let exp = attempt.saturating_sub(1).min(20);
+    let raw = policy
+        .base_delay
+        .saturating_mul(1u32 << exp)
+        .min(policy.max_delay);
+    let raw_nanos = raw.as_nanos() as u64;
+    if raw_nanos == 0 {
+        return Duration::ZERO;
+    }
+    let half = raw_nanos / 2;
+    let jitter = xorshift(rng) % (raw_nanos - half + 1);
+    Duration::from_nanos(half + jitter)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Scramble a seed into an xorshift state (shared with the chaos
+/// layer so adjacent seeds diverge immediately).
+fn seed_state(seed: u64) -> u64 {
+    crate::chaos::seed_state(seed)
+}
+
+/// Why a retried operation ultimately failed.
+#[derive(Debug)]
+pub enum RetryError {
+    /// Attempts or the deadline budget ran out; carries the last
+    /// transport error seen.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last error, as text.
+        last: String,
+    },
+    /// The daemon answered with a non-retryable protocol violation.
+    Proto(String),
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RetryError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// Counters for one [`RetryClient`]'s lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RetryStats {
+    /// Request attempts sent (including first tries).
+    pub attempts: u64,
+    /// Reconnects after a transport error.
+    pub reconnects: u64,
+    /// Backoffs taken after a Busy response.
+    pub busy_retries: u64,
+}
+
+/// A [`Client`] wrapper that retries through Busy responses and
+/// transport failures. `connect` is called for the initial connection
+/// and after every transport error, letting the caller splice in any
+/// transport (e.g. a [`crate::ChaosStream`]).
+pub struct RetryClient<S: Read + Write, F: FnMut() -> io::Result<Client<S>>> {
+    connect: F,
+    policy: RetryPolicy,
+    client: Option<Client<S>>,
+    rng: u64,
+    /// What this client has endured.
+    pub stats: RetryStats,
+}
+
+impl<S: Read + Write, F: FnMut() -> io::Result<Client<S>>> RetryClient<S, F> {
+    /// Build a retrying client; `seed` fixes the jitter schedule.
+    pub fn new(policy: RetryPolicy, seed: u64, connect: F) -> Self {
+        RetryClient {
+            connect,
+            policy,
+            client: None,
+            rng: seed_state(seed),
+            stats: RetryStats::default(),
+        }
+    }
+
+    fn client(&mut self) -> io::Result<&mut Client<S>> {
+        if self.client.is_none() {
+            self.client = Some((self.connect)()?);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// Run one request-shaped operation under the retry schedule.
+    /// `op` is re-invoked on a fresh or existing client per attempt.
+    fn with_retries(
+        &mut self,
+        mut op: impl FnMut(&mut Client<S>) -> Result<Response, FrameError>,
+    ) -> Result<Response, RetryError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        let mut last = String::from("never attempted");
+        loop {
+            attempt += 1;
+            if attempt > self.policy.max_attempts || started.elapsed() >= self.policy.deadline {
+                return Err(RetryError::Exhausted {
+                    attempts: attempt - 1,
+                    last,
+                });
+            }
+            self.stats.attempts += 1;
+            let outcome = match self.client() {
+                Ok(client) => op(client),
+                Err(e) => Err(FrameError::Io(e)),
+            };
+            match outcome {
+                Ok(resp) if resp.status == Status::Busy => {
+                    // The daemon drained the payload; the connection
+                    // is healthy and frame-aligned. Back off in place.
+                    self.stats.busy_retries += 1;
+                    last = "Busy".to_string();
+                    std::thread::sleep(backoff_delay(&self.policy, attempt, &mut self.rng));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(FrameError::Io(e)) => {
+                    // Ambiguous: the request may or may not have been
+                    // applied. Reconnect and retry — puts are
+                    // idempotent under (tenant, step, name) last-wins.
+                    last = e.to_string();
+                    if self.client.take().is_some() {
+                        self.stats.reconnects += 1;
+                    }
+                    std::thread::sleep(backoff_delay(&self.policy, attempt, &mut self.rng));
+                }
+                Err(FrameError::Proto(e)) => return Err(RetryError::Proto(e.to_string())),
+            }
+        }
+    }
+
+    /// Store one variable, retrying until acked or out of budget.
+    pub fn put(
+        &mut self,
+        tenant: &str,
+        step: u32,
+        name: &str,
+        width: u8,
+        payload: &[u8],
+    ) -> Result<Response, RetryError> {
+        let payload = payload.to_vec();
+        self.with_retries(|client| client.put(tenant, step, name, width, payload.clone()))
+    }
+
+    /// Fetch one variable, retrying transport failures. A `NotFound`
+    /// response is returned, not retried — absence is an answer.
+    pub fn get(&mut self, tenant: &str, step: u32, name: &str) -> Result<Response, RetryError> {
+        self.with_retries(|client| client.get(tenant, step, name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered_in_range() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let mut rng = 99u64;
+        // Expected raw delays: 2, 4, 8, 16, 32, 64, 100, 100, ... ms.
+        let mut raws = Vec::new();
+        for attempt in 1..=10u32 {
+            let d = backoff_delay(&policy, attempt, &mut rng);
+            let raw = Duration::from_millis(2)
+                .saturating_mul(1 << (attempt - 1))
+                .min(Duration::from_millis(100));
+            assert!(d >= raw / 2, "attempt {attempt}: {d:?} < half of {raw:?}");
+            assert!(d <= raw, "attempt {attempt}: {d:?} > {raw:?}");
+            raws.push(raw);
+        }
+        assert_eq!(raws[6], Duration::from_millis(100), "cap reached");
+        assert_eq!(raws[9], Duration::from_millis(100), "cap holds");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_varies_across_attempts() {
+        let policy = RetryPolicy::default();
+        let run = |seed: u64| {
+            let mut rng = seed;
+            (1..=8u32)
+                .map(|a| backoff_delay(&policy, a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let policy = RetryPolicy::default();
+        let mut rng = 1;
+        let d = backoff_delay(&policy, u32::MAX, &mut rng);
+        assert!(d <= policy.max_delay);
+    }
+}

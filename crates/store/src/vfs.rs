@@ -54,6 +54,11 @@ pub trait StoreFs: Send {
     /// Create a directory (and any missing parents). Succeeds if the
     /// directory already exists.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// List the entries directly inside `dir` (full paths, files only,
+    /// unspecified order). The serve daemon's write-ahead journal uses
+    /// this on startup to discover leftover per-tenant journal files.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<std::path::PathBuf>>;
 }
 
 /// The real filesystem.
@@ -120,6 +125,17 @@ impl StoreFs for RealFs {
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
     }
 }
 

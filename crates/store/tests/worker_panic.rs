@@ -72,6 +72,10 @@ impl StoreFs for PanickingFs {
     fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
         RealFs.create_dir_all(path)
     }
+
+    fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        RealFs.list_dir(dir)
+    }
 }
 
 fn scratch_dir(tag: &str) -> PathBuf {

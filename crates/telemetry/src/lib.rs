@@ -162,11 +162,23 @@ pub enum Counter {
     /// Flight-recorder Chrome-trace dumps written by the serve daemon
     /// (SIGUSR1, panic, or slow-request triggers).
     ServeFlightDumps,
+    /// Records appended (and fsynced) to the serve daemon's
+    /// write-ahead journal — one per acked put while the WAL is on.
+    ServeWalAppends,
+    /// Payload bytes made durable through the serve write-ahead
+    /// journal before their acks.
+    ServeWalBytes,
+    /// Journal records replayed into the overlay on daemon startup
+    /// (acked writes recovered after a crash).
+    ServeWalReplayed,
+    /// Write-ahead journal truncations (one per generation commit
+    /// that had journaled puts to retire).
+    ServeWalTruncations,
 }
 
 impl Counter {
     /// Number of counters (array size).
-    pub const COUNT: usize = 42;
+    pub const COUNT: usize = 46;
 
     /// Every counter, in stable JSON order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -212,6 +224,10 @@ impl Counter {
         Counter::ServeCommits,
         Counter::ServeSlowRequests,
         Counter::ServeFlightDumps,
+        Counter::ServeWalAppends,
+        Counter::ServeWalBytes,
+        Counter::ServeWalReplayed,
+        Counter::ServeWalTruncations,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -259,6 +275,10 @@ impl Counter {
             Counter::ServeCommits => "serve_commits",
             Counter::ServeSlowRequests => "serve_slow_requests",
             Counter::ServeFlightDumps => "serve_flight_dumps",
+            Counter::ServeWalAppends => "serve_wal_appends",
+            Counter::ServeWalBytes => "serve_wal_bytes",
+            Counter::ServeWalReplayed => "serve_wal_replayed",
+            Counter::ServeWalTruncations => "serve_wal_truncations",
         }
     }
 }

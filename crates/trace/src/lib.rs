@@ -140,11 +140,17 @@ pub enum TraceTag {
     ServeStoreGet,
     /// Serve daemon: encoding and writing one response frame.
     ServeWriteResponse,
+    /// Serve daemon: appending one put to the write-ahead journal and
+    /// fsyncing it (the durability cost paid before an `Ok` ack).
+    ServeWalFsync,
+    /// Serve daemon: replaying leftover write-ahead journal records
+    /// into the overlay on startup.
+    ServeWalReplay,
 }
 
 impl TraceTag {
     /// Number of tags.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 34;
 
     /// Stable snake_case name, used as the Chrome trace event name.
     pub fn name(self) -> &'static str {
@@ -181,6 +187,8 @@ impl TraceTag {
             TraceTag::ServeStorePut => "serve_store_put",
             TraceTag::ServeStoreGet => "serve_store_get",
             TraceTag::ServeWriteResponse => "serve_write_response",
+            TraceTag::ServeWalFsync => "serve_wal_fsync",
+            TraceTag::ServeWalReplay => "serve_wal_replay",
         }
     }
 }
